@@ -1,0 +1,259 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact, delegating to internal/experiments with the
+// Quick profile), plus microbenchmarks of the core algorithm and ablation
+// benchmarks for the design choices called out in DESIGN.md.
+//
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+package baywatch_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"baywatch"
+	"baywatch/internal/core"
+	"baywatch/internal/experiments"
+	"baywatch/internal/synthetic"
+	"baywatch/internal/timeseries"
+)
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(name, experiments.Options{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkFig2_ChallengeTraces(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig5_PermutationThreshold(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig6_PruningTDSS(b *testing.B)          { benchExperiment(b, "fig6") }
+func BenchmarkFig7_GMMMultiPeriod(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig10_NoiseTolerance(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11_UncertaintyOrdering(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkTable3_DataVolumes(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkTable4_ConfusionMatrix(b *testing.B)    { benchExperiment(b, "table4") }
+func BenchmarkTable5_FiveMonthCases(b *testing.B)     { benchExperiment(b, "table5") }
+func BenchmarkTable6_TenDayTop5(b *testing.B)         { benchExperiment(b, "table6") }
+
+func BenchmarkScalability_PairsVsRuntime(b *testing.B) { benchExperiment(b, "scalability") }
+func BenchmarkHeadline_TopRankedPrecision(b *testing.B) {
+	benchExperiment(b, "headline")
+}
+
+// ---- core microbenchmarks --------------------------------------------------
+
+func beaconSummary(b *testing.B, period float64, n int, noise synthetic.NoiseConfig) *baywatch.ActivitySummary {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	ts := synthetic.BeaconTimestamps(rng, 0, period, n, noise)
+	as, err := timeseries.FromTimestamps("src", "dst", ts, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return as
+}
+
+func BenchmarkDetect_CleanBeacon(b *testing.B) {
+	as := beaconSummary(b, 60, 300, synthetic.NoiseConfig{})
+	det := baywatch.NewDetector(baywatch.DefaultDetectorConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Detect(as); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetect_NoisyBeacon(b *testing.B) {
+	as := beaconSummary(b, 60, 300, synthetic.NoiseConfig{JitterSigma: 5, MissProb: 0.2, AddProb: 0.2})
+	det := baywatch.NewDetector(baywatch.DefaultDetectorConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Detect(as); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetect_LongWindow(b *testing.B) {
+	// A week of hourly beaconing at 1 s resolution: exercises the
+	// decimation path.
+	as := beaconSummary(b, 3600, 168, synthetic.NoiseConfig{JitterSigma: 30})
+	det := baywatch.NewDetector(baywatch.DefaultDetectorConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Detect(as); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- ablation benchmarks ----------------------------------------------------
+//
+// Each ablation reports detection outcomes under a modified configuration
+// through per-iteration metrics, quantifying the contribution of one
+// design choice.
+
+// ablationWorkload builds a mixed set of periodic and aperiodic summaries.
+func ablationWorkload(b *testing.B) []*baywatch.ActivitySummary {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	var out []*baywatch.ActivitySummary
+	// Beacons with varying noise.
+	for i := 0; i < 10; i++ {
+		ts := synthetic.BeaconTimestamps(rng, 0, 60+float64(i*30), 200,
+			synthetic.NoiseConfig{JitterSigma: float64(i), MissProb: 0.05 * float64(i%3), AccumulateJitter: i%2 == 0})
+		as, err := timeseries.FromTimestamps("s", fmt.Sprintf("beacon%d", i), ts, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, as)
+	}
+	// Aperiodic traffic.
+	for i := 0; i < 10; i++ {
+		var ts []int64
+		t := 0.0
+		for j := 0; j < 200; j++ {
+			t += rng.ExpFloat64() * 120
+			ts = append(ts, int64(t))
+		}
+		as, err := timeseries.FromTimestamps("s", fmt.Sprintf("poisson%d", i), ts, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, as)
+	}
+	return out
+}
+
+func runAblation(b *testing.B, cfg baywatch.DetectorConfig) {
+	b.Helper()
+	workload := ablationWorkload(b)
+	det := baywatch.NewDetector(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var truePos, falsePos int
+	for i := 0; i < b.N; i++ {
+		truePos, falsePos = 0, 0
+		for _, as := range workload {
+			res, err := det.Detect(as)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Periodic {
+				if as.Destination[0] == 'b' {
+					truePos++
+				} else {
+					falsePos++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(truePos), "detected/10")
+	b.ReportMetric(float64(falsePos), "falsepos/10")
+}
+
+func BenchmarkAblation_Baseline(b *testing.B) {
+	runAblation(b, baywatch.DefaultDetectorConfig())
+}
+
+func BenchmarkAblation_PermutationCount(b *testing.B) {
+	for _, m := range []int{5, 20, 100} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			cfg := baywatch.DefaultDetectorConfig()
+			cfg.Permutations = m
+			runAblation(b, cfg)
+		})
+	}
+}
+
+func BenchmarkAblation_NoTTest(b *testing.B) {
+	// Alpha ~ 0 disables the t-test pruning (nothing is ever rejected).
+	cfg := baywatch.DefaultDetectorConfig()
+	cfg.Alpha = 1e-12
+	runAblation(b, cfg)
+}
+
+func BenchmarkAblation_NoACFGate(b *testing.B) {
+	// A near-zero ACF threshold weakens verification.
+	cfg := baywatch.DefaultDetectorConfig()
+	cfg.MinACFScore = 1e-9
+	runAblation(b, cfg)
+}
+
+func BenchmarkAblation_NoGMM(b *testing.B) {
+	// A single mixture component disables multi-period discovery.
+	cfg := baywatch.DefaultDetectorConfig()
+	cfg.GMMMaxComponents = 1
+	runAblation(b, cfg)
+}
+
+func BenchmarkAblation_CoarseAnalysis(b *testing.B) {
+	for _, bins := range []int{1024, 8192, 65536} {
+		b.Run(fmt.Sprintf("bins=%d", bins), func(b *testing.B) {
+			cfg := baywatch.DefaultDetectorConfig()
+			cfg.MaxAnalysisBins = bins
+			runAblation(b, cfg)
+		})
+	}
+}
+
+func BenchmarkAblation_SingleTreeVsForest(b *testing.B) {
+	for _, trees := range []int{1, 200} {
+		b.Run(fmt.Sprintf("trees=%d", trees), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			var train []baywatch.TriageCase
+			for i := 0; i < 300; i++ {
+				label := i % 2
+				c := float64(label) * 2
+				train = append(train, baywatch.TriageCase{
+					ID:       fmt.Sprint(i),
+					Features: []float64{c + rng.NormFloat64()*1.5, rng.NormFloat64(), c + rng.NormFloat64()*3},
+					Label:    label,
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := baywatch.Triage(train, train[:50], baywatch.ForestConfig{Trees: trees, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDetectSeries_Permutations isolates the permutation-threshold
+// cost, the dominant term of per-pair detection.
+func BenchmarkDetectSeries_Permutations(b *testing.B) {
+	series := make([]float64, 8192)
+	for i := 0; i < len(series); i += 60 {
+		series[i] = 1
+	}
+	intervals := make([]float64, 135)
+	for i := range intervals {
+		intervals[i] = 60
+	}
+	det := core.NewDetector(core.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.DetectSeries(series, 1, intervals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Command baywatch runs the full 8-step beaconing-detection pipeline over
+// a directory of proxy log files (as written by bwgen) and prints the
+// ranked suspicious cases.
+//
+// Usage:
+//
+//	baywatch -logs traces/demo [-state state/novelty.json] [-top 25]
+//	         [-scale 1] [-tau 0.01] [-percentile 90]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"baywatch/internal/casefile"
+	"baywatch/internal/corpus"
+	"baywatch/internal/features"
+	"baywatch/internal/langmodel"
+	"baywatch/internal/novelty"
+	"baywatch/internal/pipeline"
+	"baywatch/internal/proxylog"
+	"baywatch/internal/whitelist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "baywatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	logsDir := flag.String("logs", "", "directory of proxy-*.log[.gz] files (required)")
+	statePath := flag.String("state", "", "novelty store path (optional; enables change detection across runs)")
+	top := flag.Int("top", 25, "number of ranked cases to print")
+	scale := flag.Int64("scale", 1, "time-series granularity in seconds")
+	tau := flag.Float64("tau", 0.01, "local whitelist popularity threshold")
+	percentile := flag.Float64("percentile", 90, "ranking score percentile threshold")
+	whitelistSize := flag.Int("whitelist", 1000, "global whitelist size (top popular domains)")
+	casesOut := flag.String("cases", "", "export candidate cases (with features) as JSON for bwtriage")
+	flag.Parse()
+	if *logsDir == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -logs")
+	}
+
+	// Load proxy logs.
+	entries, err := filepath.Glob(filepath.Join(*logsDir, "proxy-*.log*"))
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no proxy-*.log files under %s", *logsDir)
+	}
+	sort.Strings(entries)
+	var records []*proxylog.Record
+	for _, path := range entries {
+		recs, err := proxylog.ReadAll(path)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", path, err)
+		}
+		records = append(records, recs...)
+	}
+	fmt.Printf("loaded %d events from %d file(s)\n", len(records), len(entries))
+
+	// Optional DHCP correlation.
+	var corr *proxylog.Correlator
+	leasePath := filepath.Join(*logsDir, "dhcp-leases.json")
+	if data, err := os.ReadFile(leasePath); err == nil {
+		var leases []proxylog.Lease
+		if err := json.Unmarshal(data, &leases); err != nil {
+			return fmt.Errorf("parse %s: %w", leasePath, err)
+		}
+		corr, err = proxylog.NewCorrelator(leases)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("correlating sources against %d DHCP leases\n", len(leases))
+	}
+
+	// Novelty store.
+	var store *novelty.Store
+	if *statePath != "" {
+		store, err = novelty.Load(*statePath)
+		if err != nil {
+			return err
+		}
+	}
+
+	lm, err := langmodel.Train(corpus.PopularDomains(20000, 42))
+	if err != nil {
+		return err
+	}
+	cfg := pipeline.Config{
+		Scale:          *scale,
+		Global:         whitelist.NewGlobal(corpus.PopularDomains(*whitelistSize, 42)),
+		LocalTau:       *tau,
+		LM:             lm,
+		Novelty:        store,
+		RankPercentile: *percentile,
+	}
+
+	res, err := pipeline.Run(context.Background(), records, corr, cfg)
+	if err != nil {
+		return err
+	}
+
+	s := res.Stats
+	fmt.Printf("\nfilter funnel: %d events -> %d pairs -> %d after global WL -> %d after local WL -> %d periodic -> %d after token filter -> %d after novelty -> %d reported\n",
+		s.InputEvents, s.Pairs, s.AfterGlobalWhitelist, s.AfterLocalWhitelist,
+		s.Periodic, s.AfterTokenFilter, s.AfterNovelty, s.Reported)
+	fmt.Printf("timings: extract %s, popularity %s, detect %s, rank %s\n\n",
+		s.ExtractTime.Round(1e6), s.PopularityTime.Round(1e6), s.DetectTime.Round(1e6), s.RankTime.Round(1e6))
+
+	fmt.Printf("%-4s %-34s %-18s %-9s %-8s %-9s\n", "rank", "destination", "source", "period", "score", "lm-score")
+	fmt.Println(strings.Repeat("-", 88))
+	for i, c := range res.Reported {
+		if i >= *top {
+			break
+		}
+		period := "-"
+		if len(c.Detection.Kept) > 0 {
+			period = fmt.Sprintf("%.0fs", smallestPeriod(c))
+		}
+		fmt.Printf("%-4d %-34s %-18s %-9s %-8.3f %-9.1f\n",
+			i+1, trim(c.Destination, 34), trim(c.Source, 18), period, c.Score, c.LMScore)
+	}
+
+	if store != nil {
+		if err := store.Save(*statePath); err != nil {
+			return err
+		}
+		d, p := store.Size()
+		fmt.Printf("\nnovelty store saved to %s (%d destinations, %d pairs)\n", *statePath, d, p)
+	}
+
+	if *casesOut != "" {
+		var cases []casefile.Case
+		for _, c := range res.Candidates {
+			if c.Detection == nil || !c.Detection.Periodic {
+				continue
+			}
+			fc := features.Case{SimilarSources: c.SimilarSources}
+			if c.Summary != nil {
+				fc.Intervals = c.Summary.IntervalsSeconds()
+			}
+			if len(c.Detection.Kept) > 0 {
+				fc.DominantPeriods = c.Detection.DominantPeriods()
+				fc.Power = c.Detection.Kept[0].Power
+				fc.ACFScore = c.Detection.Kept[0].ACFScore
+			}
+			cases = append(cases, casefile.Case{
+				ID:          c.Source + "|" + c.Destination,
+				Source:      c.Source,
+				Destination: c.Destination,
+				Features:    append(features.Vector(fc), c.LMScore, c.Popularity),
+				Score:       c.Score,
+				Periods:     c.Detection.DominantPeriods(),
+				LMScore:     c.LMScore,
+			})
+		}
+		if err := casefile.Write(*casesOut, cases); err != nil {
+			return err
+		}
+		fmt.Printf("exported %d candidate cases to %s\n", len(cases), *casesOut)
+	}
+	return nil
+}
+
+func smallestPeriod(c *pipeline.Candidate) float64 {
+	smallest := 1e18
+	for _, k := range c.Detection.Kept {
+		if p := k.BestPeriod(); p < smallest {
+			smallest = p
+		}
+	}
+	return smallest
+}
+
+func trim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-2] + ".."
+}

@@ -1,0 +1,46 @@
+// Command bwexperiments regenerates the tables and figures of the
+// BAYWATCH paper's evaluation on the synthetic substrate.
+//
+// Usage:
+//
+//	bwexperiments [-run name] [-quick] [-seed n]
+//
+// -run selects one experiment (fig2, fig5, fig6, fig7, fig10, fig11,
+// table3, table4, table5, table6, scalability, headline) or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"baywatch/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bwexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	name := flag.String("run", "all", "experiment to run: "+strings.Join(experiments.Names(), ", ")+", or all")
+	quick := flag.Bool("quick", false, "reduced trial counts and trace sizes")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	start := time.Now()
+	tables, err := experiments.Run(*name, opts)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+	fmt.Printf("completed %d table(s) in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,106 @@
+// Multisource demonstrates the paper's discussion-section claim that the
+// methodology extends beyond web-proxy logs: the same C&C beacon is
+// detected through three different sensor views of one simulated network —
+// the proxy log itself, the internal resolver's DNS query log (with cache
+// suppression hiding most repeat lookups), and domain-less NetFlow records
+// at the perimeter.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"baywatch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	sim := baywatch.DefaultSimulationConfig()
+	sim.Days = 2
+	sim.Hosts = 60
+	sim.Infections = []baywatch.Infection{{
+		Family:  "Zbot",
+		Clients: 2,
+		Period:  600,
+		Noise:   baywatch.NoiseConfig{JitterSigma: 5, MissProb: 0.05},
+	}}
+	trace, err := baywatch.Simulate(sim)
+	if err != nil {
+		return err
+	}
+	var ccDomain string
+	for d, tru := range trace.Truth {
+		if tru.Family == "Zbot" {
+			ccDomain = d
+		}
+	}
+	fmt.Printf("simulated %d proxy events; C&C domain: %s (600 s beacon)\n\n", len(trace.Records), ccDomain)
+
+	det := baywatch.NewDetector(baywatch.DefaultDetectorConfig())
+	report := func(view string, events []baywatch.PairEvent, match func(dest string) bool) error {
+		sums, err := baywatch.ExtractFromEvents(ctx, events, 1)
+		if err != nil {
+			return err
+		}
+		for _, as := range sums {
+			if !match(as.Destination) {
+				continue
+			}
+			res, err := det.Detect(as)
+			if err != nil {
+				return err
+			}
+			status := "not periodic"
+			if res.Periodic {
+				status = fmt.Sprintf("beaconing, period %.0fs", res.DominantPeriods()[0])
+			}
+			fmt.Printf("%-10s pair %s -> %s: %d events, %s\n",
+				view, as.Source, as.Destination, as.EventCount(), status)
+		}
+		return nil
+	}
+
+	// --- proxy view --------------------------------------------------------
+	var proxyEvents []baywatch.PairEvent
+	for _, r := range trace.Records {
+		proxyEvents = append(proxyEvents, baywatch.PairEvent{
+			Source: r.ClientIP, Destination: r.Host, Timestamp: r.Timestamp, Path: r.Path,
+		})
+	}
+	if err := report("proxy", proxyEvents, func(d string) bool { return d == ccDomain }); err != nil {
+		return err
+	}
+
+	// --- DNS view: 300 s resolver cache hides half the beacon lookups ------
+	queries := baywatch.DNSFromProxyTrace(trace.Records, 300)
+	fmt.Printf("\nDNS view: %d queries after cache suppression (from %d requests)\n",
+		len(queries), len(trace.Records))
+	if err := report("dns", baywatch.DNSPairEvents(queries, nil), func(d string) bool { return d == ccDomain }); err != nil {
+		return err
+	}
+
+	// --- NetFlow view: no domain names, only IP:port pairs -----------------
+	flows := baywatch.FlowsFromProxyTrace(trace.Records)
+	ccIPPort := ""
+	for i, f := range flows {
+		if trace.Records[i].Host == ccDomain {
+			ccIPPort = f.DstIP + ":80"
+			break
+		}
+	}
+	fmt.Printf("\nNetFlow view: C&C hides behind %s\n", ccIPPort)
+	if err := report("netflow", baywatch.FlowPairEvents(flows, nil), func(d string) bool { return d == ccIPPort }); err != nil {
+		return err
+	}
+
+	fmt.Println("\nthe same timing signal surfaces in every view; only the identifier changes")
+	return nil
+}

@@ -1,0 +1,63 @@
+// Quickstart: ask "is this communication pair beaconing?" for three
+// request-timestamp sequences — a clean beacon, a jittery real-world-style
+// beacon, and random browsing traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"baywatch"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// A bot checking in every 5 minutes, with a little network jitter and
+	// the occasional missed beacon.
+	var beacon []int64
+	t := 0.0
+	for i := 0; i < 200; i++ {
+		if rng.Float64() > 0.05 { // 5% of beacons unobserved
+			beacon = append(beacon, int64(t+rng.NormFloat64()*3))
+		}
+		t += 300
+	}
+
+	// A user browsing: bursts of requests separated by random pauses.
+	var browsing []int64
+	t = 0
+	for s := 0; s < 40; s++ {
+		for i := 0; i < 5+rng.Intn(10); i++ {
+			t += rng.Float64() * 10
+			browsing = append(browsing, int64(t))
+		}
+		t += 600 + rng.ExpFloat64()*2000
+	}
+
+	cfg := baywatch.DefaultDetectorConfig()
+	for _, tc := range []struct {
+		name string
+		ts   []int64
+	}{
+		{"c2-beacon (300 s period)", beacon},
+		{"user browsing", browsing},
+	} {
+		res, err := baywatch.DetectBeaconing(tc.ts, 1, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s events=%-4d periodic=%-5v", tc.name, res.EventCount, res.Periodic)
+		if res.Periodic {
+			fmt.Printf(" periods=%.1fs score=%.2f", res.DominantPeriods()[0], res.Score())
+		}
+		fmt.Println()
+
+		// The full diagnostic trail is available per candidate.
+		for _, c := range res.Candidates {
+			fmt.Printf("    candidate %-12s period=%8.2fs power=%7.2f p=%.3f acf=%.3f -> %s\n",
+				c.Origin, c.Period, c.Power, c.PValue, c.ACFScore, c.Reason)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module baywatch
+
+go 1.22

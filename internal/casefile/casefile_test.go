@@ -1,0 +1,81 @@
+package casefile
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sample() []Case {
+	return []Case{
+		{ID: "a|evil.com", Source: "a", Destination: "evil.com",
+			Features: []float64{1, 2, 3}, Score: 0.9, Periods: []float64{60}, LMScore: -40},
+		{ID: "b|ok.com", Source: "b", Destination: "ok.com",
+			Features: []float64{4, 5, 6}, Score: 0.2, Periods: []float64{3600}, LMScore: -12},
+	}
+}
+
+func TestCaseRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out", "cases.json")
+	want := sample()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Read(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := Read(bad); err == nil {
+		t.Error("expected error for malformed JSON")
+	}
+	noID := filepath.Join(dir, "noid.json")
+	os.WriteFile(noID, []byte(`[{"id":"","features":[1]}]`), 0o644)
+	if _, err := Read(noID); err == nil {
+		t.Error("expected error for empty id")
+	}
+	ragged := filepath.Join(dir, "ragged.json")
+	os.WriteFile(ragged, []byte(`[{"id":"a","features":[1]},{"id":"b","features":[1,2]}]`), 0o644)
+	if _, err := Read(ragged); err == nil {
+		t.Error("expected error for ragged features")
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.json")
+	want := map[string]int{"a|evil.com": 1, "b|ok.com": 0}
+	if err := WriteLabels(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLabels(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("labels mismatch: %v vs %v", got, want)
+	}
+}
+
+func TestReadLabelsValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadLabels(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"x": 2}`), 0o644)
+	if _, err := ReadLabels(bad); err == nil {
+		t.Error("expected error for out-of-range label")
+	}
+}

@@ -1,0 +1,163 @@
+// Package core implements BAYWATCH's periodicity detection algorithm
+// (Sect. IV of the paper), the system's primary contribution. Detection
+// proceeds in three steps over the binned request time series of one
+// communication pair:
+//
+//	Step 1 — Periodogram analysis. The series' power spectrum is compared
+//	against a threshold derived from random permutations of the series:
+//	shuffling destroys periodic structure but preserves first-order
+//	statistics, so spectral power exceeding what permutations produce is
+//	evidence of true periodicity (Vlachos et al., SDM'05).
+//
+//	Step 2 — Pruning. Candidate periods are tested against the observed
+//	interval list: periods below the minimum interval are high-frequency
+//	noise; a one-sample t-test rejects candidates statistically
+//	inconsistent with the intervals; a BIC-selected Gaussian mixture model
+//	over the intervals exposes multiple coexisting periods (and its
+//	dominant component means join the candidate set); under-sampled series
+//	are discarded outright.
+//
+//	Step 3 — Verification. Each surviving candidate is validated on the
+//	autocorrelation function: it must sit on an ACF hill (segmented
+//	regression with rising-then-falling slopes), and the period estimate
+//	is refined by climbing to the local ACF maximum.
+package core
+
+// Config holds the tunable parameters of the detection algorithm. The zero
+// value is not usable directly; call DefaultConfig or fill every field.
+type Config struct {
+	// Permutations is m, the number of random shuffles used to estimate
+	// the spectral power threshold.
+	Permutations int
+	// Confidence is C: the threshold is the ceil(C*m)-th smallest of the
+	// m permutation power maxima (e.g. the 19th of 20 at C = 0.95), i.e.
+	// the empirical C-quantile of the max-power-under-noise distribution.
+	Confidence float64
+	// Alpha is the significance level of the pruning t-test: a candidate
+	// period is rejected when its p-value falls below Alpha.
+	Alpha float64
+	// MinEvents is the sampling-rate pruning threshold: series with fewer
+	// requests are considered under-sampled and skipped.
+	MinEvents int
+	// MaxSeriesLen caps the length of the binned series handed to the FFT.
+	// Longer series are truncated; the rescaling phase is the intended way
+	// to analyze long spans at coarse granularity.
+	MaxSeriesLen int
+	// MaxAnalysisBins bounds the series length used for spectral analysis:
+	// longer series are decimated (rebinned) to at most this many buckets
+	// before the permutation test, keeping multi-day windows affordable.
+	// Short-period candidates from the interval GMM are still verified at
+	// the original resolution.
+	MaxAnalysisBins int
+	// MaxCandidates bounds how many periodogram peaks proceed to pruning.
+	MaxCandidates int
+	// GMMMaxComponents is the largest mixture size tried during interval
+	// clustering (BIC selects among 1..GMMMaxComponents).
+	GMMMaxComponents int
+	// GMMMinWeight is the minimum mixture weight for a component's mean to
+	// be promoted to a candidate period.
+	GMMMinWeight float64
+	// GMMMaxIntervalSample caps how many intervals are used for the GMM
+	// fit; longer lists are subsampled deterministically.
+	GMMMaxIntervalSample int
+	// MinACFScore is the minimum normalized autocorrelation at the refined
+	// lag for a candidate to verify.
+	MinACFScore float64
+	// MinCycles requires the observation window to cover at least this
+	// many repetitions of a candidate period.
+	MinCycles float64
+	// TTestSlack is the relative uncertainty granted to a candidate period
+	// in the pruning t-test (fraction of the period). It absorbs interval
+	// contamination near mixture-assignment boundaries without letting
+	// harmonics or leakage candidates survive.
+	TTestSlack float64
+	// RenewalFraction is the interval-concentration threshold of the
+	// renewal fallback: a GMM candidate whose ACF comb was destroyed by
+	// accumulated timing drift is still accepted when at least this
+	// fraction of the intervals falls within +/-30% of its period.
+	RenewalFraction float64
+	// MinRenewalSupport is the minimum number of supporting intervals for
+	// the renewal fallback.
+	MinRenewalSupport int
+	// Seed makes the permutation shuffles deterministic. Detection on the
+	// same input with the same seed always yields the same result.
+	Seed int64
+}
+
+// DefaultConfig returns the parameterization used throughout the paper's
+// evaluation: m = 20 permutations at 95% confidence, alpha = 5%.
+func DefaultConfig() Config {
+	return Config{
+		Permutations:         20,
+		Confidence:           0.95,
+		Alpha:                0.05,
+		MinEvents:            8,
+		MaxSeriesLen:         1 << 17,
+		MaxAnalysisBins:      8192,
+		MaxCandidates:        16,
+		GMMMaxComponents:     3,
+		GMMMinWeight:         0.05,
+		GMMMaxIntervalSample: 2048,
+		MinACFScore:          0.1,
+		MinCycles:            2,
+		TTestSlack:           0.02,
+		RenewalFraction:      0.5,
+		MinRenewalSupport:    6,
+		Seed:                 1,
+	}
+}
+
+// sanitized returns a copy with invalid fields replaced by defaults so a
+// partially filled Config cannot crash the detector.
+func (c Config) sanitized() Config {
+	d := DefaultConfig()
+	if c.Permutations <= 0 {
+		c.Permutations = d.Permutations
+	}
+	if c.Confidence <= 0 || c.Confidence > 1 {
+		c.Confidence = d.Confidence
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = d.Alpha
+	}
+	if c.MinEvents < 4 {
+		c.MinEvents = d.MinEvents
+	}
+	if c.MaxSeriesLen <= 0 {
+		c.MaxSeriesLen = d.MaxSeriesLen
+	}
+	if c.MaxAnalysisBins < 64 {
+		c.MaxAnalysisBins = d.MaxAnalysisBins
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = d.MaxCandidates
+	}
+	if c.GMMMaxComponents <= 0 {
+		c.GMMMaxComponents = d.GMMMaxComponents
+	}
+	if c.GMMMinWeight <= 0 {
+		c.GMMMinWeight = d.GMMMinWeight
+	}
+	if c.GMMMaxIntervalSample <= 0 {
+		c.GMMMaxIntervalSample = d.GMMMaxIntervalSample
+	}
+	if c.MinACFScore <= 0 {
+		c.MinACFScore = d.MinACFScore
+	}
+	if c.MinCycles <= 0 {
+		c.MinCycles = d.MinCycles
+	}
+	if c.TTestSlack <= 0 {
+		c.TTestSlack = d.TTestSlack
+	}
+	if c.RenewalFraction <= 0 || c.RenewalFraction > 1 {
+		c.RenewalFraction = d.RenewalFraction
+	}
+	if c.MinRenewalSupport <= 0 {
+		c.MinRenewalSupport = d.MinRenewalSupport
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}

@@ -1,0 +1,792 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"baywatch/internal/dsp"
+	"baywatch/internal/stats"
+	"baywatch/internal/timeseries"
+)
+
+// Origin identifies how a candidate period was proposed.
+type Origin int
+
+const (
+	// OriginPeriodogram marks candidates from the spectral analysis of
+	// Step 1.
+	OriginPeriodogram Origin = iota + 1
+	// OriginGMM marks candidates promoted from dominant Gaussian-mixture
+	// components of the interval list during Step 2.
+	OriginGMM
+)
+
+// String implements fmt.Stringer.
+func (o Origin) String() string {
+	switch o {
+	case OriginPeriodogram:
+		return "periodogram"
+	case OriginGMM:
+		return "gmm"
+	default:
+		return fmt.Sprintf("Origin(%d)", int(o))
+	}
+}
+
+// RejectReason explains why a candidate was pruned. Zero means the
+// candidate survived.
+type RejectReason int
+
+const (
+	// RejectNone marks surviving candidates.
+	RejectNone RejectReason = iota
+	// RejectHighFrequency prunes periods below the minimum observed
+	// interval (Step 2, high-frequency-noise rule).
+	RejectHighFrequency
+	// RejectTTest prunes periods the one-sample t-test finds inconsistent
+	// with the observed intervals (p < alpha).
+	RejectTTest
+	// RejectTooFewCycles prunes periods longer than the window allows
+	// (fewer than MinCycles repetitions observable).
+	RejectTooFewCycles
+	// RejectNotOnHill prunes candidates whose ACF neighborhood is not a
+	// hill (Step 3).
+	RejectNotOnHill
+	// RejectLowACF prunes candidates whose refined ACF value falls below
+	// MinACFScore (Step 3).
+	RejectLowACF
+	// RejectDuplicate prunes candidates within 10% of a stronger surviving
+	// candidate.
+	RejectDuplicate
+)
+
+// String implements fmt.Stringer.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectNone:
+		return "kept"
+	case RejectHighFrequency:
+		return "high-frequency noise"
+	case RejectTTest:
+		return "t-test"
+	case RejectTooFewCycles:
+		return "too few cycles"
+	case RejectNotOnHill:
+		return "not on ACF hill"
+	case RejectLowACF:
+		return "low ACF score"
+	case RejectDuplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("RejectReason(%d)", int(r))
+	}
+}
+
+// Candidate is one candidate period with the statistics gathered across the
+// three steps. Rejected candidates are retained in Result.Candidates for
+// diagnostics (reproducing the per-candidate tables of the paper's Fig. 6).
+type Candidate struct {
+	// Origin says which step proposed the candidate.
+	Origin Origin
+	// Bin is the periodogram bin (0 for GMM candidates).
+	Bin int
+	// Frequency in Hz (0 for GMM candidates before verification).
+	Frequency float64
+	// Period is the proposed period in seconds.
+	Period float64
+	// RefinedPeriod is the ACF-refined period in seconds (0 until Step 3).
+	RefinedPeriod float64
+	// Power is the spectral power at Bin (0 for GMM candidates).
+	Power float64
+	// PValue is the pruning t-test p-value (1 when the test was skipped).
+	PValue float64
+	// ACFScore is the normalized autocorrelation at the refined lag (for
+	// renewal-accepted candidates, a discounted concentration score).
+	ACFScore float64
+	// Renewal is true when the candidate was accepted through the
+	// interval-concentration fallback rather than ACF verification
+	// (sleep-loop malware with accumulated timing drift).
+	Renewal bool
+	// Reason is RejectNone for survivors and the pruning cause otherwise.
+	Reason RejectReason
+}
+
+// BestPeriod returns the refined period when available and the raw proposal
+// otherwise.
+func (c Candidate) BestPeriod() float64 {
+	if c.RefinedPeriod > 0 {
+		return c.RefinedPeriod
+	}
+	return c.Period
+}
+
+// Result is the outcome of running the detector on one communication pair.
+type Result struct {
+	// Periodic is true when at least one candidate survived all steps.
+	Periodic bool
+	// Kept lists the surviving candidates, strongest first (by ACF score,
+	// then power).
+	Kept []Candidate
+	// Candidates lists every candidate considered, including rejected
+	// ones, for diagnostics and ablation studies.
+	Candidates []Candidate
+	// PowerThreshold is the permutation-derived spectral power threshold.
+	PowerThreshold float64
+	// SeriesLen is the length of the analyzed binned series.
+	SeriesLen int
+	// EventCount is the number of requests analyzed.
+	EventCount int
+	// Undersampled is true when the series failed the sampling-rate check
+	// and no spectral analysis was attempted.
+	Undersampled bool
+	// GMM is the selected interval mixture model (nil when the interval
+	// list was too small to fit).
+	GMM *stats.GMMSelection
+}
+
+// Score summarizes the periodicity strength of the result in [0, 1]: the
+// best candidate's ACF score, damped by the relative spread of the
+// intervals matching that candidate. Non-periodic results score 0.
+func (r *Result) Score() float64 {
+	if !r.Periodic || len(r.Kept) == 0 {
+		return 0
+	}
+	s := r.Kept[0].ACFScore
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// DominantPeriods returns the surviving periods in seconds, strongest
+// first.
+func (r *Result) DominantPeriods() []float64 {
+	out := make([]float64, len(r.Kept))
+	for i, c := range r.Kept {
+		out[i] = c.BestPeriod()
+	}
+	return out
+}
+
+// Detector runs the three-step periodicity detection. A Detector is
+// immutable after creation and safe for concurrent use; per-call randomness
+// is derived deterministically from the configured seed and the input.
+type Detector struct {
+	cfg Config
+}
+
+// NewDetector validates cfg (replacing out-of-range fields with defaults)
+// and returns a ready Detector.
+func NewDetector(cfg Config) *Detector {
+	return &Detector{cfg: cfg.sanitized()}
+}
+
+// Config returns the effective (sanitized) configuration.
+func (d *Detector) Config() Config {
+	return d.cfg
+}
+
+// Detect analyzes an ActivitySummary at its native scale.
+func (d *Detector) Detect(as *timeseries.ActivitySummary) (*Result, error) {
+	if as == nil {
+		return nil, fmt.Errorf("core: nil activity summary")
+	}
+	series := as.BinSeries(d.cfg.MaxSeriesLen)
+	return d.DetectSeries(series, float64(as.Scale), as.IntervalsSeconds())
+}
+
+// DetectSeries analyzes a pre-binned series directly. sampleInterval is the
+// bin width in seconds; intervals is the raw inter-request interval list in
+// seconds (used by the pruning statistics — pass nil to derive pruning
+// bounds from the series itself).
+//
+// Long series are decimated (rebinned to coarser buckets) before spectral
+// analysis so the permutation test stays affordable over multi-day windows;
+// short-period candidates surfaced by the interval GMM are still verified
+// against the original fine-grained series.
+func (d *Detector) DetectSeries(series []float64, sampleInterval float64, intervals []float64) (*Result, error) {
+	cfg := d.cfg
+	res := &Result{SeriesLen: len(series), EventCount: countEvents(series)}
+
+	if res.EventCount < cfg.MinEvents || len(series) < 4 {
+		res.Undersampled = true
+		return res, nil
+	}
+
+	origSeries, origInterval := series, sampleInterval
+	if len(series) > cfg.MaxAnalysisBins {
+		decimation := (len(series) + cfg.MaxAnalysisBins - 1) / cfg.MaxAnalysisBins
+		series = rebin(series, decimation)
+		sampleInterval *= float64(decimation)
+	}
+
+	// ---- Step 1: periodogram + permutation threshold -------------------
+	pg, err := dsp.ComputePeriodogram(series, sampleInterval)
+	if err != nil {
+		return nil, fmt.Errorf("periodogram: %w", err)
+	}
+	res.PowerThreshold = d.permutationThreshold(series, sampleInterval)
+	bins := pg.BinsAbove(res.PowerThreshold)
+	if len(bins) > cfg.MaxCandidates {
+		bins = bins[:cfg.MaxCandidates]
+	}
+	for _, k := range bins {
+		res.Candidates = append(res.Candidates, Candidate{
+			Origin:    OriginPeriodogram,
+			Bin:       k,
+			Frequency: pg.Frequency(k),
+			Period:    pg.Period(k),
+			Power:     pg.Power[k],
+			PValue:    1,
+		})
+	}
+
+	// ---- Step 2: pruning ------------------------------------------------
+	nonzero := nonzeroIntervals(intervals)
+	span := sampleInterval * float64(len(series))
+	var minInterval float64
+	if len(nonzero) > 0 {
+		minInterval, _ = stats.Min(nonzero)
+	} else {
+		minInterval = sampleInterval
+	}
+
+	// Interval clustering: a BIC-selected GMM exposes multi-modal interval
+	// structure; its dominant component means become candidates too.
+	if len(nonzero) >= cfg.MinEvents {
+		sample := subsample(nonzero, cfg.GMMMaxIntervalSample)
+		if sel, gmmErr := stats.FitBestGMM(sample, cfg.GMMMaxComponents, stats.GMMConfig{}); gmmErr == nil {
+			res.GMM = sel
+			// Dominant component means become candidate periods. This also
+			// covers the single-component case: under heavy timing jitter
+			// the spectral peak sinks below the permutation threshold while
+			// the interval distribution still concentrates around the true
+			// period; the ACF verification decides whether the mean is a
+			// real period (Poisson-like traffic fails it).
+			// Proximity to existing periodogram candidates is NOT checked
+			// here: a periodogram candidate near the same period may still
+			// be pruned (e.g. by bin-quantization at the min-interval
+			// boundary), and the final dedupe pass removes genuine
+			// duplicates among survivors.
+			for _, mean := range sel.Best.DominantComponents(cfg.GMMMinWeight) {
+				if mean <= 0 {
+					continue
+				}
+				res.Candidates = append(res.Candidates, Candidate{
+					Origin: OriginGMM,
+					Period: mean,
+					PValue: 1,
+				})
+			}
+		}
+	}
+
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		// The minimum-interval rule needs slack for the candidate's own
+		// quantization: a periodogram period is only known to within the
+		// bin spacing at its frequency, so a true period can land just
+		// below min(I).
+		hfSlack := sampleInterval
+		if c.Origin == OriginPeriodogram && c.Bin > 0 {
+			if binSpacing := c.Period * c.Period / (float64(len(series)) * sampleInterval); binSpacing > hfSlack {
+				hfSlack = binSpacing
+			}
+		}
+		if c.Period < minInterval-hfSlack {
+			c.Reason = RejectHighFrequency
+			continue
+		}
+		if c.Period*cfg.MinCycles > span {
+			c.Reason = RejectTooFewCycles
+			continue
+		}
+		// The candidate period is only known up to the DFT bin spacing at
+		// its frequency (or the bin width for GMM candidates), and the
+		// interval sample the test runs on is contaminated by noise events
+		// near the cluster boundary; fold both uncertainties into the test
+		// so quantization or mild contamination alone cannot reject a true
+		// period. Far-off candidates (harmonics, leakage) remain well
+		// outside the slack and are still rejected.
+		tol := math.Max(sampleInterval/2, cfg.TTestSlack*c.Period)
+		if c.Origin == OriginPeriodogram && c.Bin > 0 {
+			if binSpacing := c.Period * c.Period / (2 * float64(len(series)) * sampleInterval); binSpacing > tol {
+				tol = binSpacing
+			}
+		}
+		if p, ok := d.intervalPValue(nonzero, c.Period, tol); ok {
+			c.PValue = p
+			if p < cfg.Alpha {
+				c.Reason = RejectTTest
+				continue
+			}
+		}
+	}
+
+	// ---- Step 3: ACF verification ---------------------------------------
+	// Verification runs at a candidate-adapted granularity: the series is
+	// rebinned so that one bin is roughly a fifteenth of the candidate
+	// period. At the native resolution, real-world jitter smears the ACF
+	// peak across many lags and dilutes it below any sensible threshold;
+	// rebinning concentrates the peak while preserving the periodic
+	// structure (this mirrors the paper's multi-scale rescaling phase).
+	acfCache := make(map[int][]float64)
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if c.Reason != RejectNone {
+			continue
+		}
+		// Periods too short for the decimated series verify against the
+		// original fine-grained series instead.
+		basis, basisInterval, cacheSign := series, sampleInterval, 1
+		if c.Period < 4*sampleInterval && origInterval < sampleInterval {
+			basis, basisInterval, cacheSign = origSeries, origInterval, -1
+		}
+		factor := rebinFactor(c.Period, basisInterval, len(basis))
+		// Adapt the verification bin width to the observed timing jitter:
+		// the ACF peak of a jittered beacon is smeared over ~sigma seconds,
+		// so bins narrower than sigma dilute it below any usable threshold.
+		// The width is capped at a quarter period to keep the lag axis
+		// meaningful.
+		if sigma := intervalSpread(nonzero, c.Period); sigma > 0 {
+			want := int(math.Round(sigma / basisInterval))
+			if capF := int(c.Period / (4 * basisInterval)); want > capF {
+				want = capF
+			}
+			if want > factor {
+				factor = want
+			}
+		}
+		acf, ok := acfCache[cacheSign*factor]
+		if !ok {
+			rebinned := rebin(basis, factor)
+			acf, err = dsp.Autocorrelation(rebinned)
+			if err != nil {
+				return nil, fmt.Errorf("autocorrelation: %w", err)
+			}
+			acfCache[cacheSign*factor] = acf
+		}
+		binWidth := basisInterval * float64(factor)
+		lag := c.Period / binWidth
+		margin := int(math.Max(2, 0.15*lag))
+		lo, hi := int(lag)-margin, int(lag)+margin
+		if maxLag := len(acf) / 2; hi > maxLag {
+			hi = maxLag
+		}
+		hill := dsp.ValidateHill(acf, lo, hi)
+		c.ACFScore = hill.PeakValue
+		// The acceptance threshold adapts to the ACF noise floor: for a
+		// rebinned series of B buckets, white-noise autocorrelations are
+		// ~N(0, 1/B), so anything below ~4/sqrt(B) is indistinguishable
+		// from noise no matter what the configured minimum is.
+		minScore := cfg.MinACFScore
+		if floor := 4 / math.Sqrt(float64(len(acf))); floor > minScore {
+			minScore = floor
+		}
+		if !hill.OnHill || hill.PeakValue < minScore {
+			if hill.OnHill {
+				c.Reason = RejectLowACF
+			} else {
+				c.Reason = RejectNotOnHill
+			}
+			// Renewal fallback for interval-derived candidates: sleep-loop
+			// malware accumulates its timing jitter, so the phase drifts
+			// and no ACF comb survives — yet the inter-request intervals
+			// still concentrate tightly around the true period. Accept
+			// such candidates on interval concentration alone; aperiodic
+			// traffic (Poisson, browsing bursts) does not concentrate.
+			// The fallback only applies to periods comfortably above the
+			// sampling quantum: for tiny periods the +/-30% windows cover
+			// unequal numbers of representable interval values and the
+			// sideband comparison loses meaning.
+			if c.Origin == OriginGMM && c.Period >= 8*origInterval {
+				explained, n, mean, peakZ := renewalStats(nonzero, c.Period)
+				if n >= cfg.MinRenewalSupport && explained >= cfg.RenewalFraction && peakZ >= 3 {
+					c.Reason = RejectNone
+					c.Renewal = true
+					c.RefinedPeriod = mean
+					// A concentration-based acceptance is weaker evidence
+					// than a verified ACF comb; expose that through a
+					// discounted score so ranking prefers comb-verified
+					// periods.
+					c.ACFScore = 0.5 * explained
+					continue
+				}
+			}
+			continue
+		}
+		// Periodicity implies an ACF trough between repetitions: the ACF
+		// near 1.5x the period must drop well below the peak. Bursty but
+		// aperiodic traffic (browsing sessions) produces short-lag
+		// correlation that decays smoothly and fails this check.
+		if !hasTroughAfterPeak(acf, hill.PeakLag, hill.PeakValue) {
+			c.Reason = RejectNotOnHill
+			continue
+		}
+		if factor == 1 {
+			c.RefinedPeriod = float64(hill.PeakLag) * binWidth
+		} else {
+			// Coarse lags cannot refine below the rebinned resolution;
+			// keep the candidate period unless the peak clearly moved.
+			refined := float64(hill.PeakLag) * binWidth
+			if math.Abs(refined-c.Period) > binWidth {
+				c.RefinedPeriod = refined
+			} else {
+				c.RefinedPeriod = c.Period
+			}
+		}
+	}
+
+	// Deduplicate near-identical survivors, keeping the strongest.
+	d.dedupe(res.Candidates)
+
+	for _, c := range res.Candidates {
+		if c.Reason == RejectNone {
+			res.Kept = append(res.Kept, c)
+		}
+	}
+	sort.SliceStable(res.Kept, func(i, j int) bool {
+		if res.Kept[i].ACFScore != res.Kept[j].ACFScore {
+			return res.Kept[i].ACFScore > res.Kept[j].ACFScore
+		}
+		return res.Kept[i].Power > res.Kept[j].Power
+	})
+	res.Periodic = len(res.Kept) > 0
+	return res, nil
+}
+
+// permutationThreshold estimates the spectral power that pure noise with
+// the same first-order statistics can produce: the Confidence-quantile of
+// the maximum periodogram power across Permutations random shuffles.
+func (d *Detector) permutationThreshold(series []float64, sampleInterval float64) float64 {
+	cfg := d.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed ^ seriesSeed(series)))
+	shuffled := append([]float64(nil), series...)
+	maxima := make([]float64, 0, cfg.Permutations)
+	for p := 0; p < cfg.Permutations; p++ {
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		pg, err := dsp.ComputePeriodogram(shuffled, sampleInterval)
+		if err != nil {
+			continue
+		}
+		m, _ := pg.MaxPower()
+		maxima = append(maxima, m)
+	}
+	if len(maxima) == 0 {
+		return math.Inf(1)
+	}
+	sort.Float64s(maxima)
+	idx := int(math.Ceil(cfg.Confidence*float64(len(maxima)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(maxima) {
+		idx = len(maxima) - 1
+	}
+	return maxima[idx]
+}
+
+// intervalPValue runs the one-sample t-test of candidate period P against
+// the observed intervals near P (within +/-30%): the null hypothesis is
+// that intervals recurring around P are draws from N(P, sigma^2). Testing
+// the neighborhood rather than the full list keeps the test meaningful for
+// multi-modal interval distributions (missing events double intervals,
+// added events split them). tol is the measurement uncertainty of P itself
+// (bin quantization / spectral resolution / boundary contamination), added
+// to the standard error so that discretization alone cannot reject a true
+// period. The boolean is false when the neighborhood has too little
+// support to test — high added-event noise legitimately destroys
+// consecutive intervals while the spectral periodicity survives, so lack
+// of support defers the decision to the ACF verification step.
+func (d *Detector) intervalPValue(nonzero []float64, period, tol float64) (float64, bool) {
+	sample := make([]float64, 0, len(nonzero))
+	for _, iv := range nonzero {
+		if iv >= 0.7*period && iv <= 1.3*period {
+			sample = append(sample, iv)
+		}
+	}
+	n := len(sample)
+	if n < 4 {
+		return 0, false
+	}
+	mean := stats.Mean(sample)
+	sd := stats.StdDev(sample)
+	se := math.Sqrt(sd*sd/float64(n) + tol*tol)
+	if se == 0 {
+		if mean == period {
+			return 1, true
+		}
+		return 0, true
+	}
+	t := (mean - period) / se
+	cdf, err := stats.StudentTCDF(-math.Abs(t), float64(n-1))
+	if err != nil {
+		return 0, false
+	}
+	p := 2 * cdf
+	if p > 1 {
+		p = 1
+	}
+	return p, true
+}
+
+// hasTroughAfterPeak reports whether the ACF behaves like a periodic comb
+// around the candidate: it must dip substantially below the peak around
+// 1.5x the peak lag (between repetitions the autocorrelation collapses
+// toward the noise floor) and rise again around 2x the peak lag (the next
+// comb tooth). Smoothly decaying burst correlation fails one of the two:
+// either it never dips (slow decay) or it never resurges (fast decay).
+// Regions beyond the reliable lag range pass by default.
+func hasTroughAfterPeak(acf []float64, peakLag int, peakValue float64) bool {
+	w := peakLag / 6
+	if w < 1 {
+		w = 1
+	}
+	windowMin := func(center int) (float64, bool) {
+		lo, hi := center-w, center+w
+		if lo <= peakLag {
+			lo = peakLag + 1
+		}
+		if hi >= len(acf) {
+			hi = len(acf) - 1
+		}
+		if lo > hi {
+			return 0, false
+		}
+		m := acf[lo]
+		for l := lo + 1; l <= hi; l++ {
+			if acf[l] < m {
+				m = acf[l]
+			}
+		}
+		return m, true
+	}
+	windowMax := func(center int) (float64, bool) {
+		lo, hi := center-w, center+w
+		if lo <= peakLag {
+			lo = peakLag + 1
+		}
+		if hi >= len(acf) {
+			hi = len(acf) - 1
+		}
+		if lo > hi {
+			return 0, false
+		}
+		m := acf[lo]
+		for l := lo + 1; l <= hi; l++ {
+			if acf[l] > m {
+				m = acf[l]
+			}
+		}
+		return m, true
+	}
+
+	trough, ok := windowMin(peakLag + peakLag/2)
+	if !ok {
+		return true
+	}
+	if trough > 0.5*peakValue {
+		return false
+	}
+	resurgence, ok := windowMax(2 * peakLag)
+	if !ok {
+		return true
+	}
+	return resurgence >= trough+0.2*(peakValue-trough)
+}
+
+// renewalStats measures how well a renewal process with period P explains
+// the interval list:
+//
+//   - explained is the fraction of nonzero intervals within +/-30% of P,
+//     2P or 3P (missed beacons double or triple observed intervals);
+//   - support and mean describe the intervals in the +/-30% fundamental
+//     window (mean is the refined period estimate);
+//   - peakZ compares the fundamental window's mass against the equally
+//     wide sidebands around it ([0.4P, 0.7P) and (1.3P, 1.6P]) as a
+//     binomial z-score. A true renewal beacon concentrates in the peak
+//     (z >> 0); an exponential (Poisson) interval distribution is locally
+//     flat (z ~ 0), which is what keeps this fallback from flagging
+//     random traffic.
+func renewalStats(nonzero []float64, period float64) (explained float64, support int, mean float64, peakZ float64) {
+	if len(nonzero) == 0 || period <= 0 {
+		return 0, 0, 0, 0
+	}
+	var sum float64
+	sideband := 0
+	explainedCount := 0
+	for _, iv := range nonzero {
+		switch {
+		case iv >= 0.7*period && iv <= 1.3*period:
+			support++
+			sum += iv
+			explainedCount++
+		case iv >= 1.4*period && iv <= 2.6*period,
+			iv >= 2.1*period && iv <= 3.9*period:
+			explainedCount++
+		}
+		if (iv >= 0.4*period && iv < 0.7*period) || (iv > 1.3*period && iv <= 1.6*period) {
+			sideband++
+		}
+	}
+	if support == 0 {
+		return 0, 0, 0, 0
+	}
+	explained = float64(explainedCount) / float64(len(nonzero))
+	mean = sum / float64(support)
+	// Binomial significance of the peak: under a locally flat interval
+	// density (Poisson-like traffic), an interval that lands in
+	// peak-or-sideband is equally likely to land in either (both windows
+	// are 0.6*P wide; a decreasing density actually favors the lower
+	// sideband, making this conservative). peakZ is the one-sided z-score
+	// of the observed peak share.
+	n := float64(support + sideband)
+	peakZ = (float64(support) - 0.5*n) / math.Sqrt(0.25*n)
+	return explained, support, mean, peakZ
+}
+
+// intervalSpread estimates the timing jitter around a candidate period:
+// the standard deviation of the nonzero intervals within +/-50% of it.
+// It returns 0 when fewer than four intervals support the estimate.
+func intervalSpread(nonzero []float64, period float64) float64 {
+	var near []float64
+	for _, iv := range nonzero {
+		if iv >= 0.5*period && iv <= 1.5*period {
+			near = append(near, iv)
+		}
+	}
+	if len(near) < 4 {
+		return 0
+	}
+	return stats.StdDev(near)
+}
+
+// rebinFactor picks the integer rebinning factor for ACF verification of a
+// candidate period: roughly period/15 per bin, clamped so the rebinned
+// series keeps at least 32 bins.
+func rebinFactor(period, sampleInterval float64, n int) int {
+	f := int(math.Round(period / (15 * sampleInterval)))
+	if f < 1 {
+		f = 1
+	}
+	if maxF := n / 32; f > maxF {
+		f = maxF
+	}
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// rebin sums consecutive groups of factor bins.
+func rebin(series []float64, factor int) []float64 {
+	if factor <= 1 {
+		return series
+	}
+	out := make([]float64, (len(series)+factor-1)/factor)
+	for i, v := range series {
+		out[i/factor] += v
+	}
+	return out
+}
+
+// dedupe marks as duplicates any surviving candidate within 10% of a
+// stronger surviving candidate (iteration order follows spectral strength,
+// which Candidates already reflects for periodogram entries), and any
+// surviving candidate that is an integer multiple of a smaller surviving
+// period: missing events double or triple observed intervals, producing
+// subharmonic candidates of the true (fundamental) period.
+func (d *Detector) dedupe(cands []Candidate) {
+	for i := range cands {
+		if cands[i].Reason != RejectNone {
+			continue
+		}
+		for j := range cands[:i] {
+			if cands[j].Reason != RejectNone {
+				continue
+			}
+			pi, pj := cands[i].BestPeriod(), cands[j].BestPeriod()
+			if pj == 0 {
+				continue
+			}
+			if math.Abs(pi-pj) <= 0.1*math.Max(pi, pj) {
+				cands[i].Reason = RejectDuplicate
+				break
+			}
+		}
+	}
+	// Subharmonic suppression across all survivors.
+	for i := range cands {
+		if cands[i].Reason != RejectNone {
+			continue
+		}
+		pi := cands[i].BestPeriod()
+		for j := range cands {
+			if i == j || cands[j].Reason != RejectNone {
+				continue
+			}
+			pj := cands[j].BestPeriod()
+			if pj <= 0 || pi <= pj {
+				continue
+			}
+			ratio := pi / pj
+			m := math.Round(ratio)
+			if m >= 2 && m <= 6 && math.Abs(ratio-m) <= 0.05*m {
+				cands[i].Reason = RejectDuplicate
+				break
+			}
+		}
+	}
+}
+
+func countEvents(series []float64) int {
+	var n float64
+	for _, v := range series {
+		n += v
+	}
+	return int(n)
+}
+
+func nonzeroIntervals(intervals []float64) []float64 {
+	out := make([]float64, 0, len(intervals))
+	for _, iv := range intervals {
+		if iv > 0 {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// subsample deterministically picks at most max elements, evenly strided.
+func subsample(xs []float64, max int) []float64 {
+	if len(xs) <= max {
+		return xs
+	}
+	out := make([]float64, 0, max)
+	stride := float64(len(xs)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, xs[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// seriesSeed derives a deterministic seed component from the series content
+// so that identical inputs shuffle identically across runs.
+func seriesSeed(series []float64) int64 {
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	for _, v := range series {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return int64(h)
+}

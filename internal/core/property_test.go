@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"baywatch/internal/timeseries"
+)
+
+// Property: any clean beacon with a period between 10 s and 2 h and at
+// least 50 observed events is detected, and the reported period is within
+// 5% of the truth.
+func TestPropertyCleanBeaconsAlwaysDetected(t *testing.T) {
+	det := NewDetector(DefaultConfig())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		period := 10 + rng.Float64()*7190
+		n := 50 + rng.Intn(150)
+		ts := make([]int64, n)
+		start := rng.Int63n(1 << 30)
+		for i := range ts {
+			ts[i] = start + int64(math.Round(float64(i)*period))
+		}
+		as, err := timeseries.FromTimestamps("s", "d", ts, 1)
+		if err != nil {
+			return false
+		}
+		res, err := det.Detect(as)
+		if err != nil || !res.Periodic {
+			return false
+		}
+		for _, p := range res.DominantPeriods() {
+			if math.Abs(p-period) <= 0.05*period {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shuffling the inter-arrival order of a detected beacon's
+// intervals never manufactures a *stronger* false period when the input
+// was pure noise: uniformly random timestamps are almost never flagged.
+func TestPropertyUniformNoiseRarelyFlagged(t *testing.T) {
+	det := NewDetector(DefaultConfig())
+	flagged := 0
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		n := 100 + rng.Intn(200)
+		span := int64(50000 + rng.Intn(100000))
+		ts := make([]int64, n)
+		for i := range ts {
+			ts[i] = rng.Int63n(span)
+		}
+		as, err := timeseries.FromTimestamps("s", "d", ts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.Detect(as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Periodic {
+			flagged++
+		}
+	}
+	if flagged > 2 {
+		t.Errorf("uniform noise flagged in %d/%d trials", flagged, trials)
+	}
+}
+
+// Property: detection is invariant under time translation — shifting all
+// timestamps by a constant does not change the outcome.
+func TestPropertyTranslationInvariance(t *testing.T) {
+	det := NewDetector(DefaultConfig())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := beaconTimestamps(rng, 0, 120, 100, 4, 0.1, 0.1)
+		shift := rng.Int63n(1 << 32)
+		shifted := make([]int64, len(ts))
+		for i, v := range ts {
+			shifted[i] = v + shift
+		}
+		a1, err1 := timeseries.FromTimestamps("s", "d", ts, 1)
+		a2, err2 := timeseries.FromTimestamps("s", "d", shifted, 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		r1, err1 := det.Detect(a1)
+		r2, err2 := det.Detect(a2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if r1.Periodic != r2.Periodic || len(r1.Kept) != len(r2.Kept) {
+			return false
+		}
+		for i := range r1.Kept {
+			if math.Abs(r1.Kept[i].BestPeriod()-r2.Kept[i].BestPeriod()) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the detection outcome at scale k equals detecting the
+// k-rescaled summary — periods are scale-covariant within a bin.
+func TestPropertyScaleCovariance(t *testing.T) {
+	det := NewDetector(DefaultConfig())
+	rng := rand.New(rand.NewSource(5))
+	ts := beaconTimestamps(rng, 0, 600, 150, 10, 0.05, 0)
+	fine, err := timeseries.FromTimestamps("s", "d", ts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := fine.Rescale(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFine, err := det.Detect(fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCoarse, err := det.Detect(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rFine.Periodic || !rCoarse.Periodic {
+		t.Fatalf("periodic: fine=%v coarse=%v", rFine.Periodic, rCoarse.Periodic)
+	}
+	pf, pc := rFine.Kept[0].BestPeriod(), rCoarse.Kept[0].BestPeriod()
+	if math.Abs(pf-pc) > 12 { // one coarse bin of slack
+		t.Errorf("periods diverge across scales: %v vs %v", pf, pc)
+	}
+}
+
+// Property: Kept candidates always carry a positive refined period, a
+// RejectNone reason, and appear in Candidates.
+func TestPropertyResultInvariants(t *testing.T) {
+	det := NewDetector(DefaultConfig())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var ts []int64
+		switch seed % 3 {
+		case 0:
+			ts = beaconTimestamps(rng, 0, 30+rng.Float64()*300, 80, rng.Float64()*10, rng.Float64()*0.4, rng.Float64()*0.4)
+		case 1:
+			tt := 0.0
+			for i := 0; i < 100; i++ {
+				tt += rng.ExpFloat64() * 100
+				ts = append(ts, int64(tt))
+			}
+		default:
+			for i := 0; i < 50; i++ {
+				ts = append(ts, rng.Int63n(10000))
+			}
+		}
+		as, err := timeseries.FromTimestamps("s", "d", ts, 1)
+		if err != nil {
+			return false
+		}
+		res, err := det.Detect(as)
+		if err != nil {
+			return false
+		}
+		if res.Periodic != (len(res.Kept) > 0) {
+			return false
+		}
+		for _, k := range res.Kept {
+			if k.Reason != RejectNone || k.BestPeriod() <= 0 {
+				return false
+			}
+			found := false
+			for _, c := range res.Candidates {
+				if c == k {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

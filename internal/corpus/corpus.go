@@ -1,0 +1,208 @@
+// Package corpus generates the deterministic domain-name corpora BAYWATCH
+// needs offline: a plausible "popular domain" list standing in for the
+// Alexa top-1M ranking (used to build the global whitelist and to train the
+// 3-gram language model), and domain-generation-algorithm (DGA) name
+// generators reproducing the random-looking C&C domains of Zbot-, TDSS- and
+// Conficker-style botnets.
+//
+// Popular domains are composed from natural English words and common
+// web/brand suffixes, so their character statistics match what a language
+// model trained on real rankings would learn: natural digraphs and
+// trigraphs, vowel/consonant alternation, and common TLDs. DGA names are
+// near-uniform random strings, giving them the strongly negative language
+// model scores the paper reports (google.com ~ -7.4 vs. DGA ~ -45).
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// words is the root vocabulary popular domains are composed from. The list
+// deliberately mixes everyday English with web/tech terms so composed
+// domains look like real site names.
+var words = []string{
+	"time", "news", "world", "life", "home", "work", "play", "game", "team",
+	"data", "cloud", "net", "web", "site", "page", "link", "mail", "chat",
+	"talk", "voice", "video", "photo", "image", "music", "sound", "radio",
+	"movie", "film", "show", "star", "media", "press", "daily", "today",
+	"live", "stream", "cast", "blog", "forum", "board", "group", "club",
+	"shop", "store", "market", "trade", "deal", "sale", "price", "value",
+	"bank", "money", "cash", "pay", "fund", "coin", "credit", "card",
+	"book", "read", "learn", "study", "school", "class", "course", "teach",
+	"smart", "bright", "quick", "fast", "rapid", "speed", "swift", "turbo",
+	"super", "mega", "ultra", "prime", "first", "best", "top", "max",
+	"tech", "soft", "code", "dev", "app", "apps", "byte", "bit",
+	"core", "base", "stack", "grid", "node", "hub", "port", "gate",
+	"blue", "green", "red", "black", "white", "silver", "gold", "gray",
+	"sky", "sun", "moon", "rain", "wind", "storm", "cloudy", "snow",
+	"river", "ocean", "lake", "sea", "bay", "coast", "shore", "island",
+	"north", "south", "east", "west", "city", "town", "metro", "urban",
+	"health", "care", "fit", "body", "mind", "heart", "soul", "zen",
+	"food", "cook", "chef", "dish", "taste", "fresh", "sweet", "spice",
+	"travel", "trip", "tour", "fly", "jet", "road", "path", "way",
+	"house", "space", "place", "spot", "zone", "area", "field", "land",
+	"auto", "car", "drive", "ride", "wheel", "motor", "gear", "race",
+	"sport", "ball", "golf", "tennis", "soccer", "hockey", "track", "swim",
+	"style", "fashion", "trend", "look", "wear", "dress", "design", "craft",
+	"pixel", "print", "paper", "draw", "paint", "color", "art", "photo",
+	"secure", "safe", "guard", "shield", "lock", "key", "trust", "proof",
+	"open", "free", "easy", "simple", "pure", "clean", "clear", "plain",
+	"global", "local", "central", "direct", "express", "instant", "active", "alpha",
+	"search", "find", "seek", "scan", "query", "index", "rank", "list",
+	"share", "social", "friend", "connect", "meet", "join", "unite", "bond",
+	"power", "energy", "solar", "spark", "flash", "bolt", "volt", "watt",
+}
+
+// tlds lists the top-level domains used by popular domains, ordered by how
+// often they occur in real rankings.
+var tlds = []string{
+	"com", "com", "com", "com", "com", "com", "net", "org", "io", "co",
+	"info", "tv", "me", "us", "de", "uk",
+}
+
+// suffixes occasionally appended to make compound names look like brands.
+var suffixes = []string{"", "", "", "", "ly", "ify", "er", "hub", "lab", "box", "zone", "spot"}
+
+// wellKnown heads the generated ranking, mirroring how real popularity
+// lists are dominated by a stable set of famous properties. Keeping them in
+// the corpus also anchors the language model on genuinely natural names.
+var wellKnown = []string{
+	"google.com", "youtube.com", "facebook.com", "baidu.com", "yahoo.com",
+	"wikipedia.org", "amazon.com", "twitter.com", "qq.com", "live.com",
+	"taobao.com", "linkedin.com", "bing.com", "instagram.com", "reddit.com",
+	"ebay.com", "msn.com", "netflix.com", "microsoft.com", "office.com",
+	"pinterest.com", "wordpress.com", "tumblr.com", "apple.com", "imgur.com",
+	"paypal.com", "stackoverflow.com", "blogspot.com", "github.com",
+	"dropbox.com", "adobe.com", "craigslist.org", "flickr.com", "vimeo.com",
+	"bbc.co.uk", "cnn.com", "nytimes.com", "espn.com", "weather.com",
+	"imdb.com", "booking.com", "walmart.com", "target.com", "bestbuy.com",
+	"salesforce.com", "oracle.com", "ibm.com", "intel.com", "cisco.com",
+	"mozilla.org", "opera.com", "akamai.net", "cloudfront.net",
+	"googleapis.com", "gstatic.com", "doubleclick.net", "adnxs.com",
+	"spotify.com", "soundcloud.com", "twitch.tv", "steamcommunity.com",
+	"whatsapp.com", "telegram.org", "slack.com", "zoom.us", "skype.com",
+	"mcafee.com", "symantec.com", "kaspersky.com", "avast.com",
+	"windowsupdate.com", "ubuntu.com", "debian.org", "centos.org",
+	"docker.com", "npmjs.com", "pypi.org", "golang.org", "java.com",
+}
+
+// PopularDomains deterministically generates n distinct popular-looking
+// domain names, most-popular first: the well-known head of the ranking
+// followed by generated long-tail names. The same (n, seed) always yields
+// the same list, so whitelists and language models are reproducible.
+func PopularDomains(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]struct{}, n)
+	out := make([]string, 0, n)
+	for _, d := range wellKnown {
+		if len(out) >= n {
+			return out
+		}
+		if _, dup := seen[d]; dup {
+			continue
+		}
+		seen[d] = struct{}{}
+		out = append(out, d)
+	}
+	for len(out) < n {
+		d := composeDomain(rng)
+		if _, dup := seen[d]; dup {
+			continue
+		}
+		seen[d] = struct{}{}
+		out = append(out, d)
+	}
+	return out
+}
+
+func composeDomain(rng *rand.Rand) string {
+	var sb strings.Builder
+	w1 := words[rng.Intn(len(words))]
+	sb.WriteString(w1)
+	switch rng.Intn(4) {
+	case 0: // single word
+	case 1, 2: // two words
+		sb.WriteString(words[rng.Intn(len(words))])
+	default: // word + suffix
+		sb.WriteString(suffixes[rng.Intn(len(suffixes))])
+	}
+	sb.WriteByte('.')
+	sb.WriteString(tlds[rng.Intn(len(tlds))])
+	return sb.String()
+}
+
+// Subdomain prepends a service label (www, mail, cdn, api, ...) to a
+// domain with the given probability; used by the traffic simulator.
+func Subdomain(rng *rand.Rand, domain string, prob float64) string {
+	if rng.Float64() >= prob {
+		return domain
+	}
+	labels := []string{"www", "mail", "cdn", "api", "static", "img", "app", "m"}
+	return labels[rng.Intn(len(labels))] + "." + domain
+}
+
+// DGAStyle selects the flavor of generated C&C names.
+type DGAStyle int
+
+const (
+	// DGAUniform draws letters uniformly — the classic high-entropy DGA
+	// (e.g. skmnikrzhrrzcjcxwfprgt.com).
+	DGAUniform DGAStyle = iota + 1
+	// DGAHex produces hexadecimal-looking names
+	// (e.g. cdn.5f75b1c54f8...2d4.com from the paper's Table V).
+	DGAHex
+	// DGAConsonant biases toward consonants, producing the unpronounceable
+	// clusters typical of Conficker-era DGAs.
+	DGAConsonant
+)
+
+// DGADomains deterministically generates n DGA-style domain names.
+func DGADomains(n int, style DGAStyle, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = dgaDomain(rng, style)
+	}
+	return out
+}
+
+func dgaDomain(rng *rand.Rand, style DGAStyle) string {
+	var alphabet string
+	var length int
+	switch style {
+	case DGAHex:
+		alphabet = "0123456789abcdef"
+		length = 16 + rng.Intn(16)
+	case DGAConsonant:
+		alphabet = "bcdfghjklmnpqrstvwxzaeiou" // consonant-heavy
+		length = 10 + rng.Intn(12)
+	default:
+		alphabet = "abcdefghijklmnopqrstuvwxyz"
+		length = 12 + rng.Intn(12)
+	}
+	var sb strings.Builder
+	for i := 0; i < length; i++ {
+		sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	sb.WriteByte('.')
+	sb.WriteString([]string{"com", "net", "biz", "info", "pl", "ru"}[rng.Intn(6)])
+	return sb.String()
+}
+
+// BenignBeaconPaths are URL paths typical of legitimate periodic traffic
+// (software update checks, OCSP/CRL fetches, polling); the token filter's
+// lexicon and the traffic simulator both draw from them.
+var BenignBeaconPaths = []string{
+	"/update/check", "/updates/versions.xml", "/softwareupdate/manifest",
+	"/av/signatures/latest", "/license/verify", "/heartbeat",
+	"/poll/inbox", "/mail/poll", "/news/feed.rss", "/feed/latest",
+	"/ocsp", "/crl/current.crl", "/time/sync", "/ping", "/status",
+	"/api/v1/ping", "/telemetry/batch", "/metrics/report",
+}
+
+// MaliciousBeaconPaths are URL paths typical of C&C check-in traffic.
+var MaliciousBeaconPaths = []string{
+	"/gate.php", "/panel/gate.php", "/cb", "/a.php?id=", "/img/logo.gif?c=",
+	"/xs/login.php", "/b/eve/", "/in.cgi?default", "/task", "/cmd",
+}

@@ -1,0 +1,124 @@
+package corpus
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPopularDomainsDeterministic(t *testing.T) {
+	a := PopularDomains(100, 7)
+	b := PopularDomains(100, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must produce the same corpus")
+	}
+	c := PopularDomains(100, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should produce different corpora")
+	}
+}
+
+func TestPopularDomainsDistinctAndWellFormed(t *testing.T) {
+	ds := PopularDomains(5000, 1)
+	if len(ds) != 5000 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	seen := make(map[string]struct{})
+	for _, d := range ds {
+		if _, dup := seen[d]; dup {
+			t.Fatalf("duplicate domain %q", d)
+		}
+		seen[d] = struct{}{}
+		dot := strings.LastIndexByte(d, '.')
+		if dot <= 0 || dot == len(d)-1 {
+			t.Fatalf("malformed domain %q", d)
+		}
+		name := d[:dot]
+		if len(name) < 2 {
+			t.Fatalf("name too short: %q", d)
+		}
+		for _, r := range d {
+			if !(r >= 'a' && r <= 'z' || r == '.') {
+				t.Fatalf("unexpected character %q in %q", r, d)
+			}
+		}
+	}
+}
+
+func TestSubdomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Subdomain(rng, "example.com", 0); got != "example.com" {
+		t.Errorf("prob 0 must return domain unchanged, got %q", got)
+	}
+	got := Subdomain(rng, "example.com", 1)
+	if !strings.HasSuffix(got, ".example.com") {
+		t.Errorf("prob 1 must prepend a label, got %q", got)
+	}
+}
+
+func TestDGADomainsStyles(t *testing.T) {
+	for _, style := range []DGAStyle{DGAUniform, DGAHex, DGAConsonant} {
+		ds := DGADomains(200, style, 3)
+		if len(ds) != 200 {
+			t.Fatalf("style %d: len = %d", style, len(ds))
+		}
+		for _, d := range ds {
+			dot := strings.LastIndexByte(d, '.')
+			if dot < 10 {
+				t.Fatalf("style %d: DGA name too short: %q", style, d)
+			}
+		}
+	}
+	// Hex style restricted to hex characters.
+	for _, d := range DGADomains(50, DGAHex, 4) {
+		name := d[:strings.LastIndexByte(d, '.')]
+		for _, r := range name {
+			if !strings.ContainsRune("0123456789abcdef", r) {
+				t.Fatalf("hex DGA contains %q: %q", r, d)
+			}
+		}
+	}
+}
+
+func TestDGADomainsDeterministic(t *testing.T) {
+	a := DGADomains(50, DGAUniform, 9)
+	b := DGADomains(50, DGAUniform, 9)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("DGA generation must be deterministic per seed")
+	}
+}
+
+func TestDGALooksUnlikePopular(t *testing.T) {
+	// Sanity: vowel ratio of popular names is much higher than uniform
+	// DGA names — the statistic the language model keys on.
+	vowelRatio := func(ds []string) float64 {
+		var v, n int
+		for _, d := range ds {
+			name := d[:strings.LastIndexByte(d, '.')]
+			for _, r := range name {
+				n++
+				if strings.ContainsRune("aeiou", r) {
+					v++
+				}
+			}
+		}
+		return float64(v) / float64(n)
+	}
+	pop := vowelRatio(PopularDomains(500, 5))
+	dga := vowelRatio(DGADomains(500, DGAUniform, 5))
+	if pop < dga+0.1 {
+		t.Errorf("vowel ratios too close: popular %.3f vs DGA %.3f", pop, dga)
+	}
+}
+
+func TestPathLists(t *testing.T) {
+	if len(BenignBeaconPaths) == 0 || len(MaliciousBeaconPaths) == 0 {
+		t.Fatal("path lexicons must be non-empty")
+	}
+	for _, p := range append(append([]string{}, BenignBeaconPaths...), MaliciousBeaconPaths...) {
+		if !strings.HasPrefix(p, "/") {
+			t.Errorf("path %q must start with /", p)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package dnslog models the DNS data source of the paper's discussion
+// section: query logs collected at an internal resolver. Beaconing malware
+// resolves its C&C domain before each callback, so query timestamps carry
+// the same periodicity — but the resolver's cache suppresses repeat
+// queries within the record's TTL, and regional resolvers may observe
+// aggregated behavior, both of which the paper calls out as DNS-specific
+// challenges. The generator reproduces the cache-suppression effect so the
+// detector's robustness to it is testable.
+package dnslog
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"baywatch/internal/pipeline"
+	"baywatch/internal/proxylog"
+)
+
+// Record is one DNS query log entry.
+type Record struct {
+	// Timestamp is the query time in Unix seconds.
+	Timestamp int64
+	// ClientIP is the querying host.
+	ClientIP string
+	// QName is the queried domain.
+	QName string
+	// QType is the query type (A, AAAA, TXT, ...).
+	QType string
+}
+
+// ErrBadRecord is returned for malformed lines.
+var ErrBadRecord = errors.New("dnslog: malformed record")
+
+// Format renders the record as one log line: "<epoch> <ip> <qname> <qtype>".
+func (r *Record) Format() string {
+	var sb strings.Builder
+	sb.Grow(32 + len(r.ClientIP) + len(r.QName) + len(r.QType))
+	sb.WriteString(strconv.FormatInt(r.Timestamp, 10))
+	sb.WriteByte(' ')
+	sb.WriteString(r.ClientIP)
+	sb.WriteByte(' ')
+	sb.WriteString(r.QName)
+	sb.WriteByte(' ')
+	sb.WriteString(r.QType)
+	return sb.String()
+}
+
+// ParseRecord parses a line produced by Format.
+func ParseRecord(line string) (*Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 {
+		return nil, fmt.Errorf("%w: %d fields", ErrBadRecord, len(fields))
+	}
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: epoch: %v", ErrBadRecord, err)
+	}
+	return &Record{Timestamp: ts, ClientIP: fields[1], QName: fields[2], QType: fields[3]}, nil
+}
+
+// FromProxyTrace derives the DNS query log an internal resolver would have
+// seen for the given web traffic: each HTTP(S) request triggers an A query
+// unless the (client, domain) record is still cached, i.e. a query for the
+// same name happened within ttl seconds. The proxy records must be sorted
+// by timestamp (the traffic simulator guarantees this).
+func FromProxyTrace(records []*proxylog.Record, ttl int64) []*Record {
+	if ttl < 0 {
+		ttl = 0
+	}
+	lastQuery := make(map[string]int64, 1024)
+	var out []*Record
+	for _, r := range records {
+		key := r.ClientIP + "|" + r.Host
+		if last, ok := lastQuery[key]; ok && r.Timestamp-last < ttl {
+			continue // cache hit: the resolver sees no query
+		}
+		lastQuery[key] = r.Timestamp
+		out = append(out, &Record{
+			Timestamp: r.Timestamp,
+			ClientIP:  r.ClientIP,
+			QName:     r.Host,
+			QType:     "A",
+		})
+	}
+	return out
+}
+
+// ToPairEvents converts DNS queries into the pipeline's source-agnostic
+// events: the pair is (client, queried name). corr may be nil to use raw
+// client IPs.
+func ToPairEvents(records []*Record, corr *proxylog.Correlator) []pipeline.PairEvent {
+	out := make([]pipeline.PairEvent, len(records))
+	for i, r := range records {
+		src := r.ClientIP
+		if corr != nil {
+			if mac, err := corr.MACFor(r.ClientIP, r.Timestamp); err == nil {
+				src = mac
+			} else {
+				src = "ip:" + r.ClientIP
+			}
+		}
+		out[i] = pipeline.PairEvent{
+			Source:      src,
+			Destination: strings.ToLower(r.QName),
+			Timestamp:   r.Timestamp,
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation(nil); err == nil {
+		t.Error("expected error for nil input")
+	}
+	if _, err := Autocorrelation([]float64{1}); err == nil {
+		t.Error("expected error for single sample")
+	}
+}
+
+func TestAutocorrelationLagZeroIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	acf, err := Autocorrelation(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] != 1 {
+		t.Errorf("acf[0] = %v, want 1", acf[0])
+	}
+	if len(acf) != len(x) {
+		t.Errorf("len(acf) = %d, want %d", len(acf), len(x))
+	}
+}
+
+func TestAutocorrelationZeroVariance(t *testing.T) {
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = 7
+	}
+	acf, err := Autocorrelation(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lag, v := range acf {
+		if v != 0 {
+			t.Fatalf("acf[%d] = %v, want 0 for constant series", lag, v)
+		}
+	}
+}
+
+func TestAutocorrelationPeriodicSignalPeaksAtPeriod(t *testing.T) {
+	// Impulse train with period 20: ACF must peak at lag 20 among lags 1..30.
+	n := 400
+	x := make([]float64, n)
+	for i := 0; i < n; i += 20 {
+		x[i] = 1
+	}
+	acf, err := Autocorrelation(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestLag := math.Inf(-1), 0
+	for lag := 1; lag <= 30; lag++ {
+		if acf[lag] > best {
+			best = acf[lag]
+			bestLag = lag
+		}
+	}
+	if bestLag != 20 {
+		t.Errorf("ACF peak at lag %d, want 20", bestLag)
+	}
+	if best < 0.5 {
+		t.Errorf("ACF peak value %v, want >= 0.5", best)
+	}
+}
+
+// Property: |acf[lag]| <= 1 for all lags (Cauchy-Schwarz), and the ACF of a
+// shifted copy of the series is unchanged.
+func TestAutocorrelationBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(300)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		acf, err := Autocorrelation(x)
+		if err != nil {
+			return false
+		}
+		for _, v := range acf {
+			if v > 1+1e-9 || v < -1-1e-9 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutocorrelationShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 128
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = x[i] + 100 // constant offset
+	}
+	ax, _ := Autocorrelation(x)
+	ay, _ := Autocorrelation(y)
+	for lag := range ax {
+		if math.Abs(ax[lag]-ay[lag]) > 1e-6 {
+			t.Fatalf("lag %d: acf differs under constant shift: %v vs %v", lag, ax[lag], ay[lag])
+		}
+	}
+}
+
+func TestValidateHillOnPeak(t *testing.T) {
+	// Construct a synthetic ACF with a clear hill at lag 25.
+	acf := make([]float64, 100)
+	acf[0] = 1
+	for l := 1; l < 100; l++ {
+		d := float64(l - 25)
+		acf[l] = 0.8 * math.Exp(-d*d/50)
+	}
+	res := ValidateHill(acf, 15, 35)
+	if !res.OnHill {
+		t.Fatalf("expected hill; result %+v", res)
+	}
+	if res.PeakLag != 25 {
+		t.Errorf("PeakLag = %d, want 25", res.PeakLag)
+	}
+	if math.Abs(res.PeakValue-0.8) > 1e-9 {
+		t.Errorf("PeakValue = %v, want 0.8", res.PeakValue)
+	}
+	if res.SlopeLeft <= 0 || res.SlopeRight >= 0 {
+		t.Errorf("slopes = (%v, %v), want (+, -)", res.SlopeLeft, res.SlopeRight)
+	}
+}
+
+func TestValidateHillOnDecay(t *testing.T) {
+	// A monotonically decaying ACF (e.g. AR(1) noise) must not validate.
+	acf := make([]float64, 100)
+	for l := range acf {
+		acf[l] = math.Pow(0.9, float64(l))
+	}
+	res := ValidateHill(acf, 10, 40)
+	if res.OnHill {
+		t.Fatalf("decaying ACF validated as hill: %+v", res)
+	}
+}
+
+func TestValidateHillWindowClamping(t *testing.T) {
+	acf := []float64{1, 0.5, 0.8, 0.5, 0.2}
+	// Window extends beyond both ends; must clamp and not panic.
+	res := ValidateHill(acf, -10, 100)
+	if res.PeakLag != 2 {
+		t.Errorf("PeakLag = %d, want 2", res.PeakLag)
+	}
+}
+
+func TestValidateHillDegenerateWindow(t *testing.T) {
+	acf := []float64{1, 0.9, 0.8, 0.7}
+	res := ValidateHill(acf, 2, 2)
+	if res.OnHill {
+		t.Error("single-point window must not be a hill")
+	}
+	if res.PeakLag != 2 {
+		t.Errorf("PeakLag = %d, want 2", res.PeakLag)
+	}
+	res = ValidateHill(acf, 3, 1)
+	if res.OnHill {
+		t.Error("inverted window must not be a hill")
+	}
+}
+
+func TestValidateHillNoiseWindow(t *testing.T) {
+	// White-noise ACF: hills should mostly fail; at minimum, no panic and
+	// a sane peak lag inside the window.
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, 512)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	acf, err := Autocorrelation(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ValidateHill(acf, 40, 80)
+	if res.PeakLag < 40 || res.PeakLag > 80 {
+		t.Errorf("PeakLag %d outside window [40, 80]", res.PeakLag)
+	}
+}
+
+func BenchmarkAutocorrelation_4096(b *testing.B) {
+	x := make([]float64, 4096)
+	for i := range x {
+		if i%60 == 0 {
+			x[i] = 1
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Autocorrelation(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

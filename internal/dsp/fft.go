@@ -1,0 +1,186 @@
+// Package dsp provides the signal-processing primitives BAYWATCH's
+// periodicity detector is built on: a fast Fourier transform (radix-2 with a
+// Bluestein fallback for arbitrary lengths), periodogram estimation, and
+// circular autocorrelation via the Wiener–Khinchin theorem.
+//
+// The Go standard library ships no FFT, so the transform is implemented here
+// from scratch. All routines are deterministic and allocation-conscious;
+// the detector calls them once per communication pair per analysis window,
+// which for a large enterprise means tens of millions of invocations per day.
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// ErrEmptyInput is returned by transforms that require at least one sample.
+var ErrEmptyInput = errors.New("dsp: empty input")
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two greater than or equal to
+// n. It returns 1 for n <= 1.
+func NextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// FFT computes the discrete Fourier transform of x and returns a new slice.
+// Any input length is accepted: power-of-two lengths use the iterative
+// radix-2 Cooley–Tukey algorithm; other lengths use Bluestein's chirp-z
+// algorithm, which reduces the problem to a power-of-two convolution.
+func FFT(x []complex128) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmptyInput
+	}
+	out := make([]complex128, len(x))
+	copy(out, x)
+	if err := fftInPlace(out, false); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IFFT computes the inverse discrete Fourier transform of x, including the
+// 1/N normalization, and returns a new slice.
+func IFFT(x []complex128) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmptyInput
+	}
+	out := make([]complex128, len(x))
+	copy(out, x)
+	if err := fftInPlace(out, true); err != nil {
+		return nil, err
+	}
+	n := complex(float64(len(out)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out, nil
+}
+
+// FFTReal transforms a real-valued series. It is a convenience wrapper used
+// by the periodogram code path.
+func FFTReal(x []float64) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmptyInput
+	}
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// fftInPlace dispatches between the radix-2 and Bluestein implementations.
+// When inverse is true it computes the unnormalized inverse transform.
+func fftInPlace(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 1 {
+		return nil
+	}
+	if IsPowerOfTwo(n) {
+		radix2(x, inverse)
+		return nil
+	}
+	return bluestein(x, inverse)
+}
+
+// radix2 is the iterative, in-place Cooley–Tukey FFT for power-of-two sizes.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := uint(64 - bits.Len(uint(n-1)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein implements the chirp-z transform: an arbitrary-length DFT
+// expressed as a circular convolution of length m >= 2n-1, m a power of two.
+func bluestein(x []complex128, inverse bool) error {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	m := NextPowerOfTwo(2*n - 1)
+
+	// chirp[k] = exp(sign * i*pi*k^2/n). k^2 mod 2n avoids precision loss
+	// from huge arguments to sin/cos.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		theta := sign * math.Pi * float64(k2) / float64(n)
+		chirp[k] = cmplx.Exp(complex(0, theta))
+	}
+
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * chirp[k]
+	}
+	return nil
+}
+
+// NaiveDFT computes the DFT by direct O(n^2) summation. It exists as a
+// reference implementation for tests and as documentation of the transform
+// convention used by FFT (negative exponent forward transform).
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			theta := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, theta))
+		}
+		out[k] = sum
+	}
+	return out
+}

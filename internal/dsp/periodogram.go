@@ -1,0 +1,124 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortSeries is returned when a series is too short for spectral
+// analysis.
+var ErrShortSeries = errors.New("dsp: series too short for spectral analysis")
+
+// Periodogram holds the one-sided power spectral density estimate of a
+// real-valued series sampled at a fixed interval.
+type Periodogram struct {
+	// Power[k] is |X(k)|^2 / N for k = 0..N/2 (DC term included at index 0).
+	Power []float64
+	// N is the length of the underlying series.
+	N int
+	// SampleInterval is the spacing between consecutive samples, in seconds.
+	SampleInterval float64
+}
+
+// ComputePeriodogram estimates the power spectrum of x, whose samples are
+// sampleInterval seconds apart. The mean is removed first so that the DC
+// component does not dominate the spectrum; the detector is interested in
+// oscillations around the mean rate, not the rate itself.
+func ComputePeriodogram(x []float64, sampleInterval float64) (*Periodogram, error) {
+	if len(x) < 4 {
+		return nil, fmt.Errorf("%w: n=%d", ErrShortSeries, len(x))
+	}
+	if sampleInterval <= 0 {
+		return nil, fmt.Errorf("dsp: sample interval must be positive, got %v", sampleInterval)
+	}
+	n := len(x)
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+
+	cx := make([]complex128, n)
+	for i, v := range x {
+		cx[i] = complex(v-mean, 0)
+	}
+	spec, err := FFT(cx)
+	if err != nil {
+		return nil, err
+	}
+	half := n/2 + 1
+	power := make([]float64, half)
+	for k := 0; k < half; k++ {
+		re := real(spec[k])
+		im := imag(spec[k])
+		power[k] = (re*re + im*im) / float64(n)
+	}
+	return &Periodogram{Power: power, N: n, SampleInterval: sampleInterval}, nil
+}
+
+// Frequency returns the frequency in Hz corresponding to bin k.
+func (p *Periodogram) Frequency(k int) float64 {
+	return float64(k) / (float64(p.N) * p.SampleInterval)
+}
+
+// Period returns the period in seconds corresponding to bin k. It returns
+// +Inf for the DC bin (k = 0).
+func (p *Periodogram) Period(k int) float64 {
+	if k == 0 {
+		return inf()
+	}
+	return float64(p.N) * p.SampleInterval / float64(k)
+}
+
+// PeriodBounds returns the range of periods (low, high) that bin k covers:
+// the midpoints toward the neighboring bins. The ACF verification step
+// searches for a hill inside this window.
+func (p *Periodogram) PeriodBounds(k int) (low, high float64) {
+	if k <= 0 {
+		return inf(), inf()
+	}
+	total := float64(p.N) * p.SampleInterval
+	// Bin k+1 has a shorter period, bin k-1 a longer one.
+	low = (total/float64(k) + total/float64(k+1)) / 2
+	if k == 1 {
+		high = total
+	} else {
+		high = (total/float64(k) + total/float64(k-1)) / 2
+	}
+	return low, high
+}
+
+// MaxPower returns the largest power among the non-DC bins and its index.
+// It returns (0, 0) when the periodogram has fewer than two bins.
+func (p *Periodogram) MaxPower() (power float64, bin int) {
+	for k := 1; k < len(p.Power); k++ {
+		if p.Power[k] > power {
+			power = p.Power[k]
+			bin = k
+		}
+	}
+	return power, bin
+}
+
+// BinsAbove returns the indices of non-DC bins whose power strictly exceeds
+// threshold, in decreasing order of power.
+func (p *Periodogram) BinsAbove(threshold float64) []int {
+	var idx []int
+	for k := 1; k < len(p.Power); k++ {
+		if p.Power[k] > threshold {
+			idx = append(idx, k)
+		}
+	}
+	// Insertion sort by power descending; candidate sets are tiny.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && p.Power[idx[j]] > p.Power[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+func inf() float64 {
+	return math.Inf(1)
+}

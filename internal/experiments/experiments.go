@@ -1,0 +1,173 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sect. VIII) on the synthetic substrate, one function per
+// artifact. Each experiment returns a Table that renders as an aligned
+// text table; the bwexperiments command prints them and bench_test.go
+// wraps each in a benchmark. EXPERIMENTS.md records paper-vs-measured
+// values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Quick reduces trial counts and trace sizes for use inside
+	// benchmarks; full runs reproduce the shapes more tightly.
+	Quick bool
+	// Seed drives all generation; the default 1 reproduces the committed
+	// EXPERIMENTS.md numbers.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the paper artifact this reproduces (e.g. "Table V",
+	// "Fig. 10a").
+	ID string
+	// Title describes the content.
+	Title string
+	// Header and Rows hold the tabular data.
+	Header []string
+	Rows   [][]string
+	// Notes carry paper-vs-measured commentary.
+	Notes []string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s — %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) && len(cell) < widths[i] {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Runner is one experiment entry point.
+type Runner func(Options) ([]*Table, error)
+
+// Registry maps experiment names (as accepted by bwexperiments -run) to
+// their runners, in presentation order.
+func Registry() []struct {
+	Name string
+	Run  Runner
+} {
+	return []struct {
+		Name string
+		Run  Runner
+	}{
+		{"fig2", Fig2},
+		{"fig5", Fig5},
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"table3", Table3},
+		{"table4", Table4},
+		{"table5", Table5},
+		{"table6", Table6},
+		{"scalability", Scalability},
+		{"headline", Headline},
+		{"ablation", Ablation},
+	}
+}
+
+// Names returns the registered experiment names in order.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, r := range reg {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// Run executes the named experiment ("all" runs every one).
+func Run(name string, opts Options) ([]*Table, error) {
+	if name == "all" || name == "" {
+		var all []*Table
+		for _, r := range Registry() {
+			ts, err := r.Run(opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", r.Name, err)
+			}
+			all = append(all, ts...)
+		}
+		return all, nil
+	}
+	for _, r := range Registry() {
+		if r.Name == name {
+			return r.Run(opts)
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// fmtF renders a float with the given precision, trimming trailing zeros
+// is deliberately avoided for column stability.
+func fmtF(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// sortedKeys returns the map's keys sorted, for deterministic iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shorten elides the middle of long domain names the way the paper's
+// tables do (cdn.5f75b1c54f8[..]2d4.com).
+func shorten(domain string, max int) string {
+	if len(domain) <= max {
+		return domain
+	}
+	keep := (max - 4) / 2
+	return domain[:keep] + "[..]" + domain[len(domain)-keep:]
+}

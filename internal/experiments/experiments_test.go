@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Registry() {
+		if seen[r.Name] {
+			t.Errorf("duplicate experiment name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Run == nil {
+			t.Errorf("experiment %q has nil runner", r.Name)
+		}
+	}
+	if len(Names()) != len(Registry()) {
+		t.Error("Names/Registry mismatch")
+	}
+}
+
+func TestRunUnknownName(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:     "Test",
+		Title:  "Rendering",
+		Header: []string{"col1", "longer column"},
+		Rows:   [][]string{{"a", "b"}, {"ccccc", "d"}},
+		Notes:  []string{"a note"},
+	}
+	s := tb.String()
+	for _, want := range []string{"Test", "Rendering", "col1", "ccccc", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestShorten(t *testing.T) {
+	if got := shorten("short.com", 20); got != "short.com" {
+		t.Errorf("shorten = %q", got)
+	}
+	long := "cdn.5f75b1c54f8aaaaaaaaaaaaaaaa2d4.com"
+	got := shorten(long, 20)
+	if len(got) > 22 || !strings.Contains(got, "[..]") {
+		t.Errorf("shorten = %q", got)
+	}
+}
+
+// fastExperiments run in well under a second each in Quick mode.
+var fastExperiments = []string{"fig2", "fig5", "fig6", "fig7"}
+
+func TestFastExperiments(t *testing.T) {
+	for _, name := range fastExperiments {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tables, err := Run(name, Options{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %s has no rows", tb.ID)
+				}
+				if tb.ID == "" || tb.Title == "" {
+					t.Errorf("table metadata incomplete: %+v", tb)
+				}
+			}
+		})
+	}
+}
+
+func TestSlowExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiments skipped in -short mode")
+	}
+	for _, name := range []string{"table3", "table4", "table5", "table6", "fig11", "scalability", "headline"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tables, err := Run(name, Options{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 || len(tables[0].Rows) == 0 {
+				t.Fatal("experiment produced no data")
+			}
+		})
+	}
+}
+
+func TestFig6PrunesToTruePeriod(t *testing.T) {
+	tables, err := Run("fig6", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] == "kept" {
+			kept++
+			period := row[2]
+			if !strings.HasPrefix(period, "387") && !strings.HasPrefix(period, "386") && !strings.HasPrefix(period, "388") {
+				t.Errorf("kept period %s, want ~387", period)
+			}
+		}
+	}
+	if kept == 0 {
+		t.Error("no candidate survived pruning")
+	}
+}
+
+func TestFig2DetectsBothTraces(t *testing.T) {
+	tables, err := Run("fig2", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] != "beaconing" {
+			t.Errorf("trace %s not detected", row[0])
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"baywatch/internal/core"
+	"baywatch/internal/synthetic"
+	"baywatch/internal/timeseries"
+)
+
+// Fig10 reproduces the synthetic noise-tolerance evaluation: detection
+// failure rate δd and relative period deviation γd of the core algorithm
+// under (a) Gaussian timing jitter, (b) missing events, (c) added events,
+// and (d) combined noise, on a 60 s beacon.
+//
+// δd is the fraction of trials in which no detected period falls within 5%
+// of the true period; γd is the mean relative deviation of the best
+// detected period in successful trials. The paper's thresholds: detection
+// stays reliable up to σ ≈ 30 (half the period) for pure Gaussian noise,
+// dropping to σ ≈ 11 and ≈ 7 when combined with missing-event
+// probabilities of 0.5 and 0.75.
+func Fig10(opts Options) ([]*Table, error) {
+	opts = opts.withDefaults()
+	trials, events := 20, 500
+	if opts.Quick {
+		trials, events = 4, 250
+	}
+	const period = 60.0
+
+	run := func(noise synthetic.NoiseConfig, seedOff int64) (deltaD, gammaD float64) {
+		failures := 0
+		var devSum float64
+		devCount := 0
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(opts.Seed + seedOff + int64(trial)*7919))
+			ts := synthetic.BeaconTimestamps(rng, 0, period, events, noise)
+			as, err := timeseries.FromTimestamps("s", "d", ts, 1)
+			if err != nil {
+				failures++
+				continue
+			}
+			cfg := core.DefaultConfig()
+			cfg.Seed = opts.Seed + seedOff
+			res, err := core.NewDetector(cfg).Detect(as)
+			if err != nil {
+				failures++
+				continue
+			}
+			best := math.Inf(1)
+			for _, p := range res.DominantPeriods() {
+				if dev := math.Abs(p-period) / period; dev < best {
+					best = dev
+				}
+			}
+			if best > 0.05 {
+				failures++
+				continue
+			}
+			devSum += best
+			devCount++
+		}
+		deltaD = float64(failures) / float64(trials)
+		if devCount > 0 {
+			gammaD = devSum / float64(devCount)
+		}
+		return deltaD, gammaD
+	}
+
+	var tables []*Table
+
+	// (a) Gaussian jitter sweep.
+	a := &Table{
+		ID:     "Fig. 10a",
+		Title:  fmt.Sprintf("Gaussian noise tolerance (60 s beacon, %d events, %d trials/point)", events, trials),
+		Header: []string{"sigma [s]", "delta_d", "gamma_d"},
+	}
+	for sigma := 0.0; sigma <= 50; sigma += 5 {
+		d, g := run(synthetic.NoiseConfig{JitterSigma: sigma, AccumulateJitter: true}, 100+int64(sigma))
+		a.Rows = append(a.Rows, []string{fmtF(sigma, 0), fmtF(d, 2), fmtF(g, 4)})
+	}
+	a.Notes = append(a.Notes, "paper: reliable identification up to sigma ~ 30 (half the beacon period)")
+	tables = append(tables, a)
+
+	// (b) Missing-event sweep.
+	b := &Table{
+		ID:     "Fig. 10b",
+		Title:  "Missing-event tolerance",
+		Header: []string{"p_miss", "delta_d", "gamma_d"},
+	}
+	for pm := 0.0; pm <= 0.9; pm += 0.15 {
+		d, g := run(synthetic.NoiseConfig{JitterSigma: 2, AccumulateJitter: true, MissProb: pm}, 300+int64(pm*100))
+		b.Rows = append(b.Rows, []string{fmtF(pm, 2), fmtF(d, 2), fmtF(g, 4)})
+	}
+	tables = append(tables, b)
+
+	// (c) Added-event sweep.
+	c := &Table{
+		ID:     "Fig. 10c",
+		Title:  "Added-event tolerance",
+		Header: []string{"p_add", "delta_d", "gamma_d"},
+	}
+	for pa := 0.0; pa <= 0.9; pa += 0.15 {
+		d, g := run(synthetic.NoiseConfig{JitterSigma: 2, AccumulateJitter: true, AddProb: pa}, 500+int64(pa*100))
+		c.Rows = append(c.Rows, []string{fmtF(pa, 2), fmtF(d, 2), fmtF(g, 4)})
+	}
+	tables = append(tables, c)
+
+	// (d) Combined noise: Gaussian sweep at fixed missing-event levels.
+	d := &Table{
+		ID:     "Fig. 10d",
+		Title:  "Combined noise: Gaussian sigma sweep at p_miss = 0.5 and 0.75",
+		Header: []string{"sigma [s]", "delta_d (p_miss=0.5)", "delta_d (p_miss=0.75)"},
+	}
+	for sigma := 0.0; sigma <= 25; sigma += 2.5 {
+		d1, _ := run(synthetic.NoiseConfig{JitterSigma: sigma, AccumulateJitter: true, MissProb: 0.5}, 700+int64(sigma*10))
+		d2, _ := run(synthetic.NoiseConfig{JitterSigma: sigma, AccumulateJitter: true, MissProb: 0.75}, 900+int64(sigma*10))
+		d.Rows = append(d.Rows, []string{fmtF(sigma, 1), fmtF(d1, 2), fmtF(d2, 2)})
+	}
+	d.Notes = append(d.Notes,
+		"paper: the reliable-detection threshold drops from ~30 to ~11 (p_miss=0.5) and ~7 (p_miss=0.75)")
+	tables = append(tables, d)
+	return tables, nil
+}

@@ -1,0 +1,734 @@
+package experiments
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"baywatch/internal/corpus"
+	"baywatch/internal/features"
+	"baywatch/internal/forest"
+	"baywatch/internal/langmodel"
+	"baywatch/internal/novelty"
+	"baywatch/internal/pipeline"
+	"baywatch/internal/proxylog"
+	"baywatch/internal/synthetic"
+	"baywatch/internal/threatintel"
+	"baywatch/internal/triage"
+	"baywatch/internal/whitelist"
+)
+
+// fiveMonthInfections mirrors the campaign mix behind the paper's Table V:
+// periods between 30 and 929 seconds, client counts from 1 to 19, DGA
+// domains of several flavors, and a few deliberately noisy campaigns whose
+// weak periodicity exercises the classifier's uncertain band.
+func fiveMonthInfections() []synthetic.Infection {
+	clean := synthetic.NoiseConfig{JitterSigma: 2, MissProb: 0.05, AddProb: 0.02}
+	noisy := synthetic.NoiseConfig{JitterSigma: 20, MissProb: 0.4, AddProb: 0.3}
+	return []synthetic.Infection{
+		{Family: "Genome", DGA: corpus.DGAHex, Clients: 19, Period: 30, Noise: clean},
+		{Family: "Semnager", DGA: corpus.DGAHex, Clients: 1, Period: 901, Noise: clean},
+		{Family: "APKDropper", DGA: corpus.DGAUniform, Clients: 3, Period: 929, Noise: clean},
+		{Family: "Adload", DGA: corpus.DGAUniform, Clients: 2, Period: 165, Noise: clean},
+		{Family: "Zbot", DGA: corpus.DGAUniform, Clients: 2, Period: 180, Noise: clean},
+		{Family: "Zbot", DGA: corpus.DGAUniform, Clients: 1, Period: 180, Noise: clean},
+		{Family: "ZeroAccess", DGA: corpus.DGAConsonant, Clients: 3, Period: 63, Noise: clean},
+		{Family: "ZeroAccess", DGA: corpus.DGAConsonant, Clients: 1, Period: 1242, Noise: clean},
+		{Family: "TDSS", DGA: corpus.DGAUniform, Clients: 1, Period: 387,
+			Noise: synthetic.NoiseConfig{JitterSigma: 15, MissProb: 0.1, AddProb: 0.05}},
+		{Family: "Conficker", DGA: corpus.DGAConsonant, Clients: 1, Period: 7.5,
+			Style: synthetic.StyleBurst, BurstLen: 16, SleepSeconds: 10800},
+		{Family: "NoisyRAT", DGA: corpus.DGAUniform, Clients: 2, Period: 600, Noise: noisy},
+		{Family: "NoisyRAT", DGA: corpus.DGAUniform, Clients: 1, Period: 450, Noise: noisy},
+	}
+}
+
+// evalEnv is a generated trace plus the pipeline fixtures to analyze it.
+type evalEnv struct {
+	trace  *synthetic.Trace
+	corr   *proxylog.Correlator
+	cfg    pipeline.Config
+	oracle *threatintel.Oracle
+}
+
+// newEvalEnv generates the standard evaluation environment at the given
+// scale.
+func newEvalEnv(opts Options, days, hosts int, infections []synthetic.Infection) (*evalEnv, error) {
+	gen := synthetic.DefaultConfig()
+	gen.Seed = opts.Seed
+	gen.Days = days
+	gen.Hosts = hosts
+	gen.CatalogSize = 1500
+	gen.BrowsingSessionsPerHostDay = 4
+	gen.UpdateServices = 10
+	gen.NicheServices = 8
+	gen.Infections = infections
+	tr, err := synthetic.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	corr, err := proxylog.NewCorrelator(tr.Leases)
+	if err != nil {
+		return nil, err
+	}
+	lmCorpus := 20000
+	if opts.Quick {
+		lmCorpus = 5000
+	}
+	lm, err := langmodel.Train(corpus.PopularDomains(lmCorpus, 42))
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.Config{
+		Global: whitelist.NewGlobal(tr.Catalog[:100]),
+		LM:     lm,
+		// The paper's tau_P = 1% presumes ~130K devices (a 19-client botnet
+		// is 0.015% there). At laptop-scale host counts the same absolute
+		// infection size is a two-digit percentage, so the threshold scales
+		// up to keep the semantics: "organization-wide service" means a
+		// large fraction of the fleet.
+		LocalTau: 0.25,
+	}
+	return &evalEnv{
+		trace:  tr,
+		corr:   corr,
+		cfg:    cfg,
+		oracle: threatintel.NewOracle(tr.Truth, 1, opts.Seed),
+	}, nil
+}
+
+func (e *evalEnv) run(ctx context.Context) (*pipeline.Result, error) {
+	return pipeline.Run(ctx, e.trace.Records, e.corr, e.cfg)
+}
+
+// runDaily mirrors the paper's deployment ("the time series analysis has
+// been run over daily intervals to simulate daily operations"): the trace
+// is split into days and the pipeline runs once per day.
+func (e *evalEnv) runDaily(ctx context.Context) ([]*pipeline.Result, error) {
+	if len(e.trace.Records) == 0 {
+		return nil, fmt.Errorf("empty trace")
+	}
+	start := e.trace.Records[0].Timestamp
+	perDay := make(map[int][]*proxylog.Record)
+	maxDay := 0
+	for _, r := range e.trace.Records {
+		d := int((r.Timestamp - start) / 86400)
+		perDay[d] = append(perDay[d], r)
+		if d > maxDay {
+			maxDay = d
+		}
+	}
+	var out []*pipeline.Result
+	for d := 0; d <= maxDay; d++ {
+		if len(perDay[d]) == 0 {
+			continue
+		}
+		res, err := pipeline.Run(ctx, perDay[d], e.corr, e.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("day %d: %w", d, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// collectPeriodic unions the periodic candidates of several runs, keeping
+// per pair the instance with the strongest detection.
+func collectPeriodic(results []*pipeline.Result) []*pipeline.Candidate {
+	best := make(map[string]*pipeline.Candidate)
+	for _, res := range results {
+		for _, c := range res.Candidates {
+			if c.Detection == nil || !c.Detection.Periodic {
+				continue
+			}
+			key := caseID(c)
+			if prev, ok := best[key]; !ok || c.Detection.Score() > prev.Detection.Score() {
+				best[key] = c
+			}
+		}
+	}
+	out := make([]*pipeline.Candidate, 0, len(best))
+	for _, k := range sortedKeys(best) {
+		out = append(out, best[k])
+	}
+	return out
+}
+
+// collectRanked unions, across runs, every case that reached the ranking
+// stage (reported or cut only by the percentile threshold), keeping per
+// pair the highest-scored instance. This is the population the paper's
+// "top-ranked destinations" tables draw from.
+func collectRanked(results []*pipeline.Result) []*pipeline.Candidate {
+	best := make(map[string]*pipeline.Candidate)
+	for _, res := range results {
+		for _, c := range res.Candidates {
+			if c.SuppressedBy != pipeline.StageNone && c.SuppressedBy != pipeline.StageRankThreshold {
+				continue
+			}
+			key := caseID(c)
+			if prev, ok := best[key]; !ok || c.Score > prev.Score {
+				best[key] = c
+			}
+		}
+	}
+	out := make([]*pipeline.Candidate, 0, len(best))
+	for _, k := range sortedKeys(best) {
+		out = append(out, best[k])
+	}
+	return out
+}
+
+// fiveMonthScale returns the (days, hosts) used for the 5-month-trace
+// reproductions. The paper analyzed 151 days across 130 K devices; we run
+// the identical pipeline at laptop scale and mark the factor in the notes.
+func fiveMonthScale(opts Options) (days, hosts int) {
+	if opts.Quick {
+		return 3, 60
+	}
+	return 12, 120
+}
+
+// Table3 reproduces the data-volume table: per simulated month, the event
+// count and the (gzip-compressed) log size.
+func Table3(opts Options) ([]*Table, error) {
+	opts = opts.withDefaults()
+	daysPerMonth := 2
+	hosts := 100
+	if opts.Quick {
+		daysPerMonth, hosts = 1, 40
+	}
+	months := []struct {
+		label string
+		days  int
+	}{
+		{"Oct 2013", daysPerMonth / 2},
+		{"Nov 2014", daysPerMonth},
+		{"Dec 2014", daysPerMonth},
+		{"Jan 2015", daysPerMonth},
+		{"Feb 2015", daysPerMonth},
+		{"Mar 2015", daysPerMonth},
+	}
+	t := &Table{
+		ID:     "Table III",
+		Title:  fmt.Sprintf("Data volumes of simulated web proxy logs (%d day(s)/month at %d hosts; paper: 30 days at 130K devices)", daysPerMonth, hosts),
+		Header: []string{"month", "log size", "gzipped", "# events"},
+	}
+	var totalRaw, totalGz, totalEvents int64
+	for i, m := range months {
+		days := m.days
+		if days < 1 {
+			days = 1
+		}
+		gen := synthetic.DefaultConfig()
+		gen.Seed = opts.Seed + int64(i)
+		gen.Days = days
+		gen.Hosts = hosts
+		gen.Infections = fiveMonthInfections()[:4]
+		tr, err := synthetic.Generate(gen)
+		if err != nil {
+			return nil, err
+		}
+		var raw bytes.Buffer
+		gz := gzip.NewWriter(&bytes.Buffer{})
+		var gzBuf bytes.Buffer
+		gz.Reset(&gzBuf)
+		for _, r := range tr.Records {
+			line := r.Format()
+			raw.WriteString(line)
+			raw.WriteByte('\n')
+			if _, err := gz.Write([]byte(line)); err != nil {
+				return nil, err
+			}
+			if _, err := gz.Write([]byte{'\n'}); err != nil {
+				return nil, err
+			}
+		}
+		if err := gz.Close(); err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			m.label, byteSize(int64(raw.Len())), byteSize(int64(gzBuf.Len())),
+			fmt.Sprint(len(tr.Records)),
+		})
+		totalRaw += int64(raw.Len())
+		totalGz += int64(gzBuf.Len())
+		totalEvents += int64(len(tr.Records))
+	}
+	t.Rows = append(t.Rows, []string{"Total", byteSize(totalRaw), byteSize(totalGz), fmt.Sprint(totalEvents)})
+	t.Notes = append(t.Notes, "paper totals: 35.6 TB raw (5.3 TB gzipped), 34.6 B events; shape target is the per-month uniformity and ~6-7x gzip ratio")
+	return []*Table{t}, nil
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmtF(float64(n)/(1<<30), 2) + " GB"
+	case n >= 1<<20:
+		return fmtF(float64(n)/(1<<20), 2) + " MB"
+	case n >= 1<<10:
+		return fmtF(float64(n)/(1<<10), 2) + " KB"
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// caseID names a candidate case for triage bookkeeping.
+func caseID(c *pipeline.Candidate) string {
+	return c.Source + "|" + c.Destination
+}
+
+// triagePopulation runs the 5-month-scale pipeline and derives the
+// labeled case population for the triage experiments: every candidate
+// whose detection found verified periodicity, labeled by the intel
+// oracle.
+func triagePopulation(ctx context.Context, opts Options) ([]triage.Labeled, map[string]int, *evalEnv, error) {
+	days, hosts := fiveMonthScale(opts)
+	env, err := newEvalEnv(opts, days, hosts, fiveMonthInfections())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	results, err := env.runDaily(ctx)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var cases []triage.Labeled
+	truth := make(map[string]int)
+	for _, c := range collectPeriodic(results) {
+		label := 0
+		if env.oracle.Query(c.Destination).Malicious {
+			label = 1
+		}
+		id := caseID(c)
+		cases = append(cases, triage.Labeled{
+			ID:       id,
+			Features: caseFeatures(c),
+			Label:    label,
+		})
+		truth[id] = label
+	}
+	sort.Slice(cases, func(i, j int) bool { return cases[i].ID < cases[j].ID })
+	return cases, truth, env, nil
+}
+
+// caseFeatures builds the classifier input: the Table II vector plus the
+// language-model and popularity indicators the earlier filter stages
+// produce ("the various filtering mechanisms essentially generate a rich
+// set of features", Sect. VI).
+func caseFeatures(c *pipeline.Candidate) []float64 {
+	fc := features.Case{SimilarSources: c.SimilarSources}
+	if c.Summary != nil {
+		fc.Intervals = c.Summary.IntervalsSeconds()
+	}
+	if c.Detection != nil && len(c.Detection.Kept) > 0 {
+		fc.DominantPeriods = c.Detection.DominantPeriods()
+		fc.Power = c.Detection.Kept[0].Power
+		fc.ACFScore = c.Detection.Kept[0].ACFScore
+	}
+	return append(features.Vector(fc), c.LMScore, c.Popularity)
+}
+
+// splitTrainTest splits the case population into a training window and the
+// remaining candidates, mirroring the paper's train-on-one-month /
+// classify-five-months bootstrap. The split is deterministic.
+func splitTrainTest(cases []triage.Labeled, trainFrac float64) (train, test []triage.Labeled) {
+	cut := int(float64(len(cases)) * trainFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= len(cases) {
+		cut = len(cases) - 1
+	}
+	// Stride the split so both windows carry both classes.
+	stride := int(1 / trainFrac)
+	if stride < 2 {
+		stride = 2
+	}
+	for i, c := range cases {
+		if i%stride == 0 {
+			train = append(train, c)
+		} else {
+			test = append(test, c)
+		}
+	}
+	return train, test
+}
+
+// Table4 reproduces the confusion matrix of the bootstrap classification:
+// train a 200-tree random forest on the labeled window, classify the rest,
+// and compare against the intel oracle.
+func Table4(opts Options) ([]*Table, error) {
+	opts = opts.withDefaults()
+	cases, truth, _, err := triagePopulation(context.Background(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(cases) < 4 {
+		return nil, fmt.Errorf("case population too small: %d", len(cases))
+	}
+	train, test := splitTrainTest(cases, 0.25)
+	classified, _, err := triage.Triage(train, test, forest.Config{Trees: 200, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	m, _ := triage.Evaluate(classified, truth)
+	t := &Table{
+		ID:     "Table IV",
+		Title:  fmt.Sprintf("Confusion matrix of case classification (%d train / %d classified)", len(train), len(test)),
+		Header: []string{"", "classified benign", "classified malicious"},
+		Rows: [][]string{
+			{"true benign", fmt.Sprint(m.TrueBenign), fmt.Sprint(m.FalsePositive)},
+			{"true malicious", fmt.Sprint(m.FalseNegative), fmt.Sprint(m.TruePositive)},
+		},
+		Notes: []string{
+			fmt.Sprintf("false positive rate %.4f (paper: 0 of 2163 benign; 41 FN of 189 malicious)", m.FalsePositiveRate()),
+		},
+	}
+	return []*Table{t}, nil
+}
+
+// Fig11 reproduces the uncertainty-ordered review curve: false negatives
+// remaining after examining the k most uncertain cases.
+func Fig11(opts Options) ([]*Table, error) {
+	opts = opts.withDefaults()
+	cases, truth, _, err := triagePopulation(context.Background(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(cases) < 4 {
+		return nil, fmt.Errorf("case population too small: %d", len(cases))
+	}
+	train, test := splitTrainTest(cases, 0.25)
+	classified, _, err := triage.Triage(train, test, forest.Config{Trees: 200, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	curve := triage.FNReductionCurve(classified, truth)
+	t := &Table{
+		ID:     "Fig. 11",
+		Title:  fmt.Sprintf("False negatives vs cases investigated in uncertainty order (%d cases)", len(classified)),
+		Header: []string{"cases examined", "FN remaining"},
+	}
+	steps := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0}
+	for _, frac := range steps {
+		k := int(frac * float64(len(classified)))
+		if k >= len(curve) {
+			k = len(curve) - 1
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(k), fmt.Sprint(curve[k])})
+	}
+	t.Notes = append(t.Notes,
+		"paper: 41 initial FNs drop below 10 after ~550 of 2352 cases (~23%); the curve's fast early decay is the reproduction target")
+	return []*Table{t}, nil
+}
+
+// Table5 reproduces the example-case table of the 5-month trace: reported
+// malicious destinations with their smallest detected period and client
+// counts.
+func Table5(opts Options) ([]*Table, error) {
+	opts = opts.withDefaults()
+	days, hosts := fiveMonthScale(opts)
+	env, err := newEvalEnv(opts, days, hosts, fiveMonthInfections())
+	if err != nil {
+		return nil, err
+	}
+	results, err := env.runDaily(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	type destAgg struct {
+		smallest float64
+		clients  map[string]struct{}
+		rank     float64
+	}
+	agg := make(map[string]*destAgg)
+	for _, c := range collectRanked(results) {
+		a := agg[c.Destination]
+		if a == nil {
+			a = &destAgg{smallest: 1e18, clients: map[string]struct{}{}}
+			agg[c.Destination] = a
+		}
+		a.clients[c.Source] = struct{}{}
+		if a.rank < c.Score {
+			a.rank = c.Score
+		}
+		for _, k := range c.Detection.Kept {
+			if p := k.BestPeriod(); p < a.smallest {
+				a.smallest = p
+			}
+		}
+	}
+	t := &Table{
+		ID:     "Table V",
+		Title:  "Example cases found in the 5-month-scale trace (reported & intel-confirmed)",
+		Header: []string{"domain name", "smallest period", "clients", "family"},
+	}
+	type row struct {
+		dest  string
+		a     *destAgg
+		truth synthetic.Truth
+	}
+	var rows []row
+	for _, dest := range sortedKeys(agg) {
+		tru := env.trace.Truth[dest]
+		if tru.Label != synthetic.LabelMalicious {
+			continue
+		}
+		rows = append(rows, row{dest, agg[dest], tru})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].a.rank > rows[j].a.rank })
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			shorten(r.dest, 28),
+			fmtF(r.a.smallest, 0) + " seconds",
+			fmt.Sprint(len(r.a.clients)),
+			r.truth.Family,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: periods ranged 30-929 s; one destination had 19 clients; 93 distinct clients in the confirmed top 50")
+	return []*Table{t}, nil
+}
+
+// Table6 reproduces the top-5 table of the 10-day trace (Zbot and
+// ZeroAccess infections).
+func Table6(opts Options) ([]*Table, error) {
+	opts = opts.withDefaults()
+	days, hosts := 10, 100
+	if opts.Quick {
+		days, hosts = 3, 50
+	}
+	infections := []synthetic.Infection{
+		{Family: "Zbot", DGA: corpus.DGAUniform, Clients: 1, Period: 180,
+			Noise: synthetic.NoiseConfig{JitterSigma: 2, MissProb: 0.05}},
+		{Family: "Zbot", DGA: corpus.DGAUniform, Clients: 1, Period: 180,
+			Noise: synthetic.NoiseConfig{JitterSigma: 2, MissProb: 0.05}},
+		{Family: "ZeroAccess", DGA: corpus.DGAConsonant, Clients: 3, Period: 63,
+			Noise: synthetic.NoiseConfig{JitterSigma: 1, MissProb: 0.02}},
+		{Family: "ZeroAccess", DGA: corpus.DGAConsonant, Clients: 1, Period: 63,
+			Noise: synthetic.NoiseConfig{JitterSigma: 1, MissProb: 0.02}},
+		{Family: "ZeroAccess", DGA: corpus.DGAConsonant, Clients: 1, Period: 1242,
+			Noise: synthetic.NoiseConfig{JitterSigma: 10, MissProb: 0.05}},
+	}
+	env, err := newEvalEnv(opts, days, hosts, infections)
+	if err != nil {
+		return nil, err
+	}
+	results, err := env.runDaily(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	type destAgg struct {
+		smallest float64
+		clients  map[string]struct{}
+		score    float64
+	}
+	agg := make(map[string]*destAgg)
+	var totalPairs, totalPeriodic, totalReported int
+	for _, res := range results {
+		totalPairs += res.Stats.Pairs
+		totalPeriodic += res.Stats.Periodic
+		totalReported += res.Stats.Reported
+	}
+	for _, c := range collectRanked(results) {
+		a := agg[c.Destination]
+		if a == nil {
+			a = &destAgg{smallest: 1e18, clients: map[string]struct{}{}}
+			agg[c.Destination] = a
+		}
+		a.clients[c.Source] = struct{}{}
+		if c.Score > a.score {
+			a.score = c.Score
+		}
+		for _, k := range c.Detection.Kept {
+			if p := k.BestPeriod(); p < a.smallest {
+				a.smallest = p
+			}
+		}
+	}
+	type row struct {
+		dest string
+		a    *destAgg
+	}
+	var rows []row
+	for _, d := range sortedKeys(agg) {
+		rows = append(rows, row{d, agg[d]})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].a.score > rows[j].a.score })
+	t := &Table{
+		ID:     "Table VI",
+		Title:  "Top 5 cases reported in the 10-day-scale trace",
+		Header: []string{"rank", "domain name", "smallest period", "clients", "intel verdict"},
+	}
+	for i, r := range rows {
+		if i >= 5 {
+			break
+		}
+		verdict := "benign/unknown"
+		if env.oracle.Query(r.dest).Malicious {
+			verdict = "malicious"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(i + 1), shorten(r.dest, 26),
+			fmtF(r.a.smallest, 0) + " seconds",
+			fmt.Sprint(len(r.a.clients)), verdict,
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("pipeline funnel over %d daily runs: %d pair-days -> %d periodic -> %d reported (paper: 828 suspicious pairs, 412 destinations, top 5 all confirmed)",
+			len(results), totalPairs, totalPeriodic, totalReported))
+	return []*Table{t}, nil
+}
+
+// Scalability reproduces the weekday/weekend runtime observation: runtime
+// scales with the number of connection pairs (the paper saw 3.3 M weekend
+// pairs in 14 min vs 26 M weekday pairs in 90 min).
+func Scalability(opts Options) ([]*Table, error) {
+	opts = opts.withDefaults()
+	hosts := 150
+	if opts.Quick {
+		hosts = 60
+	}
+	runDay := func(start int64, label string) ([]string, float64, float64, error) {
+		gen := synthetic.DefaultConfig()
+		gen.Seed = opts.Seed
+		gen.Start = start
+		gen.Days = 1
+		gen.Hosts = hosts
+		gen.Infections = fiveMonthInfections()[:4]
+		tr, err := synthetic.Generate(gen)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		corr, err := proxylog.NewCorrelator(tr.Leases)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		lm, err := langmodel.Train(corpus.PopularDomains(5000, 42))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		cfg := pipeline.Config{Global: whitelist.NewGlobal(tr.Catalog[:100]), LM: lm}
+		begin := time.Now()
+		res, err := pipeline.Run(context.Background(), tr.Records, corr, cfg)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		elapsed := time.Since(begin)
+		row := []string{
+			label, fmt.Sprint(len(tr.Records)), fmt.Sprint(res.Stats.Pairs),
+			elapsed.Round(time.Millisecond).String(),
+		}
+		return row, float64(res.Stats.Pairs), elapsed.Seconds(), nil
+	}
+
+	// 2015-03-02 is a Monday, 2015-03-01 a Sunday.
+	weekdayRow, wdPairs, wdTime, err := runDay(synthetic.Midnight(2015, time.March, 2), "weekday")
+	if err != nil {
+		return nil, err
+	}
+	weekendRow, wePairs, weTime, err := runDay(synthetic.Midnight(2015, time.March, 1), "weekend")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Sect. VIII-B2",
+		Title:  "Scalability: connection pairs vs analysis runtime (single day)",
+		Header: []string{"day type", "events", "connection pairs", "pipeline runtime"},
+		Rows:   [][]string{weekendRow, weekdayRow},
+	}
+	if wePairs > 0 && weTime > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"pair ratio %.1fx, runtime ratio %.1fx (paper: 26 M/3.3 M = 7.9x pairs, 90 min/14 min = 6.4x runtime)",
+			wdPairs/wePairs, wdTime/weTime))
+	}
+	return []*Table{t}, nil
+}
+
+// Headline reproduces the paper's operational headline numbers: the daily
+// volume of reported cases and the precision of the top-ranked ones
+// against threat intelligence.
+func Headline(opts Options) ([]*Table, error) {
+	opts = opts.withDefaults()
+	days, hosts := 7, 120
+	topK := 50
+	if opts.Quick {
+		days, hosts, topK = 3, 60, 20
+	}
+	env, err := newEvalEnv(opts, days, hosts, fiveMonthInfections())
+	if err != nil {
+		return nil, err
+	}
+	// Daily operation: split the trace per day and run the pipeline with a
+	// persistent novelty store, as in deployment.
+	store := novelty.NewStore()
+	cfg := env.cfg
+	cfg.Novelty = store
+	start := env.trace.Records[0].Timestamp
+	dayOf := func(ts int64) int { return int((ts - start) / 86400) }
+	perDay := make(map[int][]*proxylog.Record)
+	for _, r := range env.trace.Records {
+		perDay[dayOf(r.Timestamp)] = append(perDay[dayOf(r.Timestamp)], r)
+	}
+	var reportedTotal int
+	type scored struct {
+		dest  string
+		score float64
+	}
+	var allReported []scored
+	daysRun := 0
+	for d := 0; d < days; d++ {
+		recs := perDay[d]
+		if len(recs) == 0 {
+			continue
+		}
+		daysRun++
+		res, err := pipeline.Run(context.Background(), recs, env.corr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		reportedTotal += res.Stats.Reported
+		for _, c := range res.Reported {
+			allReported = append(allReported, scored{c.Destination, c.Score})
+		}
+	}
+	sort.SliceStable(allReported, func(i, j int) bool { return allReported[i].score > allReported[j].score })
+	seen := map[string]struct{}{}
+	confirmed, inspected := 0, 0
+	for _, s := range allReported {
+		if _, dup := seen[s.dest]; dup {
+			continue
+		}
+		seen[s.dest] = struct{}{}
+		inspected++
+		if env.oracle.Query(s.dest).Malicious {
+			confirmed++
+		}
+		if inspected >= topK {
+			break
+		}
+	}
+	precision := 0.0
+	if inspected > 0 {
+		precision = float64(confirmed) / float64(inspected)
+	}
+	t := &Table{
+		ID:     "Sect. VIII headline",
+		Title:  "Daily operation: reported cases per day and top-ranked precision",
+		Header: []string{"metric", "measured", "paper"},
+		Rows: [][]string{
+			{"avg reported cases/day", fmtF(float64(reportedTotal)/float64(max(1, daysRun)), 1), "~26"},
+			{fmt.Sprintf("top-%d confirmed malicious", inspected), fmt.Sprintf("%d (%.0f%%)", confirmed, precision*100), "48 of 50 (96%)"},
+		},
+	}
+	return []*Table{t}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+// Package features extracts the classifier feature vector of the paper's
+// Table II from a candidate beaconing case: series length, dominant
+// period(s) and their power, similar-source count, and the statistics of
+// the symbolized interval series — n-gram histogram, entropy, and gzip
+// compressibility.
+package features
+
+import (
+	"bytes"
+	"compress/gzip"
+
+	"baywatch/internal/stats"
+	"baywatch/internal/timeseries"
+)
+
+// Names lists the feature vector components in order; Vector returns
+// values in the same order.
+var Names = []string{
+	"series_length",     // # intervals in the series
+	"dominant_period",   // most dominant period (seconds)
+	"second_period",     // second period (0 when single-period)
+	"power",             // spectral power of the dominant period
+	"acf_score",         // ACF strength of the dominant period
+	"similar_sources",   // # sources sharing the destination
+	"ngram_distinct",    // # distinct 3-grams in symbolized series
+	"ngram_top_ratio",   // frequency share of the most common 3-gram
+	"entropy",           // entropy of symbolized series (bits)
+	"compress_ratio",    // gzip ratio of symbolized series
+	"periodic_fraction", // fraction of intervals matching a period ('x')
+	"interval_rel_std",  // std/mean of intervals near dominant period
+}
+
+// Case is the input to feature extraction: one candidate communication
+// pair with its detection outputs.
+type Case struct {
+	// Intervals are the inter-request intervals in seconds.
+	Intervals []float64
+	// DominantPeriods are the detected periods, strongest first.
+	DominantPeriods []float64
+	// Power is the spectral power of the strongest period.
+	Power float64
+	// ACFScore is the autocorrelation strength of the strongest period.
+	ACFScore float64
+	// SimilarSources is the number of distinct sources observed beaconing
+	// to the same destination.
+	SimilarSources int
+}
+
+// Vector computes the Table II feature vector. It never fails: degenerate
+// cases yield zero-valued features.
+func Vector(c Case) []float64 {
+	v := make([]float64, len(Names))
+	v[0] = float64(len(c.Intervals))
+	if len(c.DominantPeriods) > 0 {
+		v[1] = c.DominantPeriods[0]
+	}
+	if len(c.DominantPeriods) > 1 {
+		v[2] = c.DominantPeriods[1]
+	}
+	v[3] = c.Power
+	v[4] = c.ACFScore
+	v[5] = float64(c.SimilarSources)
+
+	sym := timeseries.Symbolize(c.Intervals, c.DominantPeriods, timeseries.SymbolizeOptions{})
+	hist := timeseries.NGramHistogram(sym, 3)
+	v[6] = float64(len(hist))
+	total, top := 0, 0
+	for _, n := range hist {
+		total += n
+		if n > top {
+			top = n
+		}
+	}
+	if total > 0 {
+		v[7] = float64(top) / float64(total)
+	}
+	counts := timeseries.SymbolCounts(sym)
+	v[8] = stats.Entropy(counts[:])
+	v[9] = compressRatio(sym)
+	if len(sym) > 0 {
+		v[10] = float64(counts[0]) / float64(len(sym))
+	}
+	v[11] = RelStdNearPeriod(c.Intervals, c.DominantPeriods)
+	return v
+}
+
+// compressRatio returns len(gzip(s))/len(s) at the highest compression
+// level; highly regular series compress far below 1. Series shorter than
+// the gzip header overhead report 1 (incompressible).
+func compressRatio(s string) float64 {
+	if len(s) == 0 {
+		return 1
+	}
+	var buf bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&buf, gzip.BestCompression)
+	if err != nil {
+		return 1
+	}
+	if _, err := zw.Write([]byte(s)); err != nil {
+		return 1
+	}
+	if err := zw.Close(); err != nil {
+		return 1
+	}
+	ratio := float64(buf.Len()) / float64(len(s))
+	if ratio > 1 {
+		ratio = 1
+	}
+	return ratio
+}
+
+// RelStdNearPeriod measures the relative spread (std/mean) of the
+// intervals within 30% of the dominant period — low spread means strong,
+// clock-like beaconing. The ranking phase uses it as its regularity
+// indicator.
+func RelStdNearPeriod(intervals, periods []float64) float64 {
+	if len(periods) == 0 {
+		return 0
+	}
+	p := periods[0]
+	if p <= 0 {
+		return 0
+	}
+	var near []float64
+	for _, iv := range intervals {
+		if iv >= 0.7*p && iv <= 1.3*p {
+			near = append(near, iv)
+		}
+	}
+	if len(near) < 2 {
+		return 0
+	}
+	m := stats.Mean(near)
+	if m == 0 {
+		return 0
+	}
+	return stats.StdDev(near) / m
+}

@@ -1,0 +1,142 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVectorLengthMatchesNames(t *testing.T) {
+	v := Vector(Case{})
+	if len(v) != len(Names) {
+		t.Fatalf("len(Vector) = %d, len(Names) = %d", len(v), len(Names))
+	}
+}
+
+func TestVectorDegenerateCase(t *testing.T) {
+	v := Vector(Case{})
+	for i, x := range v {
+		if x != 0 && i != 9 { // compress_ratio of empty string is 1
+			t.Errorf("feature %s = %v, want 0 for empty case", Names[i], x)
+		}
+	}
+	if v[9] != 1 {
+		t.Errorf("compress_ratio of empty case = %v, want 1", v[9])
+	}
+}
+
+func cleanBeaconCase(n int, period float64) Case {
+	intervals := make([]float64, n)
+	for i := range intervals {
+		intervals[i] = period
+	}
+	return Case{
+		Intervals:       intervals,
+		DominantPeriods: []float64{period},
+		Power:           100,
+		ACFScore:        0.95,
+		SimilarSources:  3,
+	}
+}
+
+func noisyCase(n int, seed int64) Case {
+	rng := rand.New(rand.NewSource(seed))
+	intervals := make([]float64, n)
+	for i := range intervals {
+		intervals[i] = rng.Float64() * 1000
+	}
+	return Case{Intervals: intervals, DominantPeriods: []float64{60}}
+}
+
+func TestVectorCleanBeacon(t *testing.T) {
+	v := Vector(cleanBeaconCase(200, 60))
+	if v[0] != 200 {
+		t.Errorf("series_length = %v", v[0])
+	}
+	if v[1] != 60 {
+		t.Errorf("dominant_period = %v", v[1])
+	}
+	if v[2] != 0 {
+		t.Errorf("second_period = %v, want 0", v[2])
+	}
+	if v[5] != 3 {
+		t.Errorf("similar_sources = %v", v[5])
+	}
+	// A pure 'x' series: one distinct 3-gram, zero entropy, high
+	// compressibility, periodic fraction 1.
+	if v[6] != 1 {
+		t.Errorf("ngram_distinct = %v, want 1", v[6])
+	}
+	if v[7] != 1 {
+		t.Errorf("ngram_top_ratio = %v, want 1", v[7])
+	}
+	if v[8] != 0 {
+		t.Errorf("entropy = %v, want 0", v[8])
+	}
+	if v[9] > 0.5 {
+		t.Errorf("compress_ratio = %v, want << 1", v[9])
+	}
+	if v[10] != 1 {
+		t.Errorf("periodic_fraction = %v, want 1", v[10])
+	}
+	if v[11] != 0 {
+		t.Errorf("interval_rel_std = %v, want 0 for constant intervals", v[11])
+	}
+}
+
+func TestVectorSeparatesCleanFromNoisy(t *testing.T) {
+	clean := Vector(cleanBeaconCase(300, 60))
+	noisy := Vector(noisyCase(300, 1))
+	if clean[8] >= noisy[8] {
+		t.Errorf("entropy: clean %v should be below noisy %v", clean[8], noisy[8])
+	}
+	if clean[9] >= noisy[9] {
+		t.Errorf("compress_ratio: clean %v should be below noisy %v", clean[9], noisy[9])
+	}
+	if clean[10] <= noisy[10] {
+		t.Errorf("periodic_fraction: clean %v should exceed noisy %v", clean[10], noisy[10])
+	}
+}
+
+func TestVectorMultiPeriod(t *testing.T) {
+	c := cleanBeaconCase(50, 7.5)
+	c.DominantPeriods = []float64{7.5, 10800}
+	v := Vector(c)
+	if v[1] != 7.5 || v[2] != 10800 {
+		t.Errorf("periods = %v, %v", v[1], v[2])
+	}
+}
+
+func TestRelStdNearPeriod(t *testing.T) {
+	// Intervals with spread near the period; far outliers excluded.
+	intervals := []float64{58, 60, 62, 60, 1000, 2}
+	v := RelStdNearPeriod(intervals, []float64{60})
+	if v <= 0 || v > 0.1 {
+		t.Errorf("relStd = %v, want small positive", v)
+	}
+	if got := RelStdNearPeriod(intervals, nil); got != 0 {
+		t.Errorf("no periods should yield 0, got %v", got)
+	}
+	if got := RelStdNearPeriod([]float64{60}, []float64{60}); got != 0 {
+		t.Errorf("single near interval should yield 0, got %v", got)
+	}
+	if got := RelStdNearPeriod(intervals, []float64{-5}); got != 0 {
+		t.Errorf("non-positive period should yield 0, got %v", got)
+	}
+}
+
+func TestCompressRatioBounds(t *testing.T) {
+	if r := compressRatio(""); r != 1 {
+		t.Errorf("empty ratio = %v", r)
+	}
+	// Tiny strings: gzip overhead dominates, ratio clamps to 1.
+	if r := compressRatio("xyz"); r != 1 {
+		t.Errorf("tiny ratio = %v, want clamped 1", r)
+	}
+	long := make([]byte, 10000)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if r := compressRatio(string(long)); r > 0.05 {
+		t.Errorf("repetitive ratio = %v, want tiny", r)
+	}
+}

@@ -1,0 +1,153 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config controls forest training. The zero value is replaced by defaults
+// matching the paper's prototype (200 trees).
+type Config struct {
+	// Trees is the ensemble size.
+	Trees int
+	// MaxDepth bounds individual trees.
+	MaxDepth int
+	// MinSamplesSplit stops splitting small nodes.
+	MinSamplesSplit int
+	// FeaturesPerSplit is the random-subspace size; 0 means sqrt(d).
+	FeaturesPerSplit int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults(d int) Config {
+	if c.Trees <= 0 {
+		c.Trees = 200
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinSamplesSplit <= 0 {
+		c.MinSamplesSplit = 4
+	}
+	if c.FeaturesPerSplit <= 0 {
+		c.FeaturesPerSplit = int(math.Ceil(math.Sqrt(float64(d))))
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Forest is a trained random forest for binary classification. It is
+// immutable after training and safe for concurrent prediction.
+type Forest struct {
+	trees []*node
+	// OOBError is the out-of-bag error estimate (NaN when no sample was
+	// ever out of bag).
+	OOBError float64
+	cfg      Config
+}
+
+// Train fits a forest on feature matrix x (one row per sample) and binary
+// labels y (0 benign, 1 malicious).
+func Train(x [][]float64, y []int, cfg Config) (*Forest, error) {
+	if err := validateTrainingData(x, y); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(len(x[0]))
+	f := &Forest{cfg: cfg, trees: make([]*node, cfg.Trees)}
+
+	n := len(x)
+	tcfg := treeConfig{
+		maxDepth:        cfg.MaxDepth,
+		minSamplesSplit: cfg.MinSamplesSplit,
+		featuresPerNode: cfg.FeaturesPerSplit,
+	}
+	// Out-of-bag vote accumulators.
+	oobVotes := make([]float64, n)
+	oobCounts := make([]int, n)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inBag := make([]bool, n)
+	idx := make([]int, n)
+	for t := 0; t < cfg.Trees; t++ {
+		for i := range inBag {
+			inBag[i] = false
+		}
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			idx[i] = j
+			inBag[j] = true
+		}
+		tree := buildTree(x, y, idx, tcfg, rng, 0)
+		f.trees[t] = tree
+		for i := 0; i < n; i++ {
+			if !inBag[i] {
+				oobVotes[i] += tree.predictProb(x[i])
+				oobCounts[i]++
+			}
+		}
+	}
+
+	wrong, counted := 0, 0
+	for i := 0; i < n; i++ {
+		if oobCounts[i] == 0 {
+			continue
+		}
+		counted++
+		pred := 0
+		if oobVotes[i]/float64(oobCounts[i]) >= 0.5 {
+			pred = 1
+		}
+		if pred != y[i] {
+			wrong++
+		}
+	}
+	if counted > 0 {
+		f.OOBError = float64(wrong) / float64(counted)
+	} else {
+		f.OOBError = math.NaN()
+	}
+	return f, nil
+}
+
+// PredictProb returns the ensemble's probability that x belongs to class 1
+// (malicious): the mean of the trees' leaf probabilities.
+func (f *Forest) PredictProb(x []float64) (float64, error) {
+	if len(f.trees) == 0 {
+		return 0, fmt.Errorf("forest: not trained")
+	}
+	var sum float64
+	for _, t := range f.trees {
+		sum += t.predictProb(x)
+	}
+	return sum / float64(len(f.trees)), nil
+}
+
+// Predict returns the majority-vote class (0 or 1).
+func (f *Forest) Predict(x []float64) (int, error) {
+	p, err := f.PredictProb(x)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Uncertainty maps the predicted probability to [0, 1]: 0 when the forest
+// is unanimous, 1 when it is split evenly. The paper ranks candidate cases
+// by this value to direct manual review at the most ambiguous ones.
+func (f *Forest) Uncertainty(x []float64) (float64, error) {
+	p, err := f.PredictProb(x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - math.Abs(2*p-1), nil
+}
+
+// Trees returns the ensemble size.
+func (f *Forest) Trees() int { return len(f.trees) }

@@ -1,0 +1,287 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoBlobData generates a linearly separable binary data set.
+func twoBlobData(rng *rand.Rand, n int, gap float64) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		label := i % 2
+		cx := 0.0
+		if label == 1 {
+			cx = gap
+		}
+		x[i] = []float64{
+			cx + rng.NormFloat64(),
+			rng.NormFloat64(), // irrelevant feature
+			cx*0.5 + rng.NormFloat64()*2,
+		}
+		y[i] = label
+	}
+	return x, y
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Error("expected error for empty training set")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0, 1}, Config{}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+	if _, err := Train([][]float64{{1}, {2, 3}}, []int{0, 1}, Config{}); err == nil {
+		t.Error("expected error for ragged features")
+	}
+	if _, err := Train([][]float64{{1}}, []int{2}, Config{}); err == nil {
+		t.Error("expected error for non-binary label")
+	}
+	if _, err := Train([][]float64{{}}, []int{0}, Config{}); err == nil {
+		t.Error("expected error for zero-dimensional features")
+	}
+}
+
+func TestTrainAndPredictSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := twoBlobData(rng, 400, 8)
+	f, err := Train(x, y, Config{Trees: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for i := range x {
+		pred, err := f.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred != y[i] {
+			wrong++
+		}
+	}
+	if rate := float64(wrong) / float64(len(x)); rate > 0.02 {
+		t.Errorf("training error %v on separable data, want ~0", rate)
+	}
+	if f.OOBError > 0.05 {
+		t.Errorf("OOB error %v, want small", f.OOBError)
+	}
+	// Generalization on fresh points.
+	testWrong := 0
+	xt, yt := twoBlobData(rand.New(rand.NewSource(99)), 200, 8)
+	for i := range xt {
+		pred, _ := f.Predict(xt[i])
+		if pred != yt[i] {
+			testWrong++
+		}
+	}
+	if rate := float64(testWrong) / float64(len(xt)); rate > 0.05 {
+		t.Errorf("test error %v, want < 5%%", rate)
+	}
+}
+
+func TestPredictProbBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := twoBlobData(rng, 100, 2) // overlapping blobs
+	f, err := Train(x, y, Config{Trees: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		p, err := f.PredictProb(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("prob = %v", p)
+		}
+		u, err := f.Uncertainty(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u < 0 || u > 1 {
+			t.Fatalf("uncertainty = %v", u)
+		}
+		if math.Abs((1-math.Abs(2*p-1))-u) > 1e-12 {
+			t.Fatalf("uncertainty inconsistent with prob")
+		}
+	}
+}
+
+func TestUncertaintyHighNearBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := twoBlobData(rng, 600, 6)
+	f, err := Train(x, y, Config{Trees: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point deep in class 0 vs a point on the decision boundary.
+	deep := []float64{-3, 0, -2}
+	boundary := []float64{3, 0, 1.5}
+	ud, _ := f.Uncertainty(deep)
+	ub, _ := f.Uncertainty(boundary)
+	if ud >= ub {
+		t.Errorf("uncertainty deep (%v) should be below boundary (%v)", ud, ub)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := twoBlobData(rng, 200, 4)
+	f1, err := Train(x, y, Config{Trees: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Train(x, y, Config{Trees: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		p1, _ := f1.PredictProb(x[i])
+		p2, _ := f2.PredictProb(x[i])
+		if p1 != p2 {
+			t.Fatalf("sample %d: probs differ %v vs %v", i, p1, p2)
+		}
+	}
+	if f1.OOBError != f2.OOBError {
+		t.Error("OOB errors differ across identical trainings")
+	}
+}
+
+func TestTrainSingleClass(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := []int{1, 1, 1}
+	f, err := Train(x, y, Config{Trees: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := f.Predict([]float64{100, -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 1 {
+		t.Errorf("single-class forest predicted %d, want 1", pred)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults(16)
+	if cfg.Trees != 200 {
+		t.Errorf("Trees = %d, want 200 (paper's prototype)", cfg.Trees)
+	}
+	if cfg.FeaturesPerSplit != 4 {
+		t.Errorf("FeaturesPerSplit = %d, want sqrt(16) = 4", cfg.FeaturesPerSplit)
+	}
+	if cfg.MaxDepth <= 0 || cfg.MinSamplesSplit <= 0 || cfg.Seed == 0 {
+		t.Errorf("defaults missing: %+v", cfg)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := twoBlobData(rng, 300, 1) // hard data forces deep trees
+	f, err := Train(x, y, Config{Trees: 10, MaxDepth: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tree := range f.trees {
+		if d := depthOf(tree); d > 3 {
+			t.Errorf("tree %d depth %d exceeds max 3", i, d)
+		}
+	}
+}
+
+func TestPredictUntrained(t *testing.T) {
+	var f Forest
+	if _, err := f.PredictProb([]float64{1}); err == nil {
+		t.Error("expected error predicting with empty forest")
+	}
+}
+
+func TestForestBeatsSingleTreeOnNoisyData(t *testing.T) {
+	// The ensemble should generalize at least as well as a single deep
+	// tree on noisy data — the motivation for using a forest (Sect. VI-B).
+	rng := rand.New(rand.NewSource(8))
+	mk := func(n int, r *rand.Rand) ([][]float64, []int) {
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			label := i % 2
+			c := float64(label) * 2.5
+			x[i] = []float64{
+				c + r.NormFloat64()*1.5,
+				r.NormFloat64(),
+				c + r.NormFloat64()*3,
+				r.NormFloat64() * 5,
+			}
+			y[i] = label
+		}
+		return x, y
+	}
+	xTrain, yTrain := mk(300, rng)
+	xTest, yTest := mk(1000, rand.New(rand.NewSource(77)))
+
+	errorRate := func(f *Forest) float64 {
+		wrong := 0
+		for i := range xTest {
+			p, _ := f.Predict(xTest[i])
+			if p != yTest[i] {
+				wrong++
+			}
+		}
+		return float64(wrong) / float64(len(xTest))
+	}
+	single, err := Train(xTrain, yTrain, Config{Trees: 1, Seed: 3, FeaturesPerSplit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ensemble, err := Train(xTrain, yTrain, Config{Trees: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, ee := errorRate(single), errorRate(ensemble)
+	if ee > se+0.02 {
+		t.Errorf("ensemble error %v materially worse than single tree %v", ee, se)
+	}
+}
+
+func TestTrees(t *testing.T) {
+	x := [][]float64{{0}, {1}}
+	y := []int{0, 1}
+	f, err := Train(x, y, Config{Trees: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Trees() != 17 {
+		t.Errorf("Trees() = %d, want 17", f.Trees())
+	}
+}
+
+func BenchmarkTrain200Trees(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := twoBlobData(rng, 500, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(x, y, Config{Trees: 200, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	x, y := twoBlobData(rng, 500, 4)
+	f, err := Train(x, y, Config{Trees: 200, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Predict(x[i%len(x)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

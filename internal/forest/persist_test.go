@@ -1,0 +1,99 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestForestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := twoBlobData(rng, 300, 5)
+	f, err := Train(x, y, Config{Trees: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "models", "rf.gob.gz")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Trees() != f.Trees() {
+		t.Fatalf("Trees = %d, want %d", loaded.Trees(), f.Trees())
+	}
+	if loaded.OOBError != f.OOBError && !(math.IsNaN(loaded.OOBError) && math.IsNaN(f.OOBError)) {
+		t.Errorf("OOBError = %v, want %v", loaded.OOBError, f.OOBError)
+	}
+	for i := range x {
+		p1, err1 := f.PredictProb(x[i])
+		p2, err2 := loaded.PredictProb(x[i])
+		if err1 != nil || err2 != nil || p1 != p2 {
+			t.Fatalf("sample %d: prob %v vs %v (%v, %v)", i, p1, p2, err1, err2)
+		}
+	}
+}
+
+func TestForestSaveUntrained(t *testing.T) {
+	var f Forest
+	if err := f.Save(filepath.Join(t.TempDir(), "x.gob.gz")); err == nil {
+		t.Error("expected error saving untrained forest")
+	}
+}
+
+func TestForestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("expected error for garbage file")
+	}
+}
+
+func TestFlattenUnflattenDeepTree(t *testing.T) {
+	// A pathological chain tree exercises the index linking.
+	rng := rand.New(rand.NewSource(2))
+	x := make([][]float64, 200)
+	y := make([]int, 200)
+	for i := range x {
+		x[i] = []float64{float64(i) + rng.Float64()*0.1}
+		y[i] = i % 2
+	}
+	f, err := Train(x, y, Config{Trees: 3, MaxDepth: 30, MinSamplesSplit: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tree := range f.trees {
+		rebuilt, err := unflatten(flatten(tree))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if rebuilt.predictProb(x[i]) != tree.predictProb(x[i]) {
+				t.Fatal("rebuilt tree predicts differently")
+			}
+		}
+	}
+}
+
+func TestUnflattenRejectsCorrupt(t *testing.T) {
+	cases := [][]flatNode{
+		{},
+		{{FeatureIdx: 0, Left: 5, Right: 6}}, // out of range
+		{{FeatureIdx: 0, Left: 0, Right: 0}}, // self-loop
+		{{FeatureIdx: 0, Left: -1, Right: 1}, {FeatureIdx: -1}}, // bad left
+	}
+	for i, nodes := range cases {
+		if _, err := unflatten(nodes); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package forest implements the random-forest classifier of the paper's
+// investigation phase (Sect. VI-B): an ensemble of CART decision trees
+// trained on bootstrap samples with random feature subsets at each split,
+// classifying candidate beaconing cases as benign or malicious by majority
+// vote. The vote fraction doubles as a confidence, whose complement is the
+// uncertainty used to prioritize manual review (Fig. 11).
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// node is one CART tree node. Leaves have featureIdx == -1.
+type node struct {
+	featureIdx int
+	threshold  float64
+	left       *node
+	right      *node
+	// prediction is the majority class at a leaf; prob is the fraction of
+	// training samples at the leaf with class 1.
+	prediction int
+	prob       float64
+}
+
+// treeConfig bounds tree growth.
+type treeConfig struct {
+	maxDepth        int
+	minSamplesSplit int
+	featuresPerNode int
+}
+
+// buildTree grows a CART tree on the sample set (by index into x/y).
+func buildTree(x [][]float64, y []int, idx []int, cfg treeConfig, rng *rand.Rand, depth int) *node {
+	n := len(idx)
+	ones := 0
+	for _, i := range idx {
+		ones += y[i]
+	}
+	leaf := func() *node {
+		pred := 0
+		if 2*ones >= n {
+			pred = 1
+		}
+		return &node{featureIdx: -1, prediction: pred, prob: float64(ones) / float64(n)}
+	}
+	if n < cfg.minSamplesSplit || depth >= cfg.maxDepth || ones == 0 || ones == n {
+		return leaf()
+	}
+
+	bestFeature, bestThreshold, bestGain := -1, 0.0, 0.0
+	parentImpurity := gini(ones, n)
+
+	nFeatures := len(x[0])
+	perm := rng.Perm(nFeatures)
+	tried := cfg.featuresPerNode
+	if tried > nFeatures {
+		tried = nFeatures
+	}
+	values := make([]float64, 0, n)
+	for _, f := range perm[:tried] {
+		values = values[:0]
+		for _, i := range idx {
+			values = append(values, x[i][f])
+		}
+		sort.Float64s(values)
+		// Candidate thresholds are midpoints between distinct consecutive
+		// values.
+		for v := 1; v < len(values); v++ {
+			if values[v] == values[v-1] {
+				continue
+			}
+			thr := (values[v] + values[v-1]) / 2
+			lo, lo1, hi, hi1 := 0, 0, 0, 0
+			for _, i := range idx {
+				if x[i][f] <= thr {
+					lo++
+					lo1 += y[i]
+				} else {
+					hi++
+					hi1 += y[i]
+				}
+			}
+			if lo == 0 || hi == 0 {
+				continue
+			}
+			w := float64(lo)/float64(n)*gini(lo1, lo) + float64(hi)/float64(n)*gini(hi1, hi)
+			if gain := parentImpurity - w; gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = thr
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return leaf()
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][bestFeature] <= bestThreshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	return &node{
+		featureIdx: bestFeature,
+		threshold:  bestThreshold,
+		left:       buildTree(x, y, leftIdx, cfg, rng, depth+1),
+		right:      buildTree(x, y, rightIdx, cfg, rng, depth+1),
+	}
+}
+
+// gini returns the binary Gini impurity of a node with ones positives out
+// of n samples.
+func gini(ones, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(ones) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// predictProb walks the tree and returns the leaf's class-1 fraction.
+func (t *node) predictProb(x []float64) float64 {
+	for t.featureIdx >= 0 {
+		if x[t.featureIdx] <= t.threshold {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.prob
+}
+
+// depthOf reports the maximum depth of the tree (for tests).
+func depthOf(t *node) int {
+	if t == nil || t.featureIdx < 0 {
+		return 0
+	}
+	l, r := depthOf(t.left), depthOf(t.right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}
+
+// validateTrainingData checks shape invariants shared by tree and forest
+// training.
+func validateTrainingData(x [][]float64, y []int) error {
+	if len(x) == 0 {
+		return fmt.Errorf("forest: empty training set")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("forest: %d samples but %d labels", len(x), len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return fmt.Errorf("forest: zero-dimensional features")
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return fmt.Errorf("forest: sample %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	for i, label := range y {
+		if label != 0 && label != 1 {
+			return fmt.Errorf("forest: label %d of sample %d not in {0, 1}", label, i)
+		}
+	}
+	return nil
+}

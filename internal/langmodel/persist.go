@@ -1,0 +1,113 @@
+package langmodel
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// modelSnapshot is the JSON persistence format. Count maps serialize
+// directly; the format is versioned so future smoothing changes can evolve
+// it.
+type modelSnapshot struct {
+	Version          int            `json:"version"`
+	Trigram          map[string]int `json:"trigram"`
+	Bigram           map[string]int `json:"bigram"`
+	TriContinuations map[string]int `json:"triContinuations"`
+	TriContexts      map[string]int `json:"triContexts"`
+	BiContinuations  map[string]int `json:"biContinuations"`
+	BiContexts       map[string]int `json:"biContexts"`
+	MidContinuations map[string]int `json:"midContinuations"`
+	TotalBigramTypes int            `json:"totalBigramTypes"`
+}
+
+const snapshotVersion = 1
+
+// Save writes the trained model to path as gzip-compressed JSON,
+// atomically (temp file + rename). Deployments train once on the popular-
+// domain corpus and reload for each daily run.
+func (m *Model) Save(path string) error {
+	if !m.trained {
+		return fmt.Errorf("langmodel: cannot save untrained model")
+	}
+	snap := modelSnapshot{
+		Version:          snapshotVersion,
+		Trigram:          m.trigram,
+		Bigram:           m.bigram,
+		TriContinuations: m.triContinuations,
+		TriContexts:      m.triContexts,
+		BiContinuations:  m.biContinuations,
+		BiContexts:       m.biContexts,
+		MidContinuations: m.midContinuations,
+		TotalBigramTypes: m.totalBigramTypes,
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("langmodel: mkdir: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("langmodel: create: %w", err)
+	}
+	gz := gzip.NewWriter(f)
+	if err := json.NewEncoder(gz).Encode(snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("langmodel: encode: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("langmodel: gzip: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("langmodel: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("langmodel: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("langmodel: open: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("langmodel: gzip: %w", err)
+	}
+	defer gz.Close()
+	var snap modelSnapshot
+	if err := json.NewDecoder(gz).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("langmodel: decode: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("langmodel: unsupported snapshot version %d", snap.Version)
+	}
+	m := &Model{
+		trigram:          orEmpty(snap.Trigram),
+		bigram:           orEmpty(snap.Bigram),
+		triContinuations: orEmpty(snap.TriContinuations),
+		triContexts:      orEmpty(snap.TriContexts),
+		biContinuations:  orEmpty(snap.BiContinuations),
+		biContexts:       orEmpty(snap.BiContexts),
+		midContinuations: orEmpty(snap.MidContinuations),
+		totalBigramTypes: snap.TotalBigramTypes,
+		trained:          true,
+	}
+	return m, nil
+}
+
+func orEmpty(m map[string]int) map[string]int {
+	if m == nil {
+		return make(map[string]int)
+	}
+	return m
+}

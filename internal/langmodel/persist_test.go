@@ -1,0 +1,64 @@
+package langmodel
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"baywatch/internal/corpus"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, err := Train(corpus.PopularDomains(2000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "models", "lm.json.gz")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"google.com", "skmnikrzhrrzcjcxwfprgt.com", "newsworld.net", "a.b"} {
+		if got, want := loaded.Score(d), m.Score(d); got != want {
+			t.Errorf("Score(%q): loaded %v != original %v", d, got, want)
+		}
+	}
+}
+
+func TestSaveUntrained(t *testing.T) {
+	var m Model
+	if err := m.Save(filepath.Join(t.TempDir(), "x.gz")); err == nil {
+		t.Error("expected error saving untrained model")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.gz")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.gz")
+	if err := os.WriteFile(bad, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("expected error for non-gzip file")
+	}
+}
+
+func TestSaveAtomic(t *testing.T) {
+	m, err := Train(corpus.PopularDomains(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lm.gz")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+}

@@ -1,0 +1,353 @@
+// Package mapreduce implements the in-process parallel MapReduce engine
+// BAYWATCH's pipeline phases run on. It reproduces the programming model of
+// the paper's Hadoop implementation — modular jobs, hash partitioning to
+// control reducer fan-out, combiners, counters, and job chaining — with
+// goroutine worker pools standing in for cluster nodes.
+//
+// The engine is generic over input, intermediate and output types:
+//
+//	job := mapreduce.NewJob[Line, string, int, Pair](
+//	        mapreduce.JobConfig{Mappers: 8, Partitions: 32},
+//	        mapFn, reduceFn)
+//	out, err := job.Run(ctx, inputs)
+//
+// Map tasks consume the input in parallel and emit key/value pairs; pairs
+// are hash-partitioned, grouped per key, and handed to parallel reduce
+// tasks. Like Hadoop, a reduce call sees every value of one key.
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Emitter receives key/value pairs from a map task.
+type Emitter[K comparable, V any] func(key K, value V)
+
+// MapFunc transforms one input record into zero or more key/value pairs.
+type MapFunc[I any, K comparable, V any] func(input I, emit Emitter[K, V]) error
+
+// ReduceFunc folds all values of one key into zero or more outputs.
+type ReduceFunc[K comparable, V any, O any] func(key K, values []V, emit func(O)) error
+
+// CombineFunc locally pre-aggregates the values of one key on the map side
+// before the shuffle, cutting shuffle volume (Hadoop's combiner).
+type CombineFunc[K comparable, V any] func(key K, values []V) []V
+
+// JobConfig controls parallelism and partitioning.
+type JobConfig struct {
+	// Name appears in error messages and counters.
+	Name string
+	// Mappers is the number of parallel map workers; defaults to
+	// GOMAXPROCS.
+	Mappers int
+	// Reducers is the number of parallel reduce workers; defaults to
+	// GOMAXPROCS.
+	Reducers int
+	// PartitionBits controls the number of shuffle partitions
+	// (2^PartitionBits), mirroring the paper's hash function H: "a 5-bit
+	// hash results in 32 REDUCE tasks". Defaults to 5.
+	PartitionBits int
+	// KeyHash overrides the partition hash. The default hashes the key's
+	// string form with FNV-1a.
+	KeyHash func(any) uint64
+	// SpillDir enables map-side disk spilling: when set, each map worker
+	// flushes its buffered groups to gob files under a temporary directory
+	// inside SpillDir whenever the buffer exceeds SpillThreshold pairs.
+	// Keys and values must be gob-encodable. Empty means fully in-memory.
+	SpillDir string
+	// SpillThreshold is the per-worker buffered pair count that triggers a
+	// flush. Defaults to 1<<20.
+	SpillThreshold int
+}
+
+func (c JobConfig) withDefaults() JobConfig {
+	if c.Mappers <= 0 {
+		c.Mappers = runtime.GOMAXPROCS(0)
+	}
+	if c.Reducers <= 0 {
+		c.Reducers = runtime.GOMAXPROCS(0)
+	}
+	if c.PartitionBits <= 0 {
+		c.PartitionBits = 5
+	}
+	if c.PartitionBits > 16 {
+		c.PartitionBits = 16
+	}
+	if c.KeyHash == nil {
+		c.KeyHash = defaultKeyHash
+	}
+	if c.SpillThreshold <= 0 {
+		c.SpillThreshold = 1 << 20
+	}
+	return c
+}
+
+func defaultKeyHash(key any) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v", key)
+	return h.Sum64()
+}
+
+// Job is a configured MapReduce job. Create it with NewJob and execute it
+// with Run; a Job is immutable and can be Run repeatedly.
+type Job[I any, K comparable, V any, O any] struct {
+	cfg     JobConfig
+	mapFn   MapFunc[I, K, V]
+	reduce  ReduceFunc[K, V, O]
+	combine CombineFunc[K, V]
+}
+
+// NewJob builds a job from a map and a reduce function.
+func NewJob[I any, K comparable, V any, O any](
+	cfg JobConfig,
+	mapFn MapFunc[I, K, V],
+	reduceFn ReduceFunc[K, V, O],
+) *Job[I, K, V, O] {
+	return &Job[I, K, V, O]{cfg: cfg.withDefaults(), mapFn: mapFn, reduce: reduceFn}
+}
+
+// WithCombiner returns a copy of the job that applies combine on the map
+// side before the shuffle.
+func (j *Job[I, K, V, O]) WithCombiner(combine CombineFunc[K, V]) *Job[I, K, V, O] {
+	cp := *j
+	cp.combine = combine
+	return &cp
+}
+
+// Counters reports the volume statistics of one run.
+type Counters struct {
+	// InputRecords is the number of inputs consumed by map tasks.
+	InputRecords int64
+	// MapOutputPairs is the number of key/value pairs emitted by map tasks
+	// (before combining).
+	MapOutputPairs int64
+	// ShufflePairs is the number of pairs crossing the shuffle (after
+	// combining).
+	ShufflePairs int64
+	// DistinctKeys is the number of distinct keys reduced.
+	DistinctKeys int64
+	// OutputRecords is the number of outputs emitted by reduce tasks.
+	OutputRecords int64
+}
+
+// Result bundles a run's outputs and counters.
+type Result[O any] struct {
+	Outputs  []O
+	Counters Counters
+}
+
+// Run executes the job over the inputs. Outputs are returned in an
+// unspecified but deterministic order (sorted by partition, then by key
+// hash, then by key order of first emission). Run aborts early when ctx is
+// cancelled or any task returns an error.
+func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], error) {
+	nParts := 1 << j.cfg.PartitionBits
+
+	// Optional disk spill: one temp dir per run, removed on return.
+	var spillRoot string
+	if j.cfg.SpillDir != "" {
+		dir, err := os.MkdirTemp(j.cfg.SpillDir, "mrspill-")
+		if err != nil {
+			return nil, fmt.Errorf("%s: spill dir: %w", j.name(), err)
+		}
+		spillRoot = dir
+		defer os.RemoveAll(spillRoot)
+	}
+
+	// ---- map phase -------------------------------------------------------
+	type mapShard struct {
+		// groups accumulates values per key per partition.
+		groups []map[K][]V
+		// order remembers first-emission order per partition for
+		// deterministic output.
+		order  []([]K)
+		pairs  int64
+		inputs int64
+		// buffered counts pairs held in memory since the last flush.
+		buffered int64
+		spill    *spillWriter[K, V]
+	}
+	shards := make([]*mapShard, j.cfg.Mappers)
+	for w := range shards {
+		s := &mapShard{groups: make([]map[K][]V, nParts), order: make([][]K, nParts)}
+		for p := range s.groups {
+			s.groups[p] = make(map[K][]V)
+		}
+		if spillRoot != "" {
+			s.spill = newSpillWriter[K, V](spillRoot, w, nParts)
+		}
+		shards[w] = s
+	}
+
+	mapCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, j.cfg.Mappers+j.cfg.Reducers)
+	for w := 0; w < j.cfg.Mappers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := shards[w]
+			emit := func(key K, value V) {
+				p := int(j.cfg.KeyHash(key) % uint64(nParts))
+				g := shard.groups[p]
+				if _, seen := g[key]; !seen {
+					shard.order[p] = append(shard.order[p], key)
+				}
+				g[key] = append(g[key], value)
+				shard.pairs++
+				shard.buffered++
+			}
+			applyCombiner := func() {
+				if j.combine == nil {
+					return
+				}
+				for p := range shard.groups {
+					for k, vs := range shard.groups[p] {
+						shard.groups[p][k] = j.combine(k, vs)
+					}
+				}
+			}
+			// Strided assignment keeps the work distribution deterministic.
+			for i := w; i < len(inputs); i += j.cfg.Mappers {
+				if mapCtx.Err() != nil {
+					return
+				}
+				shard.inputs++
+				if err := j.mapFn(inputs[i], emit); err != nil {
+					errc <- fmt.Errorf("%s: map input %d: %w", j.name(), i, err)
+					cancel()
+					return
+				}
+				if shard.spill != nil && shard.buffered >= int64(j.cfg.SpillThreshold) {
+					applyCombiner()
+					if err := shard.spill.flush(shard.groups, shard.order); err != nil {
+						errc <- fmt.Errorf("%s: %w", j.name(), err)
+						cancel()
+						return
+					}
+					shard.buffered = 0
+				}
+			}
+			applyCombiner()
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var counters Counters
+	for _, s := range shards {
+		counters.InputRecords += s.inputs
+		counters.MapOutputPairs += s.pairs
+	}
+
+	// ---- shuffle: merge map shards per partition --------------------------
+	// Spill files replay first (in flush order), then each shard's
+	// in-memory remainder, keeping key order deterministic.
+	partGroups := make([]map[K][]V, nParts)
+	partOrder := make([][]K, nParts)
+	for p := 0; p < nParts; p++ {
+		partGroups[p] = make(map[K][]V)
+		for _, s := range shards {
+			if s.spill != nil {
+				for _, path := range s.spill.files[p] {
+					if err := replaySpill(path, partGroups[p], &partOrder[p]); err != nil {
+						return nil, fmt.Errorf("%s: %w", j.name(), err)
+					}
+				}
+			}
+			for _, k := range s.order[p] {
+				if _, seen := partGroups[p][k]; !seen {
+					partOrder[p] = append(partOrder[p], k)
+				}
+				partGroups[p][k] = append(partGroups[p][k], s.groups[p][k]...)
+			}
+		}
+		for _, vs := range partGroups[p] {
+			counters.ShufflePairs += int64(len(vs))
+		}
+		counters.DistinctKeys += int64(len(partGroups[p]))
+	}
+
+	// ---- reduce phase ------------------------------------------------------
+	partOutputs := make([][]O, nParts)
+	partCh := make(chan int)
+	redCtx, redCancel := context.WithCancel(ctx)
+	defer redCancel()
+
+	var rwg sync.WaitGroup
+	for w := 0; w < j.cfg.Reducers; w++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for p := range partCh {
+				var outs []O
+				emit := func(o O) { outs = append(outs, o) }
+				for _, k := range partOrder[p] {
+					if redCtx.Err() != nil {
+						return
+					}
+					if err := j.reduce(k, partGroups[p][k], emit); err != nil {
+						errc <- fmt.Errorf("%s: reduce key %v: %w", j.name(), k, err)
+						redCancel()
+						return
+					}
+				}
+				partOutputs[p] = outs
+			}
+		}()
+	}
+	for p := 0; p < nParts; p++ {
+		if redCtx.Err() != nil {
+			break
+		}
+		select {
+		case partCh <- p:
+		case <-redCtx.Done():
+		}
+	}
+	close(partCh)
+	rwg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &Result[O]{Counters: counters}
+	for p := 0; p < nParts; p++ {
+		res.Outputs = append(res.Outputs, partOutputs[p]...)
+	}
+	res.Counters.OutputRecords = int64(len(res.Outputs))
+	return res, nil
+}
+
+func (j *Job[I, K, V, O]) name() string {
+	if j.cfg.Name != "" {
+		return j.cfg.Name
+	}
+	return "mapreduce"
+}
+
+// SortOutputs orders outputs with the provided less function; a
+// convenience for deterministic downstream processing and golden tests.
+func SortOutputs[O any](outs []O, less func(a, b O) bool) {
+	sort.SliceStable(outs, func(i, k int) bool { return less(outs[i], outs[k]) })
+}

@@ -1,0 +1,101 @@
+package mapreduce
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Spill support: when a job's intermediate state would exceed memory, map
+// workers serialize their per-partition groups to temporary gob files and
+// reset; the shuffle replays the spill files before the in-memory
+// remainder. This mirrors Hadoop's map-side spill and keeps month-scale
+// analyses within a bounded footprint.
+//
+// Spilling is enabled through JobConfig.SpillDir and tuned with
+// JobConfig.SpillThreshold (map-output pairs buffered per worker before a
+// flush). Keys and values must be gob-encodable when spilling is on.
+
+// spillEntry is the on-disk unit: one key's buffered values, in
+// first-emission order.
+type spillEntry[K comparable, V any] struct {
+	Key    K
+	Values []V
+}
+
+// spillWriter flushes a map shard's partitions to disk.
+type spillWriter[K comparable, V any] struct {
+	dir    string
+	worker int
+	seq    int
+	// files[p] lists partition p's spill files in flush order.
+	files [][]string
+}
+
+func newSpillWriter[K comparable, V any](dir string, worker, partitions int) *spillWriter[K, V] {
+	return &spillWriter[K, V]{dir: dir, worker: worker, files: make([][]string, partitions)}
+}
+
+// flush writes every non-empty partition of the shard to its own spill
+// file and clears the in-memory groups.
+func (w *spillWriter[K, V]) flush(groups []map[K][]V, order [][]K) error {
+	for p := range groups {
+		if len(groups[p]) == 0 {
+			continue
+		}
+		path := filepath.Join(w.dir, fmt.Sprintf("spill-w%d-p%d-s%d.gob", w.worker, p, w.seq))
+		if err := writeSpillFile(path, groups[p], order[p]); err != nil {
+			return err
+		}
+		w.files[p] = append(w.files[p], path)
+		groups[p] = make(map[K][]V)
+		order[p] = order[p][:0]
+	}
+	w.seq++
+	return nil
+}
+
+func writeSpillFile[K comparable, V any](path string, group map[K][]V, order []K) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mapreduce: create spill: %w", err)
+	}
+	enc := gob.NewEncoder(f)
+	for _, k := range order {
+		if err := enc.Encode(spillEntry[K, V]{Key: k, Values: group[k]}); err != nil {
+			f.Close()
+			return fmt.Errorf("mapreduce: encode spill: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("mapreduce: close spill: %w", err)
+	}
+	return nil
+}
+
+// replaySpill merges one spill file into the partition's groups,
+// preserving first-emission key order.
+func replaySpill[K comparable, V any](path string, group map[K][]V, order *[]K) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("mapreduce: open spill: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	for {
+		var e spillEntry[K, V]
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("mapreduce: decode spill: %w", err)
+		}
+		if _, seen := group[e.Key]; !seen {
+			*order = append(*order, e.Key)
+		}
+		group[e.Key] = append(group[e.Key], e.Values...)
+	}
+}

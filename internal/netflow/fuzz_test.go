@@ -1,0 +1,27 @@
+package netflow
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseRecord checks the flow parser never panics and is stable under
+// format/parse.
+func FuzzParseRecord(f *testing.F) {
+	f.Add("100,101,10.0.0.1,40000,1.2.3.4,443,6,1234,7")
+	f.Add("")
+	f.Add(",,,,,,,,")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseRecord(rec.Format())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !reflect.DeepEqual(rec, again) {
+			t.Fatal("format/parse not stable")
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package netflow models the NetFlow data source of the paper's
+// discussion section: connection-level flow records exported at the
+// perimeter. Flows expose beaconing timing just like proxy logs, but carry
+// no domain names or content — so the language-model and URL-token filters
+// do not apply, and destinations are identified by IP:port (the paper:
+// "Netflow only provides connection level information, i.e., no domain
+// names or additional content information").
+package netflow
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"baywatch/internal/pipeline"
+	"baywatch/internal/proxylog"
+)
+
+// Record is one unidirectional flow record (v5-style fields).
+type Record struct {
+	// Start and End are the flow's first/last packet times (Unix seconds).
+	Start, End int64
+	// SrcIP and DstIP are the flow endpoints.
+	SrcIP, DstIP string
+	// SrcPort and DstPort are the transport ports.
+	SrcPort, DstPort int
+	// Proto is the IP protocol number (6 TCP, 17 UDP).
+	Proto int
+	// Bytes and Packets are the flow volumes.
+	Bytes, Packets int64
+}
+
+// ErrBadRecord is returned for malformed lines.
+var ErrBadRecord = errors.New("netflow: malformed record")
+
+// Format renders the record as a CSV line:
+// start,end,srcip,srcport,dstip,dstport,proto,bytes,packets.
+func (r *Record) Format() string {
+	fields := []string{
+		strconv.FormatInt(r.Start, 10),
+		strconv.FormatInt(r.End, 10),
+		r.SrcIP,
+		strconv.Itoa(r.SrcPort),
+		r.DstIP,
+		strconv.Itoa(r.DstPort),
+		strconv.Itoa(r.Proto),
+		strconv.FormatInt(r.Bytes, 10),
+		strconv.FormatInt(r.Packets, 10),
+	}
+	return strings.Join(fields, ",")
+}
+
+// ParseRecord parses a line produced by Format.
+func ParseRecord(line string) (*Record, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 9 {
+		return nil, fmt.Errorf("%w: %d fields", ErrBadRecord, len(fields))
+	}
+	var r Record
+	var err error
+	if r.Start, err = strconv.ParseInt(fields[0], 10, 64); err != nil {
+		return nil, fmt.Errorf("%w: start: %v", ErrBadRecord, err)
+	}
+	if r.End, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return nil, fmt.Errorf("%w: end: %v", ErrBadRecord, err)
+	}
+	r.SrcIP = fields[2]
+	if r.SrcPort, err = strconv.Atoi(fields[3]); err != nil {
+		return nil, fmt.Errorf("%w: src port: %v", ErrBadRecord, err)
+	}
+	r.DstIP = fields[4]
+	if r.DstPort, err = strconv.Atoi(fields[5]); err != nil {
+		return nil, fmt.Errorf("%w: dst port: %v", ErrBadRecord, err)
+	}
+	if r.Proto, err = strconv.Atoi(fields[6]); err != nil {
+		return nil, fmt.Errorf("%w: proto: %v", ErrBadRecord, err)
+	}
+	if r.Bytes, err = strconv.ParseInt(fields[7], 10, 64); err != nil {
+		return nil, fmt.Errorf("%w: bytes: %v", ErrBadRecord, err)
+	}
+	if r.Packets, err = strconv.ParseInt(fields[8], 10, 64); err != nil {
+		return nil, fmt.Errorf("%w: packets: %v", ErrBadRecord, err)
+	}
+	return &r, nil
+}
+
+// FromProxyTrace derives the flow records a perimeter exporter would have
+// produced for the given web traffic. Destination IPs are synthesized
+// deterministically from the domain (a stable per-domain fake address),
+// reproducing the information loss the paper describes: many domains share
+// infrastructure and the flow view cannot tell them apart.
+func FromProxyTrace(records []*proxylog.Record) []*Record {
+	out := make([]*Record, len(records))
+	for i, r := range records {
+		port := 80
+		if r.Scheme == "https" {
+			port = 443
+		}
+		out[i] = &Record{
+			Start:   r.Timestamp,
+			End:     r.Timestamp + 1,
+			SrcIP:   r.ClientIP,
+			SrcPort: 32768 + i%28000,
+			DstIP:   fakeIPFor(r.Host),
+			DstPort: port,
+			Proto:   6,
+			Bytes:   int64(r.BytesIn + r.BytesOut),
+			Packets: int64(4 + (r.BytesIn+r.BytesOut)/1400),
+		}
+	}
+	return out
+}
+
+// fakeIPFor maps a domain to a stable public-looking IPv4 address.
+func fakeIPFor(domain string) string {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(strings.ToLower(domain)))
+	v := h.Sum32()
+	// Avoid 0/10/127/224+ first octets for plausibility.
+	first := 13 + int(v>>24)%180
+	if first == 127 {
+		first = 128
+	}
+	return fmt.Sprintf("%d.%d.%d.%d", first, (v>>16)&0xff, (v>>8)&0xff, v&0xff)
+}
+
+// ToPairEvents converts flows into the pipeline's source-agnostic events:
+// the pair is (source IP or MAC, destination IP:port). corr may be nil to
+// use raw source IPs.
+func ToPairEvents(records []*Record, corr *proxylog.Correlator) []pipeline.PairEvent {
+	out := make([]pipeline.PairEvent, len(records))
+	for i, r := range records {
+		src := r.SrcIP
+		if corr != nil {
+			if mac, err := corr.MACFor(r.SrcIP, r.Start); err == nil {
+				src = mac
+			} else {
+				src = "ip:" + r.SrcIP
+			}
+		}
+		out[i] = pipeline.PairEvent{
+			Source:      src,
+			Destination: r.DstIP + ":" + strconv.Itoa(r.DstPort),
+			Timestamp:   r.Start,
+		}
+	}
+	return out
+}

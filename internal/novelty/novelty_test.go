@@ -1,0 +1,138 @@
+package novelty
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestNoveltyLifecycle(t *testing.T) {
+	s := NewStore()
+	if got := s.Check("src1", "evil.com"); got != NewDestination {
+		t.Errorf("first sighting = %v, want NewDestination", got)
+	}
+	if !s.IsNovel("src1", "evil.com") {
+		t.Error("first sighting must be novel")
+	}
+	s.MarkReported("src1", "evil.com")
+	if got := s.Check("src1", "evil.com"); got != Duplicate {
+		t.Errorf("repeat = %v, want Duplicate", got)
+	}
+	if s.IsNovel("src1", "evil.com") {
+		t.Error("reported pair must not be novel")
+	}
+	if got := s.Check("src2", "evil.com"); got != NewSource {
+		t.Errorf("new source = %v, want NewSource", got)
+	}
+	if !s.IsNovel("src2", "evil.com") {
+		t.Error("new source to known destination is still forwarded")
+	}
+	d, p := s.Size()
+	if d != 1 || p != 1 {
+		t.Errorf("Size = %d, %d", d, p)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for _, v := range []Verdict{NewDestination, NewSource, Duplicate, Verdict(99)} {
+		if v.String() == "" {
+			t.Errorf("verdict %d stringifies empty", v)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state", "novelty.json")
+	s := NewStore()
+	s.MarkReported("a", "x.com")
+	s.MarkReported("b", "y.com")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Check("a", "x.com"); got != Duplicate {
+		t.Errorf("loaded store lost pair: %v", got)
+	}
+	if got := loaded.Check("new", "y.com"); got != NewSource {
+		t.Errorf("loaded store lost destination: %v", got)
+	}
+	if got := loaded.Check("new", "z.com"); got != NewDestination {
+		t.Errorf("unexpected verdict: %v", got)
+	}
+}
+
+func TestLoadMissingFileIsEmpty(t *testing.T) {
+	s, err := Load(filepath.Join(t.TempDir(), "nothing.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, p := s.Size()
+	if d != 0 || p != 0 {
+		t.Errorf("Size = %d, %d; want empty", d, p)
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("expected error for corrupt file")
+	}
+}
+
+func TestSaveIsAtomicAndDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "n.json")
+	s := NewStore()
+	s.MarkReported("b", "2.com")
+	s.MarkReported("a", "1.com")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("save output not deterministic")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				src := string(rune('a' + i))
+				dst := string(rune('a'+j%26)) + ".com"
+				s.Check(src, dst)
+				s.MarkReported(src, dst)
+				s.IsNovel(src, dst)
+			}
+		}(i)
+	}
+	wg.Wait()
+	d, p := s.Size()
+	if d != 26 || p != 8*26 {
+		t.Errorf("Size = %d, %d; want 26, 208", d, p)
+	}
+}

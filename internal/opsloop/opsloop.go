@@ -1,0 +1,311 @@
+// Package opsloop implements BAYWATCH's deployment mode (Sect. X of the
+// paper): iterative operation at three time scales. The operator feeds it
+// one day of traffic at a time; the loop
+//
+//   - runs the daily pipeline (fine granularity, catches minute-level
+//     beaconing) with a persistent novelty store so repeat cases are not
+//     re-reported,
+//   - accumulates each day's ActivitySummaries in an on-disk store, and
+//   - when enough history has accumulated, rescales and merges it into
+//     weekly and monthly passes at coarser granularity, catching
+//     slow beacons (e.g. 24-hour check-ins) no single day can expose —
+//     without ever reprocessing raw logs.
+//
+// All state lives under a single directory, so a crashed or restarted
+// operator resumes where it left off.
+package opsloop
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"baywatch/internal/novelty"
+	"baywatch/internal/pipeline"
+	"baywatch/internal/proxylog"
+	"baywatch/internal/timeseries"
+)
+
+// Config assembles the loop.
+type Config struct {
+	// StateDir holds the novelty store and the summary history.
+	StateDir string
+	// Pipeline configures the daily runs. Its Novelty field is managed by
+	// the loop and must be left nil.
+	Pipeline pipeline.Config
+	// WeeklyEvery runs a weekly coarse pass after every n ingested days
+	// (default 7); MonthlyEvery likewise (default 30).
+	WeeklyEvery, MonthlyEvery int
+	// WeeklyScale and MonthlyScale are the coarse granularities in seconds
+	// (defaults 60 and 300).
+	WeeklyScale, MonthlyScale int64
+	// MinEventsCoarse skips pairs with fewer events in coarse passes
+	// (default 8: the detector's sampling floor).
+	MinEventsCoarse int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WeeklyEvery <= 0 {
+		c.WeeklyEvery = 7
+	}
+	if c.MonthlyEvery <= 0 {
+		c.MonthlyEvery = 30
+	}
+	if c.WeeklyScale <= 0 {
+		c.WeeklyScale = 60
+	}
+	if c.MonthlyScale <= 0 {
+		c.MonthlyScale = 300
+	}
+	if c.MinEventsCoarse <= 0 {
+		c.MinEventsCoarse = 8
+	}
+	return c
+}
+
+// Report is the outcome of ingesting one day.
+type Report struct {
+	// Daily is the day's pipeline result.
+	Daily *pipeline.Result
+	// Weekly and Monthly are the coarse passes' results (nil on days when
+	// no coarse pass ran).
+	Weekly, Monthly *pipeline.Result
+	// DaysIngested is the loop's lifetime day counter.
+	DaysIngested int
+}
+
+// Loop is the stateful operator. It is not safe for concurrent use; run
+// one loop per state directory.
+type Loop struct {
+	cfg     Config
+	store   *novelty.Store
+	days    int
+	corr    *proxylog.Correlator
+	history []*timeseries.ActivitySummary
+}
+
+// New opens (or initializes) the loop state under cfg.StateDir. corr may
+// be nil to identify sources by IP.
+func New(cfg Config, corr *proxylog.Correlator) (*Loop, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("opsloop: StateDir is required")
+	}
+	if cfg.Pipeline.Novelty != nil {
+		return nil, fmt.Errorf("opsloop: Pipeline.Novelty is managed by the loop; leave it nil")
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("opsloop: state dir: %w", err)
+	}
+	store, err := novelty.Load(noveltyPath(cfg.StateDir))
+	if err != nil {
+		return nil, err
+	}
+	l := &Loop{cfg: cfg, store: store, corr: corr}
+	if err := l.loadHistory(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func noveltyPath(dir string) string { return filepath.Join(dir, "novelty.json") }
+func historyDir(dir string) string  { return filepath.Join(dir, "summaries") }
+
+// DaysIngested returns the lifetime day counter (including days restored
+// from disk).
+func (l *Loop) DaysIngested() int { return l.days }
+
+// IngestDay processes one day of records: daily pipeline, history
+// accumulation, and any due coarse passes.
+func (l *Loop) IngestDay(ctx context.Context, records []*proxylog.Record) (*Report, error) {
+	cfg := l.cfg.Pipeline
+	cfg.Novelty = l.store
+
+	daily, err := pipeline.Run(ctx, records, l.corr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("opsloop: daily run: %w", err)
+	}
+	if err := l.store.Save(noveltyPath(l.cfg.StateDir)); err != nil {
+		return nil, err
+	}
+
+	// Accumulate the day's summaries (at daily scale) in the history.
+	sums, err := pipeline.ExtractSummaries(ctx, records, l.corr, cfg.Scale, cfg.MapReduce)
+	if err != nil {
+		return nil, fmt.Errorf("opsloop: extract: %w", err)
+	}
+	l.days++
+	if err := l.persistDay(l.days, sums); err != nil {
+		return nil, err
+	}
+	l.history = append(l.history, sums...)
+
+	rep := &Report{Daily: daily, DaysIngested: l.days}
+	if l.days%l.cfg.WeeklyEvery == 0 {
+		rep.Weekly, err = l.coarsePass(ctx, l.cfg.WeeklyScale)
+		if err != nil {
+			return nil, fmt.Errorf("opsloop: weekly pass: %w", err)
+		}
+	}
+	if l.days%l.cfg.MonthlyEvery == 0 {
+		rep.Monthly, err = l.coarsePass(ctx, l.cfg.MonthlyScale)
+		if err != nil {
+			return nil, fmt.Errorf("opsloop: monthly pass: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// coarsePass rescales and merges the accumulated history to the given
+// granularity and runs detection + indication analysis over pairs with
+// enough events. The coarse pass shares the novelty store, so a slow
+// beacon already reported by a daily run is not re-reported.
+func (l *Loop) coarsePass(ctx context.Context, scale int64) (*pipeline.Result, error) {
+	merged, err := pipeline.RescaleAndMerge(ctx, l.history, scale, l.cfg.Pipeline.MapReduce)
+	if err != nil {
+		return nil, err
+	}
+	// Reconstruct pair events from the merged summaries so the standard
+	// pipeline front end (whitelists, popularity) applies at coarse scale.
+	var events []pipeline.PairEvent
+	for _, as := range merged {
+		if as.EventCount() < l.cfg.MinEventsCoarse {
+			continue
+		}
+		path := ""
+		if len(as.URLPaths) > 0 {
+			path = as.URLPaths[0]
+		}
+		for _, ts := range as.Timestamps() {
+			events = append(events, pipeline.PairEvent{
+				Source:      as.Source,
+				Destination: as.Destination,
+				Timestamp:   ts,
+				Path:        path,
+			})
+		}
+	}
+	cfg := l.cfg.Pipeline
+	cfg.Novelty = l.store
+	cfg.Scale = scale
+	res, err := runOverEvents(ctx, events, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.store.Save(noveltyPath(l.cfg.StateDir)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runOverEvents adapts pipeline.Run to pre-extracted events by converting
+// them into minimal records (the pipeline only reads source/destination/
+// timestamp/path).
+func runOverEvents(ctx context.Context, events []pipeline.PairEvent, cfg pipeline.Config) (*pipeline.Result, error) {
+	records := make([]*proxylog.Record, len(events))
+	for i, e := range events {
+		records[i] = &proxylog.Record{
+			Timestamp: e.Timestamp,
+			ClientIP:  e.Source,
+			Host:      e.Destination,
+			Path:      e.Path,
+		}
+	}
+	// Sources are already resolved identities; no correlator.
+	return pipeline.Run(ctx, records, nil, cfg)
+}
+
+// persistDay writes one day's summaries to the history store using the
+// compact binary codec, length-prefixed per record.
+func (l *Loop) persistDay(day int, sums []*timeseries.ActivitySummary) error {
+	dir := historyDir(l.cfg.StateDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("opsloop: history dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("day-%06d.bin", day))
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return fmt.Errorf("opsloop: create history: %w", err)
+	}
+	for _, as := range sums {
+		blob := as.Marshal()
+		var hdr [4]byte
+		hdr[0] = byte(len(blob))
+		hdr[1] = byte(len(blob) >> 8)
+		hdr[2] = byte(len(blob) >> 16)
+		hdr[3] = byte(len(blob) >> 24)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("opsloop: write history: %w", err)
+		}
+		if _, err := f.Write(blob); err != nil {
+			f.Close()
+			return fmt.Errorf("opsloop: write history: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("opsloop: close history: %w", err)
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return fmt.Errorf("opsloop: rename history: %w", err)
+	}
+	return nil
+}
+
+// loadHistory restores the summary history and day counter from disk.
+func (l *Loop) loadHistory() error {
+	dir := historyDir(l.cfg.StateDir)
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("opsloop: read history dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".bin" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sums, err := readDayFile(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("opsloop: %s: %w", name, err)
+		}
+		l.history = append(l.history, sums...)
+		l.days++
+	}
+	return nil
+}
+
+func readDayFile(path string) ([]*timeseries.ActivitySummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []*timeseries.ActivitySummary
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("truncated header")
+		}
+		n := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
+		data = data[4:]
+		if n < 0 || n > len(data) {
+			return nil, fmt.Errorf("bad record length %d", n)
+		}
+		as, err := timeseries.UnmarshalActivitySummary(data[:n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, as)
+		data = data[n:]
+	}
+	return out, nil
+}
+
+// HistoryPairs reports how many summaries are currently held.
+func (l *Loop) HistoryPairs() int { return len(l.history) }

@@ -1,0 +1,227 @@
+package opsloop
+
+import (
+	"context"
+	"testing"
+
+	"baywatch/internal/corpus"
+	"baywatch/internal/langmodel"
+	"baywatch/internal/novelty"
+	"baywatch/internal/pipeline"
+	"baywatch/internal/proxylog"
+	"baywatch/internal/synthetic"
+	"baywatch/internal/whitelist"
+)
+
+func testPipelineConfig(t *testing.T, tr *synthetic.Trace) pipeline.Config {
+	t.Helper()
+	lm, err := langmodel.Train(corpus.PopularDomains(3000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipeline.Config{
+		Global: whitelist.NewGlobal(tr.Catalog[:50]),
+		LM:     lm,
+	}
+}
+
+func generateTrace(t *testing.T, days int, infections []synthetic.Infection) *synthetic.Trace {
+	t.Helper()
+	gen := synthetic.DefaultConfig()
+	gen.Days = days
+	gen.Hosts = 40
+	gen.CatalogSize = 300
+	gen.BrowsingSessionsPerHostDay = 2
+	gen.UpdateServices = 3
+	gen.NicheServices = 2
+	gen.Infections = infections
+	tr, err := synthetic.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func splitDays(tr *synthetic.Trace, days int) [][]*proxylog.Record {
+	start := tr.Records[0].Timestamp
+	out := make([][]*proxylog.Record, days)
+	for _, r := range tr.Records {
+		d := int((r.Timestamp - start) / 86400)
+		if d >= 0 && d < days {
+			out[d] = append(out[d], r)
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("expected error for missing StateDir")
+	}
+	// A caller-supplied novelty store is rejected: the loop owns it.
+	cfg := Config{StateDir: t.TempDir()}
+	cfg.Pipeline.Novelty = noveltyStoreForTest()
+	if _, err := New(cfg, nil); err == nil {
+		t.Error("expected error for caller-supplied novelty store")
+	}
+	// A missing language model surfaces at IngestDay, not New.
+	loop, err := New(Config{StateDir: t.TempDir()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loop.IngestDay(context.Background(), nil); err == nil {
+		t.Error("expected error ingesting without a language model")
+	}
+}
+
+func TestIngestDayAndNoveltyPersistence(t *testing.T) {
+	const days = 3
+	tr := generateTrace(t, days, []synthetic.Infection{{
+		Family: "Zbot", Clients: 2, Period: 180,
+		Noise: synthetic.NoiseConfig{JitterSigma: 3, MissProb: 0.05},
+	}})
+	perDay := splitDays(tr, days)
+	corr, err := proxylog.NewCorrelator(tr.Leases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateDir := t.TempDir()
+	loop, err := New(Config{StateDir: stateDir, Pipeline: testPipelineConfig(t, tr)}, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var reportedDay1, reportedLater int
+	for d := 0; d < days; d++ {
+		rep, err := loop.IngestDay(context.Background(), perDay[d])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.DaysIngested != d+1 {
+			t.Errorf("DaysIngested = %d, want %d", rep.DaysIngested, d+1)
+		}
+		if d == 0 {
+			reportedDay1 = rep.Daily.Stats.Reported
+		} else {
+			reportedLater += rep.Daily.Stats.Reported
+		}
+	}
+	if reportedDay1 == 0 {
+		t.Error("day 1 reported nothing")
+	}
+	// Novelty suppression: later days re-report at most what day 1 did.
+	if reportedLater > reportedDay1*(days-1) {
+		t.Errorf("novelty not suppressing: day1=%d later=%d", reportedDay1, reportedLater)
+	}
+	if loop.HistoryPairs() == 0 {
+		t.Error("history empty after ingestion")
+	}
+}
+
+func TestWeeklyPassCatchesSlowBeacon(t *testing.T) {
+	const days = 4
+	tr := generateTrace(t, days, []synthetic.Infection{{
+		Family: "SlowAPT", Clients: 1, Period: 6 * 3600,
+		Noise: synthetic.NoiseConfig{JitterSigma: 60},
+	}})
+	var slowDomain string
+	for d, tru := range tr.Truth {
+		if tru.Family == "SlowAPT" {
+			slowDomain = d
+		}
+	}
+	perDay := splitDays(tr, days)
+	corr, err := proxylog.NewCorrelator(tr.Leases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := New(Config{
+		StateDir:    t.TempDir(),
+		Pipeline:    testPipelineConfig(t, tr),
+		WeeklyEvery: days, // run the coarse pass on the last day
+	}, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weekly *Report
+	for d := 0; d < days; d++ {
+		rep, err := loop.IngestDay(context.Background(), perDay[d])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A 6-hour beacon yields ~4 events/day: every daily run must miss it.
+		for _, c := range rep.Daily.Reported {
+			if c.Destination == slowDomain {
+				t.Fatalf("slow beacon implausibly reported by a daily run on day %d", d+1)
+			}
+		}
+		if rep.Weekly != nil {
+			weekly = rep
+		}
+	}
+	if weekly == nil {
+		t.Fatal("weekly pass never ran")
+	}
+	found := false
+	for _, c := range weekly.Weekly.Reported {
+		if c.Destination == slowDomain {
+			found = true
+		}
+	}
+	if !found {
+		var got []string
+		for _, c := range weekly.Weekly.Reported {
+			got = append(got, c.Destination)
+		}
+		t.Fatalf("weekly pass missed the slow beacon %s; reported %v", slowDomain, got)
+	}
+}
+
+func TestStateSurvivesRestart(t *testing.T) {
+	const days = 2
+	tr := generateTrace(t, days, []synthetic.Infection{{
+		Family: "Zbot", Clients: 1, Period: 240,
+		Noise: synthetic.NoiseConfig{JitterSigma: 3},
+	}})
+	perDay := splitDays(tr, days)
+	stateDir := t.TempDir()
+	pcfg := testPipelineConfig(t, tr)
+
+	loop1, err := New(Config{StateDir: stateDir, Pipeline: pcfg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := loop1.IngestDay(context.Background(), perDay[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh loop over the same state dir.
+	loop2, err := New(Config{StateDir: stateDir, Pipeline: pcfg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loop2.DaysIngested() != 1 {
+		t.Fatalf("restored DaysIngested = %d, want 1", loop2.DaysIngested())
+	}
+	if loop2.HistoryPairs() != loop1.HistoryPairs() {
+		t.Fatalf("restored history %d pairs, want %d", loop2.HistoryPairs(), loop1.HistoryPairs())
+	}
+	rep2, err := loop2.IngestDay(context.Background(), perDay[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.DaysIngested != 2 {
+		t.Errorf("DaysIngested after restart = %d, want 2", rep2.DaysIngested)
+	}
+	// Novelty carried across the restart: day 2 reports at most day 1's
+	// volume (same infection, nothing new).
+	if rep2.Daily.Stats.Reported > rep1.Daily.Stats.Reported {
+		t.Errorf("restart lost novelty state: day1=%d day2=%d",
+			rep1.Daily.Stats.Reported, rep2.Daily.Stats.Reported)
+	}
+}
+
+func noveltyStoreForTest() *novelty.Store {
+	return novelty.NewStore()
+}

@@ -1,0 +1,225 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"baywatch/internal/core"
+	"baywatch/internal/mapreduce"
+	"baywatch/internal/proxylog"
+	"baywatch/internal/timeseries"
+)
+
+// PairEvent is the source-agnostic input of the data-extraction job: one
+// observed interaction of one communication pair. Web-proxy, DNS and
+// NetFlow sources all reduce to this shape (the paper notes the
+// methodology only needs the activity summary of a communication pair,
+// Sect. X).
+type PairEvent struct {
+	// Source identifies the internal endpoint (MAC or IP).
+	Source string
+	// Destination identifies the external endpoint (domain, IP, or
+	// IP:port).
+	Destination string
+	// Timestamp is the event time in Unix seconds.
+	Timestamp int64
+	// Path is optional side-channel information for the token filter
+	// (URL path for web traffic; empty for DNS/NetFlow).
+	Path string
+}
+
+// ExtractSummariesFromEvents is the data-extraction MapReduce job
+// (Sect. VII-A) over source-agnostic pair events: MAP keys each event by
+// its communication pair; REDUCE sorts the timestamps and builds the
+// ActivitySummary at the given scale, carrying a bounded path sample for
+// the token filter.
+func ExtractSummariesFromEvents(ctx context.Context, events []PairEvent, scale int64, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	mrCfg.Name = "data-extraction"
+	type tsPath struct {
+		ts   int64
+		path string
+	}
+	job := mapreduce.NewJob[PairEvent, string, tsPath, *timeseries.ActivitySummary](
+		mrCfg,
+		func(e PairEvent, emit mapreduce.Emitter[string, tsPath]) error {
+			emit(e.Source+"|"+e.Destination, tsPath{ts: e.Timestamp, path: e.Path})
+			return nil
+		},
+		func(key string, events []tsPath, emit func(*timeseries.ActivitySummary)) error {
+			src, dst, ok := splitPairKey(key)
+			if !ok {
+				return fmt.Errorf("bad pair key %q", key)
+			}
+			ts := make([]int64, len(events))
+			for i, e := range events {
+				ts[i] = e.ts
+			}
+			as, err := timeseries.FromTimestamps(src, dst, ts, scale)
+			if err != nil {
+				return err
+			}
+			for _, e := range events {
+				as.AddURLPath(e.path)
+			}
+			emit(as)
+			return nil
+		},
+	)
+	res, err := job.Run(ctx, events)
+	if err != nil {
+		return nil, err
+	}
+	return res.Outputs, nil
+}
+
+// ExtractSummaries runs the data-extraction job over web-proxy records.
+// When corr is non-nil, sources are device MACs resolved through the DHCP
+// correlation; otherwise raw client IPs.
+func ExtractSummaries(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correlator, scale int64, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, error) {
+	events := make([]PairEvent, len(records))
+	for i, r := range records {
+		src := r.ClientIP
+		if corr != nil {
+			src = corr.SourceID(r)
+		}
+		events[i] = PairEvent{Source: src, Destination: r.Host, Timestamp: r.Timestamp, Path: r.Path}
+	}
+	return ExtractSummariesFromEvents(ctx, events, scale, mrCfg)
+}
+
+// splitPairKey splits "source|destination" at the first separator.
+func splitPairKey(key string) (src, dst string, ok bool) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			return key[:i], key[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// destCount is the popularity job's output: destination and its distinct
+// source count.
+type destCount struct {
+	dest    string
+	sources int
+}
+
+// PopularityStats is the destination-popularity MapReduce job
+// (Sect. VII-C): MAP emits (destination, source) per summary; REDUCE
+// counts distinct sources per destination. It also returns the total
+// number of distinct sources, the denominator of the local-whitelist
+// ratio.
+func PopularityStats(ctx context.Context, summaries []*timeseries.ActivitySummary, mrCfg mapreduce.JobConfig) (map[string]int, int, error) {
+	mrCfg.Name = "destination-popularity"
+	job := mapreduce.NewJob[*timeseries.ActivitySummary, string, string, destCount](
+		mrCfg,
+		func(as *timeseries.ActivitySummary, emit mapreduce.Emitter[string, string]) error {
+			emit(as.Destination, as.Source)
+			return nil
+		},
+		func(dest string, sources []string, emit func(destCount)) error {
+			distinct := make(map[string]struct{}, len(sources))
+			for _, s := range sources {
+				distinct[s] = struct{}{}
+			}
+			emit(destCount{dest: dest, sources: len(distinct)})
+			return nil
+		},
+	)
+	res, err := job.Run(ctx, summaries)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string]int, len(res.Outputs))
+	for _, dc := range res.Outputs {
+		out[dc.dest] = dc.sources
+	}
+	totalSources := make(map[string]struct{})
+	for _, as := range summaries {
+		totalSources[as.Source] = struct{}{}
+	}
+	return out, len(totalSources), nil
+}
+
+// Detection pairs a summary with its periodicity result.
+type Detection struct {
+	Summary *timeseries.ActivitySummary
+	Result  *core.Result
+}
+
+// DetectBeacons is the beaconing-detection MapReduce job (Sect. VII-D):
+// MAP partitions pairs by hash; REDUCE runs the three-step detection
+// algorithm on every pair's request history. All pairs are returned with
+// their results (periodic or not) so downstream stages can account for the
+// funnel.
+func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, det *core.Detector, mrCfg mapreduce.JobConfig) ([]Detection, error) {
+	mrCfg.Name = "beaconing-detection"
+	job := mapreduce.NewJob[*timeseries.ActivitySummary, string, *timeseries.ActivitySummary, Detection](
+		mrCfg,
+		func(as *timeseries.ActivitySummary, emit mapreduce.Emitter[string, *timeseries.ActivitySummary]) error {
+			emit(as.PairKey(), as)
+			return nil
+		},
+		func(key string, list []*timeseries.ActivitySummary, emit func(Detection)) error {
+			// Histories of the same pair (e.g. from multiple input files)
+			// merge before detection.
+			merged := list[0]
+			var err error
+			for _, as := range list[1:] {
+				merged, err = timeseries.Merge(merged, as)
+				if err != nil {
+					return err
+				}
+			}
+			res, err := det.Detect(merged)
+			if err != nil {
+				return err
+			}
+			emit(Detection{Summary: merged, Result: res})
+			return nil
+		},
+	)
+	res, err := job.Run(ctx, summaries)
+	if err != nil {
+		return nil, err
+	}
+	return res.Outputs, nil
+}
+
+// RescaleAndMerge is the rescaling/merging job of Sect. VII-B: it rescales
+// each summary to the new (coarser) scale and merges summaries of the same
+// pair, so long time ranges are analyzable without reprocessing raw logs.
+func RescaleAndMerge(ctx context.Context, summaries []*timeseries.ActivitySummary, newScale int64, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, error) {
+	mrCfg.Name = "rescale-merge"
+	job := mapreduce.NewJob[*timeseries.ActivitySummary, string, *timeseries.ActivitySummary, *timeseries.ActivitySummary](
+		mrCfg,
+		func(as *timeseries.ActivitySummary, emit mapreduce.Emitter[string, *timeseries.ActivitySummary]) error {
+			rescaled, err := as.Rescale(newScale)
+			if err != nil {
+				return err
+			}
+			emit(rescaled.PairKey(), rescaled)
+			return nil
+		},
+		func(key string, list []*timeseries.ActivitySummary, emit func(*timeseries.ActivitySummary)) error {
+			merged := list[0]
+			var err error
+			for _, as := range list[1:] {
+				merged, err = timeseries.Merge(merged, as)
+				if err != nil {
+					return err
+				}
+			}
+			emit(merged)
+			return nil
+		},
+	)
+	res, err := job.Run(ctx, summaries)
+	if err != nil {
+		return nil, err
+	}
+	return res.Outputs, nil
+}

@@ -1,0 +1,333 @@
+// Package pipeline wires BAYWATCH's 8-step filtering methodology (Fig. 3
+// of the paper) into an executable data flow over the MapReduce engine:
+//
+//	Phase A — whitelist analysis
+//	  1. global whitelist (popular-domain suffix match)
+//	  2. local whitelist (destination popularity >= τ_P)
+//	Phase B — time series analysis
+//	  3. periodogram analysis with permutation threshold
+//	  4. pruning (min-interval, t-test, sampling rate, GMM)
+//	  5. autocorrelation verification
+//	Phase C — suspicious indication analysis
+//	  6. URL-path token filter
+//	  7. novelty filter (change detection)
+//	  8. weighted ranking (language model, popularity, periodicity)
+//	Phase D — investigation (see package triage)
+//
+// The data-extraction, popularity-statistics and beaconing-detection
+// phases run as MapReduce jobs, mirroring the paper's modular Hadoop
+// implementation; the cheap per-candidate filters run map-side.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"baywatch/internal/core"
+	"baywatch/internal/features"
+	"baywatch/internal/langmodel"
+	"baywatch/internal/mapreduce"
+	"baywatch/internal/novelty"
+	"baywatch/internal/proxylog"
+	"baywatch/internal/ranking"
+	"baywatch/internal/timeseries"
+	"baywatch/internal/tokenfilter"
+	"baywatch/internal/whitelist"
+)
+
+// Config assembles the pipeline's components. Fields left nil/zero are
+// replaced by sensible defaults at Run time, except the language model,
+// which must be supplied (training it needs the popular-domain corpus).
+type Config struct {
+	// Scale is the time-series granularity in seconds (1 at the finest
+	// level, per Sect. VII-A).
+	Scale int64
+	// Detector configures the periodicity detection algorithm.
+	Detector core.Config
+	// Global is the global whitelist (filter 1); nil disables it.
+	Global *whitelist.Global
+	// LocalTau is the local-whitelist popularity threshold τ_P (filter 2);
+	// the paper's evaluation uses 0.01.
+	LocalTau float64
+	// LM scores destination names; required.
+	LM *langmodel.Model
+	// TokenFilter is filter 6; nil uses defaults.
+	TokenFilter *tokenfilter.Filter
+	// Novelty is filter 7's persistent store; nil disables novelty
+	// suppression (every case is treated as new).
+	Novelty *novelty.Store
+	// RankPercentile is the score-distribution threshold of filter 8; the
+	// paper's evaluation uses the 90th percentile.
+	RankPercentile float64
+	// Weights configures the ranking combination; zero value uses
+	// DefaultWeights.
+	Weights ranking.Weights
+	// MapReduce configures the underlying jobs.
+	MapReduce mapreduce.JobConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.LocalTau <= 0 {
+		c.LocalTau = 0.01
+	}
+	if c.RankPercentile <= 0 {
+		c.RankPercentile = 90
+	}
+	if c.TokenFilter == nil {
+		c.TokenFilter = tokenfilter.New()
+	}
+	if c.Weights == (ranking.Weights{}) {
+		c.Weights = ranking.DefaultWeights()
+	}
+	return c
+}
+
+// FilterStage identifies which of the 8 filters suppressed a candidate.
+type FilterStage int
+
+const (
+	// StageNone means the candidate survived every filter and was
+	// reported.
+	StageNone FilterStage = iota
+	// StageGlobalWhitelist is filter 1.
+	StageGlobalWhitelist
+	// StageLocalWhitelist is filter 2.
+	StageLocalWhitelist
+	// StageNotPeriodic covers filters 3-5 (the detection algorithm found
+	// no verified period).
+	StageNotPeriodic
+	// StageTokenFilter is filter 6.
+	StageTokenFilter
+	// StageNovelty is filter 7.
+	StageNovelty
+	// StageRankThreshold is filter 8's percentile cut.
+	StageRankThreshold
+)
+
+// String implements fmt.Stringer.
+func (s FilterStage) String() string {
+	switch s {
+	case StageNone:
+		return "reported"
+	case StageGlobalWhitelist:
+		return "global-whitelist"
+	case StageLocalWhitelist:
+		return "local-whitelist"
+	case StageNotPeriodic:
+		return "not-periodic"
+	case StageTokenFilter:
+		return "token-filter"
+	case StageNovelty:
+		return "novelty"
+	case StageRankThreshold:
+		return "rank-threshold"
+	default:
+		return fmt.Sprintf("FilterStage(%d)", int(s))
+	}
+}
+
+// Candidate is one communication pair as it moves through the pipeline.
+type Candidate struct {
+	// Source and Destination identify the pair.
+	Source, Destination string
+	// Summary is the pair's request history.
+	Summary *timeseries.ActivitySummary
+	// Detection is the periodicity result (nil when whitelisted before
+	// detection).
+	Detection *core.Result
+	// LMScore is the destination's language-model log-probability.
+	LMScore float64
+	// Popularity is the destination's local source-share.
+	Popularity float64
+	// SimilarSources is the number of distinct sources contacting the
+	// destination.
+	SimilarSources int
+	// Token is the URL-path analysis.
+	Token tokenfilter.Analysis
+	// Novelty is the change-detection verdict.
+	Novelty novelty.Verdict
+	// Score is the weighted ranking score.
+	Score float64
+	// SuppressedBy reports which filter stopped the candidate
+	// (StageNone when reported).
+	SuppressedBy FilterStage
+}
+
+// Stats counts the pipeline's funnel, one entry per stage boundary.
+type Stats struct {
+	InputEvents          int
+	Pairs                int
+	AfterGlobalWhitelist int
+	AfterLocalWhitelist  int
+	Periodic             int
+	AfterTokenFilter     int
+	AfterNovelty         int
+	Reported             int
+	// Durations per phase.
+	ExtractTime, PopularityTime, DetectTime, RankTime time.Duration
+}
+
+// Result is a pipeline run's output.
+type Result struct {
+	// Reported are the cases above the ranking threshold, ranked most
+	// suspicious first.
+	Reported []*Candidate
+	// Candidates are all pairs that reached the ranking phase (including
+	// suppressed ones), for diagnostics and triage training.
+	Candidates []*Candidate
+	// Stats is the filtering funnel.
+	Stats Stats
+}
+
+// Run executes the full pipeline over proxy log records. corr may be nil,
+// in which case raw client IPs identify sources.
+func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correlator, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.LM == nil {
+		return nil, fmt.Errorf("pipeline: language model is required")
+	}
+	res := &Result{}
+	res.Stats.InputEvents = len(records)
+
+	// ---- Phase: data extraction (MapReduce job 1) -----------------------
+	start := time.Now()
+	summaries, err := ExtractSummaries(ctx, records, corr, cfg.Scale, cfg.MapReduce)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: extract: %w", err)
+	}
+	res.Stats.ExtractTime = time.Since(start)
+	res.Stats.Pairs = len(summaries)
+
+	// ---- Phase: destination popularity (MapReduce job 2) ----------------
+	start = time.Now()
+	destSources, totalSources, err := PopularityStats(ctx, summaries, cfg.MapReduce)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: popularity: %w", err)
+	}
+	local := whitelist.NewLocal(cfg.LocalTau)
+	local.Build(destSources, totalSources)
+	res.Stats.PopularityTime = time.Since(start)
+
+	// ---- Filters 1-2: whitelists ----------------------------------------
+	var analyzable []*timeseries.ActivitySummary
+	afterGlobal := 0
+	for _, as := range summaries {
+		if cfg.Global != nil && cfg.Global.Contains(as.Destination) {
+			continue
+		}
+		afterGlobal++
+		if local.Contains(as.Destination) {
+			continue
+		}
+		analyzable = append(analyzable, as)
+	}
+	res.Stats.AfterGlobalWhitelist = afterGlobal
+	res.Stats.AfterLocalWhitelist = len(analyzable)
+
+	// ---- Filters 3-5: beaconing detection (MapReduce job 3) -------------
+	start = time.Now()
+	detector := core.NewDetector(cfg.Detector)
+	detections, err := DetectBeacons(ctx, analyzable, detector, cfg.MapReduce)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: detect: %w", err)
+	}
+	res.Stats.DetectTime = time.Since(start)
+
+	// ---- Filters 6-8: suspicious indication analysis ---------------------
+	start = time.Now()
+	for _, d := range detections {
+		cand := &Candidate{
+			Source:         d.Summary.Source,
+			Destination:    d.Summary.Destination,
+			Summary:        d.Summary,
+			Detection:      d.Result,
+			LMScore:        cfg.LM.Score(d.Summary.Destination),
+			Popularity:     local.Popularity(d.Summary.Destination),
+			SimilarSources: destSources[d.Summary.Destination],
+		}
+		res.Candidates = append(res.Candidates, cand)
+		if !d.Result.Periodic {
+			cand.SuppressedBy = StageNotPeriodic
+			continue
+		}
+		res.Stats.Periodic++
+
+		cand.Token = cfg.TokenFilter.Analyze(d.Summary.URLPaths)
+		if cand.Token.LikelyBenign {
+			cand.SuppressedBy = StageTokenFilter
+			continue
+		}
+		res.Stats.AfterTokenFilter++
+
+		if cfg.Novelty != nil {
+			cand.Novelty = cfg.Novelty.Check(cand.Source, cand.Destination)
+			if cand.Novelty == novelty.Duplicate {
+				cand.SuppressedBy = StageNovelty
+				continue
+			}
+		} else {
+			cand.Novelty = novelty.NewDestination
+		}
+		res.Stats.AfterNovelty++
+
+		cand.Score = ranking.Score(indicatorsFor(cand), cfg.Weights)
+	}
+
+	// Rank the survivors and apply the percentile threshold.
+	var rankable []ranking.Case
+	byKey := make(map[string]*Candidate)
+	for _, c := range res.Candidates {
+		if c.SuppressedBy != StageNone {
+			continue
+		}
+		key := c.Source + "|" + c.Destination
+		byKey[key] = c
+		rankable = append(rankable, ranking.Case{
+			Source:      c.Source,
+			Destination: c.Destination,
+			Score:       c.Score,
+		})
+	}
+	reported, _ := ranking.Rank(rankable, cfg.RankPercentile)
+	reportedKeys := make(map[string]struct{}, len(reported))
+	for _, rc := range reported {
+		key := rc.Source + "|" + rc.Destination
+		reportedKeys[key] = struct{}{}
+		cand := byKey[key]
+		res.Reported = append(res.Reported, cand)
+		if cfg.Novelty != nil {
+			cfg.Novelty.MarkReported(cand.Source, cand.Destination)
+		}
+	}
+	for key, c := range byKey {
+		if _, ok := reportedKeys[key]; !ok {
+			c.SuppressedBy = StageRankThreshold
+		}
+	}
+	res.Stats.Reported = len(res.Reported)
+	res.Stats.RankTime = time.Since(start)
+	return res, nil
+}
+
+// indicatorsFor derives the ranking indicators from a candidate.
+func indicatorsFor(c *Candidate) ranking.Indicators {
+	ind := ranking.Indicators{
+		LMScore:        c.LMScore,
+		Popularity:     c.Popularity,
+		SimilarSources: c.SimilarSources,
+	}
+	if c.Detection != nil && len(c.Detection.Kept) > 0 {
+		best := c.Detection.Kept[0]
+		ind.ACFScore = best.ACFScore
+		intervals := c.Summary.IntervalsSeconds()
+		ind.IntervalRelStd = features.RelStdNearPeriod(intervals, []float64{best.BestPeriod()})
+		if p := best.BestPeriod(); p > 0 {
+			ind.SpanCycles = float64(c.Summary.Span()) / p
+		}
+	}
+	return ind
+}

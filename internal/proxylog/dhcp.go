@@ -1,0 +1,72 @@
+package proxylog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Lease is one DHCP lease event: at Start, IP was assigned to MAC until
+// End (exclusive). The paper correlates proxy source IPs against the
+// centralized DHCP log repository to obtain stable device identities.
+type Lease struct {
+	IP    string
+	MAC   string
+	Start int64
+	End   int64
+}
+
+// ErrNoLease is returned when an IP has no lease covering a timestamp.
+var ErrNoLease = errors.New("proxylog: no lease covers timestamp")
+
+// Correlator answers (IP, timestamp) -> MAC queries over a lease set.
+// Build it once with NewCorrelator; lookups are O(log n) per IP and safe
+// for concurrent use.
+type Correlator struct {
+	byIP map[string][]Lease
+}
+
+// NewCorrelator indexes the leases. Overlapping leases for the same IP are
+// resolved in favor of the later Start.
+func NewCorrelator(leases []Lease) (*Correlator, error) {
+	byIP := make(map[string][]Lease)
+	for i, l := range leases {
+		if l.IP == "" || l.MAC == "" {
+			return nil, fmt.Errorf("proxylog: lease %d missing ip or mac", i)
+		}
+		if l.End <= l.Start {
+			return nil, fmt.Errorf("proxylog: lease %d has end %d <= start %d", i, l.End, l.Start)
+		}
+		byIP[l.IP] = append(byIP[l.IP], l)
+	}
+	for ip := range byIP {
+		ls := byIP[ip]
+		sort.Slice(ls, func(a, b int) bool { return ls[a].Start < ls[b].Start })
+	}
+	return &Correlator{byIP: byIP}, nil
+}
+
+// MACFor returns the MAC address leased to ip at time ts.
+func (c *Correlator) MACFor(ip string, ts int64) (string, error) {
+	ls := c.byIP[ip]
+	if len(ls) == 0 {
+		return "", fmt.Errorf("%w: ip %s", ErrNoLease, ip)
+	}
+	// Find the last lease with Start <= ts.
+	idx := sort.Search(len(ls), func(i int) bool { return ls[i].Start > ts }) - 1
+	if idx < 0 || ts >= ls[idx].End {
+		return "", fmt.Errorf("%w: ip %s at %d", ErrNoLease, ip, ts)
+	}
+	return ls[idx].MAC, nil
+}
+
+// SourceID identifies the device behind a record: the MAC when the
+// correlator resolves one, otherwise the IP prefixed with "ip:" so
+// unresolvable sources remain trackable (the paper keeps analyzing pairs
+// even when identity resolution fails).
+func (c *Correlator) SourceID(r *Record) string {
+	if mac, err := c.MACFor(r.ClientIP, r.Timestamp); err == nil {
+		return mac
+	}
+	return "ip:" + r.ClientIP
+}

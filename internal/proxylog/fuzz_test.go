@@ -1,0 +1,31 @@
+package proxylog
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseRecord checks that arbitrary input never panics the parser and
+// that every successfully parsed record survives a format/parse round
+// trip.
+func FuzzParseRecord(f *testing.F) {
+	f.Add(sampleRecord().Format())
+	f.Add("")
+	f.Add("2015-03-02 13:45:01 1425303901 10.8.1.2 GET http h /p 200 1 2 \"ua\"")
+	f.Add("a b c d e f g h i j k l m n")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseRecord(rec.Format())
+		if err != nil {
+			t.Fatalf("re-parse of formatted record failed: %v", err)
+		}
+		// The user agent may normalize (quotes), but the parsed struct
+		// must be stable under format/parse.
+		if !reflect.DeepEqual(rec, again) {
+			t.Fatalf("format/parse not stable:\n first %+v\nsecond %+v", rec, again)
+		}
+	})
+}

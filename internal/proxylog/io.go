@@ -1,0 +1,125 @@
+package proxylog
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Writer streams records to an (optionally gzip-compressed) log file.
+type Writer struct {
+	f   *os.File
+	gz  *gzip.Writer
+	buf *bufio.Writer
+	n   int64
+}
+
+// NewWriter creates the file at path (directories are created as needed).
+// When the path ends in ".gz" the stream is gzip-compressed.
+func NewWriter(path string) (*Writer, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("proxylog: create dir: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("proxylog: create: %w", err)
+	}
+	w := &Writer{f: f}
+	var sink io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		w.gz = gzip.NewWriter(f)
+		sink = w.gz
+	}
+	w.buf = bufio.NewWriterSize(sink, 1<<20)
+	return w, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r *Record) error {
+	if _, err := w.buf.WriteString(r.Format()); err != nil {
+		return fmt.Errorf("proxylog: write: %w", err)
+	}
+	if err := w.buf.WriteByte('\n'); err != nil {
+		return fmt.Errorf("proxylog: write: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.n }
+
+// Close flushes and closes the underlying file.
+func (w *Writer) Close() error {
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("proxylog: flush: %w", err)
+	}
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			w.f.Close()
+			return fmt.Errorf("proxylog: gzip close: %w", err)
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("proxylog: close: %w", err)
+	}
+	return nil
+}
+
+// ReadAll parses every record in the file at path (gzip-decoded when the
+// name ends in ".gz"). Malformed lines abort with an error carrying the
+// line number.
+func ReadAll(path string) ([]*Record, error) {
+	var out []*Record
+	err := ForEach(path, func(r *Record) error {
+		out = append(out, r)
+		return nil
+	})
+	return out, err
+}
+
+// ForEach streams records from the file at path to fn, stopping at the
+// first error.
+func ForEach(path string, fn func(*Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("proxylog: open: %w", err)
+	}
+	defer f.Close()
+
+	var src io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return fmt.Errorf("proxylog: gzip open: %w", err)
+		}
+		defer gz.Close()
+		src = gz
+	}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return fmt.Errorf("proxylog: line %d: %w", lineNo, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("proxylog: scan: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Package ranking implements the weighted result ranking of Sect. V-D: it
+// combines periodicity strength, language-model score, and destination
+// popularity into one suspiciousness score, then reports the cases above a
+// percentile threshold of the score distribution, prioritized for analyst
+// investigation.
+package ranking
+
+import (
+	"math"
+	"sort"
+
+	"baywatch/internal/stats"
+)
+
+// Indicators are the per-case signals feeding the combined score. All
+// fields are raw (unnormalized) values; Score normalizes internally.
+type Indicators struct {
+	// ACFScore is the autocorrelation strength of the dominant period
+	// in [0, 1].
+	ACFScore float64
+	// IntervalRelStd is the relative spread of intervals near the dominant
+	// period (low = clock-like).
+	IntervalRelStd float64
+	// SpanCycles is how many repetitions of the dominant period the
+	// observation window covers (long-range regularity earns extra weight).
+	SpanCycles float64
+	// LMScore is the language-model log-probability of the destination
+	// name (more negative = more DGA-like).
+	LMScore float64
+	// Popularity is the fraction of sources contacting the destination.
+	Popularity float64
+	// SimilarSources is the number of sources beaconing to the
+	// destination.
+	SimilarSources int
+}
+
+// Weights configures the indicator combination. The defaults follow the
+// paper's description: the language-model score receives a boosted weight
+// for very low probabilities, and strong/long-range periodicity scores
+// high.
+type Weights struct {
+	Periodicity float64
+	Regularity  float64
+	LongRange   float64
+	Language    float64
+	// LanguageBoost multiplies the language weight when the LM score falls
+	// below BoostThreshold.
+	LanguageBoost  float64
+	BoostThreshold float64
+	Rarity         float64
+}
+
+// DefaultWeights returns the weight set used by the prototype.
+func DefaultWeights() Weights {
+	return Weights{
+		Periodicity:    0.30,
+		Regularity:     0.15,
+		LongRange:      0.10,
+		Language:       0.25,
+		LanguageBoost:  2.0,
+		BoostThreshold: -25,
+		Rarity:         0.20,
+	}
+}
+
+// Score combines the indicators into a suspiciousness score; higher is
+// more suspicious. Scores are comparable across cases of one run.
+func Score(ind Indicators, w Weights) float64 {
+	s := 0.0
+
+	// Periodicity strength: the ACF score already lives in [0, 1].
+	s += w.Periodicity * clamp01(ind.ACFScore)
+
+	// Regularity: low relative interval spread earns up to the full
+	// weight; spread >= 0.5 earns nothing.
+	s += w.Regularity * clamp01(1-2*ind.IntervalRelStd)
+
+	// Long-range persistence: saturates at ~100 observed cycles.
+	if ind.SpanCycles > 0 {
+		s += w.LongRange * clamp01(math.Log10(1+ind.SpanCycles)/2)
+	}
+
+	// Language model: map the log-probability to [0, 1] where 0 means
+	// natural (score >= -10) and 1 means extremely random (score <= -60).
+	lmSusp := clamp01((-ind.LMScore - 10) / 50)
+	lw := w.Language
+	if ind.LMScore < w.BoostThreshold && w.LanguageBoost > 0 {
+		lw *= w.LanguageBoost
+	}
+	s += lw * lmSusp
+
+	// Rarity: beaconing to a destination nobody else visits is more
+	// suspicious than to a shared service. Popularity is a fraction of the
+	// population; anything above 1% reads as infrastructure.
+	s += w.Rarity * clamp01(1-ind.Popularity*100)
+
+	return s
+}
+
+// Case pairs an identifier with its score for ranking.
+type Case struct {
+	Source      string
+	Destination string
+	Score       float64
+	Indicators  Indicators
+}
+
+// Rank sorts the cases by descending score and returns those at or above
+// the pct-th percentile of the score distribution (pct in [0, 100],
+// e.g. 90 reports the top decile), preserving the full sorted list as the
+// second return value for diagnostics.
+func Rank(cases []Case, pct float64) (reported, all []Case) {
+	all = append([]Case(nil), cases...)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+	if len(all) == 0 {
+		return nil, all
+	}
+	scores := make([]float64, len(all))
+	for i, c := range all {
+		scores[i] = c.Score
+	}
+	cut, err := stats.Percentile(scores, pct)
+	if err != nil {
+		return nil, all
+	}
+	for _, c := range all {
+		if c.Score >= cut {
+			reported = append(reported, c)
+		}
+	}
+	return reported, all
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

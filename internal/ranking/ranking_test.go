@@ -1,0 +1,126 @@
+package ranking
+
+import (
+	"testing"
+)
+
+func TestScoreOrdersMaliciousAboveBenign(t *testing.T) {
+	w := DefaultWeights()
+	cc := Indicators{ // DGA C&C: strong periodicity, random name, rare
+		ACFScore:       0.9,
+		IntervalRelStd: 0.05,
+		SpanCycles:     500,
+		LMScore:        -45,
+		Popularity:     0.0005,
+		SimilarSources: 2,
+	}
+	update := Indicators{ // popular update service: natural name, popular
+		ACFScore:       0.9,
+		IntervalRelStd: 0.05,
+		SpanCycles:     500,
+		LMScore:        -12,
+		Popularity:     0.5,
+		SimilarSources: 400,
+	}
+	weak := Indicators{ // weak periodicity, natural name
+		ACFScore:       0.15,
+		IntervalRelStd: 0.4,
+		SpanCycles:     3,
+		LMScore:        -11,
+		Popularity:     0.001,
+	}
+	sc, su, sw := Score(cc, w), Score(update, w), Score(weak, w)
+	if sc <= su {
+		t.Errorf("C&C score %v must exceed update service %v", sc, su)
+	}
+	if sc <= sw {
+		t.Errorf("C&C score %v must exceed weak case %v", sc, sw)
+	}
+}
+
+func TestScoreLanguageBoost(t *testing.T) {
+	w := DefaultWeights()
+	base := Indicators{ACFScore: 0.5, LMScore: -20}
+	dga := Indicators{ACFScore: 0.5, LMScore: -45}
+	// The DGA case crosses the boost threshold; its language contribution
+	// more than doubles relative to linear scaling.
+	sBase, sDGA := Score(base, w), Score(dga, w)
+	if sDGA <= sBase {
+		t.Errorf("DGA score %v must exceed base %v", sDGA, sBase)
+	}
+	noBoost := w
+	noBoost.LanguageBoost = 1
+	if Score(dga, w) <= Score(dga, noBoost) {
+		t.Error("boost must increase the DGA score")
+	}
+}
+
+func TestScoreClamping(t *testing.T) {
+	w := DefaultWeights()
+	extreme := Indicators{
+		ACFScore:       5,    // out of range
+		IntervalRelStd: -1,   // out of range
+		SpanCycles:     1e12, // huge
+		LMScore:        -500,
+		Popularity:     -0.5,
+	}
+	s := Score(extreme, w)
+	maxPossible := w.Periodicity + w.Regularity + w.LongRange + w.Language*w.LanguageBoost + w.Rarity
+	if s < 0 || s > maxPossible+1e-9 {
+		t.Errorf("score %v outside [0, %v]", s, maxPossible)
+	}
+}
+
+func TestRankPercentileThreshold(t *testing.T) {
+	var cases []Case
+	for i := 0; i < 100; i++ {
+		cases = append(cases, Case{
+			Source:      "s",
+			Destination: "d",
+			Score:       float64(i),
+		})
+	}
+	reported, all := Rank(cases, 90)
+	if len(all) != 100 {
+		t.Fatalf("all = %d", len(all))
+	}
+	// Top decile: scores >= 90th percentile.
+	if len(reported) < 10 || len(reported) > 11 {
+		t.Errorf("reported %d cases, want ~10", len(reported))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Score < all[i].Score {
+			t.Fatal("all not sorted descending")
+		}
+	}
+	for _, c := range reported {
+		if c.Score < 89 {
+			t.Errorf("reported case with low score %v", c.Score)
+		}
+	}
+}
+
+func TestRankEmptyAndSingle(t *testing.T) {
+	reported, all := Rank(nil, 90)
+	if reported != nil || len(all) != 0 {
+		t.Errorf("empty rank = %v, %v", reported, all)
+	}
+	reported, all = Rank([]Case{{Score: 5}}, 90)
+	if len(reported) != 1 || len(all) != 1 {
+		t.Errorf("single-case rank = %v, %v", reported, all)
+	}
+}
+
+func TestRankDoesNotMutateInput(t *testing.T) {
+	cases := []Case{{Score: 1}, {Score: 3}, {Score: 2}}
+	Rank(cases, 50)
+	if cases[0].Score != 1 || cases[1].Score != 3 || cases[2].Score != 2 {
+		t.Errorf("input mutated: %v", cases)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if clamp01(-1) != 0 || clamp01(2) != 1 || clamp01(0.5) != 0.5 {
+		t.Error("clamp01 broken")
+	}
+}

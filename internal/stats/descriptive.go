@@ -1,0 +1,160 @@
+// Package stats implements the statistical machinery BAYWATCH's pruning and
+// feature-extraction stages rely on: descriptive statistics, a one-sample
+// Student t-test (with the incomplete beta function needed for its p-value),
+// normal-distribution helpers, Shannon entropy, and one-dimensional Gaussian
+// mixture models fitted by expectation-maximization with BIC model
+// selection.
+//
+// Everything is implemented on the standard library alone; there is no
+// external scientific-computing dependency.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by routines that need at least one observation.
+var ErrNoData = errors.New("stats: no data")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance of xs.
+// It returns 0 when fewer than two observations are supplied.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the smallest element of xs and an error for empty input.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs and an error for empty input.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Median returns the middle value of xs (mean of the two middle values for
+// even length). It does not modify xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p-th percentile of xs (0 <= p <= 100) using linear
+// interpolation between order statistics. It does not modify xs.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0, 100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Summary bundles the descriptive statistics of a sample.
+type Summary struct {
+	N            int
+	Mean, StdDev float64
+	Min, Max     float64
+	Median       float64
+}
+
+// Summarize computes a Summary of xs. It returns an error for empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoData
+	}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	med, _ := Median(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    mn,
+		Max:    mx,
+		Median: med,
+	}, nil
+}
+
+// Entropy returns the Shannon entropy, in bits, of the distribution implied
+// by the given counts. Zero counts are ignored; an empty or all-zero count
+// vector has zero entropy.
+func Entropy(counts []int) float64 {
+	var total float64
+	for _, c := range counts {
+		if c > 0 {
+			total += float64(c)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}

@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GMM is a one-dimensional Gaussian mixture model. BAYWATCH fits a GMM to
+// the inter-request interval list of a communication pair: a multi-modal
+// fit (selected by BIC) exposes multiple coexisting beaconing periods, such
+// as Conficker's fast-beacon/long-sleep alternation.
+type GMM struct {
+	// Weights, Means and StdDevs are the per-component mixture parameters.
+	// All three slices have the same length K.
+	Weights []float64
+	Means   []float64
+	StdDevs []float64
+	// LogLikelihood is the total log-likelihood of the training data under
+	// the fitted model.
+	LogLikelihood float64
+	// BIC is the Bayesian information criterion: -2*logL + p*ln(n) with
+	// p = 3K - 1 free parameters. Lower is better.
+	BIC float64
+	// Iterations is the number of EM iterations performed before
+	// convergence (or the iteration cap).
+	Iterations int
+}
+
+// GMMConfig controls the EM fit.
+type GMMConfig struct {
+	// MaxIterations caps the EM loop. Defaults to 200.
+	MaxIterations int
+	// Tolerance stops EM when the log-likelihood improvement per point
+	// falls below it. Defaults to 1e-8.
+	Tolerance float64
+	// MinStdDev floors the component standard deviations to keep the
+	// likelihood bounded when a component collapses onto duplicated points.
+	// Defaults to 1e-3 times the data range (or 1e-6 absolute for
+	// degenerate data).
+	MinStdDev float64
+}
+
+func (c GMMConfig) withDefaults(xs []float64) GMMConfig {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 200
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-8
+	}
+	if c.MinStdDev <= 0 {
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		c.MinStdDev = (mx - mn) * 1e-3
+		if c.MinStdDev <= 0 {
+			c.MinStdDev = 1e-6
+		}
+	}
+	return c
+}
+
+// ErrBadComponentCount is returned when k is not positive or exceeds the
+// number of observations.
+var ErrBadComponentCount = errors.New("stats: component count must be in [1, len(data)]")
+
+// FitGMM fits a k-component mixture to xs with expectation-maximization.
+// Initialization is deterministic (quantile-based), so repeated fits on the
+// same data produce identical models — a requirement for reproducible
+// pipeline runs.
+func FitGMM(xs []float64, k int, cfg GMMConfig) (*GMM, error) {
+	n := len(xs)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrBadComponentCount, k, n)
+	}
+	cfg = cfg.withDefaults(xs)
+
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+
+	g := &GMM{
+		Weights: make([]float64, k),
+		Means:   make([]float64, k),
+		StdDevs: make([]float64, k),
+	}
+	// Quantile initialization: component j owns the j-th slice of the
+	// sorted data.
+	for j := 0; j < k; j++ {
+		lo := j * n / k
+		hi := (j + 1) * n / k
+		if hi <= lo {
+			hi = lo + 1
+		}
+		seg := sorted[lo:hi]
+		g.Weights[j] = float64(len(seg)) / float64(n)
+		g.Means[j] = Mean(seg)
+		sd := StdDev(seg)
+		if sd < cfg.MinStdDev {
+			sd = cfg.MinStdDev
+		}
+		g.StdDevs[j] = sd
+	}
+
+	resp := make([][]float64, k)
+	for j := range resp {
+		resp[j] = make([]float64, n)
+	}
+	logW := make([]float64, k)
+
+	prevLL := math.Inf(-1)
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		g.Iterations = iter
+		for j := 0; j < k; j++ {
+			logW[j] = math.Log(math.Max(g.Weights[j], 1e-300))
+		}
+		// E-step with log-sum-exp for numerical stability.
+		var ll float64
+		for i, x := range xs {
+			maxLp := math.Inf(-1)
+			for j := 0; j < k; j++ {
+				lp := logW[j] + LogNormalPDF(x, g.Means[j], g.StdDevs[j])
+				resp[j][i] = lp
+				if lp > maxLp {
+					maxLp = lp
+				}
+			}
+			var sum float64
+			for j := 0; j < k; j++ {
+				sum += math.Exp(resp[j][i] - maxLp)
+			}
+			logSum := maxLp + math.Log(sum)
+			ll += logSum
+			for j := 0; j < k; j++ {
+				resp[j][i] = math.Exp(resp[j][i] - logSum)
+			}
+		}
+		g.LogLikelihood = ll
+
+		// M-step.
+		for j := 0; j < k; j++ {
+			var nj, mu float64
+			for i, x := range xs {
+				nj += resp[j][i]
+				mu += resp[j][i] * x
+			}
+			if nj < 1e-10 {
+				// Dead component: re-seed it on the most extreme point to
+				// keep the model full rank.
+				g.Weights[j] = 1e-6
+				g.Means[j] = sorted[n-1]
+				g.StdDevs[j] = cfg.MinStdDev
+				continue
+			}
+			mu /= nj
+			var va float64
+			for i, x := range xs {
+				d := x - mu
+				va += resp[j][i] * d * d
+			}
+			va /= nj
+			g.Weights[j] = nj / float64(n)
+			g.Means[j] = mu
+			sd := math.Sqrt(va)
+			if sd < cfg.MinStdDev {
+				sd = cfg.MinStdDev
+			}
+			g.StdDevs[j] = sd
+		}
+
+		if ll-prevLL < cfg.Tolerance*float64(n) && iter > 1 {
+			break
+		}
+		prevLL = ll
+	}
+
+	p := float64(3*k - 1)
+	g.BIC = -2*g.LogLikelihood + p*math.Log(float64(n))
+	return g, nil
+}
+
+// GMMSelection is the result of BIC-based model selection across component
+// counts.
+type GMMSelection struct {
+	// Best is the model with the lowest BIC.
+	Best *GMM
+	// K is the chosen component count.
+	K int
+	// BICs[k-1] is the BIC of the k-component fit, for k = 1..len(BICs).
+	BICs []float64
+}
+
+// FitBestGMM fits mixtures with 1..maxK components and returns the one with
+// the lowest BIC, reproducing the "BIC vs #components" selection of the
+// paper's Fig. 7. maxK is clamped to len(xs).
+func FitBestGMM(xs []float64, maxK int, cfg GMMConfig) (*GMMSelection, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	if maxK > len(xs) {
+		maxK = len(xs)
+	}
+	sel := &GMMSelection{BICs: make([]float64, 0, maxK)}
+	for k := 1; k <= maxK; k++ {
+		g, err := FitGMM(xs, k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sel.BICs = append(sel.BICs, g.BIC)
+		if sel.Best == nil || g.BIC < sel.Best.BIC {
+			sel.Best = g
+			sel.K = k
+		}
+	}
+	return sel, nil
+}
+
+// DominantComponents returns the means of components whose weight is at
+// least minWeight, ordered by descending weight. These are the candidate
+// periods a multi-modal interval distribution suggests.
+func (g *GMM) DominantComponents(minWeight float64) []float64 {
+	type comp struct{ w, m float64 }
+	var cs []comp
+	for j := range g.Weights {
+		if g.Weights[j] >= minWeight {
+			cs = append(cs, comp{g.Weights[j], g.Means[j]})
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].w > cs[j].w })
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = c.m
+	}
+	return out
+}

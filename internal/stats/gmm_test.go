@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestFitGMMErrors(t *testing.T) {
+	if _, err := FitGMM([]float64{1, 2}, 0, GMMConfig{}); err == nil {
+		t.Error("expected error for k = 0")
+	}
+	if _, err := FitGMM([]float64{1, 2}, 3, GMMConfig{}); err == nil {
+		t.Error("expected error for k > n")
+	}
+	if _, err := FitBestGMM(nil, 3, GMMConfig{}); err == nil {
+		t.Error("expected error for empty data")
+	}
+}
+
+func TestFitGMMSingleComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 100 + rng.NormFloat64()*5
+	}
+	g, err := FitGMM(xs, 1, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g.Weights[0], 1, 1e-9) {
+		t.Errorf("weight = %v, want 1", g.Weights[0])
+	}
+	if math.Abs(g.Means[0]-100) > 1 {
+		t.Errorf("mean = %v, want ~100", g.Means[0])
+	}
+	if math.Abs(g.StdDevs[0]-5) > 1 {
+		t.Errorf("sd = %v, want ~5", g.StdDevs[0])
+	}
+}
+
+func TestFitGMMTwoWellSeparatedComponents(t *testing.T) {
+	// Conficker-like interval mixture: fast beacons ~7.5 s (many) and long
+	// sleeps ~10800 s (few). Fig. 7 of the paper shows GMM recovering the
+	// component means.
+	rng := rand.New(rand.NewSource(2))
+	var xs []float64
+	for i := 0; i < 900; i++ {
+		xs = append(xs, 7.5+rng.NormFloat64()*0.5)
+	}
+	for i := 0; i < 100; i++ {
+		xs = append(xs, 10800+rng.NormFloat64()*60)
+	}
+	g, err := FitGMM(xs, 2, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := append([]float64(nil), g.Means...)
+	sort.Float64s(means)
+	if math.Abs(means[0]-7.5) > 1 {
+		t.Errorf("fast component mean = %v, want ~7.5", means[0])
+	}
+	if math.Abs(means[1]-10800) > 200 {
+		t.Errorf("slow component mean = %v, want ~10800", means[1])
+	}
+	// Weight ordering: the fast component holds ~90% of the mass.
+	var fastW float64
+	for j := range g.Means {
+		if math.Abs(g.Means[j]-means[0]) < 1 {
+			fastW = g.Weights[j]
+		}
+	}
+	if math.Abs(fastW-0.9) > 0.05 {
+		t.Errorf("fast component weight = %v, want ~0.9", fastW)
+	}
+}
+
+func TestFitBestGMMSelectsCorrectOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+
+	// Unimodal data: BIC must select k = 1.
+	uni := make([]float64, 400)
+	for i := range uni {
+		uni[i] = 50 + rng.NormFloat64()*3
+	}
+	sel, err := FitBestGMM(uni, 4, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 1 {
+		t.Errorf("unimodal: selected k = %d, want 1 (BICs %v)", sel.K, sel.BICs)
+	}
+
+	// Bimodal data: BIC must select k = 2.
+	var bi []float64
+	for i := 0; i < 300; i++ {
+		bi = append(bi, 10+rng.NormFloat64())
+	}
+	for i := 0; i < 300; i++ {
+		bi = append(bi, 200+rng.NormFloat64()*5)
+	}
+	sel, err = FitBestGMM(bi, 4, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 2 {
+		t.Errorf("bimodal: selected k = %d, want 2 (BICs %v)", sel.K, sel.BICs)
+	}
+	if len(sel.BICs) != 4 {
+		t.Errorf("len(BICs) = %d, want 4", len(sel.BICs))
+	}
+}
+
+func TestFitGMMDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 100
+	}
+	g1, err := FitGMM(xs, 3, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FitGMM(xs, 3, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range g1.Means {
+		if g1.Means[j] != g2.Means[j] || g1.Weights[j] != g2.Weights[j] || g1.StdDevs[j] != g2.StdDevs[j] {
+			t.Fatalf("non-deterministic fit: %+v vs %+v", g1, g2)
+		}
+	}
+}
+
+func TestFitGMMDuplicatedPoints(t *testing.T) {
+	// All-identical observations must not produce NaNs (variance floor).
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 42
+	}
+	g, err := FitGMM(xs, 2, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range g.Means {
+		if math.IsNaN(g.Means[j]) || math.IsNaN(g.StdDevs[j]) || g.StdDevs[j] <= 0 {
+			t.Fatalf("degenerate component %d: %+v", j, g)
+		}
+	}
+	if math.IsNaN(g.BIC) || math.IsInf(g.BIC, 0) {
+		t.Errorf("BIC = %v", g.BIC)
+	}
+}
+
+func TestGMMWeightsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+	}
+	for k := 1; k <= 4; k++ {
+		g, err := FitGMM(xs, k, GMMConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, w := range g.Weights {
+			sum += w
+		}
+		if !almostEqual(sum, 1, 1e-6) {
+			t.Errorf("k=%d: weights sum to %v", k, sum)
+		}
+	}
+}
+
+func TestDominantComponents(t *testing.T) {
+	g := &GMM{
+		Weights: []float64{0.46, 0.53, 0.01},
+		Means:   []float64{175.12, 4.51, 82},
+		StdDevs: []float64{1, 1, 1},
+	}
+	doms := g.DominantComponents(0.05)
+	if len(doms) != 2 {
+		t.Fatalf("dominant components = %v, want 2", doms)
+	}
+	if doms[0] != 4.51 || doms[1] != 175.12 {
+		t.Errorf("doms = %v, want [4.51 175.12] (weight-ordered)", doms)
+	}
+	if all := g.DominantComponents(0); len(all) != 3 {
+		t.Errorf("minWeight 0 should return all components, got %v", all)
+	}
+}
+
+func TestFitBestGMMClampsK(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	sel, err := FitBestGMM(xs, 10, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.BICs) != 3 {
+		t.Errorf("BICs length = %d, want clamped to 3", len(sel.BICs))
+	}
+	sel, err = FitBestGMM(xs, 0, GMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 1 {
+		t.Errorf("maxK=0 should clamp to 1, got k=%d", sel.K)
+	}
+}
+
+func BenchmarkFitGMM_1000x3(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		switch i % 3 {
+		case 0:
+			xs[i] = 10 + rng.NormFloat64()
+		case 1:
+			xs[i] = 60 + rng.NormFloat64()*2
+		default:
+			xs[i] = 300 + rng.NormFloat64()*10
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitGMM(xs, 3, GMMConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegularizedIncompleteBetaBoundaries(t *testing.T) {
+	v, err := RegularizedIncompleteBeta(2, 3, 0)
+	if err != nil || v != 0 {
+		t.Errorf("I_0(2,3) = %v, %v; want 0", v, err)
+	}
+	v, err = RegularizedIncompleteBeta(2, 3, 1)
+	if err != nil || v != 1 {
+		t.Errorf("I_1(2,3) = %v, %v; want 1", v, err)
+	}
+	if _, err := RegularizedIncompleteBeta(0, 1, 0.5); err == nil {
+		t.Error("expected error for a = 0")
+	}
+	if _, err := RegularizedIncompleteBeta(1, -1, 0.5); err == nil {
+		t.Error("expected error for b < 0")
+	}
+	if _, err := RegularizedIncompleteBeta(1, 1, 1.5); err == nil {
+		t.Error("expected error for x > 1")
+	}
+	if _, err := RegularizedIncompleteBeta(1, 1, -0.5); err == nil {
+		t.Error("expected error for x < 0")
+	}
+}
+
+func TestRegularizedIncompleteBetaKnownValues(t *testing.T) {
+	// I_x(1, 1) = x (uniform distribution CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		v, err := RegularizedIncompleteBeta(1, 1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(v, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, v, x)
+		}
+	}
+	// I_x(2, 2) = x^2 (3 - 2x).
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		v, err := RegularizedIncompleteBeta(2, 2, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := x * x * (3 - 2*x)
+		if !almostEqual(v, want, 1e-12) {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, v, want)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	a, b, x := 3.5, 1.25, 0.37
+	v1, _ := RegularizedIncompleteBeta(a, b, x)
+	v2, _ := RegularizedIncompleteBeta(b, a, 1-x)
+	if !almostEqual(v1, 1-v2, 1e-12) {
+		t.Errorf("symmetry violated: %v vs %v", v1, 1-v2)
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// t distribution with df=1 is the standard Cauchy:
+	// CDF(t) = 1/2 + atan(t)/pi.
+	for _, tv := range []float64{-5, -1, 0, 1, 5} {
+		got, err := StudentTCDF(tv, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.5 + math.Atan(tv)/math.Pi
+		if !almostEqual(got, want, 1e-10) {
+			t.Errorf("StudentTCDF(%v, 1) = %v, want %v", tv, got, want)
+		}
+	}
+	// Large df approaches the standard normal.
+	got, err := StudentTCDF(1.96, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.975, 1e-3) {
+		t.Errorf("StudentTCDF(1.96, 1e6) = %v, want ~0.975", got)
+	}
+	// Standard critical value: t(0.975, df=10) = 2.228...
+	got, _ = StudentTCDF(2.228, 10)
+	if !almostEqual(got, 0.975, 1e-3) {
+		t.Errorf("StudentTCDF(2.228, 10) = %v, want ~0.975", got)
+	}
+}
+
+func TestStudentTCDFSpecialInputs(t *testing.T) {
+	if _, err := StudentTCDF(0, 0); err == nil {
+		t.Error("expected error for df = 0")
+	}
+	v, _ := StudentTCDF(math.Inf(1), 5)
+	if v != 1 {
+		t.Errorf("CDF(+Inf) = %v, want 1", v)
+	}
+	v, _ = StudentTCDF(math.Inf(-1), 5)
+	if v != 0 {
+		t.Errorf("CDF(-Inf) = %v, want 0", v)
+	}
+	v, _ = StudentTCDF(math.NaN(), 5)
+	if !math.IsNaN(v) {
+		t.Errorf("CDF(NaN) = %v, want NaN", v)
+	}
+	v, _ = StudentTCDF(0, 7)
+	if !almostEqual(v, 0.5, 1e-12) {
+		t.Errorf("CDF(0) = %v, want 0.5", v)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := NormalCDF(0, 0, 1); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Phi(0) = %v", got)
+	}
+	if got := NormalCDF(1.959964, 0, 1); !almostEqual(got, 0.975, 1e-6) {
+		t.Errorf("Phi(1.96) = %v", got)
+	}
+	// Degenerate sigma: step function at the mean.
+	if got := NormalCDF(4, 5, 0); got != 0 {
+		t.Errorf("step CDF below mean = %v", got)
+	}
+	if got := NormalCDF(6, 5, 0); got != 1 {
+		t.Errorf("step CDF above mean = %v", got)
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	want := 1 / math.Sqrt(2*math.Pi)
+	if got := NormalPDF(0, 0, 1); !almostEqual(got, want, 1e-12) {
+		t.Errorf("pdf(0) = %v, want %v", got, want)
+	}
+	if got := NormalPDF(0, 0, 0); got != 0 {
+		t.Errorf("pdf with sigma=0 = %v, want 0", got)
+	}
+	// LogNormalPDF agrees with log(NormalPDF) where the latter is finite.
+	for _, x := range []float64{-3, 0, 2.5} {
+		lg := LogNormalPDF(x, 1, 2)
+		direct := math.Log(NormalPDF(x, 1, 2))
+		if !almostEqual(lg, direct, 1e-10) {
+			t.Errorf("LogNormalPDF(%v) = %v, want %v", x, lg, direct)
+		}
+	}
+	if !math.IsInf(LogNormalPDF(0, 0, 0), -1) {
+		t.Error("LogNormalPDF with sigma=0 should be -Inf")
+	}
+	// Far tail stays finite in log space.
+	if v := LogNormalPDF(1000, 0, 1); math.IsInf(v, -1) || math.IsNaN(v) {
+		t.Errorf("log pdf far tail = %v, want finite", v)
+	}
+}
+
+// Property: the incomplete beta is monotone in x and bounded in [0, 1].
+func TestIncompleteBetaMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.2 + rng.Float64()*10
+		b := 0.2 + rng.Float64()*10
+		prev := -1e-15
+		for x := 0.0; x <= 1.0001; x += 0.05 {
+			xc := math.Min(x, 1)
+			v, err := RegularizedIncompleteBeta(a, b, xc)
+			if err != nil || v < prev-1e-9 || v < -1e-12 || v > 1+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: t CDF is monotone in t and symmetric: CDF(-t) = 1 - CDF(t).
+func TestStudentTCDFSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		df := 1 + rng.Float64()*50
+		tv := rng.NormFloat64() * 3
+		p1, err1 := StudentTCDF(tv, df)
+		p2, err2 := StudentTCDF(-tv, df)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(p1+p2, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TTestResult holds the outcome of a one-sample Student t-test.
+type TTestResult struct {
+	// T is the test statistic (sampleMean - mu0) / (s / sqrt(n)).
+	T float64
+	// DF is the degrees of freedom, n - 1.
+	DF float64
+	// P is the two-sided p-value.
+	P float64
+	// N is the sample size.
+	N int
+	// SampleMean and SampleStdDev describe the observed sample.
+	SampleMean, SampleStdDev float64
+}
+
+// ErrDegenerateSample is returned when a t-test sample has fewer than two
+// observations.
+var ErrDegenerateSample = errors.New("stats: t-test requires at least 2 observations")
+
+// OneSampleTTest tests H0: mean(xs) == mu0 against the two-sided
+// alternative. BAYWATCH's pruning step keeps a candidate period P when the
+// test does NOT reject H0 (p >= alpha): rejection means the observed
+// intervals are statistically inconsistent with P being the true period.
+//
+// A zero-variance sample is handled explicitly: if every observation equals
+// mu0 the p-value is 1 (perfectly consistent); otherwise it is 0 (the
+// observations are constant but different from mu0).
+func OneSampleTTest(xs []float64, mu0 float64) (TTestResult, error) {
+	n := len(xs)
+	if n < 2 {
+		return TTestResult{}, fmt.Errorf("%w: n=%d", ErrDegenerateSample, n)
+	}
+	mean := Mean(xs)
+	sd := StdDev(xs)
+	res := TTestResult{
+		DF:           float64(n - 1),
+		N:            n,
+		SampleMean:   mean,
+		SampleStdDev: sd,
+	}
+	if sd == 0 {
+		if mean == mu0 {
+			res.T = 0
+			res.P = 1
+		} else {
+			res.T = math.Inf(sign(mean - mu0))
+			res.P = 0
+		}
+		return res, nil
+	}
+	res.T = (mean - mu0) / (sd / math.Sqrt(float64(n)))
+	cdf, err := StudentTCDF(-math.Abs(res.T), res.DF)
+	if err != nil {
+		return TTestResult{}, err
+	}
+	res.P = 2 * cdf
+	if res.P > 1 {
+		res.P = 1
+	}
+	return res, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

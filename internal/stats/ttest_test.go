@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOneSampleTTestErrors(t *testing.T) {
+	if _, err := OneSampleTTest(nil, 0); err == nil {
+		t.Error("expected error for empty sample")
+	}
+	if _, err := OneSampleTTest([]float64{1}, 0); err == nil {
+		t.Error("expected error for single observation")
+	}
+}
+
+func TestOneSampleTTestKnownStatistic(t *testing.T) {
+	// Sample {1,2,3,4,5}: mean 3, sd sqrt(2.5), n 5.
+	xs := []float64{1, 2, 3, 4, 5}
+	res, err := OneSampleTTest(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT := (3.0 - 2.0) / (math.Sqrt(2.5) / math.Sqrt(5))
+	if !almostEqual(res.T, wantT, 1e-12) {
+		t.Errorf("T = %v, want %v", res.T, wantT)
+	}
+	if res.DF != 4 || res.N != 5 {
+		t.Errorf("DF = %v, N = %d", res.DF, res.N)
+	}
+	// Reference p-value (R: t.test(1:5, mu=2)): t = 1.4142, p = 0.2302.
+	if !almostEqual(res.P, 0.23019964, 1e-6) {
+		t.Errorf("P = %v, want 0.23020", res.P)
+	}
+}
+
+func TestOneSampleTTestExactMean(t *testing.T) {
+	xs := []float64{10, 20, 30}
+	res, err := OneSampleTTest(xs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T != 0 {
+		t.Errorf("T = %v, want 0", res.T)
+	}
+	if !almostEqual(res.P, 1, 1e-12) {
+		t.Errorf("P = %v, want 1", res.P)
+	}
+}
+
+func TestOneSampleTTestZeroVariance(t *testing.T) {
+	xs := []float64{5, 5, 5, 5}
+	res, err := OneSampleTTest(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("P for exact constant match = %v, want 1", res.P)
+	}
+	res, err = OneSampleTTest(xs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Errorf("P for constant mismatch = %v, want 0", res.P)
+	}
+	if !math.IsInf(res.T, -1) {
+		t.Errorf("T = %v, want -Inf (mean below mu0)", res.T)
+	}
+}
+
+func TestOneSampleTTestPruningSemantics(t *testing.T) {
+	// Intervals from a true 60 s beacon with small jitter: the true period
+	// must NOT be rejected at alpha = 0.05, while a wrong period must be.
+	rng := rand.New(rand.NewSource(42))
+	intervals := make([]float64, 200)
+	for i := range intervals {
+		intervals[i] = 60 + rng.NormFloat64()*2
+	}
+	res, err := OneSampleTTest(intervals, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.05 {
+		t.Errorf("true period rejected: p = %v", res.P)
+	}
+	res, err = OneSampleTTest(intervals, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P >= 0.05 {
+		t.Errorf("wrong period not rejected: p = %v", res.P)
+	}
+}
+
+func TestOneSampleTTestLargeSampleCalibration(t *testing.T) {
+	// Under H0, the p-value is approximately uniform: the rejection rate at
+	// alpha = 0.05 over many repetitions should be near 5%.
+	rng := rand.New(rand.NewSource(7))
+	trials := 2000
+	rejected := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 30)
+		for j := range xs {
+			xs[j] = 10 + rng.NormFloat64()
+		}
+		res, err := OneSampleTTest(xs, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejected++
+		}
+	}
+	rate := float64(rejected) / float64(trials)
+	if rate < 0.03 || rate > 0.07 {
+		t.Errorf("rejection rate under H0 = %v, want ~0.05", rate)
+	}
+}

@@ -1,0 +1,441 @@
+package synthetic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"baywatch/internal/corpus"
+	"baywatch/internal/proxylog"
+)
+
+// InfectionStyle selects the beaconing pattern of a simulated infection.
+type InfectionStyle int
+
+const (
+	// StyleSteady beacons continuously at a fixed period (TDSS/Zbot-like).
+	StyleSteady InfectionStyle = iota + 1
+	// StyleBurst alternates fast beacon bursts with long sleeps
+	// (Conficker-like, Fig. 2 right).
+	StyleBurst
+)
+
+// Infection describes one injected C&C beaconing campaign.
+type Infection struct {
+	// Family is a human-readable malware family tag (e.g. "Zbot").
+	Family string
+	// Domain is the C&C destination; when empty a DGA name is generated.
+	Domain string
+	// DGA selects the generated name flavor when Domain is empty.
+	DGA corpus.DGAStyle
+	// Clients is the number of infected devices.
+	Clients int
+	// Period is the beacon interval in seconds.
+	Period float64
+	// Noise perturbs the schedule.
+	Noise NoiseConfig
+	// Style selects steady vs. burst beaconing.
+	Style InfectionStyle
+	// BurstLen and SleepSeconds parameterize StyleBurst.
+	BurstLen     int
+	SleepSeconds float64
+}
+
+// Config parameterizes the enterprise simulation.
+type Config struct {
+	// Seed drives all randomness; identical configs generate identical
+	// traces.
+	Seed int64
+	// Start is the first simulated instant (Unix seconds). Use Midnight to
+	// produce day-aligned traces.
+	Start int64
+	// Days is the simulated duration.
+	Days int
+	// Hosts is the device population size.
+	Hosts int
+	// CatalogSize is the number of distinct popular destinations available
+	// for browsing.
+	CatalogSize int
+	// BrowsingSessionsPerHostDay is the mean number of browsing sessions a
+	// host starts per weekday.
+	BrowsingSessionsPerHostDay float64
+	// UpdateServices is the number of legitimate high-popularity beaconing
+	// services (software update, AV, telemetry).
+	UpdateServices int
+	// NicheServices is the number of low-popularity legitimate periodic
+	// destinations (live scores, web radio) that are not whitelisted and
+	// surface as ranking false positives, as in the paper.
+	NicheServices int
+	// Infections are the injected malicious campaigns.
+	Infections []Infection
+	// DHCPChurnProb is the per-day probability a host's IP changes.
+	DHCPChurnProb float64
+	// WeekendFactor scales weekend activity (the paper observed ~8x fewer
+	// connection pairs on weekends).
+	WeekendFactor float64
+}
+
+// DefaultConfig returns a laptop-scale configuration with the structural
+// properties of the paper's environment.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                       1,
+		Start:                      Midnight(2015, time.March, 1),
+		Days:                       7,
+		Hosts:                      200,
+		CatalogSize:                2000,
+		BrowsingSessionsPerHostDay: 6,
+		UpdateServices:             12,
+		NicheServices:              6,
+		DHCPChurnProb:              0.1,
+		WeekendFactor:              0.125,
+	}
+}
+
+// Midnight returns the Unix time of 00:00:00 UTC on the given date.
+func Midnight(year int, month time.Month, day int) int64 {
+	return time.Date(year, month, day, 0, 0, 0, 0, time.UTC).Unix()
+}
+
+// Label classifies a destination in the ground truth.
+type Label int
+
+const (
+	// LabelBenign marks ordinary or legitimately periodic destinations.
+	LabelBenign Label = iota + 1
+	// LabelMalicious marks injected C&C destinations.
+	LabelMalicious
+)
+
+// Truth is the generator's ground truth for one destination.
+type Truth struct {
+	Label Label
+	// Family is set for malicious destinations.
+	Family string
+	// Period is the injected beacon period (0 for non-beaconing).
+	Period float64
+	// Clients is the number of devices the generator pointed at the
+	// destination via beaconing.
+	Clients int
+}
+
+// Trace is a fully generated data set.
+type Trace struct {
+	// Records are the proxy log events, sorted by timestamp.
+	Records []*proxylog.Record
+	// Leases are the DHCP assignments covering the records.
+	Leases []proxylog.Lease
+	// Truth maps destination domain to ground truth.
+	Truth map[string]Truth
+	// Hosts lists the device MACs.
+	Hosts []string
+	// Catalog lists the popular destinations, most popular first.
+	Catalog []string
+}
+
+// Generate builds the full trace in memory. Memory scales with the event
+// count; at the default config a week is a few hundred thousand events.
+func Generate(cfg Config) (*Trace, error) {
+	if cfg.Days <= 0 || cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("synthetic: need positive Days and Hosts, got %d/%d", cfg.Days, cfg.Hosts)
+	}
+	if cfg.CatalogSize < cfg.UpdateServices+cfg.NicheServices+10 {
+		return nil, fmt.Errorf("synthetic: catalog %d too small", cfg.CatalogSize)
+	}
+	if cfg.WeekendFactor <= 0 {
+		cfg.WeekendFactor = 0.125
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{Truth: make(map[string]Truth)}
+
+	// --- population -------------------------------------------------------
+	tr.Hosts = make([]string, cfg.Hosts)
+	for i := range tr.Hosts {
+		tr.Hosts[i] = fmt.Sprintf("02:00:%02x:%02x:%02x:%02x", (i>>24)&0xff, (i>>16)&0xff, (i>>8)&0xff, i&0xff)
+	}
+	tr.Catalog = corpus.PopularDomains(cfg.CatalogSize, cfg.Seed+1)
+	for _, d := range tr.Catalog {
+		tr.Truth[d] = Truth{Label: LabelBenign}
+	}
+
+	// --- DHCP leases -------------------------------------------------------
+	tr.Leases = generateLeases(rng, cfg, tr.Hosts)
+	ipAt := leaseIndex(tr.Leases)
+
+	// --- destination roles --------------------------------------------------
+	updates := tr.Catalog[10 : 10+cfg.UpdateServices] // popular infrastructure
+	niche := make([]string, cfg.NicheServices)
+	copy(niche, tr.Catalog[len(tr.Catalog)-cfg.NicheServices:]) // tail popularity
+	for _, d := range niche {
+		t := tr.Truth[d]
+		t.Period = 300 * (1 + float64(rng.Intn(10)))
+		tr.Truth[d] = t
+	}
+
+	var recs []*proxylog.Record
+	end := cfg.Start + int64(cfg.Days)*86400
+
+	// Weekend presence: most devices are off-site or powered down on
+	// weekends (the paper observed ~8x fewer connection pairs). A fixed
+	// host subset of size WeekendFactor stays active; infections keep
+	// beaconing regardless (compromised always-on machines).
+	weekendStride := int(math.Round(1 / cfg.WeekendFactor))
+	if weekendStride < 1 {
+		weekendStride = 1
+	}
+	hostActiveAt := func(h int, ts int64) bool {
+		return !isWeekend(ts) || h%weekendStride == 0
+	}
+
+	// --- browsing ----------------------------------------------------------
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(cfg.CatalogSize-1))
+	for h, mac := range tr.Hosts {
+		_ = mac
+		for day := 0; day < cfg.Days; day++ {
+			dayStart := cfg.Start + int64(day)*86400
+			if !hostActiveAt(h, dayStart) {
+				continue
+			}
+			sessions := poisson(rng, cfg.BrowsingSessionsPerHostDay)
+			for s := 0; s < sessions; s++ {
+				// Sessions concentrate in working hours (8-18 UTC).
+				t := dayStart + 8*3600 + int64(rng.Float64()*10*3600)
+				domain := tr.Catalog[zipf.Uint64()]
+				burst := 2 + rng.Intn(12)
+				for b := 0; b < burst && t < end; b++ {
+					recs = append(recs, browseRecord(rng, t, ipAt(h, t), domain))
+					t += int64(rng.Float64()*30) + 1
+				}
+			}
+		}
+	}
+
+	// --- legitimate update/polling beacons ---------------------------------
+	for _, svc := range updates {
+		period := []float64{900, 1800, 3600, 7200, 14400, 86400}[rng.Intn(6)]
+		participating := cfg.Hosts / 2
+		for h := 0; h < participating; h++ {
+			start := cfg.Start + int64(rng.Float64()*period)
+			n := int(float64(cfg.Days) * 86400 / period)
+			if n < 2 {
+				n = 2
+			}
+			ts := BeaconTimestamps(rng, start, period, n, NoiseConfig{JitterSigma: period * 0.01, MissProb: 0.02})
+			path := corpus.BenignBeaconPaths[rng.Intn(len(corpus.BenignBeaconPaths))]
+			for _, t := range ts {
+				if t >= end {
+					break
+				}
+				if !hostActiveAt(h, t) {
+					continue
+				}
+				recs = append(recs, beaconRecord(rng, t, ipAt(h, t), svc, path, false))
+			}
+		}
+		t := tr.Truth[svc]
+		t.Period = period
+		t.Clients = participating
+		tr.Truth[svc] = t
+	}
+
+	// --- niche periodic sites (paper's FP class) ----------------------------
+	for _, d := range niche {
+		period := tr.Truth[d].Period
+		users := 1 + rng.Intn(3)
+		for u := 0; u < users; u++ {
+			h := rng.Intn(cfg.Hosts)
+			start := cfg.Start + int64(rng.Float64()*period)
+			n := int(float64(cfg.Days) * 86400 / period)
+			ts := BeaconTimestamps(rng, start, period, n, NoiseConfig{JitterSigma: period * 0.02, MissProb: 0.1})
+			for _, t := range ts {
+				if t >= end {
+					break
+				}
+				if !hostActiveAt(h, t) {
+					continue
+				}
+				recs = append(recs, browseRecord(rng, t, ipAt(h, t), d))
+			}
+		}
+		t := tr.Truth[d]
+		t.Clients = users
+		tr.Truth[d] = t
+	}
+
+	// --- infections ----------------------------------------------------------
+	for i := range cfg.Infections {
+		inf := cfg.Infections[i]
+		domain := inf.Domain
+		if domain == "" {
+			style := inf.DGA
+			if style == 0 {
+				style = corpus.DGAUniform
+			}
+			domain = corpus.DGADomains(1, style, cfg.Seed+int64(100+i))[0]
+		}
+		clients := inf.Clients
+		if clients < 1 {
+			clients = 1
+		}
+		path := corpus.MaliciousBeaconPaths[rng.Intn(len(corpus.MaliciousBeaconPaths))]
+		for c := 0; c < clients; c++ {
+			h := rng.Intn(cfg.Hosts)
+			start := cfg.Start + int64(rng.Float64()*inf.Period) + int64(c)*37
+			var ts []int64
+			if inf.Style == StyleBurst {
+				cycleLen := inf.Period*float64(inf.BurstLen) + inf.SleepSeconds
+				cycles := int(float64(cfg.Days)*86400/cycleLen) + 1
+				ts = BurstBeaconTimestamps(rng, start, inf.Period, inf.BurstLen, inf.SleepSeconds, cycles, inf.Noise)
+			} else {
+				n := int(float64(cfg.Days) * 86400 / inf.Period)
+				if n < 2 {
+					n = 2
+				}
+				ts = BeaconTimestamps(rng, start, inf.Period, n, inf.Noise)
+			}
+			for _, t := range ts {
+				if t >= end {
+					break
+				}
+				recs = append(recs, beaconRecord(rng, t, ipAt(h, t), domain, path, true))
+			}
+		}
+		tr.Truth[domain] = Truth{
+			Label:   LabelMalicious,
+			Family:  inf.Family,
+			Period:  inf.Period,
+			Clients: clients,
+		}
+	}
+
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Timestamp < recs[j].Timestamp })
+	tr.Records = recs
+	return tr, nil
+}
+
+// generateLeases walks each host through the simulated days, changing its
+// IP with DHCPChurnProb per day.
+func generateLeases(rng *rand.Rand, cfg Config, hosts []string) []proxylog.Lease {
+	var leases []proxylog.Lease
+	nextIP := 0
+	newIP := func() string {
+		nextIP++
+		return fmt.Sprintf("10.%d.%d.%d", (nextIP>>16)&0xff, (nextIP>>8)&0xff, nextIP&0xff)
+	}
+	end := cfg.Start + int64(cfg.Days)*86400
+	for _, mac := range hosts {
+		ip := newIP()
+		leaseStart := cfg.Start
+		for day := 1; day <= cfg.Days; day++ {
+			boundary := cfg.Start + int64(day)*86400
+			if day == cfg.Days {
+				leases = append(leases, proxylog.Lease{IP: ip, MAC: mac, Start: leaseStart, End: end})
+				break
+			}
+			if rng.Float64() < cfg.DHCPChurnProb {
+				leases = append(leases, proxylog.Lease{IP: ip, MAC: mac, Start: leaseStart, End: boundary})
+				ip = newIP()
+				leaseStart = boundary
+			}
+		}
+	}
+	return leases
+}
+
+// leaseIndex returns a lookup from (host index, timestamp) to the host's
+// IP at that time.
+func leaseIndex(leases []proxylog.Lease) func(h int, ts int64) string {
+	byMAC := make(map[string][]proxylog.Lease)
+	for _, l := range leases {
+		byMAC[l.MAC] = append(byMAC[l.MAC], l)
+	}
+	macs := make([]string, 0, len(byMAC))
+	for m := range byMAC {
+		macs = append(macs, m)
+	}
+	sort.Strings(macs)
+	// Host index ordering matches the generation order (hosts are
+	// generated with lexically increasing MACs).
+	return func(h int, ts int64) string {
+		ls := byMAC[macs[h%len(macs)]]
+		for _, l := range ls {
+			if ts >= l.Start && ts < l.End {
+				return l.IP
+			}
+		}
+		return ls[len(ls)-1].IP
+	}
+}
+
+var userAgents = []string{
+	"Mozilla/5.0 (Windows NT 6.1; WOW64)",
+	"Mozilla/5.0 (Windows NT 6.3; Win64; x64)",
+	"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10)",
+	"Mozilla/5.0 (X11; Linux x86_64)",
+}
+
+func browseRecord(rng *rand.Rand, ts int64, ip, domain string) *proxylog.Record {
+	paths := []string{"/", "/index.html", "/news", "/article?id=", "/img/a.png", "/css/site.css", "/api/items"}
+	return &proxylog.Record{
+		Timestamp: ts,
+		ClientIP:  ip,
+		Method:    "GET",
+		Scheme:    []string{"http", "https"}[rng.Intn(2)],
+		Host:      corpus.Subdomain(rng, domain, 0.3),
+		Path:      paths[rng.Intn(len(paths))],
+		Status:    200,
+		BytesOut:  500 + rng.Intn(50000),
+		BytesIn:   200 + rng.Intn(800),
+		UserAgent: userAgents[rng.Intn(len(userAgents))],
+	}
+}
+
+func beaconRecord(rng *rand.Rand, ts int64, ip, domain, path string, malicious bool) *proxylog.Record {
+	status := 200
+	bytesOut := 200 + rng.Intn(400)
+	if malicious && rng.Float64() < 0.1 {
+		status = 404 // dead C&C responses occur in the wild
+	}
+	return &proxylog.Record{
+		Timestamp: ts,
+		ClientIP:  ip,
+		Method:    "GET",
+		Scheme:    "http",
+		Host:      domain,
+		Path:      path,
+		Status:    status,
+		BytesOut:  bytesOut,
+		BytesIn:   150 + rng.Intn(200),
+		UserAgent: userAgents[rng.Intn(len(userAgents))],
+	}
+}
+
+// isWeekend reports whether the Unix timestamp falls on Saturday or Sunday
+// (UTC).
+func isWeekend(ts int64) bool {
+	wd := time.Unix(ts, 0).UTC().Weekday()
+	return wd == time.Saturday || wd == time.Sunday
+}
+
+// poisson draws a Poisson-distributed count with the given mean using
+// Knuth's method (fine for small means).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}

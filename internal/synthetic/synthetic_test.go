@@ -1,0 +1,335 @@
+package synthetic
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"baywatch/internal/corpus"
+	"baywatch/internal/proxylog"
+)
+
+func TestBeaconTimestampsClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ts := BeaconTimestamps(rng, 1000, 60, 10, NoiseConfig{})
+	if len(ts) != 10 {
+		t.Fatalf("len = %d, want 10", len(ts))
+	}
+	for i, v := range ts {
+		if want := int64(1000 + 60*i); v != want {
+			t.Errorf("ts[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestBeaconTimestampsSortedUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ts := BeaconTimestamps(rng, 0, 60, 500, NoiseConfig{JitterSigma: 30, MissProb: 0.3, AddProb: 0.3})
+	if !sort.SliceIsSorted(ts, func(i, j int) bool { return ts[i] < ts[j] }) {
+		t.Fatal("timestamps not sorted")
+	}
+	if len(ts) == 0 {
+		t.Fatal("noise must not eliminate all events")
+	}
+}
+
+func TestBeaconTimestampsMissingReducesCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clean := BeaconTimestamps(rng, 0, 60, 1000, NoiseConfig{})
+	missed := BeaconTimestamps(rng, 0, 60, 1000, NoiseConfig{MissProb: 0.5})
+	if len(missed) >= len(clean) {
+		t.Errorf("missing events did not reduce count: %d vs %d", len(missed), len(clean))
+	}
+	added := BeaconTimestamps(rng, 0, 60, 1000, NoiseConfig{AddProb: 0.5})
+	if len(added) <= len(clean) {
+		t.Errorf("added events did not increase count: %d vs %d", len(added), len(clean))
+	}
+}
+
+func TestBurstBeaconTimestamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ts := BurstBeaconTimestamps(rng, 0, 7, 17, 3600, 3, NoiseConfig{})
+	if len(ts) != 3*17 {
+		t.Fatalf("len = %d, want 51", len(ts))
+	}
+	// Second burst starts one sleep after the first burst's end.
+	gap := ts[17] - ts[16]
+	if gap < 3600 || gap > 3700 {
+		t.Errorf("inter-burst gap = %d, want ~3607", gap)
+	}
+	intra := ts[1] - ts[0]
+	if intra != 7 {
+		t.Errorf("intra-burst interval = %d, want 7", intra)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Days = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("expected error for zero days")
+	}
+	cfg = DefaultConfig()
+	cfg.CatalogSize = 5
+	if _, err := Generate(cfg); err == nil {
+		t.Error("expected error for tiny catalog")
+	}
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Days = 2
+	cfg.Hosts = 40
+	cfg.CatalogSize = 300
+	cfg.BrowsingSessionsPerHostDay = 3
+	cfg.UpdateServices = 4
+	cfg.NicheServices = 3
+	cfg.Infections = []Infection{
+		{Family: "Zbot", Clients: 2, Period: 180, Noise: NoiseConfig{JitterSigma: 2, MissProb: 0.05}},
+		{Family: "Conficker", Clients: 1, Period: 7.5, Style: StyleBurst, BurstLen: 16, SleepSeconds: 10800},
+	}
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if !reflect.DeepEqual(a.Records[i], b.Records[i]) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if !reflect.DeepEqual(a.Truth, b.Truth) {
+		t.Fatal("ground truth differs across runs")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) == 0 {
+		t.Fatal("no records generated")
+	}
+	// Sorted by timestamp.
+	if !sort.SliceIsSorted(tr.Records, func(i, j int) bool {
+		return tr.Records[i].Timestamp < tr.Records[j].Timestamp
+	}) {
+		t.Error("records not sorted")
+	}
+	// All records within the simulated window.
+	cfg := smallConfig()
+	end := cfg.Start + int64(cfg.Days)*86400
+	for _, r := range tr.Records {
+		if r.Timestamp < cfg.Start-120 || r.Timestamp >= end+120 {
+			t.Fatalf("record at %d outside window [%d, %d)", r.Timestamp, cfg.Start, end)
+		}
+	}
+	// Exactly two malicious destinations in truth.
+	var malicious []string
+	for d, tru := range tr.Truth {
+		if tru.Label == LabelMalicious {
+			malicious = append(malicious, d)
+		}
+	}
+	if len(malicious) != 2 {
+		t.Errorf("malicious destinations = %v, want 2", malicious)
+	}
+	// Malicious domains appear in the traffic.
+	seen := map[string]bool{}
+	for _, r := range tr.Records {
+		seen[r.Host] = true
+	}
+	for _, d := range malicious {
+		if !seen[d] {
+			t.Errorf("malicious domain %q absent from trace", d)
+		}
+	}
+}
+
+func TestGenerateDHCPCorrelation(t *testing.T) {
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := proxylog.NewCorrelator(tr.Leases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every record's source IP must resolve to a MAC at its timestamp.
+	for i, r := range tr.Records {
+		if _, err := corr.MACFor(r.ClientIP, r.Timestamp); err != nil {
+			t.Fatalf("record %d (%s at %d): %v", i, r.ClientIP, r.Timestamp, err)
+		}
+	}
+}
+
+func TestGenerateWeekendEffect(t *testing.T) {
+	cfg := smallConfig()
+	// 2015-03-01 is a Sunday; run Sun..Sat to cover both regimes.
+	cfg.Days = 7
+	cfg.Infections = nil
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDay := make(map[int]int)
+	for _, r := range tr.Records {
+		day := int((r.Timestamp - cfg.Start) / 86400)
+		perDay[day]++
+	}
+	// Day 0 is Sunday, days 1-5 weekdays, day 6 Saturday.
+	weekday := perDay[2]
+	weekend := perDay[0]
+	if weekend == 0 || weekday == 0 {
+		t.Fatalf("empty days: %v", perDay)
+	}
+	if float64(weekend) > 0.6*float64(weekday) {
+		t.Errorf("weekend (%d) not much quieter than weekday (%d)", weekend, weekday)
+	}
+}
+
+func TestGenerateBeaconIsDetectableShape(t *testing.T) {
+	// The injected Zbot beacon's inter-request intervals must concentrate
+	// around the configured period.
+	cfg := smallConfig()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mal string
+	for d, tru := range tr.Truth {
+		if tru.Label == LabelMalicious && tru.Family == "Zbot" {
+			mal = d
+		}
+	}
+	// Collect per-source timestamps for the malicious domain.
+	bySrc := make(map[string][]int64)
+	for _, r := range tr.Records {
+		if r.Host == mal {
+			bySrc[r.ClientIP] = append(bySrc[r.ClientIP], r.Timestamp)
+		}
+	}
+	if len(bySrc) == 0 {
+		t.Fatal("no malicious traffic found")
+	}
+	for src, ts := range bySrc {
+		if len(ts) < 10 {
+			continue
+		}
+		var near, total int
+		for i := 1; i < len(ts); i++ {
+			iv := float64(ts[i] - ts[i-1])
+			if iv == 0 {
+				continue
+			}
+			total++
+			if math.Abs(iv-180) < 20 {
+				near++
+			}
+		}
+		if total > 0 && float64(near) < 0.5*float64(total) {
+			t.Errorf("source %s: only %d/%d intervals near period 180", src, near, total)
+		}
+	}
+}
+
+func TestGenerateDGADomainsUsedWhenUnspecified(t *testing.T) {
+	cfg := smallConfig()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, tru := range tr.Truth {
+		if tru.Label != LabelMalicious {
+			continue
+		}
+		name := d[:len(d)-4]
+		if len(name) < 10 {
+			t.Errorf("malicious domain %q does not look DGA-generated", d)
+		}
+	}
+}
+
+func TestGenerateExplicitInfectionDomain(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Infections = []Infection{{Family: "X", Domain: "evil-fixed.example", Clients: 1, Period: 120}}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tru, ok := tr.Truth["evil-fixed.example"]
+	if !ok || tru.Label != LabelMalicious {
+		t.Fatalf("explicit infection domain missing from truth: %+v", tru)
+	}
+}
+
+func TestMidnightAndWeekend(t *testing.T) {
+	ts := Midnight(2015, time.March, 1)
+	u := time.Unix(ts, 0).UTC()
+	if u.Hour() != 0 || u.Day() != 1 || u.Month() != time.March {
+		t.Errorf("Midnight = %v", u)
+	}
+	if !isWeekend(ts) {
+		t.Error("2015-03-01 is a Sunday")
+	}
+	if isWeekend(Midnight(2015, time.March, 2)) {
+		t.Error("2015-03-02 is a Monday")
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if got := poisson(rng, 0); got != 0 {
+		t.Errorf("poisson(0) = %d", got)
+	}
+	if got := poisson(rng, -1); got != 0 {
+		t.Errorf("poisson(-1) = %d", got)
+	}
+	var sum float64
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		sum += float64(poisson(rng, 3.5))
+	}
+	mean := sum / trials
+	if math.Abs(mean-3.5) > 0.2 {
+		t.Errorf("poisson mean = %v, want ~3.5", mean)
+	}
+}
+
+func TestDGAStyleDefaulting(t *testing.T) {
+	// Infection with explicit DGA style produces a name of that flavor.
+	cfg := smallConfig()
+	cfg.Infections = []Infection{{Family: "Hex", DGA: corpus.DGAHex, Clients: 1, Period: 300}}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, tru := range tr.Truth {
+		if tru.Label != LabelMalicious {
+			continue
+		}
+		name := d[:len(d)-len(".com")]
+		for _, r := range name {
+			if r == '.' {
+				continue
+			}
+			if !('0' <= r && r <= '9' || 'a' <= r && r <= 'f') {
+				t.Fatalf("hex DGA domain has non-hex rune %q: %s", r, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package threatintel
+
+import (
+	"testing"
+
+	"baywatch/internal/synthetic"
+)
+
+func sampleTruth() map[string]synthetic.Truth {
+	return map[string]synthetic.Truth{
+		"benign.example":  {Label: synthetic.LabelBenign},
+		"evil1.example":   {Label: synthetic.LabelMalicious, Family: "Zbot"},
+		"evil2.example":   {Label: synthetic.LabelMalicious, Family: "TDSS"},
+		"evil3.example":   {Label: synthetic.LabelMalicious},
+		"evil4.example":   {Label: synthetic.LabelMalicious},
+		"evil5.example":   {Label: synthetic.LabelMalicious},
+		"evil6.example":   {Label: synthetic.LabelMalicious},
+		"evil7.example":   {Label: synthetic.LabelMalicious},
+		"evil8.example":   {Label: synthetic.LabelMalicious},
+		"evil9.example":   {Label: synthetic.LabelMalicious},
+		"evil10.example":  {Label: synthetic.LabelMalicious},
+		"service.example": {Label: synthetic.LabelBenign},
+	}
+}
+
+func TestOracleFullCoverage(t *testing.T) {
+	o := NewOracle(sampleTruth(), 1, 7)
+	r := o.Query("evil1.example")
+	if !r.Known || !r.Malicious || r.Detections < 1 {
+		t.Errorf("full-coverage oracle missed a malicious domain: %+v", r)
+	}
+	r = o.Query("benign.example")
+	if !r.Known || r.Malicious {
+		t.Errorf("benign domain misreported: %+v", r)
+	}
+	r = o.Query("unknown.example")
+	if r.Known || r.Malicious {
+		t.Errorf("unknown domain should be unknown: %+v", r)
+	}
+}
+
+func TestOracleCaseInsensitive(t *testing.T) {
+	o := NewOracle(sampleTruth(), 1, 7)
+	if !o.Query("EVIL1.EXAMPLE").Malicious {
+		t.Error("queries must be case-insensitive")
+	}
+}
+
+func TestOracleDeterministic(t *testing.T) {
+	o1 := NewOracle(sampleTruth(), 0.7, 42)
+	o2 := NewOracle(sampleTruth(), 0.7, 42)
+	for d := range sampleTruth() {
+		if o1.Query(d) != o2.Query(d) {
+			t.Fatalf("non-deterministic report for %s", d)
+		}
+	}
+}
+
+func TestOraclePartialCoverage(t *testing.T) {
+	truth := make(map[string]synthetic.Truth)
+	for i := 0; i < 500; i++ {
+		truth[dgaName(i)] = synthetic.Truth{Label: synthetic.LabelMalicious}
+	}
+	o := NewOracle(truth, 0.6, 1)
+	known := 0
+	for d := range truth {
+		if o.Query(d).Known {
+			known++
+		}
+	}
+	frac := float64(known) / 500
+	if frac < 0.5 || frac > 0.7 {
+		t.Errorf("coverage fraction = %v, want ~0.6", frac)
+	}
+}
+
+func TestOracleBadCoverageDefaults(t *testing.T) {
+	o := NewOracle(sampleTruth(), -1, 1)
+	if !o.Query("evil1.example").Malicious {
+		t.Error("invalid coverage should default to 1 (full)")
+	}
+	o = NewOracle(sampleTruth(), 2, 1)
+	if !o.Query("evil2.example").Malicious {
+		t.Error("coverage > 1 should default to 1")
+	}
+}
+
+func dgaName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, 12)
+	x := i*2654435761 + 12345
+	for j := range b {
+		x = x*1103515245 + 12345
+		b[j] = letters[((x>>16)%26+26)%26]
+	}
+	return string(b) + ".com"
+}

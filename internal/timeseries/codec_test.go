@@ -1,0 +1,150 @@
+package timeseries
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	a := &ActivitySummary{
+		Source:      "00:11:22:33:44:55",
+		Destination: "evil.example.com",
+		Scale:       60,
+		First:       1420070400,
+		Intervals:   []int64{1, 0, 5, 1440, -2},
+		URLPaths:    []string{"/gate.php", "/cb?id=1"},
+	}
+	got, err := UnmarshalActivitySummary(a.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, a)
+	}
+}
+
+func TestCodecEmptyFields(t *testing.T) {
+	a := &ActivitySummary{Scale: 1}
+	got, err := UnmarshalActivitySummary(a.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != "" || got.Destination != "" || len(got.Intervals) != 0 || got.URLPaths != nil {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestCodecCorruptInputs(t *testing.T) {
+	a := &ActivitySummary{Source: "s", Destination: "d", Scale: 1, First: 100, Intervals: []int64{1, 2, 3}}
+	enc := a.Marshal()
+
+	// Truncations at every byte boundary must error, never panic.
+	for i := 0; i < len(enc); i++ {
+		if _, err := UnmarshalActivitySummary(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d did not error", i)
+		}
+	}
+	// Trailing garbage must error.
+	if _, err := UnmarshalActivitySummary(append(append([]byte(nil), enc...), 0x01)); err == nil {
+		t.Error("trailing bytes did not error")
+	}
+	// A huge declared count must error, not allocate.
+	bad := appendString(nil, "s")
+	bad = appendString(bad, "d")
+	bad = append(bad, 2, 200) // scale, first
+	bad = append(bad, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)
+	if _, err := UnmarshalActivitySummary(bad); err == nil {
+		t.Error("oversized count did not error")
+	}
+}
+
+func TestCodecRandomRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := &ActivitySummary{
+			Source:      randString(rng, 20),
+			Destination: randString(rng, 40),
+			Scale:       int64(1 + rng.Intn(3600)),
+			First:       rng.Int63n(2000000000),
+		}
+		n := rng.Intn(200)
+		a.Intervals = make([]int64, n)
+		for i := range a.Intervals {
+			a.Intervals[i] = int64(rng.Intn(100000))
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			a.URLPaths = append(a.URLPaths, randString(rng, 30))
+		}
+		got, err := UnmarshalActivitySummary(a.Marshal())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randString(rng *rand.Rand, maxLen int) string {
+	n := rng.Intn(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(32 + rng.Intn(95))
+	}
+	return string(b)
+}
+
+func TestCodecSmallerThanJSON(t *testing.T) {
+	a := &ActivitySummary{
+		Source:      "00:11:22:33:44:55",
+		Destination: "cdn.popular.example",
+		Scale:       1,
+		First:       1420070400,
+		Intervals:   make([]int64, 1000),
+	}
+	for i := range a.Intervals {
+		a.Intervals[i] = 60
+	}
+	js, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := a.Marshal()
+	if len(bin) >= len(js)/2 {
+		t.Errorf("binary codec %d bytes vs JSON %d bytes; expected <50%%", len(bin), len(js))
+	}
+}
+
+func BenchmarkCodecMarshal(b *testing.B) {
+	a := &ActivitySummary{
+		Source: "s", Destination: "d", Scale: 1, First: 1e9,
+		Intervals: make([]int64, 1440),
+	}
+	for i := range a.Intervals {
+		a.Intervals[i] = 60
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Marshal()
+	}
+}
+
+func BenchmarkCodecUnmarshal(b *testing.B) {
+	a := &ActivitySummary{
+		Source: "s", Destination: "d", Scale: 1, First: 1e9,
+		Intervals: make([]int64, 1440),
+	}
+	enc := a.Marshal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalActivitySummary(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package timeseries
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalActivitySummary checks the binary codec never panics on
+// malformed input and that whatever decodes successfully re-encodes to an
+// equivalent value.
+func FuzzUnmarshalActivitySummary(f *testing.F) {
+	good := &ActivitySummary{
+		Source: "aa:bb", Destination: "evil.com", Scale: 60, First: 1e9,
+		Intervals: []int64{1, 0, 5}, URLPaths: []string{"/gate.php"},
+	}
+	f.Add(good.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		as, err := UnmarshalActivitySummary(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalActivitySummary(as.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.PairKey() != as.PairKey() || len(again.Intervals) != len(as.Intervals) {
+			t.Fatal("decode/encode not stable")
+		}
+	})
+}

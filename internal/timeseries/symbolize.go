@@ -1,0 +1,91 @@
+package timeseries
+
+import (
+	"math"
+)
+
+// Symbol values produced by Symbolize, per Sect. VI-A of the paper:
+// an interval maps to 'x' when it matches a dominant period, to 'y' when it
+// is zero (two requests in the same bucket), and to 'z' otherwise.
+const (
+	SymbolPeriodic = 'x'
+	SymbolZero     = 'y'
+	SymbolOther    = 'z'
+)
+
+// SymbolizeOptions controls the tolerance used to decide whether an
+// interval "appears in" a dominant period.
+type SymbolizeOptions struct {
+	// RelativeTolerance accepts an interval i for period P when
+	// |i - P| <= RelativeTolerance * P. Defaults to 0.1.
+	RelativeTolerance float64
+	// AbsoluteTolerance is the floor on the acceptance window, in the same
+	// unit as the intervals (seconds). Defaults to 1.
+	AbsoluteTolerance float64
+}
+
+func (o SymbolizeOptions) withDefaults() SymbolizeOptions {
+	if o.RelativeTolerance <= 0 {
+		o.RelativeTolerance = 0.1
+	}
+	if o.AbsoluteTolerance <= 0 {
+		o.AbsoluteTolerance = 1
+	}
+	return o
+}
+
+// Symbolize maps an interval list (in seconds) to the three-letter alphabet
+// {x, y, z} given the detected dominant periods. The resulting string feeds
+// the entropy, n-gram and compressibility features of Table II.
+func Symbolize(intervals []float64, dominantPeriods []float64, opts SymbolizeOptions) string {
+	opts = opts.withDefaults()
+	buf := make([]byte, len(intervals))
+	for i, iv := range intervals {
+		buf[i] = symbolFor(iv, dominantPeriods, opts)
+	}
+	return string(buf)
+}
+
+func symbolFor(interval float64, periods []float64, opts SymbolizeOptions) byte {
+	if interval == 0 {
+		return SymbolZero
+	}
+	for _, p := range periods {
+		tol := math.Max(opts.RelativeTolerance*p, opts.AbsoluteTolerance)
+		if math.Abs(interval-p) <= tol {
+			return SymbolPeriodic
+		}
+	}
+	return SymbolOther
+}
+
+// SymbolCounts returns the occurrence counts of the three symbols in a
+// symbolized series, in the order x, y, z. Characters outside the alphabet
+// are ignored.
+func SymbolCounts(s string) [3]int {
+	var counts [3]int
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case SymbolPeriodic:
+			counts[0]++
+		case SymbolZero:
+			counts[1]++
+		case SymbolOther:
+			counts[2]++
+		}
+	}
+	return counts
+}
+
+// NGramHistogram counts the n-grams of the symbolized series. It returns an
+// empty map when the series is shorter than n or n is not positive.
+func NGramHistogram(s string, n int) map[string]int {
+	out := make(map[string]int)
+	if n <= 0 || len(s) < n {
+		return out
+	}
+	for i := 0; i+n <= len(s); i++ {
+		out[s[i:i+n]]++
+	}
+	return out
+}

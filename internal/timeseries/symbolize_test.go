@@ -1,0 +1,87 @@
+package timeseries
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSymbolizeBasic(t *testing.T) {
+	intervals := []float64{60, 0, 61, 300, 59, 12}
+	got := Symbolize(intervals, []float64{60}, SymbolizeOptions{})
+	if got != "xyxzxz" {
+		t.Errorf("Symbolize = %q, want %q", got, "xyxzxz")
+	}
+}
+
+func TestSymbolizeEmpty(t *testing.T) {
+	if got := Symbolize(nil, []float64{60}, SymbolizeOptions{}); got != "" {
+		t.Errorf("Symbolize(nil) = %q", got)
+	}
+	// No dominant periods: everything nonzero is 'z'.
+	got := Symbolize([]float64{1, 0, 2}, nil, SymbolizeOptions{})
+	if got != "zyz" {
+		t.Errorf("Symbolize no periods = %q, want zyz", got)
+	}
+}
+
+func TestSymbolizeToleranceWindow(t *testing.T) {
+	opts := SymbolizeOptions{RelativeTolerance: 0.05, AbsoluteTolerance: 1}
+	// Period 100 with 5% tolerance: [95, 105] accepted.
+	got := Symbolize([]float64{95, 105, 94, 106}, []float64{100}, opts)
+	if got != "xxzz" {
+		t.Errorf("Symbolize = %q, want xxzz", got)
+	}
+	// Absolute floor dominates for small periods: period 2, rel tol 0.05
+	// would be 0.1, but floor 1 accepts [1, 3].
+	got = Symbolize([]float64{1, 3, 4}, []float64{2}, opts)
+	if got != "xxz" {
+		t.Errorf("small-period Symbolize = %q, want xxz", got)
+	}
+}
+
+func TestSymbolizeMultiplePeriods(t *testing.T) {
+	got := Symbolize([]float64{7, 10800, 50}, []float64{7.5, 10800}, SymbolizeOptions{})
+	if got != "xxz" {
+		t.Errorf("Symbolize = %q, want xxz", got)
+	}
+}
+
+func TestSymbolCounts(t *testing.T) {
+	counts := SymbolCounts("xxyzzz?")
+	if counts != [3]int{2, 1, 3} {
+		t.Errorf("SymbolCounts = %v, want [2 1 3]", counts)
+	}
+	if SymbolCounts("") != [3]int{} {
+		t.Error("SymbolCounts of empty string should be zero")
+	}
+}
+
+func TestNGramHistogram(t *testing.T) {
+	h := NGramHistogram("xxxyx", 3)
+	want := map[string]int{"xxx": 1, "xxy": 1, "xyx": 1}
+	if !reflect.DeepEqual(h, want) {
+		t.Errorf("NGramHistogram = %v, want %v", h, want)
+	}
+	if len(NGramHistogram("xy", 3)) != 0 {
+		t.Error("series shorter than n should yield empty histogram")
+	}
+	if len(NGramHistogram("xyz", 0)) != 0 {
+		t.Error("n = 0 should yield empty histogram")
+	}
+}
+
+func TestNGramHistogramRegularVsRandom(t *testing.T) {
+	// A perfectly periodic series has exactly 1 distinct 3-gram; a mixed
+	// one has more. The classifier relies on this separation.
+	regular := strings.Repeat("x", 100)
+	hr := NGramHistogram(regular, 3)
+	if len(hr) != 1 {
+		t.Errorf("regular series has %d distinct 3-grams, want 1", len(hr))
+	}
+	mixed := "xyzxzyxxzyzyxzxyzzyx"
+	hm := NGramHistogram(mixed, 3)
+	if len(hm) <= 1 {
+		t.Errorf("mixed series has %d distinct 3-grams, want > 1", len(hm))
+	}
+}

@@ -1,0 +1,113 @@
+// Package tokenfilter implements the URL-path token analysis of the
+// paper's suspicious-indication phase (Sect. V-A): legitimate periodic
+// traffic (update checks, feed polls, OCSP) hits stable, dictionary-like
+// paths, while C&C check-ins use empty, random, or parameter-staffed
+// paths. The filter tokenizes the observed paths of a communication pair,
+// matches tokens against a benign lexicon, and measures path-set
+// stability; pairs that look like benign polling are filtered out of the
+// ranking.
+package tokenfilter
+
+import (
+	"strings"
+)
+
+// benignTokens is the lexicon of path tokens characteristic of legitimate
+// periodic services.
+var benignTokens = map[string]struct{}{
+	"update": {}, "updates": {}, "softwareupdate": {}, "upgrade": {},
+	"check": {}, "version": {}, "versions": {}, "manifest": {},
+	"signature": {}, "signatures": {}, "definitions": {}, "av": {},
+	"license": {}, "verify": {}, "activation": {},
+	"poll": {}, "polling": {}, "inbox": {}, "mail": {}, "feed": {},
+	"rss": {}, "atom": {}, "news": {}, "latest": {},
+	"ocsp": {}, "crl": {}, "pki": {}, "cert": {},
+	"ping": {}, "status": {}, "health": {}, "heartbeat": {},
+	"time": {}, "sync": {}, "ntp": {},
+	"telemetry": {}, "metrics": {}, "report": {}, "stats": {},
+	"api": {}, "v1": {}, "v2": {},
+}
+
+// Analysis is the outcome of inspecting one pair's URL paths.
+type Analysis struct {
+	// BenignTokenRatio is the fraction of paths containing at least one
+	// lexicon token.
+	BenignTokenRatio float64
+	// DistinctPaths is the number of distinct paths observed.
+	DistinctPaths int
+	// Stability is 1/DistinctPaths (1 when every request hits one path) —
+	// legitimate beacons poll a fixed endpoint.
+	Stability float64
+	// LikelyBenign is the filter verdict.
+	LikelyBenign bool
+}
+
+// Filter applies the token analysis with the given decision thresholds.
+type Filter struct {
+	// MinBenignRatio is the benign-token ratio at which a stable path set
+	// is considered legitimate polling. Default 0.5.
+	MinBenignRatio float64
+	// MaxDistinctPaths is the largest path-set size still considered a
+	// stable poller. Default 4.
+	MaxDistinctPaths int
+}
+
+// New returns a Filter with the default thresholds.
+func New() *Filter {
+	return &Filter{MinBenignRatio: 0.5, MaxDistinctPaths: 4}
+}
+
+// Analyze inspects the URL paths observed for one communication pair.
+// A nil or empty path set yields a non-benign verdict: with no URL
+// information the filter cannot vouch for the pair.
+func (f *Filter) Analyze(paths []string) Analysis {
+	var a Analysis
+	if len(paths) == 0 {
+		return a
+	}
+	distinct := make(map[string]struct{}, len(paths))
+	benign := 0
+	for _, p := range paths {
+		distinct[p] = struct{}{}
+		if PathHasBenignToken(p) {
+			benign++
+		}
+	}
+	a.DistinctPaths = len(distinct)
+	a.BenignTokenRatio = float64(benign) / float64(len(paths))
+	a.Stability = 1 / float64(a.DistinctPaths)
+	minRatio := f.MinBenignRatio
+	if minRatio <= 0 {
+		minRatio = 0.5
+	}
+	maxPaths := f.MaxDistinctPaths
+	if maxPaths <= 0 {
+		maxPaths = 4
+	}
+	a.LikelyBenign = a.BenignTokenRatio >= minRatio && a.DistinctPaths <= maxPaths
+	return a
+}
+
+// PathHasBenignToken reports whether any token of the path appears in the
+// benign lexicon.
+func PathHasBenignToken(path string) bool {
+	for _, tok := range Tokenize(path) {
+		if _, ok := benignTokens[tok]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Tokenize splits a URL path into lowercase tokens on the separators
+// "/._-?=&" and strips file extensions into their own tokens.
+func Tokenize(path string) []string {
+	path = strings.ToLower(path)
+	return strings.FieldsFunc(path, func(r rune) bool {
+		switch r {
+		case '/', '.', '_', '-', '?', '=', '&':
+			return true
+		}
+		return false
+	})
+}

@@ -1,0 +1,110 @@
+package tokenfilter
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("/Update/Check?v=1.2&Platform=win")
+	want := []string{"update", "check", "v", "1", "2", "platform", "win"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize empty = %v", got)
+	}
+	if got := Tokenize("///"); len(got) != 0 {
+		t.Errorf("Tokenize separators only = %v", got)
+	}
+}
+
+func TestPathHasBenignToken(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/update/check", true},
+		{"/av/signatures/latest", true},
+		{"/ocsp", true},
+		{"/news/feed.rss", true},
+		{"/gate.php", false},
+		{"/xjq9z/kkpow", false},
+		{"", false},
+		{"/img/logo.gif?c=77", false},
+	}
+	for _, c := range cases {
+		if got := PathHasBenignToken(c.path); got != c.want {
+			t.Errorf("PathHasBenignToken(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeBenignPoller(t *testing.T) {
+	f := New()
+	paths := []string{"/update/check", "/update/check", "/update/check"}
+	a := f.Analyze(paths)
+	if !a.LikelyBenign {
+		t.Errorf("stable update poller should be benign: %+v", a)
+	}
+	if a.DistinctPaths != 1 || a.Stability != 1 {
+		t.Errorf("stability wrong: %+v", a)
+	}
+	if a.BenignTokenRatio != 1 {
+		t.Errorf("BenignTokenRatio = %v", a.BenignTokenRatio)
+	}
+}
+
+func TestAnalyzeCnCGate(t *testing.T) {
+	f := New()
+	a := f.Analyze([]string{"/gate.php", "/gate.php"})
+	if a.LikelyBenign {
+		t.Errorf("C&C gate must not be benign: %+v", a)
+	}
+}
+
+func TestAnalyzeUnstablePathSet(t *testing.T) {
+	f := New()
+	// Benign tokens but too many distinct paths: not a stable poller.
+	paths := []string{
+		"/update/1", "/update/2", "/update/3", "/update/4",
+		"/update/5", "/update/6",
+	}
+	a := f.Analyze(paths)
+	if a.LikelyBenign {
+		t.Errorf("unstable path set must not be benign: %+v", a)
+	}
+	if a.DistinctPaths != 6 {
+		t.Errorf("DistinctPaths = %d", a.DistinctPaths)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	f := New()
+	a := f.Analyze(nil)
+	if a.LikelyBenign {
+		t.Error("no URL information must not vouch for a pair")
+	}
+}
+
+func TestAnalyzeMixedPaths(t *testing.T) {
+	f := New()
+	// Half the requests are benign-looking, half are not: ratio exactly at
+	// the threshold counts as benign (>=).
+	a := f.Analyze([]string{"/update/check", "/abc"})
+	if !a.LikelyBenign {
+		t.Errorf("ratio 0.5 should pass the default 0.5 threshold: %+v", a)
+	}
+	a = f.Analyze([]string{"/update/check", "/abc", "/def"})
+	if a.LikelyBenign {
+		t.Errorf("ratio 0.33 should fail: %+v", a)
+	}
+}
+
+func TestFilterZeroValueDefaults(t *testing.T) {
+	var f Filter // zero thresholds fall back to defaults
+	a := f.Analyze([]string{"/ping"})
+	if !a.LikelyBenign {
+		t.Errorf("zero-value filter should use defaults: %+v", a)
+	}
+}

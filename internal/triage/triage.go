@@ -1,0 +1,170 @@
+// Package triage implements the bootstrap investigation workflow of
+// Sect. VI: manually label a small sample of candidate cases (here: a
+// labeled training window), train a random forest on their Table II
+// feature vectors, classify the remaining candidates, and rank them by
+// classifier uncertainty so analysts examine the most ambiguous cases
+// first. It also provides the confusion-matrix and
+// false-negative-reduction accounting of the paper's Table IV and Fig. 11.
+package triage
+
+import (
+	"fmt"
+	"sort"
+
+	"baywatch/internal/forest"
+)
+
+// Labeled is a candidate case with a ground-truth label (0 benign,
+// 1 malicious).
+type Labeled struct {
+	ID       string
+	Features []float64
+	Label    int
+}
+
+// Classified is the triage outcome for one candidate.
+type Classified struct {
+	ID string
+	// Prob is the forest's malicious probability.
+	Prob float64
+	// Predicted is the majority-vote class.
+	Predicted int
+	// Uncertainty is 1 - |2*Prob - 1|; high values mean the ensemble is
+	// split.
+	Uncertainty float64
+}
+
+// Triage trains on the labeled window and classifies the candidates.
+// It returns the classifications in the candidates' order.
+func Triage(train []Labeled, candidates []Labeled, cfg forest.Config) ([]Classified, *forest.Forest, error) {
+	if len(train) == 0 {
+		return nil, nil, fmt.Errorf("triage: empty training window")
+	}
+	x := make([][]float64, len(train))
+	y := make([]int, len(train))
+	for i, c := range train {
+		x[i] = c.Features
+		y[i] = c.Label
+	}
+	f, err := forest.Train(x, y, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("triage: train: %w", err)
+	}
+	out := make([]Classified, len(candidates))
+	for i, c := range candidates {
+		p, err := f.PredictProb(c.Features)
+		if err != nil {
+			return nil, nil, fmt.Errorf("triage: classify %s: %w", c.ID, err)
+		}
+		pred := 0
+		if p >= 0.5 {
+			pred = 1
+		}
+		out[i] = Classified{
+			ID:          c.ID,
+			Prob:        p,
+			Predicted:   pred,
+			Uncertainty: 1 - abs(2*p-1),
+		}
+	}
+	return out, f, nil
+}
+
+// ConfusionMatrix is the 2x2 classification outcome of Table IV.
+type ConfusionMatrix struct {
+	// TrueBenign are benign cases classified benign; FalsePositive are
+	// benign cases classified malicious; FalseNegative are malicious cases
+	// classified benign; TruePositive are malicious cases classified
+	// malicious.
+	TrueBenign, FalsePositive, FalseNegative, TruePositive int
+}
+
+// Add records one (truth, prediction) outcome.
+func (m *ConfusionMatrix) Add(truth, predicted int) {
+	switch {
+	case truth == 0 && predicted == 0:
+		m.TrueBenign++
+	case truth == 0 && predicted == 1:
+		m.FalsePositive++
+	case truth == 1 && predicted == 0:
+		m.FalseNegative++
+	default:
+		m.TruePositive++
+	}
+}
+
+// Total returns the number of recorded cases.
+func (m *ConfusionMatrix) Total() int {
+	return m.TrueBenign + m.FalsePositive + m.FalseNegative + m.TruePositive
+}
+
+// FalsePositiveRate returns FP / (FP + TN), 0 for an empty benign class.
+func (m *ConfusionMatrix) FalsePositiveRate() float64 {
+	denom := m.FalsePositive + m.TrueBenign
+	if denom == 0 {
+		return 0
+	}
+	return float64(m.FalsePositive) / float64(denom)
+}
+
+// Evaluate builds the confusion matrix of classifications against the
+// ground-truth labels keyed by case ID. Cases without a label are skipped
+// and counted in the second return value.
+func Evaluate(classified []Classified, truth map[string]int) (ConfusionMatrix, int) {
+	var m ConfusionMatrix
+	skipped := 0
+	for _, c := range classified {
+		label, ok := truth[c.ID]
+		if !ok {
+			skipped++
+			continue
+		}
+		m.Add(label, c.Predicted)
+	}
+	return m, skipped
+}
+
+// ByUncertainty returns the classifications sorted most-uncertain first
+// (ties broken by ID for determinism). This is the review order of
+// Fig. 11.
+func ByUncertainty(classified []Classified) []Classified {
+	out := append([]Classified(nil), classified...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Uncertainty != out[j].Uncertainty {
+			return out[i].Uncertainty > out[j].Uncertainty
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// FNReductionCurve reproduces Fig. 11: curve[k] is the number of false
+// negatives remaining after manually examining (and thereby correcting)
+// the first k cases in uncertainty order. curve[0] is the initial FN
+// count; the slice has len(classified)+1 entries.
+func FNReductionCurve(classified []Classified, truth map[string]int) []int {
+	ordered := ByUncertainty(classified)
+	fn := 0
+	for _, c := range ordered {
+		if truth[c.ID] == 1 && c.Predicted == 0 {
+			fn++
+		}
+	}
+	curve := make([]int, 0, len(ordered)+1)
+	curve = append(curve, fn)
+	remaining := fn
+	for _, c := range ordered {
+		if truth[c.ID] == 1 && c.Predicted == 0 {
+			remaining--
+		}
+		curve = append(curve, remaining)
+	}
+	return curve
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

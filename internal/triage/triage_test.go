@@ -1,0 +1,188 @@
+package triage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"baywatch/internal/forest"
+)
+
+// syntheticCases builds labeled cases with separable feature clusters plus
+// an ambiguous band.
+func syntheticCases(rng *rand.Rand, n int, prefix string) []Labeled {
+	out := make([]Labeled, n)
+	for i := range out {
+		label := i % 2
+		center := 0.0
+		if label == 1 {
+			center = 6
+		}
+		// Every 10th case sits in the overlap region.
+		if i%10 == 0 {
+			center = 3
+		}
+		out[i] = Labeled{
+			ID:       fmt.Sprintf("%s-%d", prefix, i),
+			Features: []float64{center + rng.NormFloat64(), rng.NormFloat64()},
+			Label:    label,
+		}
+	}
+	return out
+}
+
+func TestTriageEmptyTraining(t *testing.T) {
+	if _, _, err := Triage(nil, nil, forest.Config{}); err == nil {
+		t.Error("expected error for empty training window")
+	}
+}
+
+func TestTriageClassifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := syntheticCases(rng, 200, "train")
+	cands := syntheticCases(rng, 400, "cand")
+	classified, f, err := Triage(train, cands, forest.Config{Trees: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil || f.Trees() != 50 {
+		t.Fatal("forest not returned")
+	}
+	if len(classified) != len(cands) {
+		t.Fatalf("classified %d, want %d", len(classified), len(cands))
+	}
+	truth := make(map[string]int, len(cands))
+	for _, c := range cands {
+		truth[c.ID] = c.Label
+	}
+	m, skipped := Evaluate(classified, truth)
+	if skipped != 0 {
+		t.Errorf("skipped = %d", skipped)
+	}
+	if m.Total() != len(cands) {
+		t.Errorf("total = %d", m.Total())
+	}
+	acc := float64(m.TrueBenign+m.TruePositive) / float64(m.Total())
+	if acc < 0.85 {
+		t.Errorf("accuracy %v too low; matrix %+v", acc, m)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	var m ConfusionMatrix
+	m.Add(0, 0)
+	m.Add(0, 1)
+	m.Add(1, 0)
+	m.Add(1, 1)
+	m.Add(1, 1)
+	if m.TrueBenign != 1 || m.FalsePositive != 1 || m.FalseNegative != 1 || m.TruePositive != 2 {
+		t.Errorf("matrix = %+v", m)
+	}
+	if m.Total() != 5 {
+		t.Errorf("Total = %d", m.Total())
+	}
+	if got := m.FalsePositiveRate(); got != 0.5 {
+		t.Errorf("FPR = %v, want 0.5", got)
+	}
+	var empty ConfusionMatrix
+	if empty.FalsePositiveRate() != 0 {
+		t.Error("empty FPR should be 0")
+	}
+}
+
+func TestEvaluateSkipsUnlabeled(t *testing.T) {
+	classified := []Classified{
+		{ID: "a", Predicted: 1},
+		{ID: "b", Predicted: 0},
+		{ID: "missing", Predicted: 1},
+	}
+	truth := map[string]int{"a": 1, "b": 0}
+	m, skipped := Evaluate(classified, truth)
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if m.TruePositive != 1 || m.TrueBenign != 1 || m.Total() != 2 {
+		t.Errorf("matrix = %+v", m)
+	}
+}
+
+func TestByUncertaintyOrdering(t *testing.T) {
+	in := []Classified{
+		{ID: "sure-benign", Prob: 0.02, Uncertainty: 0.04},
+		{ID: "split", Prob: 0.5, Uncertainty: 1},
+		{ID: "sure-mal", Prob: 0.97, Uncertainty: 0.06},
+		{ID: "a-tied", Prob: 0.5, Uncertainty: 1},
+	}
+	out := ByUncertainty(in)
+	if out[0].ID != "a-tied" || out[1].ID != "split" {
+		t.Errorf("order = %v %v (ties broken by ID)", out[0].ID, out[1].ID)
+	}
+	if out[len(out)-1].Uncertainty > out[0].Uncertainty {
+		t.Error("not descending")
+	}
+	// Input untouched.
+	if in[0].ID != "sure-benign" {
+		t.Error("input mutated")
+	}
+}
+
+func TestFNReductionCurve(t *testing.T) {
+	classified := []Classified{
+		{ID: "fn1", Predicted: 0, Uncertainty: 0.9}, // malicious missed, very uncertain
+		{ID: "tn", Predicted: 0, Uncertainty: 0.1},
+		{ID: "fn2", Predicted: 0, Uncertainty: 0.5}, // malicious missed, medium
+		{ID: "tp", Predicted: 1, Uncertainty: 0.2},
+	}
+	truth := map[string]int{"fn1": 1, "tn": 0, "fn2": 1, "tp": 1}
+	curve := FNReductionCurve(classified, truth)
+	if len(curve) != 5 {
+		t.Fatalf("curve length = %d, want 5", len(curve))
+	}
+	if curve[0] != 2 {
+		t.Errorf("initial FN = %d, want 2", curve[0])
+	}
+	// fn1 is most uncertain -> examined first -> FN drops to 1.
+	if curve[1] != 1 {
+		t.Errorf("after 1 exam = %d, want 1", curve[1])
+	}
+	// fn2 second -> 0.
+	if curve[2] != 0 {
+		t.Errorf("after 2 exams = %d, want 0", curve[2])
+	}
+	if curve[4] != 0 {
+		t.Errorf("final = %d, want 0", curve[4])
+	}
+}
+
+func TestFNCurveMonotone(t *testing.T) {
+	// Property: the curve never increases, and uncertain FNs make it drop
+	// faster early than a random order would on average.
+	rng := rand.New(rand.NewSource(5))
+	train := syntheticCases(rng, 300, "t")
+	cands := syntheticCases(rng, 600, "c")
+	classified, _, err := Triage(train, cands, forest.Config{Trees: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[string]int)
+	for _, c := range cands {
+		truth[c.ID] = c.Label
+	}
+	curve := FNReductionCurve(classified, truth)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1] {
+			t.Fatalf("curve increased at %d: %d -> %d", i, curve[i-1], curve[i])
+		}
+	}
+	if curve[len(curve)-1] != 0 {
+		t.Errorf("curve must end at 0, got %d", curve[len(curve)-1])
+	}
+	// Early drop: after examining half the cases, most FNs found (the
+	// classifier's mistakes concentrate in the uncertain band).
+	if curve[0] > 0 {
+		half := curve[len(curve)/2]
+		if float64(half) > 0.5*float64(curve[0]) {
+			t.Errorf("after half the exams %d/%d FNs remain; expected faster reduction", half, curve[0])
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package whitelist implements BAYWATCH's whitelist analysis phase: a
+// global whitelist of well-known popular domains (with suffix matching so
+// cdn.google.com is covered by google.com) and a local, per-organization
+// whitelist derived from destination popularity — destinations contacted by
+// at least a fraction τ_P of all observed sources are considered
+// organization-wide services and excluded from beaconing analysis.
+package whitelist
+
+import (
+	"strings"
+)
+
+// Global is the popularity-list-based whitelist. Lookup is by exact match
+// or by any registrable parent suffix.
+type Global struct {
+	domains map[string]struct{}
+}
+
+// NewGlobal builds a global whitelist from a domain list (e.g. the head of
+// the popular-domain ranking). Entries are lowercased.
+func NewGlobal(domains []string) *Global {
+	g := &Global{domains: make(map[string]struct{}, len(domains))}
+	for _, d := range domains {
+		d = strings.ToLower(strings.TrimSpace(d))
+		if d != "" {
+			g.domains[d] = struct{}{}
+		}
+	}
+	return g
+}
+
+// Len returns the number of whitelist entries.
+func (g *Global) Len() int { return len(g.domains) }
+
+// Contains reports whether host or any of its parent domains is
+// whitelisted. An IP literal only matches exactly.
+func (g *Global) Contains(host string) bool {
+	host = strings.ToLower(strings.TrimSpace(host))
+	for host != "" {
+		if _, ok := g.domains[host]; ok {
+			return true
+		}
+		dot := strings.IndexByte(host, '.')
+		if dot < 0 {
+			return false
+		}
+		host = host[dot+1:]
+		// Never match a bare TLD: require at least one more label.
+		if !strings.Contains(host, ".") {
+			return false
+		}
+	}
+	return false
+}
+
+// Local is the organization-specific popularity whitelist of Sect. III-B:
+// it counts distinct sources per destination and whitelists destinations
+// whose source share reaches the threshold τ_P. An absolute floor of
+// MinSources keeps the ratio meaningful in small populations (the paper's
+// 1% presumes a six-figure device count; at 1% of 60 hosts a single
+// source would qualify).
+type Local struct {
+	threshold    float64
+	minSources   int
+	totalSources int
+	perDest      map[string]int
+}
+
+// DefaultMinSources is the absolute source-count floor of the local
+// whitelist.
+const DefaultMinSources = 10
+
+// NewLocal creates a local whitelist with threshold tau (fraction of the
+// source population, e.g. 0.01 for 1%) and the default absolute floor.
+func NewLocal(tau float64) *Local {
+	return NewLocalWithFloor(tau, DefaultMinSources)
+}
+
+// NewLocalWithFloor creates a local whitelist with an explicit absolute
+// source-count floor.
+func NewLocalWithFloor(tau float64, minSources int) *Local {
+	if tau <= 0 {
+		tau = 0.01
+	}
+	if minSources < 1 {
+		minSources = 1
+	}
+	return &Local{threshold: tau, minSources: minSources, perDest: make(map[string]int)}
+}
+
+// Build ingests the destination -> distinct-source counts and the total
+// source population size.
+func (l *Local) Build(destSources map[string]int, totalSources int) {
+	l.perDest = make(map[string]int, len(destSources))
+	for d, n := range destSources {
+		l.perDest[strings.ToLower(d)] = n
+	}
+	l.totalSources = totalSources
+}
+
+// Popularity returns the fraction of sources that contacted the
+// destination (0 when unknown or the population is empty).
+func (l *Local) Popularity(dest string) float64 {
+	if l.totalSources <= 0 {
+		return 0
+	}
+	return float64(l.perDest[strings.ToLower(dest)]) / float64(l.totalSources)
+}
+
+// Contains reports whether the destination's popularity reaches τ_P and
+// the absolute source-count floor.
+func (l *Local) Contains(dest string) bool {
+	if l.perDest[strings.ToLower(dest)] < l.minSources {
+		return false
+	}
+	return l.Popularity(dest) >= l.threshold
+}
+
+// Threshold returns τ_P.
+func (l *Local) Threshold() float64 { return l.threshold }

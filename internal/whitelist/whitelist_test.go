@@ -1,0 +1,98 @@
+package whitelist
+
+import "testing"
+
+func TestGlobalContains(t *testing.T) {
+	g := NewGlobal([]string{"google.com", "Example.ORG", " spaced.net "})
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+	cases := []struct {
+		host string
+		want bool
+	}{
+		{"google.com", true},
+		{"GOOGLE.COM", true},
+		{"www.google.com", true},
+		{"cdn.img.google.com", true},
+		{"example.org", true},
+		{"spaced.net", true},
+		{"notgoogle.com", false},
+		{"google.com.evil.net", false},
+		{"evil.com", false},
+		{"com", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := g.Contains(c.host); got != c.want {
+			t.Errorf("Contains(%q) = %v, want %v", c.host, got, c.want)
+		}
+	}
+}
+
+func TestGlobalNeverMatchesBareTLD(t *testing.T) {
+	// Even with "com" (mis)listed, a suffix walk must not whitelist every
+	// .com host via the bare TLD.
+	g := NewGlobal([]string{"com"})
+	if g.Contains("evil.com") {
+		t.Error("bare TLD entry must not whitelist subdomains")
+	}
+	if !g.Contains("com") {
+		t.Error("exact match of the entry itself should hold")
+	}
+}
+
+func TestGlobalEmptyEntriesSkipped(t *testing.T) {
+	g := NewGlobal([]string{"", "  ", "a.com"})
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestLocalPopularity(t *testing.T) {
+	l := NewLocal(0.01)
+	l.Build(map[string]int{"proxy.corp.example": 900, "rare.example": 2}, 1000)
+	if got := l.Popularity("proxy.corp.example"); got != 0.9 {
+		t.Errorf("Popularity = %v, want 0.9", got)
+	}
+	if got := l.Popularity("PROXY.CORP.EXAMPLE"); got != 0.9 {
+		t.Errorf("Popularity must be case-insensitive, got %v", got)
+	}
+	if got := l.Popularity("unknown.example"); got != 0 {
+		t.Errorf("unknown destination popularity = %v", got)
+	}
+	if !l.Contains("proxy.corp.example") {
+		t.Error("popular destination must be whitelisted")
+	}
+	if l.Contains("rare.example") {
+		t.Error("0.2% destination must not pass a 1% threshold")
+	}
+}
+
+func TestLocalThresholdBoundary(t *testing.T) {
+	l := NewLocal(0.01)
+	l.Build(map[string]int{"exact.example": 10}, 1000)
+	if !l.Contains("exact.example") {
+		t.Error("exactly at threshold should be whitelisted (>=)")
+	}
+	if l.Threshold() != 0.01 {
+		t.Errorf("Threshold = %v", l.Threshold())
+	}
+}
+
+func TestLocalDefaultsAndEmpty(t *testing.T) {
+	l := NewLocal(0)
+	if l.Threshold() != 0.01 {
+		t.Errorf("default threshold = %v, want 0.01", l.Threshold())
+	}
+	if l.Popularity("x") != 0 {
+		t.Error("empty store popularity must be 0")
+	}
+	if l.Contains("x") {
+		t.Error("empty store must not whitelist")
+	}
+	l.Build(nil, 0)
+	if l.Popularity("x") != 0 {
+		t.Error("zero population popularity must be 0")
+	}
+}

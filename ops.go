@@ -1,0 +1,24 @@
+package baywatch
+
+import (
+	"baywatch/internal/opsloop"
+)
+
+// OpsConfig configures the multi-timescale operations loop: daily pipeline
+// runs with persistent novelty state, plus periodic weekly/monthly coarse
+// passes over rescaled-and-merged history (the paper's Sect. X deployment
+// mode).
+type OpsConfig = opsloop.Config
+
+// OpsReport is the outcome of ingesting one day of traffic.
+type OpsReport = opsloop.Report
+
+// OpsLoop is the stateful daily operator; state persists under its
+// configured directory across restarts.
+type OpsLoop = opsloop.Loop
+
+// NewOpsLoop opens (or initializes) the operations loop. corr may be nil
+// to identify sources by raw IP.
+func NewOpsLoop(cfg OpsConfig, corr *Correlator) (*OpsLoop, error) {
+	return opsloop.New(cfg, corr)
+}

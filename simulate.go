@@ -1,0 +1,47 @@
+package baywatch
+
+import (
+	"baywatch/internal/synthetic"
+	"baywatch/internal/threatintel"
+)
+
+// SimulationConfig parameterizes the enterprise traffic simulator that
+// substitutes for the paper's proprietary proxy-log corpus.
+type SimulationConfig = synthetic.Config
+
+// Infection describes one injected C&C beaconing campaign.
+type Infection = synthetic.Infection
+
+// NoiseConfig is the perturbation model of the paper's Fig. 10 synthetic
+// evaluation (Gaussian jitter, missing events, added events).
+type NoiseConfig = synthetic.NoiseConfig
+
+// Trace is a fully generated data set: records, DHCP leases, ground truth.
+type Trace = synthetic.Trace
+
+// IntelOracle simulates the VirusTotal-style reputation portals the paper
+// uses to construct evaluation ground truth.
+type IntelOracle = threatintel.Oracle
+
+// IntelReport is the oracle's answer for one domain.
+type IntelReport = threatintel.Report
+
+// DefaultSimulationConfig returns a laptop-scale configuration with the
+// structural properties of the paper's environment (Zipf browsing,
+// legitimate periodic services, weekend dips, DHCP churn).
+func DefaultSimulationConfig() SimulationConfig {
+	return synthetic.DefaultConfig()
+}
+
+// Simulate generates an enterprise traffic trace with the configured
+// injected infections. Generation is deterministic per seed.
+func Simulate(cfg SimulationConfig) (*Trace, error) {
+	return synthetic.Generate(cfg)
+}
+
+// NewIntelOracle builds a reputation oracle over a trace's ground truth;
+// coverage in (0, 1] is the fraction of malicious domains the simulated
+// intel community knows about.
+func NewIntelOracle(tr *Trace, coverage float64, seed int64) *IntelOracle {
+	return threatintel.NewOracle(tr.Truth, coverage, seed)
+}

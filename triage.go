@@ -1,0 +1,79 @@
+package baywatch
+
+import (
+	"baywatch/internal/features"
+	"baywatch/internal/forest"
+	"baywatch/internal/triage"
+)
+
+// TriageCase is a candidate case with a ground-truth label (0 benign,
+// 1 malicious) used to bootstrap the triage classifier.
+type TriageCase = triage.Labeled
+
+// TriageVerdict is the classifier's outcome for one candidate: predicted
+// class, malicious probability, and ensemble uncertainty.
+type TriageVerdict = triage.Classified
+
+// ConfusionMatrix is the 2x2 evaluation of triage predictions against
+// ground truth (the paper's Table IV).
+type ConfusionMatrix = triage.ConfusionMatrix
+
+// ForestConfig parameterizes the random-forest classifier; the zero value
+// reproduces the paper's prototype (200 trees).
+type ForestConfig = forest.Config
+
+// RandomForest is the trained ensemble.
+type RandomForest = forest.Forest
+
+// FeatureNames lists the Table II feature vector components, in the order
+// CaseFeatures produces them.
+func FeatureNames() []string {
+	out := make([]string, len(features.Names))
+	copy(out, features.Names)
+	return out
+}
+
+// CaseFeatures extracts the classifier feature vector from a pipeline
+// candidate: the paper's Table II features plus the language-model score
+// and destination popularity the earlier filter stages produce (Sect. VI
+// notes the filters "generate a rich set of features" for the classifier).
+func CaseFeatures(c *Candidate) []float64 {
+	fc := features.Case{
+		SimilarSources: c.SimilarSources,
+	}
+	if c.Summary != nil {
+		fc.Intervals = c.Summary.IntervalsSeconds()
+	}
+	if c.Detection != nil && len(c.Detection.Kept) > 0 {
+		fc.DominantPeriods = c.Detection.DominantPeriods()
+		fc.Power = c.Detection.Kept[0].Power
+		fc.ACFScore = c.Detection.Kept[0].ACFScore
+	}
+	return append(features.Vector(fc), c.LMScore, c.Popularity)
+}
+
+// Triage trains a random forest on the labeled window and classifies the
+// candidate cases, implementing the paper's bootstrap investigation
+// workflow (label a month, classify five).
+func Triage(train []TriageCase, candidates []TriageCase, cfg ForestConfig) ([]TriageVerdict, *RandomForest, error) {
+	return triage.Triage(train, candidates, cfg)
+}
+
+// EvaluateTriage builds the confusion matrix of verdicts against the
+// ground-truth labels keyed by case ID; the second return value counts
+// cases without a label.
+func EvaluateTriage(verdicts []TriageVerdict, truth map[string]int) (ConfusionMatrix, int) {
+	return triage.Evaluate(verdicts, truth)
+}
+
+// ByUncertainty orders verdicts most-uncertain first — the manual review
+// order of the paper's Fig. 11.
+func ByUncertainty(verdicts []TriageVerdict) []TriageVerdict {
+	return triage.ByUncertainty(verdicts)
+}
+
+// FNReductionCurve reproduces Fig. 11: entry k is the number of false
+// negatives remaining after examining the k most uncertain cases.
+func FNReductionCurve(verdicts []TriageVerdict, truth map[string]int) []int {
+	return triage.FNReductionCurve(verdicts, truth)
+}
