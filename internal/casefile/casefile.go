@@ -92,7 +92,7 @@ func ReadLabels(path string) (map[string]int, error) {
 	return labels, nil
 }
 
-// WriteLabels stores a labels file.
+// WriteLabels stores a labels file, atomically.
 func WriteLabels(path string, labels map[string]int) error {
 	data, err := json.MarshalIndent(labels, "", "  ")
 	if err != nil {
@@ -101,5 +101,12 @@ func WriteLabels(path string, labels map[string]int) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("casefile: mkdir: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("casefile: write labels: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("casefile: rename labels: %w", err)
+	}
+	return nil
 }
