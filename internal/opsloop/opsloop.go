@@ -127,17 +127,21 @@ func (l *Loop) IngestDay(ctx context.Context, records []*proxylog.Record) (*Repo
 	if err != nil {
 		return nil, fmt.Errorf("opsloop: daily run: %w", err)
 	}
-	if err := l.store.Save(noveltyPath(l.cfg.StateDir)); err != nil {
-		return nil, err
-	}
 
 	// Accumulate the day's summaries (at daily scale) in the history.
+	// The day's summaries are persisted before the novelty store: a crash
+	// between the two leaves the novelty state behind the recorded
+	// history, which re-reports at worst — saving novelty first would
+	// suppress alerts for a day that was never recorded.
 	sums, err := pipeline.ExtractSummaries(ctx, records, l.corr, cfg.Scale, cfg.MapReduce)
 	if err != nil {
 		return nil, fmt.Errorf("opsloop: extract: %w", err)
 	}
 	l.days++
 	if err := l.persistDay(l.days, sums); err != nil {
+		return nil, err
+	}
+	if err := l.store.Save(noveltyPath(l.cfg.StateDir)); err != nil {
 		return nil, err
 	}
 	l.history = append(l.history, sums...)
