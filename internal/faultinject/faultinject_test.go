@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+var errInjected = errors.New("injected")
+
+func TestFailAtExactHit(t *testing.T) {
+	s := New(0)
+	s.FailAt("write", 3, errInjected)
+	hook := s.Hook()
+	for i := 1; i <= 5; i++ {
+		err := hook("write")
+		if (i == 3) != (err != nil) {
+			t.Errorf("hit %d: err = %v", i, err)
+		}
+	}
+	if err := hook("other"); err != nil {
+		t.Errorf("unrelated point errored: %v", err)
+	}
+}
+
+func TestFailTransientClearsAfterWindow(t *testing.T) {
+	s := New(0)
+	s.FailTransient("sync", 2, 3, errInjected)
+	hook := s.Hook()
+	var got []bool
+	for i := 1; i <= 6; i++ {
+		got = append(got, hook("sync") != nil)
+	}
+	want := []bool{false, true, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: injected=%v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+}
+
+func TestCrashAtRecoveredByRun(t *testing.T) {
+	s := New(0)
+	s.CrashAt("rename", 2)
+	hook := s.Hook()
+	crash, err := Run(func() error {
+		for i := 0; i < 5; i++ {
+			if err := hook("rename"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if crash == nil {
+		t.Fatal("expected a crash")
+	}
+	if crash.Point != "rename" || crash.Hit != 2 {
+		t.Errorf("crash = %+v, want rename hit 2", crash)
+	}
+}
+
+func TestCrashAtGlobalHitAndTrace(t *testing.T) {
+	// Enumerate a workload's points fault-free, then crash at each.
+	workload := func(hook func(string) error) error {
+		for _, p := range []string{"a", "b", "a", "c"} {
+			if err := hook(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	probe := New(0)
+	if err := workload(probe.Hook()); err != nil {
+		t.Fatal(err)
+	}
+	if probe.TotalHits() != 4 {
+		t.Fatalf("TotalHits = %d, want 4", probe.TotalHits())
+	}
+	tr := probe.Trace()
+	want := []Hit{{"a", 1}, {"b", 1}, {"a", 2}, {"c", 1}}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("trace[%d] = %+v, want %+v", i, tr[i], want[i])
+		}
+	}
+	for n := 1; n <= probe.TotalHits(); n++ {
+		s := New(0)
+		s.CrashAtGlobalHit(n)
+		crash, err := Run(func() error { return workload(s.Hook()) })
+		if err != nil {
+			t.Fatalf("global hit %d: unexpected error %v", n, err)
+		}
+		if crash == nil {
+			t.Fatalf("global hit %d: expected crash", n)
+		}
+		if crash.Point != want[n-1].Point || crash.Hit != want[n-1].N {
+			t.Errorf("global hit %d: crashed at %+v, want %+v", n, crash, want[n-1])
+		}
+	}
+}
+
+func TestRandomErrorsDeterministicPerSeed(t *testing.T) {
+	sample := func(seed int64) []bool {
+		s := New(seed)
+		s.RandomErrors(0.3, errInjected)
+		hook := s.Hook()
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = hook("op") != nil
+		}
+		return out
+	}
+	a, b, c := sample(7), sample(7), sample(8)
+	injected := 0
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+		if a[i] {
+			injected++
+		}
+	}
+	if injected == 0 || injected == len(a) {
+		t.Errorf("p=0.3 injected %d/%d faults", injected, len(a))
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestRunPassesThroughErrorsAndForeignPanics(t *testing.T) {
+	crash, err := Run(func() error { return errInjected })
+	if crash != nil || !errors.Is(err, errInjected) {
+		t.Errorf("Run = (%v, %v), want plain error", crash, err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("foreign panic swallowed")
+		}
+	}()
+	Run(func() error { panic("not a crash") })
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // The compact binary codec below is what the MapReduce shuffle uses to move
@@ -20,6 +21,44 @@ import (
 
 // ErrCorrupt is returned when decoding malformed bytes.
 var ErrCorrupt = errors.New("timeseries: corrupt encoding")
+
+// ErrNoChecksum is returned by VerifyChecksum when the data carries no
+// integrity footer (e.g. a file written before footers existed).
+var ErrNoChecksum = errors.New("timeseries: missing checksum footer")
+
+// checksumMagic terminates checksummed payloads; the 4 bytes before it
+// hold the CRC32 (IEEE, little-endian) of everything preceding the
+// footer.
+const checksumMagic = "BWck"
+
+// checksumFooterLen is the byte length of the integrity footer.
+const checksumFooterLen = 8
+
+// AppendChecksum appends the codec's 8-byte integrity footer (CRC32 of
+// data, then a magic tag) so persisted files can detect truncation and
+// bit rot. Verify with VerifyChecksum before decoding.
+func AppendChecksum(data []byte) []byte {
+	var ftr [checksumFooterLen]byte
+	binary.LittleEndian.PutUint32(ftr[:4], crc32.ChecksumIEEE(data))
+	copy(ftr[4:], checksumMagic)
+	return append(data, ftr[:]...)
+}
+
+// VerifyChecksum validates and strips the integrity footer appended by
+// AppendChecksum, returning the payload. Data without a footer yields
+// ErrNoChecksum (so callers can fall back to legacy parsing); a checksum
+// mismatch yields an error wrapping ErrCorrupt.
+func VerifyChecksum(data []byte) ([]byte, error) {
+	if len(data) < checksumFooterLen || string(data[len(data)-4:]) != checksumMagic {
+		return nil, ErrNoChecksum
+	}
+	payload := data[:len(data)-checksumFooterLen]
+	want := binary.LittleEndian.Uint32(data[len(data)-checksumFooterLen:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (have %08x, footer says %08x)", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
 
 // Marshal encodes the summary into the compact binary form.
 func (a *ActivitySummary) Marshal() []byte {

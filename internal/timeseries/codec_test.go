@@ -2,6 +2,7 @@ package timeseries
 
 import (
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -145,6 +146,45 @@ func BenchmarkCodecUnmarshal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := UnmarshalActivitySummary(enc); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	payload := []byte("per-day summary bytes")
+	framed := AppendChecksum(append([]byte(nil), payload...))
+	got, err := VerifyChecksum(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload = %q, want %q", got, payload)
+	}
+	// Empty payloads frame and verify too.
+	if got, err := VerifyChecksum(AppendChecksum(nil)); err != nil || len(got) != 0 {
+		t.Errorf("empty payload: (%q, %v)", got, err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	framed := AppendChecksum([]byte("day file contents"))
+	for _, i := range []int{0, 5, len(framed) - 5} {
+		bad := append([]byte(nil), framed...)
+		bad[i] ^= 0x40
+		if _, err := VerifyChecksum(bad); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("flip at %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	// Truncation strips the magic, reading as a legacy footer-less file.
+	if _, err := VerifyChecksum(framed[:len(framed)-3]); !errors.Is(err, ErrNoChecksum) {
+		t.Errorf("truncated: err = %v, want ErrNoChecksum", err)
+	}
+}
+
+func TestChecksumLegacyData(t *testing.T) {
+	for _, data := range [][]byte{nil, []byte("x"), []byte("no footer here")} {
+		if _, err := VerifyChecksum(data); !errors.Is(err, ErrNoChecksum) {
+			t.Errorf("%q: err = %v, want ErrNoChecksum", data, err)
 		}
 	}
 }
