@@ -88,6 +88,22 @@ func (s *Store) MarkReported(source, dest string) {
 	s.pairs[pairKey(source, dest)] = struct{}{}
 }
 
+// Clone returns an independent deep copy of the store's state. Callers
+// that must roll back after a failed persistence step (e.g. the opsloop's
+// day commit) clone before mutating and restore the clone on error.
+func (s *Store) Clone() *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := NewStore()
+	for d := range s.dests {
+		c.dests[d] = struct{}{}
+	}
+	for p := range s.pairs {
+		c.pairs[p] = struct{}{}
+	}
+	return c
+}
+
 // Size returns the numbers of recorded destinations and pairs.
 func (s *Store) Size() (dests, pairs int) {
 	s.mu.Lock()
@@ -101,7 +117,8 @@ type snapshot struct {
 	Pairs        []string `json:"pairs"`
 }
 
-// Save writes the store to path atomically (write to temp file, rename).
+// Save writes the store to path atomically and durably (write to temp
+// file, fsync, rename).
 func (s *Store) Save(path string) error {
 	s.mu.Lock()
 	snap := snapshot{
@@ -126,8 +143,20 @@ func (s *Store) Save(path string) error {
 		return fmt.Errorf("novelty: mkdir: %w", err)
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("novelty: create: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
 		return fmt.Errorf("novelty: write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("novelty: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("novelty: close: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("novelty: rename: %w", err)

@@ -1,0 +1,462 @@
+package opsloop
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"baywatch/internal/faultinject"
+	"baywatch/internal/novelty"
+	"baywatch/internal/synthetic"
+	"baywatch/internal/timeseries"
+)
+
+var errInjected = errors.New("injected I/O fault")
+
+// crashTrace is a deliberately small workload so the
+// crash-at-every-injection-point loop stays fast.
+func crashTrace(t *testing.T, days int) *synthetic.Trace {
+	t.Helper()
+	gen := synthetic.DefaultConfig()
+	gen.Days = days
+	gen.Hosts = 12
+	gen.CatalogSize = 120
+	gen.BrowsingSessionsPerHostDay = 1
+	gen.UpdateServices = 2
+	gen.NicheServices = 1
+	gen.Infections = []synthetic.Infection{{
+		Family: "Zbot", Clients: 2, Period: 180,
+		Noise: synthetic.NoiseConfig{JitterSigma: 3},
+	}}
+	tr, err := synthetic.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestCrashAtEveryInjectionPointConverges is the fault-injection suite's
+// centerpiece: it crashes the operator at every injection point reached
+// while ingesting a day, "restarts" it by reopening the state directory,
+// and asserts the recovered state converges — no day lost or double
+// counted, history intact, and the novelty store never ahead of the
+// persisted history (an uncommitted day's alerts are re-reported in full
+// on re-ingest, not suppressed).
+func TestCrashAtEveryInjectionPointConverges(t *testing.T) {
+	const days = 2
+	tr := crashTrace(t, days)
+	perDay := splitDays(tr, days)
+	pcfg := testPipelineConfig(t, tr)
+	ctx := context.Background()
+	mkLoop := func(dir string) *Loop {
+		t.Helper()
+		loop, err := New(Config{StateDir: dir, Pipeline: pcfg, WeeklyEvery: days}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loop
+	}
+
+	// Fault-free baseline.
+	base := mkLoop(t.TempDir())
+	rep1, err := base.IngestDay(ctx, perDay[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist1 := base.HistoryPairs()
+	novD1, novP1 := base.store.Size()
+	rep2, err := base.IngestDay(ctx, perDay[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Weekly == nil {
+		t.Fatal("baseline: weekly pass did not run on day 2")
+	}
+	hist2 := base.HistoryPairs()
+	novD2, novP2 := base.store.Size()
+	if rep1.Daily.Stats.Reported == 0 {
+		t.Fatal("baseline day 1 reported nothing; the novelty asserts below would be vacuous")
+	}
+
+	// Enumerate the injection points one day-2 ingest traverses.
+	probe := mkLoop(t.TempDir())
+	if _, err := probe.IngestDay(ctx, perDay[0]); err != nil {
+		t.Fatal(err)
+	}
+	sched := faultinject.New(0)
+	SetFaultHook(sched.Hook())
+	_, err = probe.IngestDay(ctx, perDay[1])
+	SetFaultHook(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := sched.TotalHits()
+	if points < 8 {
+		t.Fatalf("only %d injection points traversed; commit protocol not instrumented?", points)
+	}
+	t.Logf("day-2 ingest traverses %d injection points: %v", points, sched.Trace())
+
+	for day := 1; day <= days; day++ {
+		for hit := 1; hit <= points; hit++ {
+			dir := t.TempDir()
+			loop := mkLoop(dir)
+			if day == 2 {
+				if _, err := loop.IngestDay(ctx, perDay[0]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s := faultinject.New(0)
+			s.CrashAtGlobalHit(hit)
+			SetFaultHook(s.Hook())
+			crash, err := faultinject.Run(func() error {
+				_, err := loop.IngestDay(ctx, perDay[day-1])
+				return err
+			})
+			SetFaultHook(nil)
+			if err != nil {
+				t.Fatalf("day %d hit %d: unexpected error instead of crash: %v", day, hit, err)
+			}
+			if crash == nil {
+				// Day 1 traverses fewer points (no novelty cleanup).
+				if day == 1 {
+					continue
+				}
+				t.Fatalf("day %d hit %d: no crash fired", day, hit)
+			}
+
+			// "Restart" the operator and converge.
+			re := mkLoop(dir)
+			switch re.DaysIngested() {
+			case day - 1:
+				// The crashed day was not committed: re-ingest it and
+				// require the full alert volume (novelty must not have
+				// run ahead of the persisted history).
+				rep, err := re.IngestDay(ctx, perDay[day-1])
+				if err != nil {
+					t.Fatalf("day %d crash at %v: re-ingest failed: %v", day, crash, err)
+				}
+				want := rep1.Daily.Stats.Reported
+				if day == 2 {
+					want = rep2.Daily.Stats.Reported
+				}
+				if rep.Daily.Stats.Reported != want {
+					t.Errorf("day %d crash at %v: re-ingest reported %d cases, want %d (novelty ran ahead of history?)",
+						day, crash, rep.Daily.Stats.Reported, want)
+				}
+			case day:
+				// Crash after the commit point: the day must not be
+				// ingestable twice by the resumed operator's counter.
+			default:
+				t.Fatalf("day %d crash at %v: recovered DaysIngested = %d", day, crash, re.DaysIngested())
+			}
+			if re.DaysIngested() != day {
+				t.Fatalf("day %d crash at %v: converged to %d days", day, crash, re.DaysIngested())
+			}
+			wantHist, wantD, wantP := hist1, novD1, novP1
+			if day == 2 {
+				wantHist, wantD, wantP = hist2, novD2, novP2
+			}
+			if re.HistoryPairs() != wantHist {
+				t.Errorf("day %d crash at %v: history %d pairs, want %d", day, crash, re.HistoryPairs(), wantHist)
+			}
+			if d, p := re.store.Size(); d != wantD || p != wantP {
+				t.Errorf("day %d crash at %v: novelty (%d,%d), want (%d,%d)", day, crash, d, p, wantD, wantP)
+			}
+
+			// The converged state must also be durable: a second reopen
+			// sees the same thing with nothing left to repair.
+			re2 := mkLoop(dir)
+			if re2.DaysIngested() != day || re2.HistoryPairs() != wantHist {
+				t.Errorf("day %d crash at %v: second reopen diverged (%d days, %d pairs)",
+					day, crash, re2.DaysIngested(), re2.HistoryPairs())
+			}
+			if q := re2.Recovery().Quarantined; len(q) != 0 {
+				t.Errorf("day %d crash at %v: second reopen still repairing: %v", day, crash, q)
+			}
+		}
+	}
+}
+
+// TestInjectedErrorsRollBackAndRetry verifies every file-op injection
+// point fails an ingest cleanly — error out, in-memory state rolled back
+// — and that the same day then succeeds on retry once the (transient)
+// fault clears.
+func TestInjectedErrorsRollBackAndRetry(t *testing.T) {
+	const days = 1
+	tr := crashTrace(t, days)
+	perDay := splitDays(tr, days)
+	pcfg := testPipelineConfig(t, tr)
+	ctx := context.Background()
+
+	// Enumerate the distinct points of a day-1 ingest.
+	probe, err := New(Config{StateDir: t.TempDir(), Pipeline: pcfg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faultinject.New(0)
+	SetFaultHook(sched.Hook())
+	_, err = probe.IngestDay(ctx, perDay[0])
+	SetFaultHook(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var uniquePoints []string
+	for _, h := range sched.Trace() {
+		if !seen[h.Point] {
+			seen[h.Point] = true
+			uniquePoints = append(uniquePoints, h.Point)
+		}
+	}
+
+	for _, point := range uniquePoints {
+		if point == "opsloop.commit.done" {
+			continue // post-commit: error returns are deliberately ignored
+		}
+		loop, err := New(Config{StateDir: t.TempDir(), Pipeline: pcfg}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := faultinject.New(0)
+		// Transient fault script: the first two traversals fail, the
+		// third succeeds.
+		s.FailTransient(point, 1, 2, errInjected)
+		SetFaultHook(s.Hook())
+		for attempt := 1; attempt <= 2; attempt++ {
+			if _, err := loop.IngestDay(ctx, perDay[0]); !errors.Is(err, errInjected) {
+				SetFaultHook(nil)
+				t.Fatalf("%s attempt %d: err = %v, want injected fault", point, attempt, err)
+			}
+			if loop.DaysIngested() != 0 {
+				SetFaultHook(nil)
+				t.Fatalf("%s: day counted despite failed ingest", point)
+			}
+			if loop.HistoryPairs() != 0 {
+				SetFaultHook(nil)
+				t.Fatalf("%s: history not rolled back", point)
+			}
+			if d, p := loop.store.Size(); d != 0 || p != 0 {
+				SetFaultHook(nil)
+				t.Fatalf("%s: novelty store not rolled back (%d,%d)", point, d, p)
+			}
+		}
+		rep, err := loop.IngestDay(ctx, perDay[0])
+		SetFaultHook(nil)
+		if err != nil {
+			t.Fatalf("%s: retry after transient fault failed: %v", point, err)
+		}
+		if rep.DaysIngested != 1 || loop.DaysIngested() != 1 {
+			t.Fatalf("%s: retry converged to %d days", point, loop.DaysIngested())
+		}
+		if rep.Daily.Stats.Reported == 0 {
+			t.Errorf("%s: retry suppressed the day's alerts", point)
+		}
+	}
+}
+
+func TestCorruptDayFileQuarantinedNotFatal(t *testing.T) {
+	const days = 2
+	tr := crashTrace(t, days)
+	perDay := splitDays(tr, days)
+	pcfg := testPipelineConfig(t, tr)
+	ctx := context.Background()
+
+	// build ingests both days into a fresh state dir and reports the
+	// history size with and without day 1.
+	build := func(t *testing.T) (dir string, totalPairs, day1Pairs int) {
+		t.Helper()
+		dir = t.TempDir()
+		loop, err := New(Config{StateDir: dir, Pipeline: pcfg}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < days; d++ {
+			if _, err := loop.IngestDay(ctx, perDay[d]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sums, err := readDayFile(filepath.Join(dir, "summaries", "day-000001.bin"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, loop.HistoryPairs(), len(sums)
+	}
+
+	for name, corrupt := range map[string]func(path string) error{
+		"bitflip": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			data[len(data)/2] ^= 0x20
+			return os.WriteFile(path, data, 0o644)
+		},
+		"truncated": func(path string) error {
+			stat, err := os.Stat(path)
+			if err != nil {
+				return err
+			}
+			return os.Truncate(path, stat.Size()/2)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir, totalPairs, day1Pairs := build(t)
+			day1 := filepath.Join(dir, "summaries", "day-000001.bin")
+			if err := corrupt(day1); err != nil {
+				t.Fatal(err)
+			}
+			var logged []string
+			re, err := New(Config{StateDir: dir, Pipeline: pcfg,
+				Logf: func(f string, a ...any) { logged = append(logged, f) }}, nil)
+			if err != nil {
+				t.Fatalf("New aborted on corrupt day file: %v", err)
+			}
+			// The counter comes from the manifest, not the surviving files.
+			if re.DaysIngested() != days {
+				t.Errorf("DaysIngested = %d, want %d", re.DaysIngested(), days)
+			}
+			if re.HistoryPairs() != totalPairs-day1Pairs {
+				t.Errorf("history = %d pairs, want %d (day 1 dropped)", re.HistoryPairs(), totalPairs-day1Pairs)
+			}
+			rec := re.Recovery()
+			if len(rec.Quarantined) != 1 || !strings.Contains(rec.Quarantined[0], "quarantine") {
+				t.Fatalf("Quarantined = %v, want one file under quarantine/", rec.Quarantined)
+			}
+			if _, err := os.Stat(rec.Quarantined[0]); err != nil {
+				t.Errorf("quarantined file missing: %v", err)
+			}
+			if len(logged) == 0 {
+				t.Error("no warning logged")
+			}
+			// The repaired view is durable: a further restart has nothing
+			// left to fix and the loop keeps ingesting.
+			re2, err := New(Config{StateDir: dir, Pipeline: pcfg}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(re2.Recovery().Quarantined) != 0 {
+				t.Errorf("second reopen still repairing: %v", re2.Recovery().Quarantined)
+			}
+			if rep, err := re2.IngestDay(ctx, perDay[0]); err != nil {
+				t.Fatal(err)
+			} else if rep.DaysIngested != days+1 {
+				t.Errorf("ingest after repair counted day %d, want %d", rep.DaysIngested, days+1)
+			}
+		})
+	}
+}
+
+func TestUncommittedDayFileQuarantined(t *testing.T) {
+	tr := crashTrace(t, 1)
+	perDay := splitDays(tr, 1)
+	pcfg := testPipelineConfig(t, tr)
+	dir := t.TempDir()
+
+	loop, err := New(Config{StateDir: dir, Pipeline: pcfg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loop.IngestDay(context.Background(), perDay[0]); err != nil {
+		t.Fatal(err)
+	}
+	// A day file the manifest never committed (crash between the day-file
+	// rename and the manifest commit).
+	orphan := filepath.Join(dir, "summaries", "day-000002.bin")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(Config{StateDir: dir, Pipeline: pcfg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.DaysIngested() != 1 {
+		t.Errorf("DaysIngested = %d, want 1 (orphan must not count)", re.DaysIngested())
+	}
+	if len(re.Recovery().Quarantined) != 1 {
+		t.Fatalf("Quarantined = %v, want the orphan", re.Recovery().Quarantined)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphan still in summaries/")
+	}
+}
+
+func TestLegacyStateDirAdopted(t *testing.T) {
+	dir := t.TempDir()
+	// A pre-manifest layout: footer-less day file + legacy novelty.json.
+	as, err := timeseries.FromTimestamps("src", "dst", []int64{100, 200, 300}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := []*timeseries.ActivitySummary{as}
+	if err := os.MkdirAll(filepath.Join(dir, "summaries"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "summaries", "day-000001.bin"),
+		encodeDaySummaries(sums), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store := novelty.NewStore()
+	store.MarkReported("src", "dst")
+	if err := store.Save(filepath.Join(dir, "novelty.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	loop, err := New(Config{StateDir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loop.Recovery().Reconstructed {
+		t.Error("legacy adoption not reported as a reconstruction")
+	}
+	if loop.DaysIngested() != 1 || loop.HistoryPairs() != 1 {
+		t.Errorf("adopted (%d days, %d pairs), want (1, 1)", loop.DaysIngested(), loop.HistoryPairs())
+	}
+	if d, p := loop.store.Size(); d != 1 || p != 1 {
+		t.Errorf("legacy novelty not adopted: (%d, %d)", d, p)
+	}
+	if _, ok, err := loadManifest(dir); err != nil || !ok {
+		t.Errorf("manifest not written after adoption: ok=%v err=%v", ok, err)
+	}
+	// A second open needs no repairs and sees the same state.
+	re, err := New(Config{StateDir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Recovery().Reconstructed || len(re.Recovery().Quarantined) != 0 {
+		t.Errorf("second open still repairing: %+v", re.Recovery())
+	}
+	if re.DaysIngested() != 1 || re.HistoryPairs() != 1 {
+		t.Errorf("second open diverged: (%d, %d)", re.DaysIngested(), re.HistoryPairs())
+	}
+}
+
+func TestCorruptManifestQuarantinedAndRebuilt(t *testing.T) {
+	tr := crashTrace(t, 1)
+	perDay := splitDays(tr, 1)
+	pcfg := testPipelineConfig(t, tr)
+	dir := t.TempDir()
+	loop, err := New(Config{StateDir: dir, Pipeline: pcfg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loop.IngestDay(context.Background(), perDay[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(Config{StateDir: dir, Pipeline: pcfg}, nil)
+	if err != nil {
+		t.Fatalf("New aborted on corrupt manifest: %v", err)
+	}
+	if !re.Recovery().Reconstructed {
+		t.Error("corrupt manifest not reported as reconstruction")
+	}
+	if re.DaysIngested() != 1 || re.HistoryPairs() != loop.HistoryPairs() {
+		t.Errorf("rebuilt (%d days, %d pairs), want (1, %d)",
+			re.DaysIngested(), re.HistoryPairs(), loop.HistoryPairs())
+	}
+}

@@ -11,8 +11,11 @@
 //     slow beacons (e.g. 24-hour check-ins) no single day can expose —
 //     without ever reprocessing raw logs.
 //
-// All state lives under a single directory, so a crashed or restarted
-// operator resumes where it left off.
+// All state lives under a single directory and every ingested day is
+// committed through a write-ahead manifest (see manifest.go), so a
+// crashed or restarted operator resumes from the last committed day:
+// partially persisted days are quarantined and re-ingested, and the
+// novelty store never runs ahead of the recorded history.
 package opsloop
 
 import (
@@ -20,7 +23,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"baywatch/internal/novelty"
 	"baywatch/internal/pipeline"
@@ -30,7 +32,8 @@ import (
 
 // Config assembles the loop.
 type Config struct {
-	// StateDir holds the novelty store and the summary history.
+	// StateDir holds the manifest, the novelty snapshots and the summary
+	// history.
 	StateDir string
 	// Pipeline configures the daily runs. Its Novelty field is managed by
 	// the loop and must be left nil.
@@ -44,6 +47,10 @@ type Config struct {
 	// MinEventsCoarse skips pairs with fewer events in coarse passes
 	// (default 8: the detector's sampling floor).
 	MinEventsCoarse int
+	// Logf receives recovery warnings (quarantined files, adopted legacy
+	// state); nil discards them. Warnings are also available from
+	// Loop.Recovery.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -84,9 +91,15 @@ type Loop struct {
 	days    int
 	corr    *proxylog.Correlator
 	history []*timeseries.ActivitySummary
+	man     *manifest
+	rec     Recovery
 }
 
-// New opens (or initializes) the loop state under cfg.StateDir. corr may
+// New opens (or initializes) the loop state under cfg.StateDir,
+// recovering from any partially committed ingest: the day counter is
+// reconciled from the manifest, corrupt or uncommitted day files are
+// quarantined under StateDir/quarantine/ with a logged warning, and the
+// novelty store is restored from the last committed snapshot. corr may
 // be nil to identify sources by IP.
 func New(cfg Config, corr *proxylog.Correlator) (*Loop, error) {
 	cfg = cfg.withDefaults()
@@ -96,30 +109,45 @@ func New(cfg Config, corr *proxylog.Correlator) (*Loop, error) {
 	if cfg.Pipeline.Novelty != nil {
 		return nil, fmt.Errorf("opsloop: Pipeline.Novelty is managed by the loop; leave it nil")
 	}
-	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+	if err := os.MkdirAll(historyDir(cfg.StateDir), 0o755); err != nil {
 		return nil, fmt.Errorf("opsloop: state dir: %w", err)
 	}
-	store, err := novelty.Load(noveltyPath(cfg.StateDir))
-	if err != nil {
-		return nil, err
-	}
-	l := &Loop{cfg: cfg, store: store, corr: corr}
-	if err := l.loadHistory(); err != nil {
+	l := &Loop{cfg: cfg, corr: corr}
+	if err := l.recover(); err != nil {
 		return nil, err
 	}
 	return l, nil
 }
 
-func noveltyPath(dir string) string { return filepath.Join(dir, "novelty.json") }
-func historyDir(dir string) string  { return filepath.Join(dir, "summaries") }
+func historyDir(dir string) string { return filepath.Join(dir, "summaries") }
 
-// DaysIngested returns the lifetime day counter (including days restored
-// from disk).
+// DaysIngested returns the lifetime day counter (committed days only,
+// including days restored from disk).
 func (l *Loop) DaysIngested() int { return l.days }
 
+// Recovery reports what New found and repaired while opening the state
+// directory.
+func (l *Loop) Recovery() Recovery { return l.rec }
+
 // IngestDay processes one day of records: daily pipeline, history
-// accumulation, and any due coarse passes.
+// accumulation, any due coarse passes, and a durable commit of the day.
+// On error the loop's in-memory state is rolled back to the last
+// committed day, so the same day can be retried; after a crash, a fresh
+// New recovers to the same place and the day is re-ingested.
 func (l *Loop) IngestDay(ctx context.Context, records []*proxylog.Record) (*Report, error) {
+	snap := l.store.Clone()
+	prevHist := len(l.history)
+	rep, err := l.ingestDay(ctx, records)
+	if err != nil {
+		l.store = snap
+		l.history = l.history[:prevHist]
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (l *Loop) ingestDay(ctx context.Context, records []*proxylog.Record) (*Report, error) {
+	day := l.days + 1
 	cfg := l.cfg.Pipeline
 	cfg.Novelty = l.store
 
@@ -129,43 +157,42 @@ func (l *Loop) IngestDay(ctx context.Context, records []*proxylog.Record) (*Repo
 	}
 
 	// Accumulate the day's summaries (at daily scale) in the history.
-	// The day's summaries are persisted before the novelty store: a crash
-	// between the two leaves the novelty state behind the recorded
-	// history, which re-reports at worst — saving novelty first would
-	// suppress alerts for a day that was never recorded.
 	sums, err := pipeline.ExtractSummaries(ctx, records, l.corr, cfg.Scale, cfg.MapReduce)
 	if err != nil {
 		return nil, fmt.Errorf("opsloop: extract: %w", err)
 	}
-	l.days++
-	if err := l.persistDay(l.days, sums); err != nil {
-		return nil, err
-	}
-	if err := l.store.Save(noveltyPath(l.cfg.StateDir)); err != nil {
-		return nil, err
-	}
 	l.history = append(l.history, sums...)
 
-	rep := &Report{Daily: daily, DaysIngested: l.days}
-	if l.days%l.cfg.WeeklyEvery == 0 {
+	rep := &Report{Daily: daily, DaysIngested: day}
+	if day%l.cfg.WeeklyEvery == 0 {
 		rep.Weekly, err = l.coarsePass(ctx, l.cfg.WeeklyScale)
 		if err != nil {
 			return nil, fmt.Errorf("opsloop: weekly pass: %w", err)
 		}
 	}
-	if l.days%l.cfg.MonthlyEvery == 0 {
+	if day%l.cfg.MonthlyEvery == 0 {
 		rep.Monthly, err = l.coarsePass(ctx, l.cfg.MonthlyScale)
 		if err != nil {
 			return nil, fmt.Errorf("opsloop: monthly pass: %w", err)
 		}
 	}
+
+	// Durable commit: day file → novelty snapshot → manifest. The day's
+	// summaries are persisted before the novelty store, so a crash
+	// between the two re-reports at worst — committing novelty first
+	// would suppress alerts for a day that was never recorded.
+	if err := l.commitDay(day, sums); err != nil {
+		return nil, err
+	}
+	l.days = day
 	return rep, nil
 }
 
 // coarsePass rescales and merges the accumulated history to the given
 // granularity and runs detection + indication analysis over pairs with
-// enough events. The coarse pass shares the novelty store, so a slow
-// beacon already reported by a daily run is not re-reported.
+// enough events. The coarse pass shares the in-memory novelty store (the
+// ingest commit persists it), so a slow beacon already reported by a
+// daily run is not re-reported.
 func (l *Loop) coarsePass(ctx context.Context, scale int64) (*pipeline.Result, error) {
 	merged, err := pipeline.RescaleAndMerge(ctx, l.history, scale, l.cfg.Pipeline.MapReduce)
 	if err != nil {
@@ -194,14 +221,7 @@ func (l *Loop) coarsePass(ctx context.Context, scale int64) (*pipeline.Result, e
 	cfg := l.cfg.Pipeline
 	cfg.Novelty = l.store
 	cfg.Scale = scale
-	res, err := runOverEvents(ctx, events, cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := l.store.Save(noveltyPath(l.cfg.StateDir)); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return runOverEvents(ctx, events, cfg)
 }
 
 // runOverEvents adapts pipeline.Run to pre-extracted events by converting
@@ -219,96 +239,6 @@ func runOverEvents(ctx context.Context, events []pipeline.PairEvent, cfg pipelin
 	}
 	// Sources are already resolved identities; no correlator.
 	return pipeline.Run(ctx, records, nil, cfg)
-}
-
-// persistDay writes one day's summaries to the history store using the
-// compact binary codec, length-prefixed per record.
-func (l *Loop) persistDay(day int, sums []*timeseries.ActivitySummary) error {
-	dir := historyDir(l.cfg.StateDir)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("opsloop: history dir: %w", err)
-	}
-	path := filepath.Join(dir, fmt.Sprintf("day-%06d.bin", day))
-	f, err := os.Create(path + ".tmp")
-	if err != nil {
-		return fmt.Errorf("opsloop: create history: %w", err)
-	}
-	for _, as := range sums {
-		blob := as.Marshal()
-		var hdr [4]byte
-		hdr[0] = byte(len(blob))
-		hdr[1] = byte(len(blob) >> 8)
-		hdr[2] = byte(len(blob) >> 16)
-		hdr[3] = byte(len(blob) >> 24)
-		if _, err := f.Write(hdr[:]); err != nil {
-			f.Close()
-			return fmt.Errorf("opsloop: write history: %w", err)
-		}
-		if _, err := f.Write(blob); err != nil {
-			f.Close()
-			return fmt.Errorf("opsloop: write history: %w", err)
-		}
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("opsloop: close history: %w", err)
-	}
-	if err := os.Rename(path+".tmp", path); err != nil {
-		return fmt.Errorf("opsloop: rename history: %w", err)
-	}
-	return nil
-}
-
-// loadHistory restores the summary history and day counter from disk.
-func (l *Loop) loadHistory() error {
-	dir := historyDir(l.cfg.StateDir)
-	entries, err := os.ReadDir(dir)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("opsloop: read history dir: %w", err)
-	}
-	names := make([]string, 0, len(entries))
-	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".bin" {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		sums, err := readDayFile(filepath.Join(dir, name))
-		if err != nil {
-			return fmt.Errorf("opsloop: %s: %w", name, err)
-		}
-		l.history = append(l.history, sums...)
-		l.days++
-	}
-	return nil
-}
-
-func readDayFile(path string) ([]*timeseries.ActivitySummary, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var out []*timeseries.ActivitySummary
-	for len(data) > 0 {
-		if len(data) < 4 {
-			return nil, fmt.Errorf("truncated header")
-		}
-		n := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
-		data = data[4:]
-		if n < 0 || n > len(data) {
-			return nil, fmt.Errorf("bad record length %d", n)
-		}
-		as, err := timeseries.UnmarshalActivitySummary(data[:n])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, as)
-		data = data[n:]
-	}
-	return out, nil
 }
 
 // HistoryPairs reports how many summaries are currently held.

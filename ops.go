@@ -17,6 +17,10 @@ type OpsReport = opsloop.Report
 // configured directory across restarts.
 type OpsLoop = opsloop.Loop
 
+// OpsRecovery reports what NewOpsLoop found and repaired while opening a
+// state directory: quarantined files and human-readable warnings.
+type OpsRecovery = opsloop.Recovery
+
 // NewOpsLoop opens (or initializes) the operations loop. corr may be nil
 // to identify sources by raw IP.
 func NewOpsLoop(cfg OpsConfig, corr *Correlator) (*OpsLoop, error) {
