@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Emitter receives key/value pairs from a map task.
@@ -64,6 +65,16 @@ type JobConfig struct {
 	// SpillThreshold is the per-worker buffered pair count that triggers a
 	// flush. Defaults to 1<<20.
 	SpillThreshold int
+	// MaxRetries is the number of times a failing map input or reduce key
+	// is retried before the failure is final (emissions from failed
+	// attempts are discarded, so retries never duplicate output). 0 means
+	// no retries.
+	MaxRetries int
+	// MaxFailedInputs is the poisoned-record budget: map inputs that still
+	// fail after MaxRetries are skipped and counted (Counters.FailedInputs)
+	// as long as their total stays within the budget; one more aborts the
+	// job. 0 (the default) aborts on the first final failure.
+	MaxFailedInputs int
 }
 
 func (c JobConfig) withDefaults() JobConfig {
@@ -134,6 +145,11 @@ type Counters struct {
 	DistinctKeys int64
 	// OutputRecords is the number of outputs emitted by reduce tasks.
 	OutputRecords int64
+	// Retries is the number of task retries performed (map and reduce).
+	Retries int64
+	// FailedInputs is the number of map inputs skipped as poisoned after
+	// exhausting their retries (bounded by JobConfig.MaxFailedInputs).
+	FailedInputs int64
 }
 
 // Result bundles a run's outputs and counters.
@@ -188,6 +204,21 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 	mapCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Failure accounting shared across map workers: retries for the
+	// counters, failed inputs against the poisoned-record budget.
+	var retriesTotal, failedTotal atomic.Int64
+
+	// runMap executes the map function for one input, converting panics
+	// into errors so a single poisoned record cannot take down the job.
+	runMap := func(in I, emit Emitter[K, V]) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("map panic: %v", r)
+			}
+		}()
+		return j.mapFn(in, emit)
+	}
+
 	var wg sync.WaitGroup
 	errc := make(chan error, j.cfg.Mappers+j.cfg.Reducers)
 	for w := 0; w < j.cfg.Mappers; w++ {
@@ -215,13 +246,48 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 					}
 				}
 			}
+			// Staged emission: with retries or a failure budget enabled,
+			// an input's pairs are buffered and merged into the shard only
+			// after its map call succeeds, so failed attempts never leave
+			// partial emissions behind.
+			type stagedPair struct {
+				key   K
+				value V
+			}
+			staging := j.cfg.MaxRetries > 0 || j.cfg.MaxFailedInputs > 0
+			var staged []stagedPair
+			stageEmit := func(key K, value V) {
+				staged = append(staged, stagedPair{key: key, value: value})
+			}
 			// Strided assignment keeps the work distribution deterministic.
 			for i := w; i < len(inputs); i += j.cfg.Mappers {
 				if mapCtx.Err() != nil {
 					return
 				}
 				shard.inputs++
-				if err := j.mapFn(inputs[i], emit); err != nil {
+				var err error
+				if staging {
+					for attempt := 0; attempt <= j.cfg.MaxRetries; attempt++ {
+						staged = staged[:0]
+						if err = runMap(inputs[i], stageEmit); err == nil {
+							break
+						}
+						if attempt < j.cfg.MaxRetries {
+							retriesTotal.Add(1)
+						}
+					}
+					if err == nil {
+						for _, sp := range staged {
+							emit(sp.key, sp.value)
+						}
+					}
+				} else {
+					err = runMap(inputs[i], emit)
+				}
+				if err != nil {
+					if failed := failedTotal.Add(1); failed <= int64(j.cfg.MaxFailedInputs) {
+						continue // poisoned record skipped, within budget
+					}
 					errc <- fmt.Errorf("%s: map input %d: %w", j.name(), i, err)
 					cancel()
 					return
@@ -254,6 +320,8 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 		counters.InputRecords += s.inputs
 		counters.MapOutputPairs += s.pairs
 	}
+	counters.Retries = retriesTotal.Load()
+	counters.FailedInputs = failedTotal.Load()
 
 	// ---- shuffle: merge map shards per partition --------------------------
 	// Spill files replay first (in flush order), then each shard's
@@ -261,6 +329,9 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 	partGroups := make([]map[K][]V, nParts)
 	partOrder := make([][]K, nParts)
 	for p := 0; p < nParts; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		partGroups[p] = make(map[K][]V)
 		for _, s := range shards {
 			if s.spill != nil {
@@ -289,6 +360,17 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 	redCtx, redCancel := context.WithCancel(ctx)
 	defer redCancel()
 
+	// runReduce executes the reduce function for one key, converting
+	// panics into errors.
+	runReduce := func(k K, vs []V, emit func(O)) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("reduce panic: %v", r)
+			}
+		}()
+		return j.reduce(k, vs, emit)
+	}
+
 	var rwg sync.WaitGroup
 	for w := 0; w < j.cfg.Reducers; w++ {
 		rwg.Add(1)
@@ -301,7 +383,20 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 					if redCtx.Err() != nil {
 						return
 					}
-					if err := j.reduce(k, partGroups[p][k], emit); err != nil {
+					// Retry with the output truncated to its pre-key
+					// length, so failed attempts never duplicate output.
+					base := len(outs)
+					var err error
+					for attempt := 0; attempt <= j.cfg.MaxRetries; attempt++ {
+						outs = outs[:base]
+						if err = runReduce(k, partGroups[p][k], emit); err == nil {
+							break
+						}
+						if attempt < j.cfg.MaxRetries {
+							retriesTotal.Add(1)
+						}
+					}
+					if err != nil {
 						errc <- fmt.Errorf("%s: reduce key %v: %w", j.name(), k, err)
 						redCancel()
 						return
@@ -311,13 +406,12 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 			}
 		}()
 	}
+feed:
 	for p := 0; p < nParts; p++ {
-		if redCtx.Err() != nil {
-			break
-		}
 		select {
 		case partCh <- p:
 		case <-redCtx.Done():
+			break feed
 		}
 	}
 	close(partCh)
@@ -331,6 +425,7 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 		return nil, err
 	}
 
+	counters.Retries = retriesTotal.Load() // include reduce-phase retries
 	res := &Result[O]{Counters: counters}
 	for p := 0; p < nParts; p++ {
 		res.Outputs = append(res.Outputs, partOutputs[p]...)

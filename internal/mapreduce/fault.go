@@ -1,0 +1,17 @@
+package mapreduce
+
+// faultHook, when non-nil, is consulted at internal failure points (spill
+// writes and replays) so tests can inject deterministic I/O errors.
+// Production runs leave it nil.
+var faultHook func(point string) error
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook.
+// Not safe to call while a job is running.
+func SetFaultHook(hook func(point string) error) { faultHook = hook }
+
+func faultCheck(point string) error {
+	if faultHook == nil {
+		return nil
+	}
+	return faultHook(point)
+}

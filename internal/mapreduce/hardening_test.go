@@ -1,0 +1,352 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapRetryRecoversTransientFailure: an input that fails twice and
+// succeeds on the third attempt completes with MaxRetries=2, its output
+// intact and the retries counted.
+func TestMapRetryRecoversTransientFailure(t *testing.T) {
+	var attempts atomic.Int64
+	job := NewJob[string, string, int, kv](JobConfig{Mappers: 2, MaxRetries: 2},
+		func(line string, emit Emitter[string, int]) error {
+			if line == "flaky" && attempts.Add(1) <= 2 {
+				return errors.New("transient")
+			}
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		func(key string, values []int, emit func(kv)) error {
+			emit(kv{Key: key, Count: len(values)})
+			return nil
+		},
+	)
+	res, err := job.Run(context.Background(), []string{"a b", "flaky", "a"})
+	if err != nil {
+		t.Fatalf("transient failure should be retried away: %v", err)
+	}
+	counts := map[string]int{}
+	for _, o := range res.Outputs {
+		counts[o.Key] = o.Count
+	}
+	want := map[string]int{"a": 2, "b": 1, "flaky": 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("counts = %v, want %v (emissions from failed attempts must not leak)", counts, want)
+	}
+	if res.Counters.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", res.Counters.Retries)
+	}
+	if res.Counters.FailedInputs != 0 {
+		t.Errorf("FailedInputs = %d, want 0", res.Counters.FailedInputs)
+	}
+}
+
+// TestPoisonedInputSkippedWithinBudget: a persistently failing input is
+// skipped and counted when MaxFailedInputs allows it; the rest of the job
+// completes.
+func TestPoisonedInputSkippedWithinBudget(t *testing.T) {
+	job := NewJob[string, string, int, kv](JobConfig{Mappers: 3, MaxRetries: 1, MaxFailedInputs: 1},
+		func(line string, emit Emitter[string, int]) error {
+			if line == "poison" {
+				return errors.New("always fails")
+			}
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		func(key string, values []int, emit func(kv)) error {
+			emit(kv{Key: key, Count: len(values)})
+			return nil
+		},
+	)
+	res, err := job.Run(context.Background(), []string{"a", "poison", "a b"})
+	if err != nil {
+		t.Fatalf("poisoned input within budget should be skipped: %v", err)
+	}
+	counts := map[string]int{}
+	for _, o := range res.Outputs {
+		counts[o.Key] = o.Count
+	}
+	want := map[string]int{"a": 2, "b": 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+	if res.Counters.FailedInputs != 1 {
+		t.Errorf("FailedInputs = %d, want 1", res.Counters.FailedInputs)
+	}
+	if res.Counters.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", res.Counters.Retries)
+	}
+}
+
+// TestPoisonedInputsBeyondBudgetAbort: one failure more than
+// MaxFailedInputs aborts the job with the underlying error.
+func TestPoisonedInputsBeyondBudgetAbort(t *testing.T) {
+	job := NewJob[int, int, int, int](JobConfig{Mappers: 1, MaxFailedInputs: 1},
+		func(n int, emit Emitter[int, int]) error {
+			if n < 0 {
+				return fmt.Errorf("bad record %d", n)
+			}
+			emit(n, 1)
+			return nil
+		},
+		func(key int, values []int, emit func(int)) error {
+			emit(key)
+			return nil
+		},
+	)
+	_, err := job.Run(context.Background(), []int{1, -1, 2, -2, 3})
+	if err == nil {
+		t.Fatal("expected abort when failed inputs exceed budget")
+	}
+	if !strings.Contains(err.Error(), "bad record") {
+		t.Fatalf("error should carry the record failure: %v", err)
+	}
+}
+
+// TestMapPanicIsolatedAsFailedInput: a panicking map call is converted to
+// a failure and charged against the budget instead of crashing the
+// process.
+func TestMapPanicIsolatedAsFailedInput(t *testing.T) {
+	job := NewJob[int, int, int, int](JobConfig{Mappers: 2, MaxFailedInputs: 1},
+		func(n int, emit Emitter[int, int]) error {
+			if n == 13 {
+				panic("unlucky record")
+			}
+			emit(n, 1)
+			return nil
+		},
+		func(key int, values []int, emit func(int)) error {
+			emit(key)
+			return nil
+		},
+	)
+	res, err := job.Run(context.Background(), []int{1, 13, 2})
+	if err != nil {
+		t.Fatalf("panic should be isolated: %v", err)
+	}
+	if res.Counters.FailedInputs != 1 {
+		t.Errorf("FailedInputs = %d, want 1", res.Counters.FailedInputs)
+	}
+	if len(res.Outputs) != 2 {
+		t.Errorf("outputs = %v, want the two surviving records", res.Outputs)
+	}
+}
+
+// TestMapPanicWithoutBudgetAborts: with no failure budget the panic
+// surfaces as a job error (not a process crash).
+func TestMapPanicWithoutBudgetAborts(t *testing.T) {
+	job := NewJob[int, int, int, int](JobConfig{Mappers: 1},
+		func(n int, emit Emitter[int, int]) error {
+			panic("boom")
+		},
+		func(key int, values []int, emit func(int)) error {
+			emit(key)
+			return nil
+		},
+	)
+	_, err := job.Run(context.Background(), []int{1})
+	if err == nil || !strings.Contains(err.Error(), "map panic") {
+		t.Fatalf("expected map panic error, got %v", err)
+	}
+}
+
+// TestReduceRetryDoesNotDuplicateOutput: a reduce key that fails after
+// emitting must retry without duplicating the partial emissions.
+func TestReduceRetryDoesNotDuplicateOutput(t *testing.T) {
+	var attempts atomic.Int64
+	job := NewJob[int, int, int, int](JobConfig{Reducers: 1, MaxRetries: 1},
+		func(n int, emit Emitter[int, int]) error {
+			emit(n%2, n)
+			return nil
+		},
+		func(key int, values []int, emit func(int)) error {
+			for _, v := range values {
+				emit(v)
+			}
+			// Fail the first attempt of key 0 AFTER emitting, to prove the
+			// partial output is rolled back.
+			if key == 0 && attempts.Add(1) == 1 {
+				return errors.New("post-emission failure")
+			}
+			return nil
+		},
+	)
+	res, err := job.Run(context.Background(), []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatalf("reduce retry should recover: %v", err)
+	}
+	if len(res.Outputs) != 4 {
+		t.Fatalf("outputs = %v, want 4 values (no duplicates from the failed attempt)", res.Outputs)
+	}
+	if res.Counters.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", res.Counters.Retries)
+	}
+}
+
+// TestReducePanicSurfacesAsError: reduce panics become job errors.
+func TestReducePanicSurfacesAsError(t *testing.T) {
+	job := NewJob[int, int, int, int](JobConfig{},
+		func(n int, emit Emitter[int, int]) error {
+			emit(n, n)
+			return nil
+		},
+		func(key int, values []int, emit func(int)) error {
+			panic("reduce boom")
+		},
+	)
+	_, err := job.Run(context.Background(), []int{1, 2})
+	if err == nil || !strings.Contains(err.Error(), "reduce panic") {
+		t.Fatalf("expected reduce panic error, got %v", err)
+	}
+}
+
+// TestCancellationMidReduce: cancelling the context while reducers run
+// returns promptly with ctx.Err.
+func TestCancellationMidReduce(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	job := NewJob[int, int, int, int](JobConfig{Reducers: 1},
+		func(n int, emit Emitter[int, int]) error {
+			emit(n, n)
+			return nil
+		},
+		func(key int, values []int, emit func(int)) error {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	)
+	done := make(chan error, 1)
+	go func() {
+		_, err := job.Run(ctx, []int{1, 2, 3, 4})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+// --- spill integrity ---------------------------------------------------
+
+func writeTestSpill(t *testing.T) (path string, group map[string][]int, order []string) {
+	t.Helper()
+	dir := t.TempDir()
+	path = filepath.Join(dir, "spill-test.gob")
+	group = map[string][]int{"a": {1, 2}, "b": {3}}
+	order = []string{"a", "b"}
+	if err := writeSpillFile(path, group, order); err != nil {
+		t.Fatal(err)
+	}
+	return path, group, order
+}
+
+func TestSpillRoundTripValidates(t *testing.T) {
+	path, group, order := writeTestSpill(t)
+	got := map[string][]int{}
+	var gotOrder []string
+	if err := replaySpill(path, got, &gotOrder); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, group) || !reflect.DeepEqual(gotOrder, order) {
+		t.Fatalf("replay = %v/%v, want %v/%v", got, gotOrder, group, order)
+	}
+}
+
+func TestSpillTruncationDetected(t *testing.T) {
+	path, _, _ := writeTestSpill(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{len(data) - 1, len(data) - spillFooterLen - 1, spillFooterLen - 1, 0} {
+		if err := os.WriteFile(path, data[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := map[string][]int{}
+		var order []string
+		err := replaySpill(path, got, &order)
+		if !errors.Is(err, ErrSpillCorrupt) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrSpillCorrupt", keep, err)
+		}
+		if len(got) != 0 || len(order) != 0 {
+			t.Fatalf("corrupt replay leaked data: %v %v", got, order)
+		}
+	}
+}
+
+func TestSpillBitflipDetected(t *testing.T) {
+	path, _, _ := writeTestSpill(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte; the checksum must catch it even when the gob
+	// stream still decodes.
+	data[len(data)-spillFooterLen-3] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]int{}
+	var order []string
+	if err := replaySpill(path, got, &order); !errors.Is(err, ErrSpillCorrupt) {
+		t.Fatalf("bitflip: err = %v, want ErrSpillCorrupt", err)
+	}
+}
+
+func TestSpillBadMagicDetected(t *testing.T) {
+	path, _, _ := writeTestSpill(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data[len(data)-spillFooterLen:], "XXXX")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]int{}
+	var order []string
+	if err := replaySpill(path, got, &order); !errors.Is(err, ErrSpillCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrSpillCorrupt", err)
+	}
+}
+
+// TestSpillFaultInjection: injected spill-write failures abort the job
+// cleanly through the fault seam.
+func TestSpillFaultInjection(t *testing.T) {
+	injected := errors.New("disk full")
+	SetFaultHook(func(point string) error {
+		if point == "mapreduce.spill.write" {
+			return injected
+		}
+		return nil
+	})
+	t.Cleanup(func() { SetFaultHook(nil) })
+
+	var lines []string
+	for i := 0; i < 500; i++ {
+		lines = append(lines, fmt.Sprintf("w%d", i%7))
+	}
+	_, err := wordCountJob(JobConfig{Mappers: 2, SpillDir: t.TempDir(), SpillThreshold: 16}).
+		Run(context.Background(), lines)
+	if !errors.Is(err, injected) {
+		t.Fatalf("expected injected spill error, got %v", err)
+	}
+}

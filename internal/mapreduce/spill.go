@@ -1,9 +1,11 @@
 package mapreduce
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -18,6 +20,22 @@ import (
 // Spilling is enabled through JobConfig.SpillDir and tuned with
 // JobConfig.SpillThreshold (map-output pairs buffered per worker before a
 // flush). Keys and values must be gob-encodable when spilling is on.
+
+// Spill files carry a fixed 20-byte footer so the shuffle can tell a
+// complete file from one truncated or corrupted between flush and replay:
+//
+//	magic "BWSP" | entryCount uint32 | payloadLen uint64 | crc32 uint32
+//
+// (all little-endian; the CRC32-IEEE covers the gob payload only).
+const (
+	spillMagic     = "BWSP"
+	spillFooterLen = 20
+)
+
+// ErrSpillCorrupt reports a spill file that failed validation on replay:
+// missing or mangled footer, length mismatch, checksum mismatch, or a gob
+// stream that does not decode to the recorded entry count.
+var ErrSpillCorrupt = errors.New("mapreduce: spill file corrupt")
 
 // spillEntry is the on-disk unit: one key's buffered values, in
 // first-emission order.
@@ -58,17 +76,44 @@ func (w *spillWriter[K, V]) flush(groups []map[K][]V, order [][]K) error {
 	return nil
 }
 
+// countingWriter tracks how many bytes pass through it (the payload
+// length recorded in the footer).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 func writeSpillFile[K comparable, V any](path string, group map[K][]V, order []K) error {
+	if err := faultCheck("mapreduce.spill.write"); err != nil {
+		return fmt.Errorf("mapreduce: write spill: %w", err)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("mapreduce: create spill: %w", err)
 	}
-	enc := gob.NewEncoder(f)
+	crc := crc32.NewIEEE()
+	cw := &countingWriter{w: io.MultiWriter(f, crc)}
+	enc := gob.NewEncoder(cw)
 	for _, k := range order {
 		if err := enc.Encode(spillEntry[K, V]{Key: k, Values: group[k]}); err != nil {
 			f.Close()
 			return fmt.Errorf("mapreduce: encode spill: %w", err)
 		}
+	}
+	footer := make([]byte, spillFooterLen)
+	copy(footer, spillMagic)
+	binary.LittleEndian.PutUint32(footer[4:], uint32(len(order)))
+	binary.LittleEndian.PutUint64(footer[8:], uint64(cw.n))
+	binary.LittleEndian.PutUint32(footer[16:], crc.Sum32())
+	if _, err := f.Write(footer); err != nil {
+		f.Close()
+		return fmt.Errorf("mapreduce: write spill footer: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("mapreduce: close spill: %w", err)
@@ -77,25 +122,71 @@ func writeSpillFile[K comparable, V any](path string, group map[K][]V, order []K
 }
 
 // replaySpill merges one spill file into the partition's groups,
-// preserving first-emission key order.
+// preserving first-emission key order. The file's footer is validated
+// (length, entry count and checksum) before any decoded data is trusted;
+// a file that fails validation yields ErrSpillCorrupt and contributes
+// nothing.
 func replaySpill[K comparable, V any](path string, group map[K][]V, order *[]K) error {
+	if err := faultCheck("mapreduce.spill.replay"); err != nil {
+		return fmt.Errorf("mapreduce: replay spill: %w", err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("mapreduce: open spill: %w", err)
 	}
 	defer f.Close()
-	dec := gob.NewDecoder(f)
-	for {
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("mapreduce: stat spill: %w", err)
+	}
+	if fi.Size() < spillFooterLen {
+		return fmt.Errorf("%w: %s: %d bytes, shorter than footer", ErrSpillCorrupt, path, fi.Size())
+	}
+	footer := make([]byte, spillFooterLen)
+	if _, err := f.ReadAt(footer, fi.Size()-spillFooterLen); err != nil {
+		return fmt.Errorf("mapreduce: read spill footer: %w", err)
+	}
+	if string(footer[:4]) != spillMagic {
+		return fmt.Errorf("%w: %s: bad footer magic", ErrSpillCorrupt, path)
+	}
+	entryCount := binary.LittleEndian.Uint32(footer[4:])
+	payloadLen := binary.LittleEndian.Uint64(footer[8:])
+	wantCRC := binary.LittleEndian.Uint32(footer[16:])
+	if payloadLen != uint64(fi.Size()-spillFooterLen) {
+		return fmt.Errorf("%w: %s: payload length %d does not match file size %d",
+			ErrSpillCorrupt, path, payloadLen, fi.Size())
+	}
+
+	// Stream-decode the payload while checksumming every byte read. The
+	// decoded entries are staged and merged only after validation, so a
+	// corrupt file contributes nothing.
+	crc := crc32.NewIEEE()
+	tee := io.TeeReader(io.LimitReader(f, int64(payloadLen)), crc)
+	dec := gob.NewDecoder(tee)
+	staged := make([]spillEntry[K, V], 0, entryCount)
+	for i := uint32(0); i < entryCount; i++ {
 		var e spillEntry[K, V]
 		if err := dec.Decode(&e); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return fmt.Errorf("mapreduce: decode spill: %w", err)
+			return fmt.Errorf("%w: %s: decode entry %d/%d: %v", ErrSpillCorrupt, path, i, entryCount, err)
 		}
+		staged = append(staged, e)
+	}
+	var extra spillEntry[K, V]
+	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: %s: trailing entries beyond recorded count %d", ErrSpillCorrupt, path, entryCount)
+	}
+	if _, err := io.Copy(io.Discard, tee); err != nil {
+		return fmt.Errorf("mapreduce: drain spill: %w", err)
+	}
+	if got := crc.Sum32(); got != wantCRC {
+		return fmt.Errorf("%w: %s: checksum mismatch (got %08x, want %08x)", ErrSpillCorrupt, path, got, wantCRC)
+	}
+
+	for _, e := range staged {
 		if _, seen := group[e.Key]; !seen {
 			*order = append(*order, e.Key)
 		}
 		group[e.Key] = append(group[e.Key], e.Values...)
 	}
+	return nil
 }
