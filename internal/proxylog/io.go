@@ -86,9 +86,54 @@ func ReadAll(path string) ([]*Record, error) {
 // ForEach streams records from the file at path to fn, stopping at the
 // first error.
 func ForEach(path string, fn func(*Record) error) error {
+	_, err := forEach(path, fn, 0)
+	return err
+}
+
+// ReadStats reports what a lenient read skipped.
+type ReadStats struct {
+	// Records is the number of well-formed records delivered.
+	Records int
+	// SkippedLines is the number of malformed lines skipped.
+	SkippedLines int
+	// FirstSkipped describes the first skipped line (line number and parse
+	// error), for the operator's log.
+	FirstSkipped string
+}
+
+// ForEachLenient streams records to fn, skipping malformed lines instead
+// of aborting, up to maxBad of them (maxBad <= 0 means unlimited). The
+// returned stats report how much was skipped; truly broken files — more
+// than maxBad bad lines, or a truncated/corrupt gzip stream — still error.
+// Use this when a day of logs must be processed even if a log shipper
+// wrote garbage into it.
+func ForEachLenient(path string, maxBad int, fn func(*Record) error) (ReadStats, error) {
+	if maxBad <= 0 {
+		maxBad = int(^uint(0) >> 1)
+	}
+	return forEach(path, fn, maxBad)
+}
+
+// ReadAllLenient is ReadAll with ForEachLenient's skip-and-count
+// semantics.
+func ReadAllLenient(path string, maxBad int) ([]*Record, ReadStats, error) {
+	var out []*Record
+	stats, err := ForEachLenient(path, maxBad, func(r *Record) error {
+		out = append(out, r)
+		return nil
+	})
+	return out, stats, err
+}
+
+// forEach is the shared reader: maxBad == 0 is strict mode (first
+// malformed line aborts), maxBad > 0 tolerates up to maxBad malformed
+// lines. I/O-level failures (unreadable file, corrupt gzip) always abort:
+// they mean lost data, not a dirty line.
+func forEach(path string, fn func(*Record) error, maxBad int) (ReadStats, error) {
+	var stats ReadStats
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("proxylog: open: %w", err)
+		return stats, fmt.Errorf("proxylog: open: %w", err)
 	}
 	defer f.Close()
 
@@ -96,7 +141,7 @@ func ForEach(path string, fn func(*Record) error) error {
 	if strings.HasSuffix(path, ".gz") {
 		gz, err := gzip.NewReader(f)
 		if err != nil {
-			return fmt.Errorf("proxylog: gzip open: %w", err)
+			return stats, fmt.Errorf("proxylog: gzip open: %w", err)
 		}
 		defer gz.Close()
 		src = gz
@@ -112,14 +157,25 @@ func ForEach(path string, fn func(*Record) error) error {
 		}
 		rec, err := ParseRecord(line)
 		if err != nil {
-			return fmt.Errorf("proxylog: line %d: %w", lineNo, err)
+			if maxBad == 0 {
+				return stats, fmt.Errorf("proxylog: line %d: %w", lineNo, err)
+			}
+			stats.SkippedLines++
+			if stats.FirstSkipped == "" {
+				stats.FirstSkipped = fmt.Sprintf("line %d: %v", lineNo, err)
+			}
+			if stats.SkippedLines > maxBad {
+				return stats, fmt.Errorf("proxylog: more than %d malformed lines (first: %s)", maxBad, stats.FirstSkipped)
+			}
+			continue
 		}
+		stats.Records++
 		if err := fn(rec); err != nil {
-			return err
+			return stats, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("proxylog: scan: %w", err)
+		return stats, fmt.Errorf("proxylog: scan: %w", err)
 	}
-	return nil
+	return stats, nil
 }

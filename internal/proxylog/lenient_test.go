@@ -1,0 +1,191 @@
+package proxylog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeLogFile writes records plus raw extra lines at the given path
+// (gzip when the name ends in .gz).
+func writeLogFile(t *testing.T, path string, records []*Record, rawLines []string) {
+	t.Helper()
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rawLines) == 0 {
+		return
+	}
+	if strings.HasSuffix(path, ".gz") {
+		t.Fatal("writeLogFile: raw lines only supported for plain files")
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range rawLines {
+		if _, err := f.WriteString(l + "\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// interleave writes good records with malformed lines mixed in between.
+func interleavedLogFile(t *testing.T, dir string, good int) string {
+	t.Helper()
+	path := filepath.Join(dir, "proxy-interleaved.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"not a log line at all",
+		"1425303901 10.8.1.2 GET",                    // too few fields
+		"NaN 10.8.1.2 GET http example.com / 200 1 1", // bad timestamp
+		"\x00\x01\x02 binary garbage \xff",
+	}
+	for i := 0; i < good; i++ {
+		r := sampleRecord()
+		r.Timestamp += int64(i)
+		if _, err := f.WriteString(r.Format() + "\n"); err != nil {
+			t.Fatal(err)
+		}
+		if i < len(bad) {
+			if _, err := f.WriteString(bad[i] + "\n"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReadTruncatedGzip: a gzip log cut off mid-stream must fail with a
+// clean error — never panic, never silently return partial data as
+// complete in strict mode.
+func TestReadTruncatedGzip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "proxy-day.log.gz")
+	var records []*Record
+	for i := 0; i < 500; i++ {
+		r := sampleRecord()
+		r.Timestamp += int64(i)
+		records = append(records, r)
+	}
+	writeLogFile(t, path, records, nil)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{len(data) / 2, len(data) - 4, 10, 1} {
+		trunc := filepath.Join(dir, "trunc.log.gz")
+		if err := os.WriteFile(trunc, data[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadAll(trunc); err == nil {
+			t.Errorf("ReadAll on gzip truncated to %d bytes: expected error, got none", keep)
+		}
+		if _, _, err := ReadAllLenient(trunc, 100); err == nil {
+			t.Errorf("ReadAllLenient on gzip truncated to %d bytes: expected error (lost data, not dirty lines)", keep)
+		}
+	}
+}
+
+// TestStrictReadRejectsMalformedWithLineNumber: strict mode aborts at the
+// first malformed line and names it.
+func TestStrictReadRejectsMalformedWithLineNumber(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "proxy-bad.log")
+	writeLogFile(t, path, []*Record{sampleRecord(), sampleRecord()}, []string{"garbage line"})
+
+	_, err := ReadAll(path)
+	if err == nil {
+		t.Fatal("expected error on malformed line")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should name the offending line: %v", err)
+	}
+}
+
+// TestLenientReadSkipsAndCounts: lenient mode delivers every well-formed
+// record, counts the skips and reports the first one.
+func TestLenientReadSkipsAndCounts(t *testing.T) {
+	dir := t.TempDir()
+	path := interleavedLogFile(t, dir, 10)
+
+	records, stats, err := ReadAllLenient(path, 0)
+	if err != nil {
+		t.Fatalf("lenient read should survive interleaved garbage: %v", err)
+	}
+	if len(records) != 10 {
+		t.Errorf("records = %d, want 10", len(records))
+	}
+	if stats.Records != 10 {
+		t.Errorf("stats.Records = %d, want 10", stats.Records)
+	}
+	if stats.SkippedLines != 4 {
+		t.Errorf("stats.SkippedLines = %d, want 4", stats.SkippedLines)
+	}
+	if !strings.Contains(stats.FirstSkipped, "line 2") {
+		t.Errorf("FirstSkipped should name line 2: %q", stats.FirstSkipped)
+	}
+}
+
+// TestLenientReadBudgetExceeded: more malformed lines than maxBad aborts
+// with an error naming the first.
+func TestLenientReadBudgetExceeded(t *testing.T) {
+	dir := t.TempDir()
+	path := interleavedLogFile(t, dir, 10) // contains 4 bad lines
+
+	_, stats, err := ReadAllLenient(path, 2)
+	if err == nil {
+		t.Fatal("expected error when bad lines exceed budget")
+	}
+	if !strings.Contains(err.Error(), "malformed lines") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if stats.SkippedLines != 3 { // budget 2 + the one that broke it
+		t.Errorf("stats.SkippedLines = %d, want 3", stats.SkippedLines)
+	}
+}
+
+// TestLenientReadCleanFile: a clean file reads identically in both modes.
+func TestLenientReadCleanFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "proxy-clean.log")
+	var records []*Record
+	for i := 0; i < 20; i++ {
+		r := sampleRecord()
+		r.Timestamp += int64(i)
+		records = append(records, r)
+	}
+	writeLogFile(t, path, records, nil)
+
+	strict, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, stats, err := ReadAllLenient(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) != len(lenient) || stats.SkippedLines != 0 {
+		t.Errorf("strict=%d lenient=%d skipped=%d", len(strict), len(lenient), stats.SkippedLines)
+	}
+}
