@@ -44,6 +44,7 @@ func run() error {
 	percentile := flag.Float64("percentile", 90, "ranking score percentile threshold")
 	whitelistSize := flag.Int("whitelist", 1000, "global whitelist size (top popular domains)")
 	casesOut := flag.String("cases", "", "export candidate cases (with features) as JSON for bwtriage")
+	lenient := flag.Int("lenient", 0, "skip up to N malformed log lines per file instead of aborting (0 = strict)")
 	flag.Parse()
 	if *logsDir == "" {
 		flag.Usage()
@@ -61,7 +62,18 @@ func run() error {
 	sort.Strings(entries)
 	var records []*proxylog.Record
 	for _, path := range entries {
-		recs, err := proxylog.ReadAll(path)
+		var recs []*proxylog.Record
+		var err error
+		if *lenient > 0 {
+			var stats proxylog.ReadStats
+			recs, stats, err = proxylog.ReadAllLenient(path, *lenient)
+			if stats.SkippedLines > 0 {
+				fmt.Fprintf(os.Stderr, "warning: %s: skipped %d malformed line(s) (first: %s)\n",
+					path, stats.SkippedLines, stats.FirstSkipped)
+			}
+		} else {
+			recs, err = proxylog.ReadAll(path)
+		}
 		if err != nil {
 			return fmt.Errorf("read %s: %w", path, err)
 		}
@@ -109,6 +121,13 @@ func run() error {
 	res, err := pipeline.Run(context.Background(), records, corr, cfg)
 	if err != nil {
 		return err
+	}
+
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "warning: run degraded: %d candidate(s) failed in-flight and were isolated\n", len(res.Errors))
+		for _, ce := range res.Errors {
+			fmt.Fprintf(os.Stderr, "warning:   %s -> %s (%s): %s\n", ce.Source, ce.Destination, ce.Stage, ce.Err)
+		}
 	}
 
 	s := res.Stats

@@ -1,0 +1,18 @@
+package pipeline
+
+// faultHook, when non-nil, is consulted at per-candidate isolation points
+// so tests can inject deterministic errors (or panics) and exercise the
+// degraded-mode paths. Points are "<phase>:<pairKey>", e.g.
+// "pipeline.detect:src|dst". Production runs leave it nil.
+var faultHook func(point string) error
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook.
+// Not safe to call while a pipeline run is in flight.
+func SetFaultHook(hook func(point string) error) { faultHook = hook }
+
+func faultCheck(phase, key string) error {
+	if faultHook == nil {
+		return nil
+	}
+	return faultHook(phase + ":" + key)
+}

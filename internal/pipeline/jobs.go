@@ -144,17 +144,58 @@ func PopularityStats(ctx context.Context, summaries []*timeseries.ActivitySummar
 	return out, len(totalSources), nil
 }
 
-// Detection pairs a summary with its periodicity result.
+// Detection pairs a summary with its periodicity result. When Err is
+// non-nil the pair's detection failed (error or recovered panic): Result
+// is nil and the pipeline isolates the candidate under StageError instead
+// of aborting the run.
 type Detection struct {
 	Summary *timeseries.ActivitySummary
 	Result  *core.Result
+	Err     error
+}
+
+// safeDetect runs merge + detection for one pair, converting panics into
+// errors so a single pathological history cannot take down the job.
+func safeDetect(det *core.Detector, key string, list []*timeseries.ActivitySummary) (d Detection, err error) {
+	// Identify the pair even if merging fails midway.
+	d = Detection{Summary: list[0]}
+	defer func() {
+		if r := recover(); r != nil {
+			d.Err = fmt.Errorf("detect panic: %v", r)
+			err = nil
+		}
+	}()
+	if ferr := faultCheck("pipeline.detect", key); ferr != nil {
+		d.Err = ferr
+		return d, nil
+	}
+	// Histories of the same pair (e.g. from multiple input files)
+	// merge before detection.
+	merged := list[0]
+	var merr error
+	for _, as := range list[1:] {
+		merged, merr = timeseries.Merge(merged, as)
+		if merr != nil {
+			d.Err = merr
+			return d, nil
+		}
+	}
+	d.Summary = merged
+	res, derr := det.Detect(merged)
+	if derr != nil {
+		d.Err = derr
+		return d, nil
+	}
+	d.Result = res
+	return d, nil
 }
 
 // DetectBeacons is the beaconing-detection MapReduce job (Sect. VII-D):
 // MAP partitions pairs by hash; REDUCE runs the three-step detection
 // algorithm on every pair's request history. All pairs are returned with
 // their results (periodic or not) so downstream stages can account for the
-// funnel.
+// funnel; pairs whose detection failed come back with Err set rather than
+// failing the job.
 func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, det *core.Detector, mrCfg mapreduce.JobConfig) ([]Detection, error) {
 	mrCfg.Name = "beaconing-detection"
 	job := mapreduce.NewJob[*timeseries.ActivitySummary, string, *timeseries.ActivitySummary, Detection](
@@ -164,21 +205,11 @@ func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary,
 			return nil
 		},
 		func(key string, list []*timeseries.ActivitySummary, emit func(Detection)) error {
-			// Histories of the same pair (e.g. from multiple input files)
-			// merge before detection.
-			merged := list[0]
-			var err error
-			for _, as := range list[1:] {
-				merged, err = timeseries.Merge(merged, as)
-				if err != nil {
-					return err
-				}
-			}
-			res, err := det.Detect(merged)
+			d, err := safeDetect(det, key, list)
 			if err != nil {
 				return err
 			}
-			emit(Detection{Summary: merged, Result: res})
+			emit(d)
 			return nil
 		},
 	)

@@ -106,6 +106,10 @@ const (
 	StageNovelty
 	// StageRankThreshold is filter 8's percentile cut.
 	StageRankThreshold
+	// StageError means the candidate failed in-flight (a detector or
+	// indication-analysis error or panic) and was isolated rather than
+	// aborting the run; see Result.Errors.
+	StageError
 )
 
 // String implements fmt.Stringer.
@@ -125,6 +129,8 @@ func (s FilterStage) String() string {
 		return "novelty"
 	case StageRankThreshold:
 		return "rank-threshold"
+	case StageError:
+		return "error"
 	default:
 		return fmt.Sprintf("FilterStage(%d)", int(s))
 	}
@@ -167,8 +173,23 @@ type Stats struct {
 	AfterTokenFilter     int
 	AfterNovelty         int
 	Reported             int
+	// Errored counts candidates isolated by in-flight failures
+	// (SuppressedBy == StageError).
+	Errored int
 	// Durations per phase.
 	ExtractTime, PopularityTime, DetectTime, RankTime time.Duration
+}
+
+// CandidateError records one candidate that failed in-flight and was
+// isolated instead of aborting the run.
+type CandidateError struct {
+	// Source and Destination identify the failed candidate.
+	Source, Destination string
+	// Stage is the phase that failed: "detect" (filters 3-5) or
+	// "indication" (filters 6-8).
+	Stage string
+	// Err is the failure message (recovered panic or returned error).
+	Err string
 }
 
 // Result is a pipeline run's output.
@@ -179,6 +200,13 @@ type Result struct {
 	// Candidates are all pairs that reached the ranking phase (including
 	// suppressed ones), for diagnostics and triage training.
 	Candidates []*Candidate
+	// Errors lists candidates that failed in-flight; each also appears in
+	// Candidates with SuppressedBy == StageError.
+	Errors []CandidateError
+	// Degraded reports that the run completed but isolated at least one
+	// per-candidate failure: the report is valid for every listed case
+	// yet may be missing detections among the errored pairs.
+	Degraded bool
 	// Stats is the filtering funnel.
 	Stats Stats
 }
@@ -238,28 +266,32 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 	res.Stats.DetectTime = time.Since(start)
 
 	// ---- Filters 6-8: suspicious indication analysis ---------------------
+	// Each candidate is analyzed in isolation: an error or panic marks
+	// that candidate StageError and degrades the run instead of killing
+	// it (a single dirty history must not abort a day of detection).
 	start = time.Now()
-	for _, d := range detections {
-		cand := &Candidate{
-			Source:         d.Summary.Source,
-			Destination:    d.Summary.Destination,
-			Summary:        d.Summary,
-			Detection:      d.Result,
-			LMScore:        cfg.LM.Score(d.Summary.Destination),
-			Popularity:     local.Popularity(d.Summary.Destination),
-			SimilarSources: destSources[d.Summary.Destination],
+	indicate := func(cand *Candidate, d Detection) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("indication panic: %v", r)
+			}
+		}()
+		if err := faultCheck("pipeline.indication", cand.Source+"|"+cand.Destination); err != nil {
+			return err
 		}
-		res.Candidates = append(res.Candidates, cand)
+		cand.LMScore = cfg.LM.Score(d.Summary.Destination)
+		cand.Popularity = local.Popularity(d.Summary.Destination)
+		cand.SimilarSources = destSources[d.Summary.Destination]
 		if !d.Result.Periodic {
 			cand.SuppressedBy = StageNotPeriodic
-			continue
+			return nil
 		}
 		res.Stats.Periodic++
 
 		cand.Token = cfg.TokenFilter.Analyze(d.Summary.URLPaths)
 		if cand.Token.LikelyBenign {
 			cand.SuppressedBy = StageTokenFilter
-			continue
+			return nil
 		}
 		res.Stats.AfterTokenFilter++
 
@@ -267,7 +299,7 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 			cand.Novelty = cfg.Novelty.Check(cand.Source, cand.Destination)
 			if cand.Novelty == novelty.Duplicate {
 				cand.SuppressedBy = StageNovelty
-				continue
+				return nil
 			}
 		} else {
 			cand.Novelty = novelty.NewDestination
@@ -275,7 +307,34 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 		res.Stats.AfterNovelty++
 
 		cand.Score = ranking.Score(indicatorsFor(cand), cfg.Weights)
+		return nil
 	}
+	for _, d := range detections {
+		cand := &Candidate{
+			Source:      d.Summary.Source,
+			Destination: d.Summary.Destination,
+			Summary:     d.Summary,
+			Detection:   d.Result,
+		}
+		res.Candidates = append(res.Candidates, cand)
+		if d.Err != nil {
+			cand.SuppressedBy = StageError
+			res.Errors = append(res.Errors, CandidateError{
+				Source: cand.Source, Destination: cand.Destination,
+				Stage: "detect", Err: d.Err.Error(),
+			})
+			continue
+		}
+		if err := indicate(cand, d); err != nil {
+			cand.SuppressedBy = StageError
+			res.Errors = append(res.Errors, CandidateError{
+				Source: cand.Source, Destination: cand.Destination,
+				Stage: "indication", Err: err.Error(),
+			})
+		}
+	}
+	res.Stats.Errored = len(res.Errors)
+	res.Degraded = len(res.Errors) > 0
 
 	// Rank the survivors and apply the percentile threshold.
 	var rankable []ranking.Case

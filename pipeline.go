@@ -26,6 +26,10 @@ type Candidate = pipeline.Candidate
 // FilterStage identifies which filter suppressed a candidate.
 type FilterStage = pipeline.FilterStage
 
+// CandidateError records one candidate that failed in-flight during a
+// degraded run; see PipelineResult.Errors.
+type CandidateError = pipeline.CandidateError
+
 // Record is one proxy-log entry (BlueCoat-style access log record).
 type Record = proxylog.Record
 
@@ -94,6 +98,17 @@ func NewCorrelator(leases []Lease) (*Correlator, error) {
 // file written in the repository's BlueCoat-style format.
 func ReadProxyLog(path string) ([]*Record, error) {
 	return proxylog.ReadAll(path)
+}
+
+// ReadStats reports what a lenient proxy-log read skipped.
+type ReadStats = proxylog.ReadStats
+
+// ReadProxyLogLenient parses a proxy log skipping up to maxBad malformed
+// lines (maxBad <= 0 means unlimited) instead of aborting; the stats
+// report how much was skipped. I/O-level failures (e.g. a truncated gzip
+// stream) still error: they mean lost data, not a dirty line.
+func ReadProxyLogLenient(path string, maxBad int) ([]*Record, ReadStats, error) {
+	return proxylog.ReadAllLenient(path, maxBad)
 }
 
 // ExtractActivitySummaries runs the data-extraction MapReduce job: it
