@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test test-race tidy
+
+# check is the CI entry point: vet, build, and the full test suite under
+# the race detector (the fault-injection and crash-recovery tests exercise
+# real concurrency).
+check: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+tidy:
+	$(GO) mod tidy
