@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race tidy
+.PHONY: check vet build test test-race fuzz-smoke tidy
 
 # check is the CI entry point: vet, build, and the full test suite under
 # the race detector (the fault-injection and crash-recovery tests exercise
@@ -13,11 +13,19 @@ vet:
 build:
 	$(GO) build ./...
 
+# The watchdog and deadline tests hang injected tasks on purpose; the
+# explicit timeout turns an escaped hang into a failure instead of a
+# stuck CI job.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout=5m ./...
 
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout=5m ./...
+
+# A few seconds of coverage-guided fuzzing over the proxy-log parser,
+# cheap enough to run routinely.
+fuzz-smoke:
+	$(GO) test ./internal/proxylog -run='^$$' -fuzz=FuzzParseRecord -fuzztime=5s
 
 tidy:
 	$(GO) mod tidy

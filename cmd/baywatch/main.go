@@ -6,31 +6,65 @@
 //
 //	baywatch -logs traces/demo [-state state/novelty.json] [-top 25]
 //	         [-scale 1] [-tau 0.01] [-percentile 90]
+//
+// Operations mode treats each log file as one ingested day and commits it
+// through the crash-safe operations loop:
+//
+//	baywatch -logs traces/demo -ops state/ops
+//
+// Exit codes: 0 success, 1 error, 3 the run completed but Degraded (shed
+// or isolated work; suppressed by -allow-degraded), 130 interrupted by
+// SIGINT/SIGTERM. In operations mode the first signal drains — the
+// current day finishes and commits, leaving the manifest journal at a
+// clean commit point — and a second signal aborts hard (the interrupted
+// day rolls back and can be re-ingested).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"baywatch/internal/casefile"
 	"baywatch/internal/corpus"
 	"baywatch/internal/features"
+	"baywatch/internal/guard"
 	"baywatch/internal/langmodel"
 	"baywatch/internal/novelty"
+	"baywatch/internal/opsloop"
 	"baywatch/internal/pipeline"
 	"baywatch/internal/proxylog"
 	"baywatch/internal/whitelist"
 )
 
+// Sentinel errors mapped to distinct exit codes in main.
+var (
+	errDegraded    = errors.New("run completed degraded (see warnings; -allow-degraded suppresses this exit code)")
+	errInterrupted = errors.New("interrupted")
+)
+
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "baywatch:", err)
+	err := run()
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "baywatch:", err)
+	switch {
+	case errors.Is(err, errInterrupted) || errors.Is(err, context.Canceled):
+		os.Exit(130)
+	case errors.Is(err, errDegraded):
+		os.Exit(3)
+	default:
 		os.Exit(1)
 	}
 }
@@ -38,6 +72,7 @@ func main() {
 func run() error {
 	logsDir := flag.String("logs", "", "directory of proxy-*.log[.gz] files (required)")
 	statePath := flag.String("state", "", "novelty store path (optional; enables change detection across runs)")
+	opsDir := flag.String("ops", "", "operations-loop state directory: ingest each log file as one day through the crash-safe ops loop")
 	top := flag.Int("top", 25, "number of ranked cases to print")
 	scale := flag.Int64("scale", 1, "time-series granularity in seconds")
 	tau := flag.Float64("tau", 0.01, "local whitelist popularity threshold")
@@ -45,13 +80,20 @@ func run() error {
 	whitelistSize := flag.Int("whitelist", 1000, "global whitelist size (top popular domains)")
 	casesOut := flag.String("cases", "", "export candidate cases (with features) as JSON for bwtriage")
 	lenient := flag.Int("lenient", 0, "skip up to N malformed log lines per file instead of aborting (0 = strict)")
+	allowDegraded := flag.Bool("allow-degraded", false, "exit 0 even when the run completes degraded")
+	stageTimeout := flag.Duration("stage-timeout", 0, "wall-clock bound per pipeline stage (0 = unbounded)")
+	candidateTimeout := flag.Duration("candidate-timeout", 0, "wall-clock bound per candidate's detection/indication; overruns are parked as errors (0 = unbounded)")
+	taskTimeout := flag.Duration("task-timeout", 0, "wall-clock bound per MapReduce task (0 = unbounded)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "watchdog bound: a worker silent this long has its task cancelled (0 = no watchdog)")
+	maxEventsPerPair := flag.Int("max-events-per-pair", 0, "truncate pairs above this many events to their earliest events (0 = uncapped)")
+	maxInFlight := flag.Int("max-inflight", 0, "bound on candidates admitted to detection concurrently (0 = unlimited)")
+	failureBudget := flag.Int("failure-budget", 0, "MapReduce poisoned-input/key budget before a job aborts (0 = abort on first)")
 	flag.Parse()
 	if *logsDir == "" {
 		flag.Usage()
 		return fmt.Errorf("missing -logs")
 	}
 
-	// Load proxy logs.
 	entries, err := filepath.Glob(filepath.Join(*logsDir, "proxy-*.log*"))
 	if err != nil {
 		return err
@@ -60,26 +102,6 @@ func run() error {
 		return fmt.Errorf("no proxy-*.log files under %s", *logsDir)
 	}
 	sort.Strings(entries)
-	var records []*proxylog.Record
-	for _, path := range entries {
-		var recs []*proxylog.Record
-		var err error
-		if *lenient > 0 {
-			var stats proxylog.ReadStats
-			recs, stats, err = proxylog.ReadAllLenient(path, *lenient)
-			if stats.SkippedLines > 0 {
-				fmt.Fprintf(os.Stderr, "warning: %s: skipped %d malformed line(s) (first: %s)\n",
-					path, stats.SkippedLines, stats.FirstSkipped)
-			}
-		} else {
-			recs, err = proxylog.ReadAll(path)
-		}
-		if err != nil {
-			return fmt.Errorf("read %s: %w", path, err)
-		}
-		records = append(records, recs...)
-	}
-	fmt.Printf("loaded %d events from %d file(s)\n", len(records), len(entries))
 
 	// Optional DHCP correlation.
 	var corr *proxylog.Correlator
@@ -96,15 +118,6 @@ func run() error {
 		fmt.Printf("correlating sources against %d DHCP leases\n", len(leases))
 	}
 
-	// Novelty store.
-	var store *novelty.Store
-	if *statePath != "" {
-		store, err = novelty.Load(*statePath)
-		if err != nil {
-			return err
-		}
-	}
-
 	lm, err := langmodel.Train(corpus.PopularDomains(20000, 42))
 	if err != nil {
 		return err
@@ -114,20 +127,203 @@ func run() error {
 		Global:         whitelist.NewGlobal(corpus.PopularDomains(*whitelistSize, 42)),
 		LocalTau:       *tau,
 		LM:             lm,
-		Novelty:        store,
 		RankPercentile: *percentile,
+		Guard: guard.Config{
+			StageTimeout:     *stageTimeout,
+			CandidateTimeout: *candidateTimeout,
+			TaskTimeout:      *taskTimeout,
+			StallTimeout:     *stallTimeout,
+			MaxEventsPerPair: *maxEventsPerPair,
+			MaxInFlight:      *maxInFlight,
+			FailureBudget:    *failureBudget,
+		},
 	}
 
-	res, err := pipeline.Run(context.Background(), records, corr, cfg)
+	if *opsDir != "" {
+		if *statePath != "" {
+			return fmt.Errorf("-state is managed by the ops loop; drop it when using -ops")
+		}
+		return runOps(*opsDir, entries, corr, cfg, *lenient, *top, *allowDegraded)
+	}
+	return runOnce(entries, corr, cfg, *statePath, *lenient, *top, *allowDegraded, *casesOut)
+}
+
+// readLogFile loads one proxy log file, optionally skipping up to lenient
+// malformed lines.
+func readLogFile(path string, lenient int) ([]*proxylog.Record, error) {
+	if lenient > 0 {
+		recs, stats, err := proxylog.ReadAllLenient(path, lenient)
+		if stats.SkippedLines > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %s: skipped %d malformed line(s) (first: %s)\n",
+				path, stats.SkippedLines, stats.FirstSkipped)
+		}
+		return recs, err
+	}
+	return proxylog.ReadAll(path)
+}
+
+// runOnce is the single-shot mode: one pipeline run over every log file,
+// cancellable by SIGINT/SIGTERM.
+func runOnce(entries []string, corr *proxylog.Correlator, cfg pipeline.Config, statePath string, lenient, top int, allowDegraded bool, casesOut string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var records []*proxylog.Record
+	for _, path := range entries {
+		recs, err := readLogFile(path, lenient)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", path, err)
+		}
+		records = append(records, recs...)
+	}
+	fmt.Printf("loaded %d events from %d file(s)\n", len(records), len(entries))
+
+	var store *novelty.Store
+	if statePath != "" {
+		var err error
+		store, err = novelty.Load(statePath)
+		if err != nil {
+			return err
+		}
+	}
+	cfg.Novelty = store
+
+	res, err := pipeline.Run(ctx, records, corr, cfg)
+	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("%w: %v", errInterrupted, err)
+		}
+		return err
+	}
+	printReport(res, top)
+
+	if store != nil {
+		if err := store.Save(statePath); err != nil {
+			return err
+		}
+		d, p := store.Size()
+		fmt.Printf("\nnovelty store saved to %s (%d destinations, %d pairs)\n", statePath, d, p)
+	}
+	if casesOut != "" {
+		if err := exportCases(res, casesOut); err != nil {
+			return err
+		}
+	}
+	if res.Degraded && !allowDegraded {
+		return errDegraded
+	}
+	return nil
+}
+
+// runOps is the operations mode: each log file is one day, ingested
+// through the crash-safe ops loop. The first SIGINT/SIGTERM drains (the
+// in-flight day finishes and commits); a second aborts the in-flight day,
+// which rolls back and can be re-ingested.
+func runOps(stateDir string, entries []string, corr *proxylog.Correlator, cfg pipeline.Config, lenient, top int, allowDegraded bool) error {
+	loop, err := opsloop.New(opsloop.Config{
+		StateDir: stateDir,
+		Pipeline: cfg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "warning: "+format+"\n", args...)
+		},
+	}, corr)
 	if err != nil {
 		return err
 	}
+	if rec := loop.Recovery(); len(rec.Warnings) > 0 {
+		fmt.Fprintf(os.Stderr, "warning: recovery repaired %d issue(s); quarantined: %d\n",
+			len(rec.Warnings), len(rec.Quarantined))
+	}
+	fmt.Printf("ops loop at %s: %d day(s) already committed\n", stateDir, loop.DaysIngested())
+	// Each sorted file is one day; skip the ones a previous (possibly
+	// interrupted) invocation already committed so a rerun resumes at the
+	// first unprocessed day instead of re-ingesting from the start.
+	if done := loop.DaysIngested(); done > 0 {
+		if done >= len(entries) {
+			fmt.Printf("nothing to do: all %d file(s) already committed\n", len(entries))
+			return nil
+		}
+		entries = entries[done:]
+	}
 
+	ctx, hardCancel := context.WithCancelCause(context.Background())
+	defer hardCancel(nil)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	var draining atomic.Bool
+	go func() {
+		for range sigc {
+			if draining.CompareAndSwap(false, true) {
+				fmt.Fprintln(os.Stderr, "baywatch: signal received; committing the in-flight day, then stopping (signal again to abort)")
+			} else {
+				fmt.Fprintln(os.Stderr, "baywatch: second signal; aborting the in-flight day")
+				hardCancel(errInterrupted)
+			}
+		}
+	}()
+
+	degradedDays := 0
+	for _, path := range entries {
+		if draining.Load() {
+			return fmt.Errorf("%w: stopped after day %d (state committed; rerun to continue)",
+				errInterrupted, loop.DaysIngested())
+		}
+		recs, err := readLogFile(path, lenient)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", path, err)
+		}
+		rep, err := loop.IngestDay(ctx, recs)
+		if err != nil {
+			if errors.Is(err, errInterrupted) || errors.Is(err, context.Canceled) {
+				return fmt.Errorf("%w: day %d rolled back; %d day(s) committed (rerun to continue)",
+					errInterrupted, loop.DaysIngested()+1, loop.DaysIngested())
+			}
+			return fmt.Errorf("ingest day %d (%s): %w", loop.DaysIngested()+1, filepath.Base(path), err)
+		}
+		fmt.Printf("\n==== day %d (%s): %d events ====\n", rep.DaysIngested, filepath.Base(path), len(recs))
+		printReport(rep.Daily, top)
+		if rep.Daily.Degraded {
+			degradedDays++
+		}
+		for _, coarse := range []struct {
+			name string
+			res  *pipeline.Result
+		}{{"weekly", rep.Weekly}, {"monthly", rep.Monthly}} {
+			if coarse.res == nil {
+				continue
+			}
+			fmt.Printf("\n-- %s coarse pass --\n", coarse.name)
+			printReport(coarse.res, top)
+			if coarse.res.Degraded {
+				degradedDays++
+			}
+		}
+	}
+	fmt.Printf("\nops loop done: %d day(s) committed, history %d pair(s)\n",
+		loop.DaysIngested(), loop.HistoryPairs())
+	if degradedDays > 0 && !allowDegraded {
+		return fmt.Errorf("%d run(s) degraded: %w", degradedDays, errDegraded)
+	}
+	return nil
+}
+
+// printReport prints one pipeline result: degradation warnings, the
+// filtering funnel, shed-load accounting and the ranked cases.
+func printReport(res *pipeline.Result, top int) {
 	if res.Degraded {
-		fmt.Fprintf(os.Stderr, "warning: run degraded: %d candidate(s) failed in-flight and were isolated\n", len(res.Errors))
+		fmt.Fprintf(os.Stderr, "warning: run degraded: %d candidate(s) isolated, %d pair(s) truncated, %d input(s)/%d key(s) failed within budget\n",
+			len(res.Errors), res.Stats.TruncatedPairs, res.Stats.FailedInputs, res.Stats.FailedKeys)
 		for _, ce := range res.Errors {
 			fmt.Fprintf(os.Stderr, "warning:   %s -> %s (%s): %s\n", ce.Source, ce.Destination, ce.Stage, ce.Err)
 		}
+		for _, tp := range res.Truncated {
+			fmt.Fprintf(os.Stderr, "warning:   %s -> %s truncated to %d events (%d dropped)\n",
+				tp.Source, tp.Destination, tp.Kept, tp.Dropped)
+		}
+	}
+	if res.Stats.Stalls > 0 {
+		fmt.Fprintf(os.Stderr, "warning: watchdog cancelled %d stalled task(s)\n", res.Stats.Stalls)
 	}
 
 	s := res.Stats
@@ -135,12 +331,13 @@ func run() error {
 		s.InputEvents, s.Pairs, s.AfterGlobalWhitelist, s.AfterLocalWhitelist,
 		s.Periodic, s.AfterTokenFilter, s.AfterNovelty, s.Reported)
 	fmt.Printf("timings: extract %s, popularity %s, detect %s, rank %s\n\n",
-		s.ExtractTime.Round(1e6), s.PopularityTime.Round(1e6), s.DetectTime.Round(1e6), s.RankTime.Round(1e6))
+		s.ExtractTime.Round(time.Millisecond), s.PopularityTime.Round(time.Millisecond),
+		s.DetectTime.Round(time.Millisecond), s.RankTime.Round(time.Millisecond))
 
 	fmt.Printf("%-4s %-34s %-18s %-9s %-8s %-9s\n", "rank", "destination", "source", "period", "score", "lm-score")
 	fmt.Println(strings.Repeat("-", 88))
 	for i, c := range res.Reported {
-		if i >= *top {
+		if i >= top {
 			break
 		}
 		period := "-"
@@ -150,45 +347,39 @@ func run() error {
 		fmt.Printf("%-4d %-34s %-18s %-9s %-8.3f %-9.1f\n",
 			i+1, trim(c.Destination, 34), trim(c.Source, 18), period, c.Score, c.LMScore)
 	}
+}
 
-	if store != nil {
-		if err := store.Save(*statePath); err != nil {
-			return err
+// exportCases writes the periodic candidates as feature-vector cases for
+// bwtriage.
+func exportCases(res *pipeline.Result, casesOut string) error {
+	var cases []casefile.Case
+	for _, c := range res.Candidates {
+		if c.Detection == nil || !c.Detection.Periodic {
+			continue
 		}
-		d, p := store.Size()
-		fmt.Printf("\nnovelty store saved to %s (%d destinations, %d pairs)\n", *statePath, d, p)
+		fc := features.Case{SimilarSources: c.SimilarSources}
+		if c.Summary != nil {
+			fc.Intervals = c.Summary.IntervalsSeconds()
+		}
+		if len(c.Detection.Kept) > 0 {
+			fc.DominantPeriods = c.Detection.DominantPeriods()
+			fc.Power = c.Detection.Kept[0].Power
+			fc.ACFScore = c.Detection.Kept[0].ACFScore
+		}
+		cases = append(cases, casefile.Case{
+			ID:          c.Source + "|" + c.Destination,
+			Source:      c.Source,
+			Destination: c.Destination,
+			Features:    append(features.Vector(fc), c.LMScore, c.Popularity),
+			Score:       c.Score,
+			Periods:     c.Detection.DominantPeriods(),
+			LMScore:     c.LMScore,
+		})
 	}
-
-	if *casesOut != "" {
-		var cases []casefile.Case
-		for _, c := range res.Candidates {
-			if c.Detection == nil || !c.Detection.Periodic {
-				continue
-			}
-			fc := features.Case{SimilarSources: c.SimilarSources}
-			if c.Summary != nil {
-				fc.Intervals = c.Summary.IntervalsSeconds()
-			}
-			if len(c.Detection.Kept) > 0 {
-				fc.DominantPeriods = c.Detection.DominantPeriods()
-				fc.Power = c.Detection.Kept[0].Power
-				fc.ACFScore = c.Detection.Kept[0].ACFScore
-			}
-			cases = append(cases, casefile.Case{
-				ID:          c.Source + "|" + c.Destination,
-				Source:      c.Source,
-				Destination: c.Destination,
-				Features:    append(features.Vector(fc), c.LMScore, c.Popularity),
-				Score:       c.Score,
-				Periods:     c.Detection.DominantPeriods(),
-				LMScore:     c.LMScore,
-			})
-		}
-		if err := casefile.Write(*casesOut, cases); err != nil {
-			return err
-		}
-		fmt.Printf("exported %d candidate cases to %s\n", len(cases), *casesOut)
+	if err := casefile.Write(casesOut, cases); err != nil {
+		return err
 	}
+	fmt.Printf("exported %d candidate cases to %s\n", len(cases), casesOut)
 	return nil
 }
 

@@ -9,6 +9,12 @@
 //   - CrashAt / CrashAtGlobalHit panic with a *Crash sentinel, modelling a
 //     process dying at that instruction; Run converts the panic back into
 //     a value so the test can "restart" the system and assert convergence;
+//   - DelayAt sleeps at a point, modelling a slow call (degenerate fits,
+//     saturated disks) for deadline and watchdog tests;
+//   - HangAt blocks at a point until ReleaseHangs, modelling a call that
+//     never returns; the caller's deadline/watchdog machinery must cancel
+//     around it, and ReleaseHangs lets tests drain the abandoned
+//     goroutine and assert no leaks;
 //   - RandomErrors injects seed-driven pseudo-random faults that replay
 //     identically for the same seed.
 //
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // Crash is the panic value raised at a scheduled crash point. It
@@ -57,6 +64,8 @@ type rule struct {
 	from, to int
 	err      error
 	crash    bool
+	delay    time.Duration
+	hang     bool
 }
 
 // Scheduler scripts faults over named injection points. The zero value is
@@ -71,12 +80,22 @@ type Scheduler struct {
 	randProb   float64
 	randErr    error
 	trace      []Hit
+
+	// Hang machinery: hangRelease is closed by ReleaseHangs; hangActive
+	// counts goroutines currently blocked in a hang.
+	hangRelease  chan struct{}
+	hangReleased bool
+	hangActive   int
 }
 
 // New returns an empty scheduler. seed drives RandomErrors; scripted
 // rules are deterministic regardless of seed.
 func New(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed)), hits: make(map[string]int)}
+	return &Scheduler{
+		rng:         rand.New(rand.NewSource(seed)),
+		hits:        make(map[string]int),
+		hangRelease: make(chan struct{}),
+	}
 }
 
 // Hook returns the function production code calls at injection points;
@@ -97,6 +116,42 @@ func (s *Scheduler) FailTransient(point string, hit, times int, err error) {
 // CrashAt panics with *Crash on the hit-th traversal of point.
 func (s *Scheduler) CrashAt(point string, hit int) {
 	s.addRule(rule{point: point, from: hit, to: hit, crash: true})
+}
+
+// DelayAt sleeps d on the hit-th traversal of point before returning nil,
+// modelling a slow (but eventually successful) call for deadline and
+// watchdog tests.
+func (s *Scheduler) DelayAt(point string, hit int, d time.Duration) {
+	s.addRule(rule{point: point, from: hit, to: hit, delay: d})
+}
+
+// HangAt blocks the hit-th traversal of point until ReleaseHangs is
+// called, modelling a call that never returns on its own. After release
+// the traversal returns an injected error (the hang was a fault, not a
+// success). The calling goroutine is parked — deadline or watchdog
+// machinery above the injection point must cancel around it, and the
+// test must call ReleaseHangs before asserting goroutine counts.
+func (s *Scheduler) HangAt(point string, hit int) {
+	s.addRule(rule{point: point, from: hit, to: hit, hang: true})
+}
+
+// ReleaseHangs unblocks every goroutine currently (or subsequently)
+// parked by HangAt. Idempotent.
+func (s *Scheduler) ReleaseHangs() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hangReleased {
+		s.hangReleased = true
+		close(s.hangRelease)
+	}
+}
+
+// ActiveHangs reports how many goroutines are currently parked by HangAt;
+// tests use it to wait until an injected hang has engaged.
+func (s *Scheduler) ActiveHangs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hangActive
 }
 
 // CrashAtGlobalHit panics with *Crash on the nth Check call overall
@@ -123,7 +178,9 @@ func (s *Scheduler) addRule(r rule) {
 	s.rules = append(s.rules, r)
 }
 
-// check is the Hook implementation.
+// check is the Hook implementation. Faults are decided under the lock;
+// delays and hangs execute after it so a parked goroutine never blocks
+// other injection points.
 func (s *Scheduler) check(point string) error {
 	s.mu.Lock()
 	s.hits[point]++
@@ -132,6 +189,8 @@ func (s *Scheduler) check(point string) error {
 	s.trace = append(s.trace, Hit{Point: point, N: n})
 	crash := s.crashAtN > 0 && s.globalHits == s.crashAtN
 	var err error
+	var delay time.Duration
+	var hang bool
 	if !crash {
 		for _, r := range s.rules {
 			if r.point != point || n < r.from || n > r.to {
@@ -141,16 +200,32 @@ func (s *Scheduler) check(point string) error {
 				crash = true
 			} else {
 				err = r.err
+				delay = r.delay
+				hang = r.hang
 			}
 			break
 		}
 	}
-	if err == nil && !crash && s.randProb > 0 && s.rng.Float64() < s.randProb {
+	if err == nil && !crash && !hang && delay == 0 && s.randProb > 0 && s.rng.Float64() < s.randProb {
 		err = s.randErr
 	}
+	if hang {
+		s.hangActive++
+	}
+	release := s.hangRelease
 	s.mu.Unlock()
 	if crash {
 		panic(&Crash{Point: point, Hit: n})
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if hang {
+		<-release
+		s.mu.Lock()
+		s.hangActive--
+		s.mu.Unlock()
+		return fmt.Errorf("faultinject: hang at %s released", point)
 	}
 	return err
 }

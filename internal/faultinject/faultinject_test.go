@@ -3,6 +3,7 @@ package faultinject
 import (
 	"errors"
 	"testing"
+	"time"
 )
 
 var errInjected = errors.New("injected")
@@ -145,4 +146,65 @@ func TestRunPassesThroughErrorsAndForeignPanics(t *testing.T) {
 		}
 	}()
 	Run(func() error { panic("not a crash") })
+}
+
+func TestDelayAt(t *testing.T) {
+	s := New(1)
+	s.DelayAt("slow.op", 2, 40*time.Millisecond)
+	hook := s.Hook()
+
+	start := time.Now()
+	if err := hook("slow.op"); err != nil {
+		t.Fatalf("hit 1 should be clean, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Millisecond {
+		t.Fatalf("hit 1 delayed: %v", elapsed)
+	}
+	start = time.Now()
+	if err := hook("slow.op"); err != nil {
+		t.Fatalf("delayed hit must still succeed, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("hit 2 returned after %v, want >= 40ms", elapsed)
+	}
+}
+
+func TestHangAtBlocksUntilRelease(t *testing.T) {
+	s := New(1)
+	s.HangAt("wedged.op", 1)
+	hook := s.Hook()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hook("wedged.op") }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ActiveHangs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hang never engaged")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	select {
+	case err := <-errc:
+		t.Fatalf("hang returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	s.ReleaseHangs()
+	s.ReleaseHangs() // idempotent
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("released hang must return an injected error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hang not released")
+	}
+	if s.ActiveHangs() != 0 {
+		t.Fatalf("ActiveHangs = %d after release", s.ActiveHangs())
+	}
+	// Hits past the scripted one are clean.
+	if err := hook("wedged.op"); err != nil {
+		t.Fatalf("hit 2 should be clean, got %v", err)
+	}
 }

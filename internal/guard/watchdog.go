@@ -1,0 +1,203 @@
+package guard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stall records one watchdog intervention: a worker whose current task
+// was cancelled after it stopped publishing heartbeats.
+type Stall struct {
+	// Worker is the stalled worker's registered name.
+	Worker string
+	// Idle is how long the worker had been silent when cancelled.
+	Idle time.Duration
+}
+
+// Watchdog tracks per-worker progress heartbeats and cancels the current
+// task of any worker that stops making progress. Workers register with
+// Register (or Worker), call Beat at every unit-of-work boundary, and
+// Done when they exit; the monitor goroutine scans every PollInterval and
+// fires each worker's cancel function once per stall (a subsequent Beat
+// re-arms it). Stalls are recorded (Stalls) and surfaced through the
+// fault-hook seam at point "guard.watchdog.stall:<worker>" so tests can
+// observe them deterministically.
+type Watchdog struct {
+	stall time.Duration
+	poll  time.Duration
+
+	mu      sync.Mutex
+	workers map[*Heartbeat]struct{}
+	stalls  []Stall
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// Heartbeat is one worker's progress channel to the watchdog.
+type Heartbeat struct {
+	name    string
+	cancel  func()
+	wd      *Watchdog
+	last    atomic.Int64 // UnixNano of the latest Beat
+	stalled atomic.Bool  // set when cancelled, cleared by Beat
+}
+
+// NewWatchdog starts a watchdog cancelling tasks idle longer than stall.
+// poll <= 0 defaults to stall/4. Callers must Stop it when done.
+func NewWatchdog(stall, poll time.Duration) *Watchdog {
+	if stall <= 0 {
+		stall = 30 * time.Second
+	}
+	if poll <= 0 {
+		poll = stall / 4
+	}
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	w := &Watchdog{
+		stall:   stall,
+		poll:    poll,
+		workers: make(map[*Heartbeat]struct{}),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.monitor()
+	return w
+}
+
+// Register adds a worker. cancel is invoked (from the monitor goroutine)
+// when the worker stalls; it must be safe to call concurrently with the
+// worker and more than once. The returned Heartbeat starts armed as of
+// now.
+func (w *Watchdog) Register(name string, cancel func()) *Heartbeat {
+	h := &Heartbeat{name: name, cancel: cancel, wd: w}
+	h.last.Store(time.Now().UnixNano())
+	w.mu.Lock()
+	w.workers[h] = struct{}{}
+	w.mu.Unlock()
+	return h
+}
+
+// Beat publishes progress: the worker finished one unit and started the
+// next. It also re-arms a worker previously cancelled as stalled.
+func (h *Heartbeat) Beat() {
+	h.last.Store(time.Now().UnixNano())
+	h.stalled.Store(false)
+}
+
+// Done deregisters the worker.
+func (h *Heartbeat) Done() {
+	if h == nil {
+		return
+	}
+	h.wd.mu.Lock()
+	delete(h.wd.workers, h)
+	h.wd.mu.Unlock()
+}
+
+// Stop terminates the monitor goroutine and waits for it. Registered
+// workers are left untouched.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// Stalls returns every intervention recorded so far.
+func (w *Watchdog) Stalls() []Stall {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Stall, len(w.stalls))
+	copy(out, w.stalls)
+	return out
+}
+
+func (w *Watchdog) monitor() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		w.mu.Lock()
+		live := make([]*Heartbeat, 0, len(w.workers))
+		for h := range w.workers {
+			live = append(live, h)
+		}
+		w.mu.Unlock()
+		for _, h := range live {
+			idle := now.Sub(time.Unix(0, h.last.Load()))
+			if idle < w.stall || !h.stalled.CompareAndSwap(false, true) {
+				continue
+			}
+			// Surface the stall through the fault-hook seam (observation
+			// only; the returned error is irrelevant here), record it, and
+			// cancel the worker's current task.
+			_ = faultCheck("guard.watchdog.stall:" + h.name)
+			w.mu.Lock()
+			w.stalls = append(w.stalls, Stall{Worker: h.name, Idle: idle})
+			w.mu.Unlock()
+			if h.cancel != nil {
+				h.cancel()
+			}
+		}
+	}
+}
+
+// Worker couples a heartbeat with a slot for the current task's cancel
+// function, so the watchdog cancels exactly the in-flight task of a
+// stalled worker. A nil *Worker is inert, letting callers wire the
+// watchdog in optionally.
+type Worker struct {
+	hb     *Heartbeat
+	cancel atomic.Value // of context.CancelCauseFunc
+}
+
+// Worker registers a named worker whose current task is cancelled (with
+// cause ErrStalled) when it stalls. Returns nil when w is nil.
+func (w *Watchdog) Worker(name string) *Worker {
+	if w == nil {
+		return nil
+	}
+	wk := &Worker{}
+	wk.hb = w.Register(name, func() {
+		if c, ok := wk.cancel.Load().(context.CancelCauseFunc); ok && c != nil {
+			c(ErrStalled)
+		}
+	})
+	return wk
+}
+
+// Done deregisters the worker from its watchdog.
+func (wk *Worker) Done() {
+	if wk == nil {
+		return
+	}
+	wk.hb.Done()
+}
+
+// BoundWork runs one unit of work bounded by the candidate/task timeout
+// and by the worker's watchdog: the worker beats at the unit boundary,
+// and a stall cancels only this unit (error wrapping ErrStalled). With a
+// nil worker and no timeout the call is direct and unbounded. fn must
+// communicate only through its return values (see RunBounded).
+func BoundWork[T any](ctx context.Context, wk *Worker, timeout time.Duration, fn func() (T, error)) (T, error) {
+	if wk == nil {
+		return RunBounded(ctx, timeout, fn)
+	}
+	wk.hb.Beat()
+	tctx, cancel := context.WithCancelCause(ctx)
+	wk.cancel.Store(cancel)
+	defer func() {
+		wk.cancel.Store(context.CancelCauseFunc(nil))
+		cancel(nil)
+	}()
+	return RunBounded(tctx, timeout, fn)
+}

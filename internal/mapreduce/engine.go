@@ -18,6 +18,7 @@ package mapreduce
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -25,6 +26,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"baywatch/internal/guard"
 )
 
 // Emitter receives key/value pairs from a map task.
@@ -75,6 +79,30 @@ type JobConfig struct {
 	// as long as their total stays within the budget; one more aborts the
 	// job. 0 (the default) aborts on the first final failure.
 	MaxFailedInputs int
+	// MaxFailedKeys is the reduce-side failure budget: reduce keys whose
+	// final attempt fails (including by timeout or stall) are dropped and
+	// counted (Counters.FailedKeys) as long as their total stays within
+	// the budget; one more aborts the job. 0 aborts on the first final
+	// reduce failure.
+	MaxFailedKeys int
+	// Backoff is the base delay before a task retry; successive retries
+	// back off exponentially (doubling per attempt, capped at MaxBackoff)
+	// with deterministic jitter in [delay/2, delay), so a transiently
+	// failing input is not hammered. 0 retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the per-retry delay; defaults to 16*Backoff.
+	MaxBackoff time.Duration
+	// TaskTimeout bounds each map-input and reduce-key call in wall-clock
+	// time. A timed-out task is a final failure (never retried — retrying
+	// a hang doubles the damage) charged against MaxFailedInputs or
+	// MaxFailedKeys. The overrunning call is abandoned to drain on its
+	// own, not killed. 0 disables.
+	TaskTimeout time.Duration
+	// Watchdog, when non-nil, receives per-worker progress heartbeats;
+	// a worker that stops progressing between tasks has its current task
+	// cancelled (a final failure, like a timeout). The engine registers
+	// and deregisters its workers itself.
+	Watchdog *guard.Watchdog
 }
 
 func (c JobConfig) withDefaults() JobConfig {
@@ -96,7 +124,60 @@ func (c JobConfig) withDefaults() JobConfig {
 	if c.SpillThreshold <= 0 {
 		c.SpillThreshold = 1 << 20
 	}
+	if c.MaxBackoff <= 0 && c.Backoff > 0 {
+		c.MaxBackoff = 16 * c.Backoff
+	}
 	return c
+}
+
+// guarded reports whether tasks need the bounded-execution path (a
+// per-task goroutine that deadlines and watchdog cancellation can
+// abandon).
+func (c JobConfig) guarded() bool { return c.TaskTimeout > 0 || c.Watchdog != nil }
+
+// retryDelay computes the capped exponential backoff before retry
+// `attempt` (1-based) of the named task. The jitter is deterministic —
+// derived from the job name, task id and attempt — so runs replay
+// identically.
+func retryDelay(cfg JobConfig, name string, task, attempt int) time.Duration {
+	if cfg.Backoff <= 0 {
+		return 0
+	}
+	d := cfg.Backoff
+	for i := 1; i < attempt && d < cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > cfg.MaxBackoff {
+		d = cfg.MaxBackoff
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d", name, task, attempt)
+	frac := float64(h.Sum64()%1024) / 1024 // deterministic in [0, 1)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// sleepRetry waits the backoff delay, returning false if ctx is
+// cancelled first.
+func sleepRetry(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// finalFailure reports errors that must not be retried: deadline
+// overruns, watchdog stalls, and context cancellation (retrying a hang
+// doubles the damage; retrying a cancelled task fights the shutdown).
+func finalFailure(err error) bool {
+	return errors.Is(err, guard.ErrTimeout) || errors.Is(err, guard.ErrStalled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func defaultKeyHash(key any) uint64 {
@@ -150,6 +231,9 @@ type Counters struct {
 	// FailedInputs is the number of map inputs skipped as poisoned after
 	// exhausting their retries (bounded by JobConfig.MaxFailedInputs).
 	FailedInputs int64
+	// FailedKeys is the number of reduce keys dropped after their final
+	// attempt failed (bounded by JobConfig.MaxFailedKeys).
+	FailedKeys int64
 }
 
 // Result bundles a run's outputs and counters.
@@ -204,9 +288,9 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 	mapCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	// Failure accounting shared across map workers: retries for the
-	// counters, failed inputs against the poisoned-record budget.
-	var retriesTotal, failedTotal atomic.Int64
+	// Failure accounting shared across the phases: retries for the
+	// counters, failed inputs/keys against the failure budgets.
+	var retriesTotal, failedTotal, failedKeysTotal atomic.Int64
 
 	// runMap executes the map function for one input, converting panics
 	// into errors so a single poisoned record cannot take down the job.
@@ -216,6 +300,9 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 				err = fmt.Errorf("map panic: %v", r)
 			}
 		}()
+		if err := faultCheck("mapreduce.map.task"); err != nil {
+			return err
+		}
 		return j.mapFn(in, emit)
 	}
 
@@ -246,19 +333,38 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 					}
 				}
 			}
-			// Staged emission: with retries or a failure budget enabled,
-			// an input's pairs are buffered and merged into the shard only
-			// after its map call succeeds, so failed attempts never leave
-			// partial emissions behind.
 			type stagedPair struct {
 				key   K
 				value V
 			}
-			staging := j.cfg.MaxRetries > 0 || j.cfg.MaxFailedInputs > 0
-			var staged []stagedPair
-			stageEmit := func(key K, value V) {
-				staged = append(staged, stagedPair{key: key, value: value})
+			var wk *guard.Worker
+			if j.cfg.Watchdog != nil {
+				wk = j.cfg.Watchdog.Worker(fmt.Sprintf("%s/map-%d", j.name(), w))
+				defer wk.Done()
 			}
+			// runTask executes the map call for one input on the staged
+			// path: emissions collect into a fresh local slice returned by
+			// value, so failed, timed-out, or abandoned attempts never
+			// leave partial (or racing) emissions behind.
+			runTask := func(in I) ([]stagedPair, error) {
+				call := func() ([]stagedPair, error) {
+					var local []stagedPair
+					if err := runMap(in, func(k K, v V) {
+						local = append(local, stagedPair{key: k, value: v})
+					}); err != nil {
+						return nil, err
+					}
+					return local, nil
+				}
+				if !j.cfg.guarded() {
+					return call()
+				}
+				return guard.BoundWork(mapCtx, wk, j.cfg.TaskTimeout, call)
+			}
+			// Staged emission: with retries, a failure budget, or bounded
+			// execution enabled, an input's pairs are merged into the
+			// shard only after its map call succeeds.
+			staging := j.cfg.MaxRetries > 0 || j.cfg.MaxFailedInputs > 0 || j.cfg.guarded()
 			// Strided assignment keeps the work distribution deterministic.
 			for i := w; i < len(inputs); i += j.cfg.Mappers {
 				if mapCtx.Err() != nil {
@@ -267,26 +373,32 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 				shard.inputs++
 				var err error
 				if staging {
-					for attempt := 0; attempt <= j.cfg.MaxRetries; attempt++ {
-						staged = staged[:0]
-						if err = runMap(inputs[i], stageEmit); err == nil {
+					for attempt := 0; ; attempt++ {
+						var staged []stagedPair
+						staged, err = runTask(inputs[i])
+						if err == nil {
+							for _, sp := range staged {
+								emit(sp.key, sp.value)
+							}
 							break
 						}
-						if attempt < j.cfg.MaxRetries {
-							retriesTotal.Add(1)
+						if attempt >= j.cfg.MaxRetries || finalFailure(err) {
+							break
 						}
-					}
-					if err == nil {
-						for _, sp := range staged {
-							emit(sp.key, sp.value)
+						retriesTotal.Add(1)
+						if !sleepRetry(mapCtx, retryDelay(j.cfg, j.name(), i, attempt+1)) {
+							return
 						}
 					}
 				} else {
 					err = runMap(inputs[i], emit)
 				}
 				if err != nil {
+					if mapCtx.Err() != nil {
+						return // job-wide cancellation, not an input failure
+					}
 					if failed := failedTotal.Add(1); failed <= int64(j.cfg.MaxFailedInputs) {
-						continue // poisoned record skipped, within budget
+						continue // poisoned or overrunning record skipped, within budget
 					}
 					errc <- fmt.Errorf("%s: map input %d: %w", j.name(), i, err)
 					cancel()
@@ -312,7 +424,7 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 	default:
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, context.Cause(ctx)
 	}
 
 	var counters Counters
@@ -330,7 +442,7 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 	partOrder := make([][]K, nParts)
 	for p := 0; p < nParts; p++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, context.Cause(ctx)
 		}
 		partGroups[p] = make(map[K][]V)
 		for _, s := range shards {
@@ -368,43 +480,75 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 				err = fmt.Errorf("reduce panic: %v", r)
 			}
 		}()
+		if err := faultCheck("mapreduce.reduce.task"); err != nil {
+			return err
+		}
 		return j.reduce(k, vs, emit)
 	}
 
 	var rwg sync.WaitGroup
 	for w := 0; w < j.cfg.Reducers; w++ {
 		rwg.Add(1)
-		go func() {
+		go func(w int) {
 			defer rwg.Done()
+			var wk *guard.Worker
+			if j.cfg.Watchdog != nil {
+				wk = j.cfg.Watchdog.Worker(fmt.Sprintf("%s/reduce-%d", j.name(), w))
+				defer wk.Done()
+			}
+			// runKey executes the reduce call for one key, collecting its
+			// outputs into a fresh local slice returned by value, so
+			// failed, timed-out, or abandoned attempts never leave
+			// partial (or racing) output behind.
+			runKey := func(p int, k K) ([]O, error) {
+				call := func() ([]O, error) {
+					var local []O
+					if err := runReduce(k, partGroups[p][k], func(o O) {
+						local = append(local, o)
+					}); err != nil {
+						return nil, err
+					}
+					return local, nil
+				}
+				if !j.cfg.guarded() {
+					return call()
+				}
+				return guard.BoundWork(redCtx, wk, j.cfg.TaskTimeout, call)
+			}
 			for p := range partCh {
 				var outs []O
-				emit := func(o O) { outs = append(outs, o) }
-				for _, k := range partOrder[p] {
+				for ki, k := range partOrder[p] {
 					if redCtx.Err() != nil {
 						return
 					}
-					// Retry with the output truncated to its pre-key
-					// length, so failed attempts never duplicate output.
-					base := len(outs)
+					var kouts []O
 					var err error
-					for attempt := 0; attempt <= j.cfg.MaxRetries; attempt++ {
-						outs = outs[:base]
-						if err = runReduce(k, partGroups[p][k], emit); err == nil {
+					for attempt := 0; ; attempt++ {
+						kouts, err = runKey(p, k)
+						if err == nil || attempt >= j.cfg.MaxRetries || finalFailure(err) {
 							break
 						}
-						if attempt < j.cfg.MaxRetries {
-							retriesTotal.Add(1)
+						retriesTotal.Add(1)
+						if !sleepRetry(redCtx, retryDelay(j.cfg, j.name(), p<<16|ki, attempt+1)) {
+							return
 						}
 					}
 					if err != nil {
+						if redCtx.Err() != nil {
+							return // job-wide cancellation, not a key failure
+						}
+						if failed := failedKeysTotal.Add(1); failed <= int64(j.cfg.MaxFailedKeys) {
+							continue // key dropped, within budget
+						}
 						errc <- fmt.Errorf("%s: reduce key %v: %w", j.name(), k, err)
 						redCancel()
 						return
 					}
+					outs = append(outs, kouts...)
 				}
 				partOutputs[p] = outs
 			}
-		}()
+		}(w)
 	}
 feed:
 	for p := 0; p < nParts; p++ {
@@ -422,10 +566,11 @@ feed:
 	default:
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, context.Cause(ctx)
 	}
 
 	counters.Retries = retriesTotal.Load() // include reduce-phase retries
+	counters.FailedKeys = failedKeysTotal.Load()
 	res := &Result[O]{Counters: counters}
 	for p := 0; p < nParts; p++ {
 		res.Outputs = append(res.Outputs, partOutputs[p]...)

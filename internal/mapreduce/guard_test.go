@@ -1,0 +1,297 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"baywatch/internal/faultinject"
+	"baywatch/internal/guard"
+)
+
+// identityJob maps each int to itself and reduces by summing; handy for
+// asserting which inputs survived.
+func identityJob(cfg JobConfig) *Job[int, int, int, int] {
+	return NewJob[int, int, int, int](cfg,
+		func(i int, emit Emitter[int, int]) error { emit(i, i); return nil },
+		func(k int, vs []int, emit func(int)) error { emit(k); return nil },
+	)
+}
+
+func sortedInts(t *testing.T, res *Result[int]) []int {
+	t.Helper()
+	out := append([]int(nil), res.Outputs...)
+	SortOutputs(out, func(a, b int) bool { return a < b })
+	return out
+}
+
+func waitGoroutines(t *testing.T, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > limit {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, want <= %d", runtime.NumGoroutine(), limit)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTaskTimeoutSkipsHungInput(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	release := make(chan struct{})
+	job := NewJob[int, int, int, int](
+		JobConfig{Name: "hung-map", Mappers: 2, Reducers: 2,
+			TaskTimeout: 50 * time.Millisecond, MaxFailedInputs: 1},
+		func(i int, emit Emitter[int, int]) error {
+			if i == 3 {
+				<-release // wedged far beyond the task deadline
+			}
+			emit(i, i)
+			return nil
+		},
+		func(k int, vs []int, emit func(int)) error { emit(k); return nil },
+	)
+	start := time.Now()
+	res, err := job.Run(context.Background(), []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("job not bounded: took %v", elapsed)
+	}
+	if got := sortedInts(t, res); len(got) != 4 || got[0] != 1 || got[3] != 5 {
+		t.Fatalf("outputs = %v, want the 4 non-hung inputs", got)
+	}
+	if res.Counters.FailedInputs != 1 {
+		t.Fatalf("FailedInputs = %d, want 1", res.Counters.FailedInputs)
+	}
+	close(release)
+	waitGoroutines(t, baseline)
+}
+
+func TestWatchdogCancelsStalledMapTask(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	sched := faultinject.New(0)
+	sched.HangAt("mapreduce.map.task", 2)
+	SetFaultHook(sched.Hook())
+	t.Cleanup(func() { SetFaultHook(nil); sched.ReleaseHangs() })
+
+	wd := guard.NewWatchdog(50*time.Millisecond, 5*time.Millisecond)
+	defer wd.Stop()
+	job := identityJob(JobConfig{Name: "stalled-map", Mappers: 1, Reducers: 1,
+		Watchdog: wd, MaxFailedInputs: 1})
+	res, err := job.Run(context.Background(), []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if res.Counters.FailedInputs != 1 {
+		t.Fatalf("FailedInputs = %d, want 1", res.Counters.FailedInputs)
+	}
+	if len(res.Outputs) != 3 {
+		t.Fatalf("outputs = %v, want 3 surviving inputs", res.Outputs)
+	}
+	stalls := wd.Stalls()
+	if len(stalls) == 0 || !strings.HasPrefix(stalls[0].Worker, "stalled-map/map-") {
+		t.Fatalf("watchdog recorded no map stall: %+v", stalls)
+	}
+	sched.ReleaseHangs()
+	wd.Stop() // idempotent; stop before the leak check so the monitor exits
+	waitGoroutines(t, baseline)
+}
+
+func TestWatchdogCancelsStalledReduceTask(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	sched := faultinject.New(0)
+	sched.HangAt("mapreduce.reduce.task", 2)
+	SetFaultHook(sched.Hook())
+	t.Cleanup(func() { SetFaultHook(nil); sched.ReleaseHangs() })
+
+	wd := guard.NewWatchdog(50*time.Millisecond, 5*time.Millisecond)
+	defer wd.Stop()
+	job := identityJob(JobConfig{Name: "stalled-reduce", Mappers: 1, Reducers: 1,
+		Watchdog: wd, MaxFailedKeys: 1})
+	res, err := job.Run(context.Background(), []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if res.Counters.FailedKeys != 1 {
+		t.Fatalf("FailedKeys = %d, want 1", res.Counters.FailedKeys)
+	}
+	if len(res.Outputs) != 3 {
+		t.Fatalf("outputs = %v, want 3 surviving keys", res.Outputs)
+	}
+	sched.ReleaseHangs()
+	wd.Stop()
+	waitGoroutines(t, baseline)
+}
+
+func TestReduceFailedKeysBudget(t *testing.T) {
+	job := NewJob[int, int, int, int](
+		JobConfig{Name: "bad-key", MaxFailedKeys: 1},
+		func(i int, emit Emitter[int, int]) error { emit(i, i); return nil },
+		func(k int, vs []int, emit func(int)) error {
+			if k == 2 {
+				return errors.New("poisoned key")
+			}
+			emit(k)
+			return nil
+		},
+	)
+	res, err := job.Run(context.Background(), []int{1, 2, 3})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if got := sortedInts(t, res); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("outputs = %v, want [1 3]", got)
+	}
+	if res.Counters.FailedKeys != 1 {
+		t.Fatalf("FailedKeys = %d, want 1", res.Counters.FailedKeys)
+	}
+}
+
+func TestReduceFailureOverBudgetAborts(t *testing.T) {
+	job := NewJob[int, int, int, int](
+		JobConfig{Name: "bad-keys"},
+		func(i int, emit Emitter[int, int]) error { emit(i, i); return nil },
+		func(k int, vs []int, emit func(int)) error {
+			if k%2 == 0 {
+				return errors.New("poisoned key")
+			}
+			emit(k)
+			return nil
+		},
+	)
+	if _, err := job.Run(context.Background(), []int{1, 2, 3}); err == nil {
+		t.Fatal("zero budget must abort on first reduce failure")
+	}
+}
+
+func TestRetryBackoffDelaysAndSucceeds(t *testing.T) {
+	var attempts atomic.Int64
+	job := NewJob[int, int, int, int](
+		JobConfig{Name: "flaky", Mappers: 1, MaxRetries: 3, Backoff: 30 * time.Millisecond},
+		func(i int, emit Emitter[int, int]) error {
+			if i == 1 && attempts.Add(1) <= 2 {
+				return errors.New("transient")
+			}
+			emit(i, i)
+			return nil
+		},
+		func(k int, vs []int, emit func(int)) error { emit(k); return nil },
+	)
+	start := time.Now()
+	res, err := job.Run(context.Background(), []int{1, 2})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	elapsed := time.Since(start)
+	if res.Counters.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", res.Counters.Retries)
+	}
+	// Two retries with base 30ms back off at least 15ms (attempt 1 jitter
+	// floor) + 30ms (attempt 2 floor at doubled delay) = 45ms.
+	if elapsed < 45*time.Millisecond {
+		t.Fatalf("retries not backed off: elapsed %v", elapsed)
+	}
+	if len(res.Outputs) != 2 {
+		t.Fatalf("outputs = %v", res.Outputs)
+	}
+}
+
+func TestRetryDelayDeterministicAndCapped(t *testing.T) {
+	cfg := JobConfig{Backoff: 10 * time.Millisecond}.withDefaults()
+	a := retryDelay(cfg, "job", 7, 3)
+	b := retryDelay(cfg, "job", 7, 3)
+	if a != b {
+		t.Fatalf("jitter not deterministic: %v vs %v", a, b)
+	}
+	want := 40 * time.Millisecond // 10ms doubled twice
+	if a < want/2 || a >= want {
+		t.Fatalf("delay %v outside [%v, %v)", a, want/2, want)
+	}
+	// Far attempts cap at MaxBackoff.
+	far := retryDelay(cfg, "job", 7, 30)
+	if far >= cfg.MaxBackoff {
+		t.Fatalf("delay %v not capped below MaxBackoff %v", far, cfg.MaxBackoff)
+	}
+	if retryDelay(JobConfig{}.withDefaults(), "job", 1, 1) != 0 {
+		t.Fatal("no backoff configured must mean zero delay")
+	}
+}
+
+func TestCancellationMidRunReturnsPromptly(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	sched := faultinject.New(0)
+	sched.HangAt("mapreduce.map.task", 1)
+	SetFaultHook(sched.Hook())
+	t.Cleanup(func() { SetFaultHook(nil); sched.ReleaseHangs() })
+
+	// No TaskTimeout: promptness must come purely from cancellation
+	// propagating through the guarded path (watchdog present but with a
+	// very long stall bound, so it never fires).
+	wd := guard.NewWatchdog(time.Hour, time.Millisecond)
+	defer wd.Stop()
+	job := identityJob(JobConfig{Name: "cancelled", Mappers: 1, Reducers: 1, Watchdog: wd})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := job.Run(ctx, []int{1, 2, 3})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for sched.ActiveHangs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hang never engaged")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Run did not return after cancellation (waited %v)", time.Since(start))
+	}
+	sched.ReleaseHangs()
+	wd.Stop()
+	waitGoroutines(t, baseline)
+}
+
+func TestTaskTimeoutNotRetried(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	release := make(chan struct{})
+	var calls atomic.Int64
+	job := NewJob[int, int, int, int](
+		JobConfig{Name: "no-retry-on-timeout", Mappers: 1, MaxRetries: 5,
+			TaskTimeout: 40 * time.Millisecond, MaxFailedInputs: 1},
+		func(i int, emit Emitter[int, int]) error {
+			if i == 1 {
+				calls.Add(1)
+				<-release
+			}
+			emit(i, i)
+			return nil
+		},
+		func(k int, vs []int, emit func(int)) error { emit(k); return nil },
+	)
+	res, err := job.Run(context.Background(), []int{1, 2})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("hung input called %d times, want 1 (timeouts must not retry)", got)
+	}
+	if res.Counters.Retries != 0 || res.Counters.FailedInputs != 1 {
+		t.Fatalf("counters = %+v", res.Counters)
+	}
+	close(release)
+	waitGoroutines(t, baseline)
+}

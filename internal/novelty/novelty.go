@@ -8,11 +8,13 @@ package novelty
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 )
 
 // Store tracks reported destinations and source/destination pairs. It is
@@ -160,6 +162,17 @@ func (s *Store) Save(path string) error {
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("novelty: rename: %w", err)
+	}
+	// The rename only survives power loss once the parent directory entry
+	// is durable too. Filesystems that reject directory fsync
+	// (EINVAL/ENOTSUP) are tolerated.
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("novelty: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("novelty: sync dir: %w", err)
 	}
 	return nil
 }

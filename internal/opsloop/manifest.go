@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
 	"baywatch/internal/novelty"
 	"baywatch/internal/timeseries"
@@ -133,19 +134,30 @@ func atomicWrite(path string, data []byte, pointPrefix string) error {
 	if err != nil {
 		return fmt.Errorf("opsloop: rename %s: %w", path, err)
 	}
-	syncDir(filepath.Dir(path))
+	if err = faultCheck(pointPrefix + ".dirsync"); err == nil {
+		err = syncDir(filepath.Dir(path))
+	}
+	if err != nil {
+		return fmt.Errorf("opsloop: dirsync %s: %w", filepath.Dir(path), err)
+	}
 	return nil
 }
 
 // syncDir fsyncs a directory so a completed rename survives power loss.
-// Best-effort: some filesystems reject directory fsync.
-func syncDir(dir string) {
+// Filesystems that do not support directory fsync (EINVAL/ENOTSUP) are
+// tolerated; a real I/O failure is not — the rename is the commit point
+// and pretending it is durable when the directory entry may be lost
+// would let recovery believe in state that a power cut can erase.
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return err
 	}
-	d.Sync()
-	d.Close()
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 // loadManifest reads the manifest; ok is false when none exists. A

@@ -147,6 +147,9 @@ func (l *Loop) IngestDay(ctx context.Context, records []*proxylog.Record) (*Repo
 }
 
 func (l *Loop) ingestDay(ctx context.Context, records []*proxylog.Record) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("opsloop: ingest: %w", context.Cause(ctx))
+	}
 	day := l.days + 1
 	cfg := l.cfg.Pipeline
 	cfg.Novelty = l.store
@@ -156,10 +159,16 @@ func (l *Loop) ingestDay(ctx context.Context, records []*proxylog.Record) (*Repo
 		return nil, fmt.Errorf("opsloop: daily run: %w", err)
 	}
 
-	// Accumulate the day's summaries (at daily scale) in the history.
-	sums, err := pipeline.ExtractSummaries(ctx, records, l.corr, cfg.Scale, cfg.MapReduce)
+	// Accumulate the day's summaries (at daily scale) in the history,
+	// under the same per-pair admission cap as the daily run so one
+	// pathological pair cannot bloat the history store either.
+	sums, truncated, err := pipeline.ExtractSummariesCapped(
+		ctx, records, l.corr, cfg.Scale, cfg.Guard.MaxEventsPerPair, cfg.MapReduce)
 	if err != nil {
 		return nil, fmt.Errorf("opsloop: extract: %w", err)
+	}
+	if len(truncated) > 0 && l.cfg.Logf != nil {
+		l.cfg.Logf("opsloop: day %d: %d pair(s) truncated to the per-pair event cap in history", day, len(truncated))
 	}
 	l.history = append(l.history, sums...)
 

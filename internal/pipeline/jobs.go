@@ -2,9 +2,13 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"baywatch/internal/core"
+	"baywatch/internal/guard"
 	"baywatch/internal/mapreduce"
 	"baywatch/internal/proxylog"
 	"baywatch/internal/timeseries"
@@ -28,30 +32,67 @@ type PairEvent struct {
 	Path string
 }
 
-// ExtractSummariesFromEvents is the data-extraction MapReduce job
-// (Sect. VII-A) over source-agnostic pair events: MAP keys each event by
-// its communication pair; REDUCE sorts the timestamps and builds the
+// TruncatedPair records one communication pair whose event volume
+// exceeded the admission cap (guard.Config.MaxEventsPerPair) and was
+// truncated to its earliest Kept events. Truncation is load shedding with
+// explicit accounting: the pair still flows through the pipeline on the
+// kept prefix, and the run is marked Degraded.
+type TruncatedPair struct {
+	// Source and Destination identify the pair.
+	Source, Destination string
+	// Kept is the number of events analyzed (the cap).
+	Kept int
+	// Dropped is the number of events shed beyond the cap.
+	Dropped int
+}
+
+// tsPath is the extraction job's intermediate value: one event's timestamp
+// plus the optional URL path for the token filter.
+type tsPath struct {
+	ts   int64
+	path string
+}
+
+// extractOut is the extraction reduce output: the pair's summary plus a
+// truncation record when the admission cap fired.
+type extractOut struct {
+	as        *timeseries.ActivitySummary
+	truncated *TruncatedPair
+}
+
+// extractSummaries is the data-extraction MapReduce job (Sect. VII-A)
+// over source-agnostic pair events: MAP keys each event by its
+// communication pair; REDUCE sorts the timestamps and builds the
 // ActivitySummary at the given scale, carrying a bounded path sample for
-// the token filter.
-func ExtractSummariesFromEvents(ctx context.Context, events []PairEvent, scale int64, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, error) {
+// the token filter. maxEvents > 0 caps each pair at its earliest
+// maxEvents events, recording a TruncatedPair for every pair shed.
+func extractSummaries(ctx context.Context, events []PairEvent, scale int64, maxEvents int, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, []TruncatedPair, mapreduce.Counters, error) {
 	if scale <= 0 {
 		scale = 1
 	}
 	mrCfg.Name = "data-extraction"
-	type tsPath struct {
-		ts   int64
-		path string
-	}
-	job := mapreduce.NewJob[PairEvent, string, tsPath, *timeseries.ActivitySummary](
+	job := mapreduce.NewJob[PairEvent, string, tsPath, extractOut](
 		mrCfg,
 		func(e PairEvent, emit mapreduce.Emitter[string, tsPath]) error {
 			emit(e.Source+"|"+e.Destination, tsPath{ts: e.Timestamp, path: e.Path})
 			return nil
 		},
-		func(key string, events []tsPath, emit func(*timeseries.ActivitySummary)) error {
+		func(key string, events []tsPath, emit func(extractOut)) error {
 			src, dst, ok := splitPairKey(key)
 			if !ok {
 				return fmt.Errorf("bad pair key %q", key)
+			}
+			var trunc *TruncatedPair
+			if maxEvents > 0 && len(events) > maxEvents {
+				// Shed load deterministically: keep the earliest events
+				// (the beaconing onset), drop the tail, and account for it.
+				sorted := append([]tsPath(nil), events...)
+				sort.Slice(sorted, func(i, j int) bool { return sorted[i].ts < sorted[j].ts })
+				trunc = &TruncatedPair{
+					Source: src, Destination: dst,
+					Kept: maxEvents, Dropped: len(events) - maxEvents,
+				}
+				events = sorted[:maxEvents]
 			}
 			ts := make([]int64, len(events))
 			for i, e := range events {
@@ -64,21 +105,49 @@ func ExtractSummariesFromEvents(ctx context.Context, events []PairEvent, scale i
 			for _, e := range events {
 				as.AddURLPath(e.path)
 			}
-			emit(as)
+			emit(extractOut{as: as, truncated: trunc})
 			return nil
 		},
 	)
 	res, err := job.Run(ctx, events)
 	if err != nil {
-		return nil, err
+		return nil, nil, mapreduce.Counters{}, err
 	}
-	return res.Outputs, nil
+	summaries := make([]*timeseries.ActivitySummary, 0, len(res.Outputs))
+	var truncated []TruncatedPair
+	for _, o := range res.Outputs {
+		summaries = append(summaries, o.as)
+		if o.truncated != nil {
+			truncated = append(truncated, *o.truncated)
+		}
+	}
+	sort.Slice(truncated, func(i, j int) bool {
+		if truncated[i].Source != truncated[j].Source {
+			return truncated[i].Source < truncated[j].Source
+		}
+		return truncated[i].Destination < truncated[j].Destination
+	})
+	return summaries, truncated, res.Counters, nil
 }
 
-// ExtractSummaries runs the data-extraction job over web-proxy records.
-// When corr is non-nil, sources are device MACs resolved through the DHCP
-// correlation; otherwise raw client IPs.
-func ExtractSummaries(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correlator, scale int64, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, error) {
+// ExtractSummariesFromEvents is the uncapped data-extraction job; see
+// extractSummaries.
+func ExtractSummariesFromEvents(ctx context.Context, events []PairEvent, scale int64, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, error) {
+	summaries, _, _, err := extractSummaries(ctx, events, scale, 0, mrCfg)
+	return summaries, err
+}
+
+// ExtractSummariesFromEventsCapped is the data-extraction job with the
+// per-pair admission cap: pairs over maxEvents events are truncated to
+// their earliest maxEvents and reported. maxEvents <= 0 means uncapped.
+func ExtractSummariesFromEventsCapped(ctx context.Context, events []PairEvent, scale int64, maxEvents int, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, []TruncatedPair, error) {
+	summaries, truncated, _, err := extractSummaries(ctx, events, scale, maxEvents, mrCfg)
+	return summaries, truncated, err
+}
+
+// recordEvents converts proxy records to pair events, resolving sources
+// through the DHCP correlation when corr is non-nil.
+func recordEvents(records []*proxylog.Record, corr *proxylog.Correlator) []PairEvent {
 	events := make([]PairEvent, len(records))
 	for i, r := range records {
 		src := r.ClientIP
@@ -87,7 +156,21 @@ func ExtractSummaries(ctx context.Context, records []*proxylog.Record, corr *pro
 		}
 		events[i] = PairEvent{Source: src, Destination: r.Host, Timestamp: r.Timestamp, Path: r.Path}
 	}
-	return ExtractSummariesFromEvents(ctx, events, scale, mrCfg)
+	return events
+}
+
+// ExtractSummaries runs the data-extraction job over web-proxy records.
+// When corr is non-nil, sources are device MACs resolved through the DHCP
+// correlation; otherwise raw client IPs.
+func ExtractSummaries(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correlator, scale int64, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, error) {
+	return ExtractSummariesFromEvents(ctx, recordEvents(records, corr), scale, mrCfg)
+}
+
+// ExtractSummariesCapped runs the data-extraction job over web-proxy
+// records with the per-pair admission cap (see
+// ExtractSummariesFromEventsCapped).
+func ExtractSummariesCapped(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correlator, scale int64, maxEvents int, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, []TruncatedPair, error) {
+	return ExtractSummariesFromEventsCapped(ctx, recordEvents(records, corr), scale, maxEvents, mrCfg)
 }
 
 // splitPairKey splits "source|destination" at the first separator.
@@ -113,6 +196,13 @@ type destCount struct {
 // number of distinct sources, the denominator of the local-whitelist
 // ratio.
 func PopularityStats(ctx context.Context, summaries []*timeseries.ActivitySummary, mrCfg mapreduce.JobConfig) (map[string]int, int, error) {
+	dest, total, _, err := popularityStats(ctx, summaries, mrCfg)
+	return dest, total, err
+}
+
+// popularityStats is PopularityStats returning the job counters too, so
+// the pipeline can account for failure budgets spent in this stage.
+func popularityStats(ctx context.Context, summaries []*timeseries.ActivitySummary, mrCfg mapreduce.JobConfig) (map[string]int, int, mapreduce.Counters, error) {
 	mrCfg.Name = "destination-popularity"
 	job := mapreduce.NewJob[*timeseries.ActivitySummary, string, string, destCount](
 		mrCfg,
@@ -131,7 +221,7 @@ func PopularityStats(ctx context.Context, summaries []*timeseries.ActivitySummar
 	)
 	res, err := job.Run(ctx, summaries)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, mapreduce.Counters{}, err
 	}
 	out := make(map[string]int, len(res.Outputs))
 	for _, dc := range res.Outputs {
@@ -141,7 +231,7 @@ func PopularityStats(ctx context.Context, summaries []*timeseries.ActivitySummar
 	for _, as := range summaries {
 		totalSources[as.Source] = struct{}{}
 	}
-	return out, len(totalSources), nil
+	return out, len(totalSources), res.Counters, nil
 }
 
 // Detection pairs a summary with its periodicity result. When Err is
@@ -197,7 +287,18 @@ func safeDetect(det *core.Detector, key string, list []*timeseries.ActivitySumma
 // funnel; pairs whose detection failed come back with Err set rather than
 // failing the job.
 func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, det *core.Detector, mrCfg mapreduce.JobConfig) ([]Detection, error) {
+	out, _, err := detectBeacons(ctx, summaries, det, mrCfg, 0, 0)
+	return out, err
+}
+
+// detectBeacons is the guarded beaconing-detection job: candidateTimeout
+// > 0 bounds each pair's detection in wall-clock time (an overrun parks
+// the pair as a Detection with Err wrapping guard.ErrTimeout instead of
+// wedging the reducer), and maxInFlight > 0 bounds the number of pairs
+// admitted to detection concurrently.
+func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, det *core.Detector, mrCfg mapreduce.JobConfig, candidateTimeout time.Duration, maxInFlight int) ([]Detection, mapreduce.Counters, error) {
 	mrCfg.Name = "beaconing-detection"
+	sem := guard.NewSemaphore(maxInFlight)
 	job := mapreduce.NewJob[*timeseries.ActivitySummary, string, *timeseries.ActivitySummary, Detection](
 		mrCfg,
 		func(as *timeseries.ActivitySummary, emit mapreduce.Emitter[string, *timeseries.ActivitySummary]) error {
@@ -205,8 +306,31 @@ func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary,
 			return nil
 		},
 		func(key string, list []*timeseries.ActivitySummary, emit func(Detection)) error {
-			d, err := safeDetect(det, key, list)
+			if err := sem.Acquire(ctx); err != nil {
+				return err
+			}
+			defer sem.Release()
+			if candidateTimeout <= 0 {
+				d, err := safeDetect(det, key, list)
+				if err != nil {
+					return err
+				}
+				emit(d)
+				return nil
+			}
+			// The detection runs on its own goroutine so an overrun can be
+			// abandoned; safeDetect communicates only through its return
+			// value, making abandonment race-free.
+			d, err := guard.RunBounded(ctx, candidateTimeout, func() (Detection, error) {
+				return safeDetect(det, key, list)
+			})
 			if err != nil {
+				if errors.Is(err, guard.ErrTimeout) {
+					// Park the pair instead of failing the key: the pipeline
+					// isolates it under StageError and degrades the run.
+					emit(Detection{Summary: list[0], Err: err})
+					return nil
+				}
 				return err
 			}
 			emit(d)
@@ -215,9 +339,9 @@ func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary,
 	)
 	res, err := job.Run(ctx, summaries)
 	if err != nil {
-		return nil, err
+		return nil, mapreduce.Counters{}, err
 	}
-	return res.Outputs, nil
+	return res.Outputs, res.Counters, nil
 }
 
 // RescaleAndMerge is the rescaling/merging job of Sect. VII-B: it rescales

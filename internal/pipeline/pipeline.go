@@ -26,6 +26,7 @@ import (
 
 	"baywatch/internal/core"
 	"baywatch/internal/features"
+	"baywatch/internal/guard"
 	"baywatch/internal/langmodel"
 	"baywatch/internal/mapreduce"
 	"baywatch/internal/novelty"
@@ -65,6 +66,10 @@ type Config struct {
 	Weights ranking.Weights
 	// MapReduce configures the underlying jobs.
 	MapReduce mapreduce.JobConfig
+	// Guard bounds the run in time and memory: stage and per-candidate
+	// deadlines, watchdog stall detection, in-flight admission control and
+	// the per-pair event cap. The zero value disables every bound.
+	Guard guard.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +181,18 @@ type Stats struct {
 	// Errored counts candidates isolated by in-flight failures
 	// (SuppressedBy == StageError).
 	Errored int
+	// TruncatedPairs counts pairs shed to the per-pair event cap, and
+	// DroppedEvents the events discarded across them.
+	TruncatedPairs int
+	DroppedEvents  int
+	// FailedInputs and FailedKeys total the MapReduce failure budgets
+	// spent across the run's jobs (poisoned inputs skipped, reduce keys
+	// dropped).
+	FailedInputs int64
+	FailedKeys   int64
+	// Stalls counts watchdog interventions (tasks cancelled after their
+	// worker stopped making progress).
+	Stalls int
 	// Durations per phase.
 	ExtractTime, PopularityTime, DetectTime, RankTime time.Duration
 }
@@ -203,9 +220,13 @@ type Result struct {
 	// Errors lists candidates that failed in-flight; each also appears in
 	// Candidates with SuppressedBy == StageError.
 	Errors []CandidateError
-	// Degraded reports that the run completed but isolated at least one
-	// per-candidate failure: the report is valid for every listed case
-	// yet may be missing detections among the errored pairs.
+	// Truncated lists pairs shed to the per-pair event cap; each was
+	// analyzed on its kept (earliest) prefix only.
+	Truncated []TruncatedPair
+	// Degraded reports that the run completed but shed or isolated some
+	// work — per-candidate failures, truncated pairs, or spent failure
+	// budgets: the report is valid for every listed case yet may be
+	// missing detections among the affected pairs.
 	Degraded bool
 	// Stats is the filtering funnel.
 	Stats Stats
@@ -221,18 +242,58 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 	res := &Result{}
 	res.Stats.InputEvents = len(records)
 
+	// ---- Resilience bounds ----------------------------------------------
+	// The guard config threads deadlines, the watchdog and failure budgets
+	// into every stage; a zero config leaves the run unbounded as before.
+	g := cfg.Guard
+	mrCfg := cfg.MapReduce
+	if g.TaskTimeout > 0 && mrCfg.TaskTimeout == 0 {
+		mrCfg.TaskTimeout = g.TaskTimeout
+	}
+	if g.FailureBudget > 0 {
+		if mrCfg.MaxFailedInputs == 0 {
+			mrCfg.MaxFailedInputs = g.FailureBudget
+		}
+		if mrCfg.MaxFailedKeys == 0 {
+			mrCfg.MaxFailedKeys = g.FailureBudget
+		}
+	}
+	var wd *guard.Watchdog
+	if g.StallTimeout > 0 && mrCfg.Watchdog == nil {
+		wd = guard.NewWatchdog(g.StallTimeout, g.PollInterval)
+		defer wd.Stop()
+		mrCfg.Watchdog = wd
+	}
+	stageCtx := func(stage string) (context.Context, context.CancelFunc) {
+		if g.StageTimeout <= 0 {
+			return ctx, func() {}
+		}
+		return context.WithTimeoutCause(ctx, g.StageTimeout,
+			fmt.Errorf("%w: stage %s exceeded %v", guard.ErrTimeout, stage, g.StageTimeout))
+	}
+
 	// ---- Phase: data extraction (MapReduce job 1) -----------------------
 	start := time.Now()
-	summaries, err := ExtractSummaries(ctx, records, corr, cfg.Scale, cfg.MapReduce)
+	extCtx, extDone := stageCtx("extract")
+	summaries, truncated, extCounters, err := extractSummaries(
+		extCtx, recordEvents(records, corr), cfg.Scale, g.MaxEventsPerPair, mrCfg)
+	extDone()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: extract: %w", err)
+	}
+	res.Truncated = truncated
+	res.Stats.TruncatedPairs = len(truncated)
+	for _, tp := range truncated {
+		res.Stats.DroppedEvents += tp.Dropped
 	}
 	res.Stats.ExtractTime = time.Since(start)
 	res.Stats.Pairs = len(summaries)
 
 	// ---- Phase: destination popularity (MapReduce job 2) ----------------
 	start = time.Now()
-	destSources, totalSources, err := PopularityStats(ctx, summaries, cfg.MapReduce)
+	popCtx, popDone := stageCtx("popularity")
+	destSources, totalSources, popCounters, err := popularityStats(popCtx, summaries, mrCfg)
+	popDone()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: popularity: %w", err)
 	}
@@ -259,57 +320,76 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 	// ---- Filters 3-5: beaconing detection (MapReduce job 3) -------------
 	start = time.Now()
 	detector := core.NewDetector(cfg.Detector)
-	detections, err := DetectBeacons(ctx, analyzable, detector, cfg.MapReduce)
+	detCtx, detDone := stageCtx("detect")
+	detections, detCounters, err := detectBeacons(
+		detCtx, analyzable, detector, mrCfg, g.CandidateTimeout, g.MaxInFlight)
+	detDone()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: detect: %w", err)
 	}
 	res.Stats.DetectTime = time.Since(start)
 
 	// ---- Filters 6-8: suspicious indication analysis ---------------------
-	// Each candidate is analyzed in isolation: an error or panic marks
-	// that candidate StageError and degrades the run instead of killing
-	// it (a single dirty history must not abort a day of detection).
+	// Each candidate is analyzed in isolation: an error, panic, timeout or
+	// watchdog stall marks that candidate StageError and degrades the run
+	// instead of killing it (a single dirty history must not abort a day
+	// of detection). The analysis returns an outcome by value so a
+	// deadline can abandon an overrunning candidate without it racing on
+	// the shared candidate or stats (see guard.RunBounded).
 	start = time.Now()
-	indicate := func(cand *Candidate, d Detection) (err error) {
+	type indication struct {
+		lmScore    float64
+		popularity float64
+		similar    int
+		token      tokenfilter.Analysis
+		novelty    novelty.Verdict
+		score      float64
+		suppressed FilterStage
+	}
+	indicate := func(cand *Candidate, d Detection) (out indication, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("indication panic: %v", r)
 			}
 		}()
 		if err := faultCheck("pipeline.indication", cand.Source+"|"+cand.Destination); err != nil {
-			return err
+			return out, err
 		}
-		cand.LMScore = cfg.LM.Score(d.Summary.Destination)
-		cand.Popularity = local.Popularity(d.Summary.Destination)
-		cand.SimilarSources = destSources[d.Summary.Destination]
+		out.lmScore = cfg.LM.Score(d.Summary.Destination)
+		out.popularity = local.Popularity(d.Summary.Destination)
+		out.similar = destSources[d.Summary.Destination]
 		if !d.Result.Periodic {
-			cand.SuppressedBy = StageNotPeriodic
-			return nil
+			out.suppressed = StageNotPeriodic
+			return out, nil
 		}
-		res.Stats.Periodic++
-
-		cand.Token = cfg.TokenFilter.Analyze(d.Summary.URLPaths)
-		if cand.Token.LikelyBenign {
-			cand.SuppressedBy = StageTokenFilter
-			return nil
+		out.token = cfg.TokenFilter.Analyze(d.Summary.URLPaths)
+		if out.token.LikelyBenign {
+			out.suppressed = StageTokenFilter
+			return out, nil
 		}
-		res.Stats.AfterTokenFilter++
-
 		if cfg.Novelty != nil {
-			cand.Novelty = cfg.Novelty.Check(cand.Source, cand.Destination)
-			if cand.Novelty == novelty.Duplicate {
-				cand.SuppressedBy = StageNovelty
-				return nil
+			out.novelty = cfg.Novelty.Check(cand.Source, cand.Destination)
+			if out.novelty == novelty.Duplicate {
+				out.suppressed = StageNovelty
+				return out, nil
 			}
 		} else {
-			cand.Novelty = novelty.NewDestination
+			out.novelty = novelty.NewDestination
 		}
-		res.Stats.AfterNovelty++
-
-		cand.Score = ranking.Score(indicatorsFor(cand), cfg.Weights)
-		return nil
+		// The score needs the indicators applied to the candidate; compute
+		// it from a scratch copy so the shared candidate is untouched until
+		// the outcome is committed.
+		scratch := *cand
+		scratch.LMScore, scratch.Popularity, scratch.SimilarSources = out.lmScore, out.popularity, out.similar
+		out.score = ranking.Score(indicatorsFor(&scratch), cfg.Weights)
+		return out, nil
 	}
+	indWorker := wd.Worker("pipeline/indication")
+	defer indWorker.Done()
 	for _, d := range detections {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("pipeline: indication: %w", guardCause(ctx))
+		}
 		cand := &Candidate{
 			Source:      d.Summary.Source,
 			Destination: d.Summary.Destination,
@@ -325,16 +405,43 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 			})
 			continue
 		}
-		if err := indicate(cand, d); err != nil {
+		out, err := guard.BoundWork(ctx, indWorker, g.CandidateTimeout, func() (indication, error) {
+			return indicate(cand, d)
+		})
+		if err != nil {
 			cand.SuppressedBy = StageError
 			res.Errors = append(res.Errors, CandidateError{
 				Source: cand.Source, Destination: cand.Destination,
 				Stage: "indication", Err: err.Error(),
 			})
+			continue
+		}
+		cand.LMScore, cand.Popularity, cand.SimilarSources = out.lmScore, out.popularity, out.similar
+		cand.Token, cand.Novelty, cand.Score = out.token, out.novelty, out.score
+		cand.SuppressedBy = out.suppressed
+		// Funnel accounting derives from where the candidate stopped, so
+		// abandoned analyses never double-count.
+		switch out.suppressed {
+		case StageNotPeriodic:
+		case StageTokenFilter:
+			res.Stats.Periodic++
+		case StageNovelty:
+			res.Stats.Periodic++
+			res.Stats.AfterTokenFilter++
+		default:
+			res.Stats.Periodic++
+			res.Stats.AfterTokenFilter++
+			res.Stats.AfterNovelty++
 		}
 	}
 	res.Stats.Errored = len(res.Errors)
-	res.Degraded = len(res.Errors) > 0
+	res.Stats.FailedInputs = extCounters.FailedInputs + popCounters.FailedInputs + detCounters.FailedInputs
+	res.Stats.FailedKeys = extCounters.FailedKeys + popCounters.FailedKeys + detCounters.FailedKeys
+	if wd != nil {
+		res.Stats.Stalls = len(wd.Stalls())
+	}
+	res.Degraded = len(res.Errors) > 0 || len(res.Truncated) > 0 ||
+		res.Stats.FailedInputs > 0 || res.Stats.FailedKeys > 0
 
 	// Rank the survivors and apply the percentile threshold.
 	var rankable []ranking.Case
@@ -370,6 +477,15 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 	res.Stats.Reported = len(res.Reported)
 	res.Stats.RankTime = time.Since(start)
 	return res, nil
+}
+
+// guardCause returns the context's cancellation cause, falling back to
+// its plain error.
+func guardCause(ctx context.Context) error {
+	if c := context.Cause(ctx); c != nil {
+		return c
+	}
+	return ctx.Err()
 }
 
 // indicatorsFor derives the ranking indicators from a candidate.

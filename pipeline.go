@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"baywatch/internal/corpus"
+	"baywatch/internal/guard"
 	"baywatch/internal/langmodel"
 	"baywatch/internal/mapreduce"
 	"baywatch/internal/novelty"
@@ -29,6 +30,15 @@ type FilterStage = pipeline.FilterStage
 // CandidateError records one candidate that failed in-flight during a
 // degraded run; see PipelineResult.Errors.
 type CandidateError = pipeline.CandidateError
+
+// GuardConfig bounds a run's time and memory: per-stage and per-candidate
+// deadlines, a stall watchdog, admission control and per-pair event caps.
+// The zero value disables every bound; see PipelineConfig.Guard.
+type GuardConfig = guard.Config
+
+// TruncatedPair records one communication pair whose events were shed to
+// the per-pair cap during a run; see PipelineResult.Truncated.
+type TruncatedPair = pipeline.TruncatedPair
 
 // Record is one proxy-log entry (BlueCoat-style access log record).
 type Record = proxylog.Record
