@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test test-race fuzz-smoke tidy
+# The benchmarks the perf gate watches: the periodicity hot path (dsp) and
+# the detector built on it (core). -benchtime is kept short so ten
+# repetitions stay affordable in CI; the gate compares medians, which
+# tolerates short per-repetition runs.
+BENCH_PATTERN ?= Periodogram|Autocorrelation|Detector
+BENCH_PKGS    ?= ./internal/dsp ./internal/core
+BENCH_FLAGS   ?= -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=10 -benchtime=300x -timeout=20m
+
+.PHONY: check vet build test test-race fuzz-smoke tidy lint bench bench-baseline bench-check
 
 # check is the CI entry point: vet, build, and the full test suite under
 # the race detector (the fault-injection and crash-recovery tests exercise
@@ -29,3 +37,28 @@ fuzz-smoke:
 
 tidy:
 	$(GO) mod tidy
+
+# lint is the fast formatting/vet gate CI runs before spending a full
+# race-detector build.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# bench prints the gated microbenchmarks (see BENCH_PATTERN) for local
+# inspection.
+bench:
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS)
+
+# bench-baseline regenerates the committed baseline. Run it on a quiet
+# machine after an intended performance change and commit the result.
+bench-baseline:
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) | tee BENCH_BASELINE.txt
+
+# bench-check runs the benchmarks and fails on >10% median ns/op growth or
+# any allocs/op growth against the committed baseline (see cmd/benchgate).
+bench-check:
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) > /tmp/bench-current.txt || (cat /tmp/bench-current.txt; exit 1)
+	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.txt -current /tmp/bench-current.txt

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// series collects one benchmark's repetitions across a -count=N run.
+type series struct {
+	nsOp     []float64
+	allocsOp []float64
+}
+
+// parseBench extracts benchmark results from raw `go test -bench` output.
+// A benchmark line looks like
+//
+//	BenchmarkName-8   	 1234	 123456 ns/op	 16 B/op	 2 allocs/op
+//
+// The -GOMAXPROCS suffix is stripped so baselines recorded on machines with
+// different core counts still match.
+func parseBench(out string) (map[string]*series, error) {
+	runs := make(map[string]*series)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := runs[name]
+		if s == nil {
+			s = &series{}
+			runs[name] = s
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsOp = append(s.nsOp, v)
+			case "allocs/op":
+				s.allocsOp = append(s.allocsOp, v)
+			}
+		}
+	}
+	return runs, nil
+}
+
+// median returns the middle order statistic (mean of the two middle values
+// for even length); 0 for empty input.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// compare evaluates the current run against the baseline and renders a
+// per-benchmark report. failed is true when any gate tripped.
+func compare(baseline, current map[string]*series, timeThreshold float64) (report string, failed bool) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-45s %15s %15s %8s\n", "benchmark", "base ns/op", "curr ns/op", "delta")
+	for _, name := range names {
+		base := baseline[name]
+		curr, ok := current[name]
+		if !ok {
+			fmt.Fprintf(&b, "%-45s MISSING from current run: FAIL\n", name)
+			failed = true
+			continue
+		}
+		baseNs, currNs := median(base.nsOp), median(curr.nsOp)
+		delta := 0.0
+		if baseNs > 0 {
+			delta = (currNs - baseNs) / baseNs
+		}
+		verdict := ""
+		if delta > timeThreshold {
+			verdict = fmt.Sprintf("  FAIL: ns/op regressed %.1f%% (limit %.0f%%)", delta*100, timeThreshold*100)
+			failed = true
+		}
+		baseAllocs, currAllocs := median(base.allocsOp), median(curr.allocsOp)
+		if len(base.allocsOp) > 0 && len(curr.allocsOp) > 0 && currAllocs > baseAllocs {
+			verdict += fmt.Sprintf("  FAIL: allocs/op regressed %.0f -> %.0f", baseAllocs, currAllocs)
+			failed = true
+		}
+		fmt.Fprintf(&b, "%-45s %15.0f %15.0f %+7.1f%%%s\n", name, baseNs, currNs, delta*100, verdict)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			fmt.Fprintf(&b, "%-45s new benchmark (not in baseline)\n", name)
+		}
+	}
+	if failed {
+		b.WriteString("\nbenchgate: FAIL — performance regressed against BENCH_BASELINE.txt\n")
+		b.WriteString("(if the regression is intended, regenerate the baseline with `make bench-baseline`)\n")
+	} else {
+		b.WriteString("\nbenchgate: PASS\n")
+	}
+	return b.String(), failed
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: baywatch/internal/dsp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPeriodogram_4096-8         	    5000	    200000 ns/op	      16 B/op	       2 allocs/op
+BenchmarkPeriodogram_4096-8         	    5000	    220000 ns/op	      16 B/op	       2 allocs/op
+BenchmarkPeriodogram_4096-8         	    5000	    210000 ns/op	      16 B/op	       2 allocs/op
+BenchmarkAutocorrelationScratch_4096-8  	   10000	    100000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	baywatch/internal/dsp	3.1s
+`
+
+func TestParseBench(t *testing.T) {
+	runs, err := parseBench(sampleOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := runs["BenchmarkPeriodogram_4096"]
+	if pg == nil {
+		t.Fatal("BenchmarkPeriodogram_4096 not parsed (GOMAXPROCS suffix not stripped?)")
+	}
+	if len(pg.nsOp) != 3 {
+		t.Fatalf("got %d repetitions, want 3", len(pg.nsOp))
+	}
+	if m := median(pg.nsOp); m != 210000 {
+		t.Errorf("median ns/op = %v, want 210000", m)
+	}
+	acf := runs["BenchmarkAutocorrelationScratch_4096"]
+	if acf == nil || len(acf.allocsOp) != 1 || acf.allocsOp[0] != 0 {
+		t.Errorf("allocs/op not parsed: %+v", acf)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("median = %v, want 2.5", m)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base, _ := parseBench("BenchmarkX-8 100 1000 ns/op 0 B/op 0 allocs/op\n")
+	curr, _ := parseBench("BenchmarkX-8 100 1050 ns/op 0 B/op 0 allocs/op\n")
+	report, failed := compare(base, curr, 0.10)
+	if failed {
+		t.Errorf("5%% growth under a 10%% threshold must pass:\n%s", report)
+	}
+}
+
+func TestCompareTimeRegressionFails(t *testing.T) {
+	base, _ := parseBench("BenchmarkX-8 100 1000 ns/op 0 B/op 0 allocs/op\n")
+	curr, _ := parseBench("BenchmarkX-8 100 1200 ns/op 0 B/op 0 allocs/op\n")
+	report, failed := compare(base, curr, 0.10)
+	if !failed || !strings.Contains(report, "FAIL") {
+		t.Errorf("20%% ns/op growth must fail:\n%s", report)
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	base, _ := parseBench("BenchmarkX-8 100 1000 ns/op 0 B/op 0 allocs/op\n")
+	curr, _ := parseBench("BenchmarkX-8 100 1000 ns/op 64 B/op 1 allocs/op\n")
+	report, failed := compare(base, curr, 0.10)
+	if !failed || !strings.Contains(report, "allocs/op regressed") {
+		t.Errorf("any allocs/op growth must fail:\n%s", report)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base, _ := parseBench("BenchmarkX-8 100 1000 ns/op\nBenchmarkY-8 100 500 ns/op\n")
+	curr, _ := parseBench("BenchmarkX-8 100 1000 ns/op\n")
+	report, failed := compare(base, curr, 0.10)
+	if !failed || !strings.Contains(report, "MISSING") {
+		t.Errorf("a benchmark missing from the current run must fail:\n%s", report)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base, _ := parseBench("BenchmarkX-8 100 1000 ns/op 16 B/op 2 allocs/op\n")
+	curr, _ := parseBench("BenchmarkX-8 100 400 ns/op 0 B/op 0 allocs/op\n")
+	report, failed := compare(base, curr, 0.10)
+	if failed {
+		t.Errorf("improvements must pass:\n%s", report)
+	}
+}

@@ -1,0 +1,69 @@
+// Command benchgate compares a `go test -bench` run against a committed
+// baseline and fails (exit 1) on performance regressions. It is the CI
+// bench gate: golang.org/x/perf/benchstat cannot be vendored here, so the
+// comparison is implemented in-repo on the standard library alone.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_BASELINE.txt -current current.txt
+//
+// Both files hold raw `go test -bench ... -benchmem -count=N` output. Per
+// benchmark, the median over the repetitions is compared:
+//
+//   - ns/op may grow by at most the time threshold (default 10%);
+//   - allocs/op may not grow at all (the zero-allocation contract);
+//   - a benchmark present in the baseline but missing from the current run
+//     fails the gate (coverage must not silently shrink).
+//
+// Medians rather than means keep the gate robust to scheduler noise on
+// shared CI runners, mirroring benchstat's use of order statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.txt", "committed baseline bench output")
+	currentPath := flag.String("current", "", "bench output of the current run")
+	timeThreshold := flag.Float64("time-threshold", 0.10, "allowed fractional ns/op growth")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+
+	baseline, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := parseFile(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	report, failed := compare(baseline, current, *timeThreshold)
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func parseFile(path string) (map[string]*series, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	runs, err := parseBench(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return runs, nil
+}

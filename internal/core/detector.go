@@ -3,8 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
-	"sort"
+	"slices"
 
 	"baywatch/internal/dsp"
 	"baywatch/internal/stats"
@@ -196,8 +195,12 @@ func (d *Detector) Detect(as *timeseries.ActivitySummary) (*Result, error) {
 	if as == nil {
 		return nil, fmt.Errorf("core: nil activity summary")
 	}
-	series := as.BinSeries(d.cfg.MaxSeriesLen)
-	return d.DetectSeries(series, float64(as.Scale), as.IntervalsSeconds())
+	sc := borrowDetectScratch()
+	sc.series = as.BinSeriesInto(sc.series, d.cfg.MaxSeriesLen)
+	sc.intervals = as.AppendIntervalsSeconds(sc.intervals[:0])
+	res, err := d.detectSeries(sc, sc.series, float64(as.Scale), sc.intervals)
+	releaseDetectScratch(sc)
+	return res, err
 }
 
 // DetectSeries analyzes a pre-binned series directly. sampleInterval is the
@@ -210,6 +213,17 @@ func (d *Detector) Detect(as *timeseries.ActivitySummary) (*Result, error) {
 // short-period candidates surfaced by the interval GMM are still verified
 // against the original fine-grained series.
 func (d *Detector) DetectSeries(series []float64, sampleInterval float64, intervals []float64) (*Result, error) {
+	sc := borrowDetectScratch()
+	res, err := d.detectSeries(sc, series, sampleInterval, intervals)
+	releaseDetectScratch(sc)
+	return res, err
+}
+
+// detectSeries is DetectSeries running over a borrowed scratch; every
+// intermediate buffer (shuffles, periodograms, interval lists, rebinned
+// series, ACF cache) comes from sc, so the steady-state path allocates only
+// the returned Result.
+func (d *Detector) detectSeries(sc *detectScratch, series []float64, sampleInterval float64, intervals []float64) (*Result, error) {
 	cfg := d.cfg
 	res := &Result{SeriesLen: len(series), EventCount: countEvents(series)}
 
@@ -221,17 +235,19 @@ func (d *Detector) DetectSeries(series []float64, sampleInterval float64, interv
 	origSeries, origInterval := series, sampleInterval
 	if len(series) > cfg.MaxAnalysisBins {
 		decimation := (len(series) + cfg.MaxAnalysisBins - 1) / cfg.MaxAnalysisBins
-		series = rebin(series, decimation)
+		sc.decim = rebinInto(sc.decim, series, decimation)
+		series = sc.decim
 		sampleInterval *= float64(decimation)
 	}
 
 	// ---- Step 1: periodogram + permutation threshold -------------------
-	pg, err := dsp.ComputePeriodogram(series, sampleInterval)
-	if err != nil {
+	if err := sc.dsp.PeriodogramInto(&sc.pg, series, sampleInterval); err != nil {
 		return nil, fmt.Errorf("periodogram: %w", err)
 	}
-	res.PowerThreshold = d.permutationThreshold(series, sampleInterval)
-	bins := pg.BinsAbove(res.PowerThreshold)
+	pg := &sc.pg
+	res.PowerThreshold = d.permutationThreshold(sc, series, sampleInterval)
+	sc.bins = pg.BinsAboveInto(sc.bins, res.PowerThreshold)
+	bins := sc.bins
 	if len(bins) > cfg.MaxCandidates {
 		bins = bins[:cfg.MaxCandidates]
 	}
@@ -247,7 +263,8 @@ func (d *Detector) DetectSeries(series []float64, sampleInterval float64, interv
 	}
 
 	// ---- Step 2: pruning ------------------------------------------------
-	nonzero := nonzeroIntervals(intervals)
+	sc.nonzero = appendNonzero(sc.nonzero[:0], intervals)
+	nonzero := sc.nonzero
 	span := sampleInterval * float64(len(series))
 	var minInterval float64
 	if len(nonzero) > 0 {
@@ -259,7 +276,10 @@ func (d *Detector) DetectSeries(series []float64, sampleInterval float64, interv
 	// Interval clustering: a BIC-selected GMM exposes multi-modal interval
 	// structure; its dominant component means become candidates too.
 	if len(nonzero) >= cfg.MinEvents {
-		sample := subsample(nonzero, cfg.GMMMaxIntervalSample)
+		sample := subsampleInto(sc.sample[:0], nonzero, cfg.GMMMaxIntervalSample)
+		if len(nonzero) > cfg.GMMMaxIntervalSample {
+			sc.sample = sample // retain the grown backing array
+		}
 		if sel, gmmErr := stats.FitBestGMM(sample, cfg.GMMMaxComponents, stats.GMMConfig{}); gmmErr == nil {
 			res.GMM = sel
 			// Dominant component means become candidate periods. This also
@@ -319,7 +339,7 @@ func (d *Detector) DetectSeries(series []float64, sampleInterval float64, interv
 				tol = binSpacing
 			}
 		}
-		if p, ok := d.intervalPValue(nonzero, c.Period, tol); ok {
+		if p, ok := d.intervalPValue(sc, nonzero, c.Period, tol); ok {
 			c.PValue = p
 			if p < cfg.Alpha {
 				c.Reason = RejectTTest
@@ -335,7 +355,6 @@ func (d *Detector) DetectSeries(series []float64, sampleInterval float64, interv
 	// peak across many lags and dilutes it below any sensible threshold;
 	// rebinning concentrates the peak while preserving the periodic
 	// structure (this mirrors the paper's multi-scale rescaling phase).
-	acfCache := make(map[int][]float64)
 	for i := range res.Candidates {
 		c := &res.Candidates[i]
 		if c.Reason != RejectNone {
@@ -353,7 +372,7 @@ func (d *Detector) DetectSeries(series []float64, sampleInterval float64, interv
 		// so bins narrower than sigma dilute it below any usable threshold.
 		// The width is capped at a quarter period to keep the lag axis
 		// meaningful.
-		if sigma := intervalSpread(nonzero, c.Period); sigma > 0 {
+		if sigma := intervalSpread(sc, nonzero, c.Period); sigma > 0 {
 			want := int(math.Round(sigma / basisInterval))
 			if capF := int(c.Period / (4 * basisInterval)); want > capF {
 				want = capF
@@ -362,14 +381,18 @@ func (d *Detector) DetectSeries(series []float64, sampleInterval float64, interv
 				factor = want
 			}
 		}
-		acf, ok := acfCache[cacheSign*factor]
+		acf, ok := sc.acf[cacheSign*factor]
 		if !ok {
-			rebinned := rebin(basis, factor)
-			acf, err = dsp.Autocorrelation(rebinned)
+			rebinned := rebinInto(sc.rebinned, basis, factor)
+			if factor > 1 {
+				sc.rebinned = rebinned
+			}
+			var err error
+			acf, err = sc.dsp.AutocorrelationInto(sc.acfBuffer(), rebinned)
 			if err != nil {
 				return nil, fmt.Errorf("autocorrelation: %w", err)
 			}
-			acfCache[cacheSign*factor] = acf
+			sc.acf[cacheSign*factor] = acf
 		}
 		binWidth := basisInterval * float64(factor)
 		lag := c.Period / binWidth
@@ -450,11 +473,20 @@ func (d *Detector) DetectSeries(series []float64, sampleInterval float64, interv
 			res.Kept = append(res.Kept, c)
 		}
 	}
-	sort.SliceStable(res.Kept, func(i, j int) bool {
-		if res.Kept[i].ACFScore != res.Kept[j].ACFScore {
-			return res.Kept[i].ACFScore > res.Kept[j].ACFScore
+	slices.SortStableFunc(res.Kept, func(a, b Candidate) int {
+		if a.ACFScore != b.ACFScore {
+			if a.ACFScore > b.ACFScore {
+				return -1
+			}
+			return 1
 		}
-		return res.Kept[i].Power > res.Kept[j].Power
+		if a.Power != b.Power {
+			if a.Power > b.Power {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	res.Periodic = len(res.Kept) > 0
 	return res, nil
@@ -462,27 +494,33 @@ func (d *Detector) DetectSeries(series []float64, sampleInterval float64, interv
 
 // permutationThreshold estimates the spectral power that pure noise with
 // the same first-order statistics can produce: the Confidence-quantile of
-// the maximum periodogram power across Permutations random shuffles.
-func (d *Detector) permutationThreshold(series []float64, sampleInterval float64) float64 {
+// the maximum periodogram power across Permutations random shuffles. The
+// shuffle buffer, rng, periodogram, and maxima list all live on sc, so the
+// m spectral passes of this loop — the dominant cost of the detector per
+// Vlachos et al. — run without heap allocations.
+func (d *Detector) permutationThreshold(sc *detectScratch, series []float64, sampleInterval float64) float64 {
 	cfg := d.cfg
-	rng := rand.New(rand.NewSource(cfg.Seed ^ seriesSeed(series)))
-	shuffled := append([]float64(nil), series...)
-	maxima := make([]float64, 0, cfg.Permutations)
+	// Reseeding the pooled rng reproduces rand.New(rand.NewSource(seed))
+	// exactly: both paths reset the same generator state.
+	sc.rng.Seed(cfg.Seed ^ seriesSeed(series))
+	sc.shuffled = append(sc.shuffled[:0], series...)
+	shuffled := sc.shuffled
+	maxima := sc.maxima[:0]
 	for p := 0; p < cfg.Permutations; p++ {
-		rng.Shuffle(len(shuffled), func(i, j int) {
+		sc.rng.Shuffle(len(shuffled), func(i, j int) {
 			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 		})
-		pg, err := dsp.ComputePeriodogram(shuffled, sampleInterval)
-		if err != nil {
+		if err := sc.dsp.PeriodogramInto(&sc.permPG, shuffled, sampleInterval); err != nil {
 			continue
 		}
-		m, _ := pg.MaxPower()
+		m, _ := sc.permPG.MaxPower()
 		maxima = append(maxima, m)
 	}
+	sc.maxima = maxima
 	if len(maxima) == 0 {
 		return math.Inf(1)
 	}
-	sort.Float64s(maxima)
+	slices.Sort(maxima)
 	idx := int(math.Ceil(cfg.Confidence*float64(len(maxima)))) - 1
 	if idx < 0 {
 		idx = 0
@@ -505,19 +543,19 @@ func (d *Detector) permutationThreshold(series []float64, sampleInterval float64
 // support to test — high added-event noise legitimately destroys
 // consecutive intervals while the spectral periodicity survives, so lack
 // of support defers the decision to the ACF verification step.
-func (d *Detector) intervalPValue(nonzero []float64, period, tol float64) (float64, bool) {
-	sample := make([]float64, 0, len(nonzero))
+func (d *Detector) intervalPValue(sc *detectScratch, nonzero []float64, period, tol float64) (float64, bool) {
+	sample := sc.sample[:0]
 	for _, iv := range nonzero {
 		if iv >= 0.7*period && iv <= 1.3*period {
 			sample = append(sample, iv)
 		}
 	}
+	sc.sample = sample
 	n := len(sample)
 	if n < 4 {
 		return 0, false
 	}
-	mean := stats.Mean(sample)
-	sd := stats.StdDev(sample)
+	mean, sd := stats.MeanStdDev(sample)
 	se := math.Sqrt(sd*sd/float64(n) + tol*tol)
 	if se == 0 {
 		if mean == period {
@@ -655,13 +693,14 @@ func renewalStats(nonzero []float64, period float64) (explained float64, support
 // intervalSpread estimates the timing jitter around a candidate period:
 // the standard deviation of the nonzero intervals within +/-50% of it.
 // It returns 0 when fewer than four intervals support the estimate.
-func intervalSpread(nonzero []float64, period float64) float64 {
-	var near []float64
+func intervalSpread(sc *detectScratch, nonzero []float64, period float64) float64 {
+	near := sc.near[:0]
 	for _, iv := range nonzero {
 		if iv >= 0.5*period && iv <= 1.5*period {
 			near = append(near, iv)
 		}
 	}
+	sc.near = near
 	if len(near) < 4 {
 		return 0
 	}
@@ -683,18 +722,6 @@ func rebinFactor(period, sampleInterval float64, n int) int {
 		f = 1
 	}
 	return f
-}
-
-// rebin sums consecutive groups of factor bins.
-func rebin(series []float64, factor int) []float64 {
-	if factor <= 1 {
-		return series
-	}
-	out := make([]float64, (len(series)+factor-1)/factor)
-	for i, v := range series {
-		out[i/factor] += v
-	}
-	return out
 }
 
 // dedupe marks as duplicates any surviving candidate within 10% of a
@@ -752,29 +779,6 @@ func countEvents(series []float64) int {
 		n += v
 	}
 	return int(n)
-}
-
-func nonzeroIntervals(intervals []float64) []float64 {
-	out := make([]float64, 0, len(intervals))
-	for _, iv := range intervals {
-		if iv > 0 {
-			out = append(out, iv)
-		}
-	}
-	return out
-}
-
-// subsample deterministically picks at most max elements, evenly strided.
-func subsample(xs []float64, max int) []float64 {
-	if len(xs) <= max {
-		return xs
-	}
-	out := make([]float64, 0, max)
-	stride := float64(len(xs)) / float64(max)
-	for i := 0; i < max; i++ {
-		out = append(out, xs[int(float64(i)*stride)])
-	}
-	return out
 }
 
 // seriesSeed derives a deterministic seed component from the series content

@@ -1,7 +1,6 @@
 package dsp
 
 import (
-	"fmt"
 	"math"
 )
 
@@ -17,39 +16,10 @@ import (
 // before transforming, which yields the standard biased linear ACF estimate
 // in O(n log n).
 func Autocorrelation(x []float64) ([]float64, error) {
-	n := len(x)
-	if n < 2 {
-		return nil, fmt.Errorf("%w: n=%d", ErrShortSeries, n)
-	}
-	var mean float64
-	for _, v := range x {
-		mean += v
-	}
-	mean /= float64(n)
-
-	m := NextPowerOfTwo(2 * n)
-	cx := make([]complex128, m)
-	for i, v := range x {
-		cx[i] = complex(v-mean, 0)
-	}
-	radix2(cx, false)
-	for i := range cx {
-		re := real(cx[i])
-		im := imag(cx[i])
-		cx[i] = complex(re*re+im*im, 0)
-	}
-	radix2(cx, true)
-
-	out := make([]float64, n)
-	norm := real(cx[0])
-	if norm <= 0 || math.IsNaN(norm) {
-		return out, nil // zero-variance series: ACF identically zero
-	}
-	for i := 0; i < n; i++ {
-		out[i] = real(cx[i]) / norm
-	}
-	out[0] = 1
-	return out, nil
+	s := borrowScratch()
+	out, err := s.AutocorrelationInto(nil, x)
+	releaseScratch(s)
+	return out, err
 }
 
 // HillResult describes the outcome of validating a candidate lag on the ACF.

@@ -36,16 +36,19 @@ func NextPowerOfTwo(n int) int {
 // FFT computes the discrete Fourier transform of x and returns a new slice.
 // Any input length is accepted: power-of-two lengths use the iterative
 // radix-2 Cooley–Tukey algorithm; other lengths use Bluestein's chirp-z
-// algorithm, which reduces the problem to a power-of-two convolution.
+// algorithm, which reduces the problem to a power-of-two convolution. Both
+// run over cached per-size plans (twiddle factors, bit-reversal tables,
+// chirp kernels) shared with the Scratch-based paths, so repeated
+// transforms of the same size skip all size-dependent setup.
 func FFT(x []complex128) ([]complex128, error) {
 	if len(x) == 0 {
 		return nil, ErrEmptyInput
 	}
 	out := make([]complex128, len(x))
 	copy(out, x)
-	if err := fftInPlace(out, false); err != nil {
-		return nil, err
-	}
+	s := borrowScratch()
+	s.fftInPlace(out, false)
+	releaseScratch(s)
 	return out, nil
 }
 
@@ -57,9 +60,9 @@ func IFFT(x []complex128) ([]complex128, error) {
 	}
 	out := make([]complex128, len(x))
 	copy(out, x)
-	if err := fftInPlace(out, true); err != nil {
-		return nil, err
-	}
+	s := borrowScratch()
+	s.fftInPlace(out, true)
+	releaseScratch(s)
 	n := complex(float64(len(out)), 0)
 	for i := range out {
 		out[i] /= n
@@ -77,95 +80,10 @@ func FFTReal(x []float64) ([]complex128, error) {
 	for i, v := range x {
 		cx[i] = complex(v, 0)
 	}
-	return FFT(cx)
-}
-
-// fftInPlace dispatches between the radix-2 and Bluestein implementations.
-// When inverse is true it computes the unnormalized inverse transform.
-func fftInPlace(x []complex128, inverse bool) error {
-	n := len(x)
-	if n == 1 {
-		return nil
-	}
-	if IsPowerOfTwo(n) {
-		radix2(x, inverse)
-		return nil
-	}
-	return bluestein(x, inverse)
-}
-
-// radix2 is the iterative, in-place Cooley–Tukey FFT for power-of-two sizes.
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	// Bit-reversal permutation.
-	shift := uint(64 - bits.Len(uint(n-1)))
-	for i := 1; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
-}
-
-// bluestein implements the chirp-z transform: an arbitrary-length DFT
-// expressed as a circular convolution of length m >= 2n-1, m a power of two.
-func bluestein(x []complex128, inverse bool) error {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	m := NextPowerOfTwo(2*n - 1)
-
-	// chirp[k] = exp(sign * i*pi*k^2/n). k^2 mod 2n avoids precision loss
-	// from huge arguments to sin/cos.
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		k2 := (int64(k) * int64(k)) % int64(2*n)
-		theta := sign * math.Pi * float64(k2) / float64(n)
-		chirp[k] = cmplx.Exp(complex(0, theta))
-	}
-
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	scale := complex(1/float64(m), 0)
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * scale * chirp[k]
-	}
-	return nil
+	s := borrowScratch()
+	s.fftInPlace(cx, false)
+	releaseScratch(s)
+	return cx, nil
 }
 
 // NaiveDFT computes the DFT by direct O(n^2) summation. It exists as a

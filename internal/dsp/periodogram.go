@@ -2,7 +2,6 @@ package dsp
 
 import (
 	"errors"
-	"fmt"
 	"math"
 )
 
@@ -26,35 +25,14 @@ type Periodogram struct {
 // component does not dominate the spectrum; the detector is interested in
 // oscillations around the mean rate, not the rate itself.
 func ComputePeriodogram(x []float64, sampleInterval float64) (*Periodogram, error) {
-	if len(x) < 4 {
-		return nil, fmt.Errorf("%w: n=%d", ErrShortSeries, len(x))
-	}
-	if sampleInterval <= 0 {
-		return nil, fmt.Errorf("dsp: sample interval must be positive, got %v", sampleInterval)
-	}
-	n := len(x)
-	var mean float64
-	for _, v := range x {
-		mean += v
-	}
-	mean /= float64(n)
-
-	cx := make([]complex128, n)
-	for i, v := range x {
-		cx[i] = complex(v-mean, 0)
-	}
-	spec, err := FFT(cx)
+	pg := &Periodogram{}
+	s := borrowScratch()
+	err := s.PeriodogramInto(pg, x, sampleInterval)
+	releaseScratch(s)
 	if err != nil {
 		return nil, err
 	}
-	half := n/2 + 1
-	power := make([]float64, half)
-	for k := 0; k < half; k++ {
-		re := real(spec[k])
-		im := imag(spec[k])
-		power[k] = (re*re + im*im) / float64(n)
-	}
-	return &Periodogram{Power: power, N: n, SampleInterval: sampleInterval}, nil
+	return pg, nil
 }
 
 // Frequency returns the frequency in Hz corresponding to bin k.
@@ -104,7 +82,13 @@ func (p *Periodogram) MaxPower() (power float64, bin int) {
 // BinsAbove returns the indices of non-DC bins whose power strictly exceeds
 // threshold, in decreasing order of power.
 func (p *Periodogram) BinsAbove(threshold float64) []int {
-	var idx []int
+	return p.BinsAboveInto(nil, threshold)
+}
+
+// BinsAboveInto is BinsAbove writing into dst's backing array (which is
+// grown as needed), for callers reusing a bin buffer across periodograms.
+func (p *Periodogram) BinsAboveInto(dst []int, threshold float64) []int {
+	idx := dst[:0]
 	for k := 1; k < len(p.Power); k++ {
 		if p.Power[k] > threshold {
 			idx = append(idx, k)

@@ -1,0 +1,433 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// Transform plans and reusable scratch buffers.
+//
+// The detector runs the same FFT sizes millions of times per day (every
+// permutation of the threshold test re-transforms a series of the same
+// length), so the size-dependent work — twiddle factors, bit-reversal
+// permutations, and Bluestein chirp kernels — is computed once per size and
+// shared process-wide. Per-call buffers live in a Scratch, a per-worker
+// workspace that makes the steady-state hot path allocation-free.
+//
+// Ownership contract: slices returned by Scratch methods (or written into
+// caller-supplied destination buffers) are owned by the caller only until
+// the next call on the same Scratch unless documented otherwise; the plain
+// package-level entry points always return freshly allocated results.
+
+// fftPlan caches the size-dependent tables of the radix-2 transform: the
+// bit-reversal permutation and the twiddle factors w[j] = exp(-2πi·j/n)
+// (wInv holds the conjugates for the inverse transform). Plans are
+// immutable after construction and safe to share across goroutines.
+type fftPlan struct {
+	n    int
+	rev  []int32
+	w    []complex128
+	wInv []complex128
+}
+
+var (
+	planMu    sync.RWMutex
+	planCache = map[int]*fftPlan{}
+)
+
+// sharedPlanFor returns the process-wide plan for power-of-two size n,
+// building and caching it on first use.
+func sharedPlanFor(n int) *fftPlan {
+	planMu.RLock()
+	p := planCache[n]
+	planMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p = planCache[n]; p != nil {
+		return p
+	}
+	p = newFFTPlan(n)
+	planCache[n] = p
+	return p
+}
+
+func newFFTPlan(n int) *fftPlan {
+	p := &fftPlan{
+		n:    n,
+		rev:  make([]int32, n),
+		w:    make([]complex128, n/2),
+		wInv: make([]complex128, n/2),
+	}
+	shift := uint(64 - bits.Len(uint(n-1)))
+	for i := range p.rev {
+		p.rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	for j := range p.w {
+		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
+		p.w[j] = complex(c, s)
+		p.wInv[j] = complex(c, -s)
+	}
+	return p
+}
+
+// transform runs the in-place radix-2 FFT over the cached tables. When
+// inverse is true it computes the unnormalized inverse transform.
+func (p *fftPlan) transform(x []complex128, inverse bool) {
+	n := p.n
+	for i, r := range p.rev {
+		if int(r) > i {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	tw := p.w
+	if inverse {
+		tw = p.wInv
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			ti := 0
+			for k := start; k < start+half; k++ {
+				w := tw[ti]
+				a := x[k]
+				b := x[k+half] * w
+				x[k] = a + b
+				x[k+half] = a - b
+				ti += stride
+			}
+		}
+	}
+}
+
+// bluesteinKey identifies a chirp-z plan: the transform length and
+// direction (the chirp's sign flips for the inverse transform).
+type bluesteinKey struct {
+	n       int
+	inverse bool
+}
+
+// bluesteinPlan caches the length-dependent kernels of the chirp-z
+// transform: the chirp sequence and the forward FFT of the convolution
+// kernel b (which the naive implementation recomputed on every call).
+type bluesteinPlan struct {
+	n, m  int
+	chirp []complex128
+	bFFT  []complex128
+}
+
+var (
+	bluMu    sync.RWMutex
+	bluCache = map[bluesteinKey]*bluesteinPlan{}
+)
+
+func sharedBluesteinFor(n int, inverse bool) *bluesteinPlan {
+	key := bluesteinKey{n: n, inverse: inverse}
+	bluMu.RLock()
+	p := bluCache[key]
+	bluMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	bluMu.Lock()
+	defer bluMu.Unlock()
+	if p = bluCache[key]; p != nil {
+		return p
+	}
+	p = newBluesteinPlan(n, inverse)
+	bluCache[key] = p
+	return p
+}
+
+func newBluesteinPlan(n int, inverse bool) *bluesteinPlan {
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	m := NextPowerOfTwo(2*n - 1)
+	// chirp[k] = exp(sign * i*pi*k^2/n). k^2 mod 2n avoids precision loss
+	// from huge arguments to sin/cos.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		s, c := math.Sincos(sign * math.Pi * float64(k2) / float64(n))
+		chirp[k] = complex(c, s)
+	}
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	sharedPlanFor(m).transform(b, false)
+	return &bluesteinPlan{n: n, m: m, chirp: chirp, bFFT: b}
+}
+
+// Scratch is a reusable per-worker workspace for the spectral hot paths.
+// It memoizes transform plans locally (skipping the shared cache's lock on
+// repeat sizes) and recycles the complex work buffers, so steady-state
+// calls on repeated sizes allocate nothing. A Scratch is NOT safe for
+// concurrent use; give each worker its own (they are cheap when idle).
+type Scratch struct {
+	plans map[int]*fftPlan
+	blu   map[bluesteinKey]*bluesteinPlan
+	cx    []complex128 // primary transform buffer
+	conv  []complex128 // Bluestein convolution buffer
+	re    []float64    // real intermediate buffer (packed-real paths)
+}
+
+// NewScratch returns an empty workspace. Buffers and plan memos grow on
+// first use and are reused afterward.
+func NewScratch() *Scratch {
+	return &Scratch{
+		plans: make(map[int]*fftPlan),
+		blu:   make(map[bluesteinKey]*bluesteinPlan),
+	}
+}
+
+func (s *Scratch) planFor(n int) *fftPlan {
+	if p := s.plans[n]; p != nil {
+		return p
+	}
+	p := sharedPlanFor(n)
+	s.plans[n] = p
+	return p
+}
+
+func (s *Scratch) bluesteinFor(n int, inverse bool) *bluesteinPlan {
+	key := bluesteinKey{n: n, inverse: inverse}
+	if p := s.blu[key]; p != nil {
+		return p
+	}
+	p := sharedBluesteinFor(n, inverse)
+	s.blu[key] = p
+	return p
+}
+
+// complexScratch resizes *buf to n entries, reusing its capacity. The
+// contents are unspecified; callers overwrite or clear as needed.
+func complexScratch(buf *[]complex128, n int) []complex128 {
+	if cap(*buf) < n {
+		*buf = make([]complex128, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// floatScratch is complexScratch for float64 buffers.
+func floatScratch(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// fftInPlace transforms x in place: radix-2 for power-of-two lengths,
+// chirp-z (Bluestein) otherwise. inverse computes the unnormalized inverse
+// transform.
+func (s *Scratch) fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if IsPowerOfTwo(n) {
+		s.planFor(n).transform(x, inverse)
+		return
+	}
+	s.bluestein(x, inverse)
+}
+
+// bluestein runs the chirp-z transform over cached kernels: an
+// arbitrary-length DFT expressed as a circular convolution of length
+// m >= 2n-1, m a power of two.
+func (s *Scratch) bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	bp := s.bluesteinFor(n, inverse)
+	a := complexScratch(&s.conv, bp.m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * bp.chirp[k]
+	}
+	clear(a[n:])
+	p := s.planFor(bp.m)
+	p.transform(a, false)
+	for i := range a {
+		a[i] *= bp.bFFT[i]
+	}
+	p.transform(a, true)
+	scale := complex(1/float64(bp.m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * bp.chirp[k]
+	}
+}
+
+// packReal loads the mean-centered real series src (zero-padded to length
+// 2h) into z as h packed complex samples: z[j] = (src[2j]-mean) +
+// i·(src[2j+1]-mean). This is the classic "real FFT via half-length
+// complex FFT" layout; unpackSpectrum recovers the true spectrum.
+func packReal(z []complex128, src []float64, mean float64) {
+	n := len(src)
+	full := n / 2
+	for j := 0; j < full; j++ {
+		z[j] = complex(src[2*j]-mean, src[2*j+1]-mean)
+	}
+	if n%2 == 1 {
+		z[full] = complex(src[n-1]-mean, 0)
+		full++
+	}
+	clear(z[full:])
+}
+
+// unpackSpectrum recovers bin k of the length-2h spectrum of the packed
+// real series from z = FFT_h(pack) and the length-2h twiddle table w
+// (w[k] = exp(-2πik/2h), k < h). It returns X[k] and X[k+h].
+func unpackSpectrum(z []complex128, w []complex128, k int) (xk, xkh complex128) {
+	h := len(z)
+	zk := z[k]
+	zc := z[(h-k)&(h-1)]
+	zc = complex(real(zc), -imag(zc))
+	e := (zk + zc) * complex(0.5, 0)
+	o := (zk - zc) * complex(0, -0.5)
+	wo := w[k] * o
+	return e + wo, e - wo
+}
+
+// PeriodogramInto estimates the power spectrum of x into pg, reusing
+// pg.Power's backing array. It is the allocation-free equivalent of
+// ComputePeriodogram; see that function for the estimator's definition.
+// Power-of-two lengths run a packed real FFT at half the series length;
+// other lengths fall back to the cached Bluestein transform. pg.Power is
+// owned by the caller and shares no storage with the Scratch.
+func (s *Scratch) PeriodogramInto(pg *Periodogram, x []float64, sampleInterval float64) error {
+	if len(x) < 4 {
+		return fmt.Errorf("%w: n=%d", ErrShortSeries, len(x))
+	}
+	if sampleInterval <= 0 {
+		return fmt.Errorf("dsp: sample interval must be positive, got %v", sampleInterval)
+	}
+	n := len(x)
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+
+	half := n/2 + 1
+	if cap(pg.Power) < half {
+		pg.Power = make([]float64, half)
+	}
+	pg.Power = pg.Power[:half]
+
+	if IsPowerOfTwo(n) {
+		// Packed real path: one complex FFT of length n/2 yields the full
+		// spectrum of the real series.
+		h := n / 2
+		z := complexScratch(&s.cx, h)
+		packReal(z, x, mean)
+		s.planFor(h).transform(z, false)
+		w := s.planFor(n).w
+		inv := 1 / float64(n)
+		for k := 0; k < h; k++ {
+			xk, _ := unpackSpectrum(z, w, k)
+			re, im := real(xk), imag(xk)
+			pg.Power[k] = (re*re + im*im) * inv
+		}
+		// Nyquist bin: X[h] = E[0] - O[0].
+		_, xh := unpackSpectrum(z, w, 0)
+		re, im := real(xh), imag(xh)
+		pg.Power[h] = (re*re + im*im) * inv
+	} else {
+		cx := complexScratch(&s.cx, n)
+		for i, v := range x {
+			cx[i] = complex(v-mean, 0)
+		}
+		s.bluestein(cx, false)
+		for k := 0; k < half; k++ {
+			re := real(cx[k])
+			im := imag(cx[k])
+			pg.Power[k] = (re*re + im*im) / float64(n)
+		}
+	}
+	pg.N = n
+	pg.SampleInterval = sampleInterval
+	return nil
+}
+
+// AutocorrelationInto computes the normalized autocorrelation of x into
+// dst (grown as needed, reusing its backing array) and returns it. It is
+// the allocation-free equivalent of Autocorrelation; see that function for
+// the estimator's definition. Both transforms of the Wiener–Khinchin
+// round-trip run as packed real FFTs at half the padded length. dst must
+// not alias x.
+func (s *Scratch) AutocorrelationInto(dst []float64, x []float64) ([]float64, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrShortSeries, n)
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+
+	// Zero-pad to m >= 2n (power of two) for the linear-ACF estimate; the
+	// padded series is real, so both the forward spectrum and the inverse
+	// transform of the (real, even) power sequence pack into half-length
+	// complex FFTs.
+	m := NextPowerOfTwo(2 * n)
+	h := m / 2
+	z := complexScratch(&s.cx, h)
+	packReal(z, x, mean)
+	p := s.planFor(h)
+	p.transform(z, false)
+
+	// Power spectrum P[k] = |X[k]|^2 for k = 0..m-1 (even: P[m-k] = P[k]).
+	w := s.planFor(m).w
+	power := floatScratch(&s.re, m)
+	for k := 0; k < h; k++ {
+		xk, xkh := unpackSpectrum(z, w, k)
+		re, im := real(xk), imag(xk)
+		power[k] = re*re + im*im
+		re, im = real(xkh), imag(xkh)
+		power[k+h] = re*re + im*im
+	}
+
+	// ACF[t] ∝ Re(FFT_m(P)[t]); P is real, so pack it the same way. The
+	// unnormalized transform suffices: normalization divides by lag 0.
+	for j := 0; j < h; j++ {
+		z[j] = complex(power[2*j], power[2*j+1])
+	}
+	p.transform(z, false)
+
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	x0, _ := unpackSpectrum(z, w, 0)
+	norm := real(x0)
+	if norm <= 0 || math.IsNaN(norm) {
+		clear(dst)
+		return dst, nil // zero-variance series: ACF identically zero
+	}
+	for t := 0; t < n; t++ {
+		xt, _ := unpackSpectrum(z, w, t)
+		dst[t] = real(xt) / norm
+	}
+	dst[0] = 1
+	return dst, nil
+}
+
+// sharedScratch lends Scratch workspaces to the plain package-level entry
+// points (FFT, ComputePeriodogram, Autocorrelation, ...) so one-shot
+// callers still hit the cached plans and reuse transform buffers.
+var sharedScratch = sync.Pool{New: func() any { return NewScratch() }}
+
+func borrowScratch() *Scratch   { return sharedScratch.Get().(*Scratch) }
+func releaseScratch(s *Scratch) { sharedScratch.Put(s) }

@@ -1,0 +1,289 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSeries builds a pseudo-random series with a periodic component, the
+// kind of input the detector feeds the spectral routines.
+func randSeries(rng *rand.Rand, n int, period int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 0.3
+		if period > 0 && i%period == 0 {
+			x[i] += 1
+		}
+	}
+	return x
+}
+
+// naivePeriodogram computes |X_k|^2 / n for the mean-centered series by
+// direct summation — the reference the fast paths must agree with.
+func naivePeriodogram(x []float64) []float64 {
+	n := len(x)
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	half := n/2 + 1
+	out := make([]float64, half)
+	for k := 0; k < half; k++ {
+		var re, im float64
+		for t, v := range x {
+			theta := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			re += (v - mean) * math.Cos(theta)
+			im += (v - mean) * math.Sin(theta)
+		}
+		out[k] = (re*re + im*im) / float64(n)
+	}
+	return out
+}
+
+// naiveACF computes the biased linear autocorrelation estimate directly:
+// r[t] = sum_i (x[i]-mean)(x[i+t]-mean), normalized by r[0].
+func naiveACF(x []float64) []float64 {
+	n := len(x)
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	out := make([]float64, n)
+	var r0 float64
+	for _, v := range x {
+		d := v - mean
+		r0 += d * d
+	}
+	if r0 <= 0 {
+		return out
+	}
+	for t := 0; t < n; t++ {
+		var r float64
+		for i := 0; i+t < n; i++ {
+			r += (x[i] - mean) * (x[i+t] - mean)
+		}
+		out[t] = r / r0
+	}
+	out[0] = 1
+	return out
+}
+
+// TestScratchPeriodogramMatchesPublic asserts the Scratch path and the
+// package-level entry point return bit-identical periodograms (they share
+// the same plans), across power-of-two (packed-real path) and arbitrary
+// (Bluestein path) lengths.
+func TestScratchPeriodogramMatchesPublic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewScratch()
+	for _, n := range []int{8, 64, 100, 256, 360, 1000, 1024, 4096} {
+		x := randSeries(rng, n, 60)
+		want, err := ComputePeriodogram(x, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var pg Periodogram
+		if err := s.PeriodogramInto(&pg, x, 1); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if pg.N != want.N || pg.SampleInterval != want.SampleInterval || len(pg.Power) != len(want.Power) {
+			t.Fatalf("n=%d: shape mismatch", n)
+		}
+		for k := range pg.Power {
+			if pg.Power[k] != want.Power[k] {
+				t.Fatalf("n=%d bin %d: scratch %g != public %g", n, k, pg.Power[k], want.Power[k])
+			}
+		}
+	}
+}
+
+// TestPeriodogramMatchesNaiveDFT validates the packed-real and Bluestein
+// fast paths against direct O(n^2) summation.
+func TestPeriodogramMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{8, 16, 31, 60, 100, 128} {
+		x := randSeries(rng, n, 7)
+		want := naivePeriodogram(x)
+		pg, err := ComputePeriodogram(x, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for k := range want {
+			if math.Abs(pg.Power[k]-want[k]) > 1e-8*(1+math.Abs(want[k])) {
+				t.Fatalf("n=%d bin %d: fast %g, naive %g", n, k, pg.Power[k], want[k])
+			}
+		}
+	}
+}
+
+// TestScratchAutocorrelationMatchesPublic asserts the Scratch path and the
+// package-level entry point agree bit-for-bit.
+func TestScratchAutocorrelationMatchesPublic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := NewScratch()
+	var dst []float64
+	for _, n := range []int{2, 5, 16, 100, 255, 1024, 4096} {
+		x := randSeries(rng, n, 30)
+		want, err := Autocorrelation(x)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var got []float64
+		got, err = s.AutocorrelationInto(dst, x)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		dst = got // reuse the buffer across sizes, as the detector does
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: length %d != %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d lag %d: scratch %g != public %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAutocorrelationMatchesNaive validates the packed-real Wiener–Khinchin
+// round-trip against direct O(n^2) summation.
+func TestAutocorrelationMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{2, 3, 8, 50, 100, 127} {
+		x := randSeries(rng, n, 9)
+		want := naiveACF(x)
+		got, err := Autocorrelation(x)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("n=%d lag %d: fast %g, naive %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScratchZeroVariance covers the all-equal input: the ACF must be
+// identically zero (no NaNs from the 0/0 normalization).
+func TestScratchZeroVariance(t *testing.T) {
+	s := NewScratch()
+	x := []float64{3, 3, 3, 3, 3, 3, 3, 3}
+	acf, err := s.AutocorrelationInto(nil, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range acf {
+		if v != 0 {
+			t.Fatalf("lag %d: got %g, want 0", i, v)
+		}
+	}
+}
+
+// TestPeriodogramIntoAllocs locks in the tentpole: after warm-up, the
+// Scratch periodogram path performs zero heap allocations, on both the
+// packed-real (power-of-two) and Bluestein (arbitrary-length) paths.
+func TestPeriodogramIntoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	s := NewScratch()
+	var pg Periodogram
+	for _, n := range []int{4096, 3600} {
+		x := randSeries(rng, n, 60)
+		if err := s.PeriodogramInto(&pg, x, 1); err != nil { // warm plans + buffers
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := s.PeriodogramInto(&pg, x, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("n=%d: %v allocs/op on the steady-state path, want 0", n, allocs)
+		}
+	}
+}
+
+// TestAutocorrelationIntoAllocs asserts the steady-state ACF path is
+// allocation-free.
+func TestAutocorrelationIntoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := NewScratch()
+	x := randSeries(rng, 4096, 60)
+	dst, err := s.AutocorrelationInto(nil, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if dst, err = s.AutocorrelationInto(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs/op on the steady-state path, want 0", allocs)
+	}
+}
+
+func benchSeries(n, period int) []float64 {
+	x := make([]float64, n)
+	for i := 0; i < n; i += period {
+		x[i] = 1
+	}
+	return x
+}
+
+func BenchmarkPeriodogram_4096(b *testing.B) {
+	x := benchSeries(4096, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputePeriodogram(x, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPeriodogram_3600 exercises the Bluestein (non-power-of-two)
+// path, the shape hourly-binned windows produce.
+func BenchmarkPeriodogram_3600(b *testing.B) {
+	x := benchSeries(3600, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputePeriodogram(x, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPeriodogramScratch_4096 measures the fully scratch-reusing path
+// the detector runs in steady state.
+func BenchmarkPeriodogramScratch_4096(b *testing.B) {
+	x := benchSeries(4096, 60)
+	s := NewScratch()
+	var pg Periodogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.PeriodogramInto(&pg, x, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutocorrelationScratch_4096 measures the scratch-reusing ACF
+// path the detector runs in steady state.
+func BenchmarkAutocorrelationScratch_4096(b *testing.B) {
+	x := benchSeries(4096, 60)
+	s := NewScratch()
+	var dst []float64
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = s.AutocorrelationInto(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

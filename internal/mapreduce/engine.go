@@ -343,10 +343,24 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 				defer wk.Done()
 			}
 			// runTask executes the map call for one input on the staged
-			// path: emissions collect into a fresh local slice returned by
+			// path: emissions collect into a local slice returned by
 			// value, so failed, timed-out, or abandoned attempts never
-			// leave partial (or racing) emissions behind.
+			// leave partial (or racing) emissions behind. The unguarded
+			// path reuses one buffer across inputs — nothing can abandon
+			// the call mid-append there; the guarded path must allocate
+			// per call, since an abandoned attempt keeps appending to its
+			// slice while the worker moves on.
+			var stagedBuf []stagedPair
 			runTask := func(in I) ([]stagedPair, error) {
+				if !j.cfg.guarded() {
+					stagedBuf = stagedBuf[:0]
+					if err := runMap(in, func(k K, v V) {
+						stagedBuf = append(stagedBuf, stagedPair{key: k, value: v})
+					}); err != nil {
+						return nil, err
+					}
+					return stagedBuf, nil
+				}
 				call := func() ([]stagedPair, error) {
 					var local []stagedPair
 					if err := runMap(in, func(k K, v V) {
@@ -355,9 +369,6 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 						return nil, err
 					}
 					return local, nil
-				}
-				if !j.cfg.guarded() {
-					return call()
 				}
 				return guard.BoundWork(mapCtx, wk, j.cfg.TaskTimeout, call)
 			}
@@ -454,10 +465,15 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 				}
 			}
 			for _, k := range s.order[p] {
-				if _, seen := partGroups[p][k]; !seen {
+				if cur, seen := partGroups[p][k]; !seen {
 					partOrder[p] = append(partOrder[p], k)
+					// Adopt the shard's slice outright: shards are never
+					// read again after the shuffle, so keys seen by a
+					// single shard (the common case) cross without a copy.
+					partGroups[p][k] = s.groups[p][k]
+				} else {
+					partGroups[p][k] = append(cur, s.groups[p][k]...)
 				}
-				partGroups[p][k] = append(partGroups[p][k], s.groups[p][k]...)
 			}
 		}
 		for _, vs := range partGroups[p] {

@@ -106,12 +106,12 @@ func writeSpillFile[K comparable, V any](path string, group map[K][]V, order []K
 			return fmt.Errorf("mapreduce: encode spill: %w", err)
 		}
 	}
-	footer := make([]byte, spillFooterLen)
-	copy(footer, spillMagic)
+	var footer [spillFooterLen]byte
+	copy(footer[:], spillMagic)
 	binary.LittleEndian.PutUint32(footer[4:], uint32(len(order)))
 	binary.LittleEndian.PutUint64(footer[8:], uint64(cw.n))
 	binary.LittleEndian.PutUint32(footer[16:], crc.Sum32())
-	if _, err := f.Write(footer); err != nil {
+	if _, err := f.Write(footer[:]); err != nil {
 		f.Close()
 		return fmt.Errorf("mapreduce: write spill footer: %w", err)
 	}
@@ -142,8 +142,8 @@ func replaySpill[K comparable, V any](path string, group map[K][]V, order *[]K) 
 	if fi.Size() < spillFooterLen {
 		return fmt.Errorf("%w: %s: %d bytes, shorter than footer", ErrSpillCorrupt, path, fi.Size())
 	}
-	footer := make([]byte, spillFooterLen)
-	if _, err := f.ReadAt(footer, fi.Size()-spillFooterLen); err != nil {
+	var footer [spillFooterLen]byte
+	if _, err := f.ReadAt(footer[:], fi.Size()-spillFooterLen); err != nil {
 		return fmt.Errorf("mapreduce: read spill footer: %w", err)
 	}
 	if string(footer[:4]) != spillMagic {

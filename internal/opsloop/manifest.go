@@ -3,13 +3,13 @@
 // The loop's durable state is committed through a write-ahead manifest:
 // each ingested day is persisted as
 //
-//	1. summaries/day-NNNNNN.bin   — the day's activity summaries, with a
-//	                                CRC32 footer (timeseries.AppendChecksum),
-//	2. novelty-NNNNNN.json        — the novelty store snapshot after the
-//	                                day's runs,
-//	3. manifest.json              — the commit record: day counter, the
-//	                                current novelty snapshot, and the
-//	                                committed day-file list,
+//  1. summaries/day-NNNNNN.bin   — the day's activity summaries, with a
+//     CRC32 footer (timeseries.AppendChecksum),
+//  2. novelty-NNNNNN.json        — the novelty store snapshot after the
+//     day's runs,
+//  3. manifest.json              — the commit record: day counter, the
+//     current novelty snapshot, and the
+//     committed day-file list,
 //
 // each written tmp → write → fsync → rename (plus a directory fsync), in
 // that order. The manifest rename is the commit point: a crash anywhere

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"baywatch/internal/core"
@@ -53,6 +54,11 @@ type tsPath struct {
 	path string
 }
 
+// tsBufPool recycles the per-pair timestamp buffers of the extraction
+// reducer. Reduce calls for different keys run concurrently, so the buffers
+// are pooled rather than shared.
+var tsBufPool = sync.Pool{New: func() any { return new([]int64) }}
+
 // extractOut is the extraction reduce output: the pair's summary plus a
 // truncation record when the admission cap fired.
 type extractOut struct {
@@ -94,11 +100,16 @@ func extractSummaries(ctx context.Context, events []PairEvent, scale int64, maxE
 				}
 				events = sorted[:maxEvents]
 			}
-			ts := make([]int64, len(events))
-			for i, e := range events {
-				ts[i] = e.ts
+			// FromTimestamps copies the timestamp list, so a pooled buffer
+			// amortizes the per-pair allocation across reduce calls.
+			bufp := tsBufPool.Get().(*[]int64)
+			ts := (*bufp)[:0]
+			for _, e := range events {
+				ts = append(ts, e.ts)
 			}
 			as, err := timeseries.FromTimestamps(src, dst, ts, scale)
+			*bufp = ts
+			tsBufPool.Put(bufp)
 			if err != nil {
 				return err
 			}

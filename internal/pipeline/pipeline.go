@@ -22,6 +22,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"baywatch/internal/core"
@@ -488,6 +489,17 @@ func guardCause(ctx context.Context) error {
 	return ctx.Err()
 }
 
+// indicatorScratch pools the interval buffer indicatorsFor needs per
+// candidate. The indication step runs under guard.BoundWork, which abandons
+// timed-out computations while they are still executing, so the buffer must
+// be per-call (pooled), never shared across candidates.
+var indicatorScratch = sync.Pool{New: func() any { return new(indScratch) }}
+
+type indScratch struct {
+	intervals []float64
+	periods   [1]float64
+}
+
 // indicatorsFor derives the ranking indicators from a candidate.
 func indicatorsFor(c *Candidate) ranking.Indicators {
 	ind := ranking.Indicators{
@@ -498,8 +510,11 @@ func indicatorsFor(c *Candidate) ranking.Indicators {
 	if c.Detection != nil && len(c.Detection.Kept) > 0 {
 		best := c.Detection.Kept[0]
 		ind.ACFScore = best.ACFScore
-		intervals := c.Summary.IntervalsSeconds()
-		ind.IntervalRelStd = features.RelStdNearPeriod(intervals, []float64{best.BestPeriod()})
+		sc := indicatorScratch.Get().(*indScratch)
+		sc.intervals = c.Summary.AppendIntervalsSeconds(sc.intervals[:0])
+		sc.periods[0] = best.BestPeriod()
+		ind.IntervalRelStd = features.RelStdNearPeriod(sc.intervals, sc.periods[:])
+		indicatorScratch.Put(sc)
 		if p := best.BestPeriod(); p > 0 {
 			ind.SpanCycles = float64(c.Summary.Span()) / p
 		}

@@ -53,7 +53,7 @@ func interleavedLogFile(t *testing.T, dir string, good int) string {
 	}
 	bad := []string{
 		"not a log line at all",
-		"1425303901 10.8.1.2 GET",                    // too few fields
+		"1425303901 10.8.1.2 GET",                     // too few fields
 		"NaN 10.8.1.2 GET http example.com / 200 1 1", // bad timestamp
 		"\x00\x01\x02 binary garbage \xff",
 	}

@@ -51,6 +51,26 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(Variance(xs))
 }
 
+// MeanStdDev returns Mean(xs) and StdDev(xs) in a single call, sharing the
+// mean pass between the two. The arithmetic is identical to calling the two
+// functions separately, so results are bit-for-bit equal; hot paths use this
+// to avoid the redundant mean computation inside Variance.
+func MeanStdDev(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
 // Min returns the smallest element of xs and an error for empty input.
 func Min(xs []float64) (float64, error) {
 	if len(xs) == 0 {

@@ -80,11 +80,22 @@ func (a *ActivitySummary) Timestamps() []int64 {
 // IntervalsSeconds returns the interval list converted to seconds as
 // float64s, the form the pruning statistics operate on.
 func (a *ActivitySummary) IntervalsSeconds() []float64 {
-	out := make([]float64, len(a.Intervals))
-	for i, iv := range a.Intervals {
-		out[i] = float64(iv * a.Scale)
+	return a.AppendIntervalsSeconds(nil)
+}
+
+// AppendIntervalsSeconds appends the interval list, converted to seconds,
+// to dst and returns the extended slice. Callers processing many summaries
+// reuse one buffer (dst[:0]) across calls to avoid per-pair allocations.
+func (a *ActivitySummary) AppendIntervalsSeconds(dst []float64) []float64 {
+	if cap(dst)-len(dst) < len(a.Intervals) {
+		grown := make([]float64, len(dst), len(dst)+len(a.Intervals))
+		copy(grown, dst)
+		dst = grown
 	}
-	return out
+	for _, iv := range a.Intervals {
+		dst = append(dst, float64(iv*a.Scale))
+	}
+	return dst
 }
 
 // FromTimestamps builds an ActivitySummary from raw request timestamps
@@ -213,6 +224,12 @@ func (a *ActivitySummary) AddURLPath(path string) {
 // the full span (capped), including trailing empty buckets up to the last
 // event.
 func (a *ActivitySummary) BinSeries(maxLen int) []float64 {
+	return a.BinSeriesInto(nil, maxLen)
+}
+
+// BinSeriesInto is BinSeries writing into dst's backing array (grown as
+// needed), for callers reusing a series buffer across summaries.
+func (a *ActivitySummary) BinSeriesInto(dst []float64, maxLen int) []float64 {
 	var span int64
 	for _, iv := range a.Intervals {
 		span += iv
@@ -224,7 +241,11 @@ func (a *ActivitySummary) BinSeries(maxLen int) []float64 {
 	if n < 1 {
 		n = 1
 	}
-	series := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	series := dst[:n]
+	clear(series)
 	pos := int64(0)
 	series[0] = 1
 	for _, iv := range a.Intervals {
