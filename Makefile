@@ -38,14 +38,17 @@ fuzz-smoke:
 tidy:
 	$(GO) mod tidy
 
-# lint is the fast formatting/vet gate CI runs before spending a full
-# race-detector build.
+# lint is the fast static gate CI runs before spending a full race-detector
+# build: gofmt, stock go vet, then the repo's own analyzer suite (bwlint:
+# fault-point hygiene, guarded goroutines, pool discipline, float
+# comparisons, //bw:noalloc contracts — see DESIGN.md section 5e).
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/bwlint ./...
 
 # bench prints the gated microbenchmarks (see BENCH_PATTERN) for local
 # inspection.

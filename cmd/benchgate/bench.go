@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,16 +34,32 @@ func parseBench(out string) (map[string]*series, error) {
 				name = name[:i]
 			}
 		}
+		// fields[1] is the iteration count. A malformed or zero count means
+		// the benchmark never actually ran (a crashed or truncated run), and
+		// a gate that silently passes on such output is worse than useless —
+		// fail the parse loudly instead.
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count %q in line %q", fields[1], line)
+		}
+		if iters <= 0 {
+			return nil, fmt.Errorf("zero repetitions in line %q: benchmark did not run", line)
+		}
 		s := runs[name]
 		if s == nil {
 			s = &series{}
 			runs[name] = s
 		}
-		// fields[1] is the iteration count; the rest are value/unit pairs.
+		// The remaining fields are value/unit pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			// ParseFloat accepts "NaN" and "Inf"; medians over them would
+			// compare as neither greater nor smaller and pass every gate.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("non-finite value %q in line %q", fields[i], line)
 			}
 			switch fields[i+1] {
 			case "ns/op":
@@ -89,6 +106,13 @@ func compare(baseline, current map[string]*series, timeThreshold float64) (repor
 			failed = true
 			continue
 		}
+		// An empty sample list would yield median 0 and a vacuous pass;
+		// refuse to compare instead.
+		if len(base.nsOp) == 0 || len(curr.nsOp) == 0 {
+			fmt.Fprintf(&b, "%-45s no ns/op samples (base %d, curr %d): FAIL\n", name, len(base.nsOp), len(curr.nsOp))
+			failed = true
+			continue
+		}
 		baseNs, currNs := median(base.nsOp), median(curr.nsOp)
 		delta := 0.0
 		if baseNs > 0 {
@@ -100,7 +124,14 @@ func compare(baseline, current map[string]*series, timeThreshold float64) (repor
 			failed = true
 		}
 		baseAllocs, currAllocs := median(base.allocsOp), median(curr.allocsOp)
-		if len(base.allocsOp) > 0 && len(curr.allocsOp) > 0 && currAllocs > baseAllocs {
+		switch {
+		case len(base.allocsOp) > 0 && len(curr.allocsOp) == 0:
+			// The baseline tracks allocations but the current run has no
+			// allocs/op column (run without -benchmem?): the allocation
+			// gate would be skipped silently, so fail it explicitly.
+			verdict += "  FAIL: allocs/op column missing from current run (baseline has it)"
+			failed = true
+		case len(base.allocsOp) > 0 && currAllocs > baseAllocs:
 			verdict += fmt.Sprintf("  FAIL: allocs/op regressed %.0f -> %.0f", baseAllocs, currAllocs)
 			failed = true
 		}

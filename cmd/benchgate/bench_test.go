@@ -88,3 +88,58 @@ func TestCompareImprovementPasses(t *testing.T) {
 		t.Errorf("improvements must pass:\n%s", report)
 	}
 }
+
+// --- malformed-output hardening -----------------------------------------
+// A gate that passes vacuously on garbage input is worse than no gate;
+// these cases pin the loud-failure behavior.
+
+func TestParseBenchRejectsNaN(t *testing.T) {
+	_, err := parseBench("BenchmarkX-8 100 NaN ns/op 0 B/op 0 allocs/op\n")
+	if err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("NaN ns/op must be rejected, got err = %v", err)
+	}
+}
+
+func TestParseBenchRejectsInf(t *testing.T) {
+	_, err := parseBench("BenchmarkX-8 100 1000 ns/op +Inf allocs/op\n")
+	if err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("Inf allocs/op must be rejected, got err = %v", err)
+	}
+}
+
+func TestParseBenchRejectsZeroRepetitions(t *testing.T) {
+	_, err := parseBench("BenchmarkX-8 0 1000 ns/op 0 B/op 0 allocs/op\n")
+	if err == nil || !strings.Contains(err.Error(), "zero repetitions") {
+		t.Errorf("an iteration count of 0 must be rejected, got err = %v", err)
+	}
+}
+
+func TestParseBenchRejectsBadIterationCount(t *testing.T) {
+	_, err := parseBench("BenchmarkX-8 oops 1000 ns/op\n")
+	if err == nil || !strings.Contains(err.Error(), "bad iteration count") {
+		t.Errorf("a non-numeric iteration count must be rejected, got err = %v", err)
+	}
+}
+
+func TestCompareMissingAllocsColumnFails(t *testing.T) {
+	// Baseline tracks allocations; the current run was made without
+	// -benchmem. Skipping the allocation gate silently would let an
+	// alloc regression through, so this must fail.
+	base, _ := parseBench("BenchmarkX-8 100 1000 ns/op 0 B/op 0 allocs/op\n")
+	curr, _ := parseBench("BenchmarkX-8 100 1000 ns/op\n")
+	report, failed := compare(base, curr, 0.10)
+	if !failed || !strings.Contains(report, "allocs/op column missing") {
+		t.Errorf("current run without an allocs/op column must fail:\n%s", report)
+	}
+}
+
+func TestCompareNoSamplesFails(t *testing.T) {
+	// A series with no ns/op samples (e.g. a line carrying only B/op)
+	// would otherwise compare 0 against 0 and pass vacuously.
+	base, _ := parseBench("BenchmarkX-8 100 1000 ns/op\n")
+	curr := map[string]*series{"BenchmarkX": {}}
+	report, failed := compare(base, curr, 0.10)
+	if !failed || !strings.Contains(report, "no ns/op samples") {
+		t.Errorf("empty current sample list must fail:\n%s", report)
+	}
+}

@@ -1,0 +1,91 @@
+// Command bwlint runs the repo's domain-specific analyzers over module
+// packages and reports findings in the familiar file:line:col form.
+//
+// Usage:
+//
+//	go run ./cmd/bwlint ./...
+//	go run ./cmd/bwlint ./internal/dsp ./internal/core
+//
+// bwlint exits 0 when the tree is clean, 1 when any analyzer reports a
+// finding, and 2 on operational errors (unloadable packages, etc.). It is
+// wired into `make lint` and the CI lint job next to gofmt and go vet.
+//
+// The suite lives in internal/analysis/...; each analyzer documents its
+// invariant and the //bw: directive that records reviewed exceptions. See
+// DESIGN.md section 5e for the full catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"baywatch/internal/analysis"
+	"baywatch/internal/analysis/faultpoint"
+	"baywatch/internal/analysis/floatcmp"
+	"baywatch/internal/analysis/guardgo"
+	"baywatch/internal/analysis/noallocdirective"
+	"baywatch/internal/analysis/poolput"
+)
+
+var analyzers = []*analysis.Analyzer{
+	faultpoint.Analyzer,
+	floatcmp.Analyzer,
+	guardgo.Analyzer,
+	noallocdirective.Analyzer,
+	poolput.Analyzer,
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bwlint [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := lint(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bwlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bwlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lint loads every package matching patterns under dir and runs the full
+// analyzer suite, returning formatted findings.
+func lint(dir string, patterns []string) ([]string, error) {
+	metas, err := analysis.GoList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	loader := analysis.NewLoader(metas)
+	var findings []string
+	for _, path := range loader.Paths() {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range analyzers {
+			diags, err := analysis.RunAnalyzer(a, loader, pkg)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				findings = append(findings, fmt.Sprintf("%s: [%s] %s", loader.Fset.Position(d.Pos), a.Name, d.Message))
+			}
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,70 @@
+// Package analysis is a self-contained static-analysis framework for the
+// repo's domain-specific lint suite (cmd/bwlint). It mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — so the
+// analyzers can migrate to the real framework mechanically if the module
+// ever grows the x/tools dependency, but it is built on the standard
+// library alone: this repository vendors nothing, and the build
+// environment has no module proxy access, so `go vet -vettool` (whose
+// driver protocol lives in x/tools/go/analysis/unitchecker) is replaced
+// by the standalone cmd/bwlint driver.
+//
+// The framework deliberately supports less than x/tools: no facts, no
+// analyzer dependencies, no suggested fixes. Each Pass sees one fully
+// type-checked package (production files) plus its parsed-only test files,
+// which is exactly what the five bwlint analyzers need.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's command-line and diagnostic prefix name.
+	Name string
+	// Doc states the enforced invariant, first line short.
+	Doc string
+	// Run executes the check over one package, reporting findings via
+	// pass.Report. The returned value is unused (kept for x/tools API
+	// symmetry); a non-nil error aborts the whole lint run.
+	Run func(pass *Pass) (any, error)
+}
+
+// Diagnostic is one finding, anchored at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass holds one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's production (non-test) files, type-checked.
+	Files []*ast.File
+	// TestFiles are the package's _test.go files (both in-package and
+	// external), parsed with comments but NOT type-checked: analyzers
+	// that inspect them must work syntactically.
+	TestFiles []*ast.File
+	// Pkg and TypesInfo describe the type-checked production files.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// AllFiles returns production then test files, for analyzers that scan
+// both the same way.
+func (p *Pass) AllFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files)+len(p.TestFiles))
+	out = append(out, p.Files...)
+	return append(out, p.TestFiles...)
+}

@@ -1,0 +1,195 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations embedded in the fixtures, following
+// the x/tools analysistest convention: a comment
+//
+//	// want "regexp"
+//
+// on a line asserts that the analyzer reports a diagnostic on that line
+// matching the regexp (several patterns may follow one want). Every
+// unmatched expectation and every unexpected diagnostic fails the test,
+// so fixtures encode both the flagged and the allowed cases.
+//
+// Fixtures live in GOPATH-style layout under <testdata>/src/<importpath>/;
+// imports between fixture packages resolve within that tree, everything
+// else resolves to the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"baywatch/internal/analysis"
+)
+
+// Run loads each fixture package and checks a's diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	metas, err := scanTestdata(filepath.Join(testdataDir, "src"))
+	if err != nil {
+		t.Fatalf("scan %s: %v", testdataDir, err)
+	}
+	loader := analysis.NewLoader(metas)
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		diags, err := analysis.RunAnalyzer(a, loader, pkg)
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, path, err)
+		}
+		checkDiagnostics(t, loader.Fset, pkg, diags)
+	}
+}
+
+// TestData returns the testdata directory of the caller's package.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// scanTestdata builds Metas for every directory under srcRoot that holds
+// .go files; the import path is the directory's path relative to srcRoot.
+func scanTestdata(srcRoot string) ([]*analysis.Meta, error) {
+	byDir := map[string]*analysis.Meta{}
+	err := filepath.WalkDir(srcRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		dir := filepath.Dir(path)
+		m := byDir[dir]
+		if m == nil {
+			rel, err := filepath.Rel(srcRoot, dir)
+			if err != nil {
+				return err
+			}
+			m = &analysis.Meta{ImportPath: filepath.ToSlash(rel), Dir: dir}
+			byDir[dir] = m
+		}
+		name := d.Name()
+		if strings.HasSuffix(name, "_test.go") {
+			m.TestGoFiles = append(m.TestGoFiles, name)
+		} else {
+			m.GoFiles = append(m.GoFiles, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	metas := make([]*analysis.Meta, 0, len(byDir))
+	for _, m := range byDir {
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// expectation is one want pattern, keyed by file:line.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses want comments from every file of the package.
+func collectWants(fset *token.FileSet, files []*ast.File) (map[string][]*expectation, error) {
+	wants := map[string][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						return nil, fmt.Errorf("%s: malformed want pattern %q", key, rest)
+					}
+					var lit string
+					var n int
+					if rest[0] == '`' {
+						end := strings.Index(rest[1:], "`")
+						if end < 0 {
+							return nil, fmt.Errorf("%s: unterminated want pattern %q", key, rest)
+						}
+						lit = rest[1 : 1+end]
+						n = end + 2
+					} else {
+						var err error
+						// Find the closing quote respecting escapes via
+						// strconv: try growing prefixes.
+						n = -1
+						for i := 1; i < len(rest); i++ {
+							if rest[i] == '"' && rest[i-1] != '\\' {
+								lit, err = strconv.Unquote(rest[:i+1])
+								if err != nil {
+									return nil, fmt.Errorf("%s: bad want pattern %q: %v", key, rest[:i+1], err)
+								}
+								n = i + 1
+								break
+							}
+						}
+						if n < 0 {
+							return nil, fmt.Errorf("%s: unterminated want pattern %q", key, rest)
+						}
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", key, lit, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: lit})
+					rest = strings.TrimSpace(rest[n:])
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func checkDiagnostics(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	all := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+	wants, err := collectWants(fset, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}

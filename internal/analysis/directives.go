@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The bwlint directive syntax: a line comment of the form
+//
+//	//bw:<name> <free-form justification>
+//
+// written either on the same line as the construct it blesses, on the
+// line immediately above it, or in the doc comment of the enclosing
+// function declaration. Directives are how code records a deliberate,
+// human-reviewed exception to an analyzer's invariant (an ownership
+// handoff, a test-local fault point); each analyzer documents which
+// directive names it honors.
+const DirectivePrefix = "//bw:"
+
+// DirectiveSet indexes a file's bwlint directives by line.
+type DirectiveSet struct {
+	// lines maps a 1-based line number to the directive names on it.
+	lines map[int][]string
+}
+
+// Directives scans a parsed file (parser.ParseComments required) for
+// bwlint directives.
+func Directives(fset *token.FileSet, f *ast.File) DirectiveSet {
+	ds := DirectiveSet{lines: map[int][]string{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, DirectivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+			name := rest
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				name = rest[:i]
+			}
+			line := fset.Position(c.Pos()).Line
+			ds.lines[line] = append(ds.lines[line], name)
+		}
+	}
+	return ds
+}
+
+// At reports whether directive name appears on the given line.
+func (ds DirectiveSet) At(line int, name string) bool {
+	for _, n := range ds.lines[line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether directive name blesses the construct at pos:
+// present on the construct's own line or the line above it.
+func (ds DirectiveSet) Covers(fset *token.FileSet, pos token.Pos, name string) bool {
+	line := fset.Position(pos).Line
+	return ds.At(line, name) || ds.At(line-1, name)
+}
+
+// OnFunc reports whether directive name blesses fn: in its doc comment,
+// on its declaration line, or on the line above the declaration (for
+// functions without a doc comment).
+func (ds DirectiveSet) OnFunc(fset *token.FileSet, fn *ast.FuncDecl, name string) bool {
+	if fn.Doc != nil {
+		start := fset.Position(fn.Doc.Pos()).Line
+		end := fset.Position(fn.Doc.End()).Line
+		for line := start; line <= end; line++ {
+			if ds.At(line, name) {
+				return true
+			}
+		}
+	}
+	return ds.Covers(fset, fn.Pos(), name)
+}

@@ -1,0 +1,12 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"baywatch/internal/analysis/analysistest"
+	"baywatch/internal/analysis/faultpoint"
+)
+
+func TestFaultpoint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), faultpoint.Analyzer, "a", "faultinject", "badreg")
+}

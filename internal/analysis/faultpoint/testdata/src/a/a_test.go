@@ -1,0 +1,11 @@
+package a
+
+import "faultinject"
+
+func schedulerUse() {
+	s := faultinject.New(0)
+	s.CrashAt(faultinject.PointAlphaWrite, 1)
+	s.CrashAt("alpha.write", 1)      // want `fault point written as string literal`
+	s.HangAt("beta.typo.task", 1)    // want `fault point written as string literal`
+	s.FailAt("scratch.only", 1, nil) //bw:faultpoint scheduler unit test with a local point
+}

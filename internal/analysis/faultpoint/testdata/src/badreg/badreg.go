@@ -1,0 +1,21 @@
+// A deliberately broken registry: duplicate point values and a constant
+// missing from Points().
+package faultinject
+
+type Point string
+
+const (
+	PointOne   Point = "one.point"
+	PointTwo   Point = "one.point"   // want `duplicates the value "one.point" of PointOne`
+	PointThree Point = "three.point" // want `declared but missing from the Points\(\) registry`
+	PointFour  Point = "four.point"
+)
+
+func Points() []Point { // want `fault point PointFour listed 2 times`
+	return []Point{
+		PointOne,
+		PointTwo,
+		PointFour,
+		PointFour,
+	}
+}

@@ -1,0 +1,95 @@
+// Package floatcmp flags exact ==/!= comparisons between floating-point
+// values in the numeric packages (internal/dsp, internal/stats,
+// internal/core). Quantities there pass through FFTs, running sums, and
+// divisions, so two mathematically equal values are rarely bit-identical;
+// exact comparison silently turns into "always false" and downstream
+// logic (tie-breaking, convergence checks, degenerate-case guards)
+// misbehaves on real data only.
+//
+// Allowed without annotation:
+//
+//   - x != x — the NaN self-test idiom (math.IsNaN without the import);
+//   - comparison against a constant zero — exact zero is meaningful as a
+//     division guard (0.0 is exactly representable and the only value
+//     that actually divides-by-zero);
+//   - a //bw:floatcmp directive with a justification, for the rare site
+//     where exact equality is the point (sort tiebreakers that need a
+//     total order, degenerate zero-variance branches).
+//
+// Everything else should go through internal/fmath (Near, ApproxEqual),
+// which makes the tolerance explicit.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path"
+
+	"baywatch/internal/analysis"
+)
+
+// Analyzer is the floatcmp analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "==/!= on floats in numeric packages must use fmath epsilon helpers (or //bw:floatcmp)",
+	Run:  run,
+}
+
+const directive = "floatcmp"
+
+// guarded lists the package basenames whose arithmetic is tolerance-
+// sensitive. fmath itself is exempt: it implements the helpers.
+var guarded = map[string]bool{
+	"dsp":   true,
+	"stats": true,
+	"core":  true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !guarded[path.Base(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ds := analysis.Directives(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, cmp.X) || !isFloat(pass, cmp.Y) {
+				return true
+			}
+			if cmp.Op == token.NEQ && types.ExprString(cmp.X) == types.ExprString(cmp.Y) {
+				return true // NaN self-test idiom
+			}
+			if isZeroConst(pass, cmp.X) || isZeroConst(pass, cmp.Y) {
+				return true
+			}
+			if ds.Covers(pass.Fset, cmp.OpPos, directive) {
+				return true
+			}
+			pass.Reportf(cmp.OpPos, "%s compares floats exactly; use fmath.Near/fmath.ApproxEqual or annotate //bw:floatcmp <why>", cmp.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}

@@ -1,0 +1,57 @@
+package dsp
+
+// Flagged: plain float equality.
+func equal(x, y float64) bool {
+	return x == y // want `== compares floats exactly`
+}
+
+// Flagged: inequality is the same trap.
+func unequal(x, y float64) bool {
+	return x != y // want `!= compares floats exactly`
+}
+
+// Allowed: NaN self-test idiom.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// Allowed: exact zero is a meaningful division guard.
+func safeInv(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// Allowed: constant zero on either side, any spelling.
+func zeroLeft(y float64) bool {
+	return 0.0 != y
+}
+
+// Flagged: a non-zero constant does not get the guard exemption.
+func half(x float64) bool {
+	return x == 0.5 // want `== compares floats exactly`
+}
+
+// Allowed: reviewed exact comparison.
+func tiebreak(a, b float64) int {
+	if a != b { //bw:floatcmp sort comparator needs a total order
+		if a > b {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Allowed: integer comparisons are out of scope.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// Flagged: named float types count too.
+type score float64
+
+func scores(a, b score) bool {
+	return a == b // want `== compares floats exactly`
+}

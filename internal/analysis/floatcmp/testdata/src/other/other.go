@@ -1,0 +1,6 @@
+// Package other is outside the numeric set; exact comparison is allowed.
+package other
+
+func equal(x, y float64) bool {
+	return x == y
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+)
+
+// goListPackage is the subset of `go list -json` output the loader needs.
+type goListPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// GoList resolves package patterns (e.g. "./...") to Metas by invoking
+// `go list -json` in dir. This is how cmd/bwlint discovers the module's
+// packages without reimplementing build-constraint and module logic.
+func GoList(dir string, patterns ...string) ([]*Meta, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var metas []*Meta
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p goListPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %w", err)
+		}
+		metas = append(metas, &Meta{
+			ImportPath:   p.ImportPath,
+			Dir:          p.Dir,
+			GoFiles:      append(append([]string{}, p.GoFiles...), p.CgoFiles...),
+			TestGoFiles:  p.TestGoFiles,
+			XTestGoFiles: p.XTestGoFiles,
+		})
+	}
+	return metas, nil
+}

@@ -1,0 +1,12 @@
+package guardgo_test
+
+import (
+	"testing"
+
+	"baywatch/internal/analysis/analysistest"
+	"baywatch/internal/analysis/guardgo"
+)
+
+func TestGuardgo(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), guardgo.Analyzer, "pipeline", "other")
+}

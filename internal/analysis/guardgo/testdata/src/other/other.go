@@ -1,0 +1,13 @@
+// Package other is outside the guarded set: bare goroutines and root
+// contexts are fine here.
+package other
+
+import "context"
+
+func spawn() {
+	go func() {}()
+}
+
+func root() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// Meta describes one loadable package: where it lives and which files it
+// owns. Metas come from `go list -json` (cmd/bwlint) or from a
+// testdata/src scan (analysistest).
+type Meta struct {
+	ImportPath string
+	Dir        string
+	// GoFiles are the production file names (relative to Dir).
+	GoFiles []string
+	// TestGoFiles and XTestGoFiles are the in-package and external test
+	// file names (relative to Dir).
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Meta      *Meta
+	Files     []*ast.File
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Loader parses and type-checks packages on demand. Imports among the
+// given metas resolve to each other; every other import path (the
+// standard library) is type-checked from $GOROOT source via go/importer,
+// which keeps the loader working without export data or a module proxy.
+type Loader struct {
+	Fset    *token.FileSet
+	metas   map[string]*Meta
+	pkgs    map[string]*Package
+	std     types.Importer
+	loading map[string]bool
+}
+
+// NewLoader returns a loader over the given package set.
+func NewLoader(metas []*Meta) *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		metas:   map[string]*Meta{},
+		pkgs:    map[string]*Package{},
+		std:     importer.ForCompiler(fset, "source", nil),
+		loading: map[string]bool{},
+	}
+	for _, m := range metas {
+		l.metas[m.ImportPath] = m
+	}
+	return l
+}
+
+// Paths returns the loadable import paths, sorted.
+func (l *Loader) Paths() []string {
+	out := make([]string, 0, len(l.metas))
+	for p := range l.metas {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load parses and type-checks the package at importPath (cached).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	m, ok := l.metas[importPath]
+	if !ok {
+		return nil, fmt.Errorf("loader: unknown package %q", importPath)
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("loader: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	parse := func(names []string) ([]*ast.File, error) {
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	files, err := parse(m.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := parse(append(append([]string{}, m.TestGoFiles...), m.XTestGoFiles...))
+	if err != nil {
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+		if _, ok := l.metas[path]; ok {
+			dep, err := l.Load(path)
+			if err != nil {
+				return nil, err
+			}
+			return dep.Types, nil
+		}
+		return l.std.Import(path)
+	})}
+	tpkg, err := cfg.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+
+	pkg := &Package{Meta: m, Files: files, TestFiles: testFiles, Types: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// RunAnalyzer executes one analyzer over one loaded package and returns
+// its diagnostics.
+func RunAnalyzer(a *Analyzer, l *Loader, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      l.Fset,
+		Files:     pkg.Files,
+		TestFiles: pkg.TestFiles,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Meta.ImportPath, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

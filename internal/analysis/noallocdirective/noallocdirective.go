@@ -1,0 +1,168 @@
+// Package noallocdirective enforces the contract behind //bw:noalloc
+// annotations. The directive marks a function as part of a steady-state
+// zero-allocation hot path (the property cmd/benchgate guards with
+// allocs/op medians); this analyzer makes the promise checkable at the
+// source level instead of only at benchmark time.
+//
+// Inside a //bw:noalloc function the following constructs are flagged:
+// make, new, append, &T{...}, slice and map composite literals, func
+// literals (closures), and go statements. One exception: make and append
+// are allowed inside a cap-guarded grow block — an if statement whose
+// condition reads cap(...) — because that is the amortized slow path that
+// only runs while scratch buffers warm up.
+//
+// The directive also demands proof: every //bw:noalloc function must be
+// named in a test file that calls testing.AllocsPerRun, so the annotation
+// cannot outlive its benchmark coverage.
+package noallocdirective
+
+import (
+	"go/ast"
+	"go/types"
+
+	"baywatch/internal/analysis"
+)
+
+// Analyzer is the noallocdirective analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "noallocdirective",
+	Doc:  "//bw:noalloc functions must avoid allocating constructs and carry AllocsPerRun test coverage",
+	Run:  run,
+}
+
+const directive = "noalloc"
+
+func run(pass *analysis.Pass) (any, error) {
+	covered := allocsPerRunNames(pass)
+	for _, f := range pass.Files {
+		ds := analysis.Directives(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !ds.OnFunc(pass.Fset, fn, directive) {
+				continue
+			}
+			checkBody(pass, fn, fn.Body, false)
+			if !covered[fn.Name.Name] {
+				pass.Reportf(fn.Pos(), "//bw:noalloc function %s has no AllocsPerRun test coverage", fn.Name.Name)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkBody walks one statement subtree of a //bw:noalloc function.
+// inGrow is true inside an if block whose condition consults cap(...),
+// where make/append are the amortized buffer-growth slow path.
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl, n ast.Node, inGrow bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if condReadsCap(pass, n.Cond) {
+				checkBody(pass, fn, n.Init, inGrow)
+				checkBody(pass, fn, n.Cond, inGrow)
+				checkBody(pass, fn, n.Body, true)
+				checkBody(pass, fn, n.Else, true)
+				return false
+			}
+		case *ast.CallExpr:
+			switch builtinName(pass, n.Fun) {
+			case "make", "append":
+				if !inGrow {
+					pass.Reportf(n.Pos(), "%s in //bw:noalloc function %s outside a cap-guarded grow block", builtinName(pass, n.Fun), fn.Name.Name)
+				}
+			case "new":
+				pass.Reportf(n.Pos(), "new in //bw:noalloc function %s allocates", fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if _, isLit := n.X.(*ast.CompositeLit); isLit && n.Op.String() == "&" {
+				pass.Reportf(n.Pos(), "&composite literal in //bw:noalloc function %s allocates", fn.Name.Name)
+				return false
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal in //bw:noalloc function %s allocates", kindWord(pass, n), fn.Name.Name)
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "func literal in //bw:noalloc function %s may allocate a closure", fn.Name.Name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in //bw:noalloc function %s allocates a goroutine", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+func kindWord(pass *analysis.Pass, lit *ast.CompositeLit) string {
+	if t := pass.TypesInfo.TypeOf(lit); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return "map"
+		}
+	}
+	return "slice"
+}
+
+// condReadsCap reports whether the expression contains a call to the
+// builtin cap, marking an amortized grow guard like `if cap(buf) < n`.
+func condReadsCap(pass *analysis.Pass, cond ast.Expr) bool {
+	if cond == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && builtinName(pass, call.Fun) == "cap" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// builtinName returns the name of the builtin a call target resolves to,
+// or "" — using type info so shadowed identifiers don't count.
+func builtinName(pass *analysis.Pass, fun ast.Expr) string {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// allocsPerRunNames collects every identifier mentioned in test files
+// that call testing.AllocsPerRun. A //bw:noalloc function counts as
+// covered when its name appears in such a file: the syntactic net is
+// deliberately wide, since test files are not type-checked.
+func allocsPerRunNames(pass *analysis.Pass) map[string]bool {
+	names := map[string]bool{}
+	for _, f := range pass.TestFiles {
+		uses := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "AllocsPerRun" {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "testing" {
+					uses = true
+					return false
+				}
+			}
+			return true
+		})
+		if !uses {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				names[id.Name] = true
+			}
+			return true
+		})
+	}
+	return names
+}

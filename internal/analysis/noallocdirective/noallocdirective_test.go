@@ -1,0 +1,12 @@
+package noallocdirective_test
+
+import (
+	"testing"
+
+	"baywatch/internal/analysis/analysistest"
+	"baywatch/internal/analysis/noallocdirective"
+)
+
+func TestNoallocDirective(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), noallocdirective.Analyzer, "q")
+}

@@ -1,0 +1,81 @@
+package q
+
+type buf struct {
+	data []float64
+}
+
+// Allowed: cap-guarded grow block is the amortized slow path; everything
+// else is in-place. Covered by AllocsPerRun in q_test.go.
+//
+//bw:noalloc steady-state hot path
+func fillInto(b *buf, n int) {
+	if cap(b.data) < n {
+		b.data = make([]float64, 0, n)
+	}
+	b.data = b.data[:n]
+	for i := range b.data {
+		b.data[i] = 1
+	}
+}
+
+//bw:noalloc covered but leaky
+func leaky(n int) []float64 {
+	out := make([]float64, n) // want `make in //bw:noalloc function leaky outside a cap-guarded grow block`
+	return out
+}
+
+//bw:noalloc covered but appends bare
+func appender(dst []float64, x float64) []float64 {
+	return append(dst, x) // want `append in //bw:noalloc function appender outside a cap-guarded grow block`
+}
+
+//bw:noalloc covered but news
+func newer() *buf {
+	return new(buf) // want `new in //bw:noalloc function newer allocates`
+}
+
+//bw:noalloc covered but takes address of literal
+func addrLit() *buf {
+	return &buf{} // want `&composite literal in //bw:noalloc function addrLit allocates`
+}
+
+//bw:noalloc covered but builds a slice literal
+func sliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal in //bw:noalloc function sliceLit allocates`
+}
+
+//bw:noalloc covered but builds a map literal
+func mapLit() map[string]int {
+	return map[string]int{} // want `map literal in //bw:noalloc function mapLit allocates`
+}
+
+//bw:noalloc covered but closes over state
+func closure(xs []float64) func() float64 {
+	return func() float64 { return xs[0] } // want `func literal in //bw:noalloc function closure may allocate a closure`
+}
+
+//bw:noalloc covered but spawns
+func spawner(done chan struct{}) {
+	go close(done) // want `go statement in //bw:noalloc function spawner allocates a goroutine`
+}
+
+// Array and struct values are fine: no heap allocation.
+//
+//bw:noalloc value types stay on the stack
+func values() float64 {
+	var arr [4]float64
+	b := buf{}
+	_ = b
+	return arr[0]
+}
+
+// The coverage diagnostic fires at the func keyword below: annotated but
+// never named in an AllocsPerRun test file.
+//
+//bw:noalloc promised but unproven
+func uncovered(x float64) float64 { return x * 2 } // want `//bw:noalloc function uncovered has no AllocsPerRun test coverage`
+
+// Unannotated functions may allocate freely.
+func free(n int) []float64 {
+	return make([]float64, n)
+}

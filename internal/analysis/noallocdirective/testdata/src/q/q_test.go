@@ -1,0 +1,24 @@
+package q
+
+import "testing"
+
+// Mentions every annotated function except uncovered, alongside a real
+// testing.AllocsPerRun call, so only uncovered trips the coverage check.
+func TestAllocs(t *testing.T) {
+	b := &buf{}
+	allocs := testing.AllocsPerRun(10, func() {
+		fillInto(b, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("fillInto allocates: %v allocs/op", allocs)
+	}
+	_ = leaky(1)
+	_ = appender(nil, 1)
+	_ = newer()
+	_ = addrLit()
+	_ = sliceLit()
+	_ = mapLit()
+	_ = closure([]float64{1})
+	spawner(make(chan struct{}))
+	_ = values()
+}

@@ -1,0 +1,174 @@
+// Package poolput enforces the scratch-reuse invariant behind the repo's
+// zero-allocation hot paths: an object taken from a sync.Pool with Get
+// must go back with Put on every exit path of the function that borrowed
+// it. A Get whose Put sits below an early return (or that can be skipped
+// by a panic) quietly re-inflates the allocation profile the benchmark
+// gate protects — the pool refills itself, so nothing fails, the steady
+// state just stops being allocation-free.
+//
+// Within each function that calls (*sync.Pool).Get, one of the following
+// must hold, per pool:
+//
+//   - a deferred Put on the same pool expression (the recommended form:
+//     it also survives panics and injected crashes), or
+//   - a Put on the same pool with no return statement between the Get and
+//     the last Put (straight-line borrow/release), or
+//   - a //bw:pool-handoff directive on the function or the Get line,
+//     documenting that ownership of the pooled object transfers elsewhere
+//     (e.g. a borrow wrapper that returns the object to its caller).
+//
+// The analysis is lexical, not flow-sensitive: it tracks pool identity by
+// expression text within one function body, which matches how the repo's
+// pools are used (package-level pool variables).
+package poolput
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"baywatch/internal/analysis"
+)
+
+// Analyzer is the poolput analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolput",
+	Doc:  "sync.Pool.Get must be matched by Put on all return paths (defer, or //bw:pool-handoff)",
+	Run:  run,
+}
+
+const directive = "pool-handoff"
+
+type use struct {
+	pool string
+	pos  token.Pos
+}
+
+// scope accumulates pool traffic for one function body (FuncDecl or
+// FuncLit); nested literals get their own scope.
+type scope struct {
+	gets, puts, deferredPuts []use
+	returns                  []token.Pos
+	handoff                  bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ds := analysis.Directives(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sc := &scope{handoff: ds.OnFunc(pass.Fset, fn, directive)}
+			walkScope(pass, ds, fn.Body, sc)
+			checkScope(pass, ds, sc)
+		}
+	}
+	return nil, nil
+}
+
+// walkScope collects gets/puts/returns of one function body, descending
+// into nested function literals as fresh scopes.
+func walkScope(pass *analysis.Pass, ds analysis.DirectiveSet, body ast.Node, sc *scope) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := &scope{handoff: ds.Covers(pass.Fset, n.Pos(), directive)}
+			walkScope(pass, ds, n.Body, inner)
+			checkScope(pass, ds, inner)
+			return false
+		case *ast.DeferStmt:
+			// Anything Put by the deferred call — directly or inside a
+			// deferred closure — releases on every exit path of this scope.
+			ast.Inspect(n.Call, func(d ast.Node) bool {
+				if call, ok := d.(*ast.CallExpr); ok {
+					if pool, method, ok := poolCall(pass, call); ok && method == "Put" {
+						sc.deferredPuts = append(sc.deferredPuts, use{pool: pool, pos: call.Pos()})
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.ReturnStmt:
+			sc.returns = append(sc.returns, n.Pos())
+		case *ast.CallExpr:
+			if pool, method, ok := poolCall(pass, n); ok {
+				switch method {
+				case "Get":
+					sc.gets = append(sc.gets, use{pool: pool, pos: n.Pos()})
+				case "Put":
+					sc.puts = append(sc.puts, use{pool: pool, pos: n.Pos()})
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkScope(pass *analysis.Pass, ds analysis.DirectiveSet, sc *scope) {
+	if sc.handoff {
+		return
+	}
+	for _, g := range sc.gets {
+		if ds.Covers(pass.Fset, g.pos, directive) {
+			continue
+		}
+		deferred := false
+		for _, p := range sc.deferredPuts {
+			if p.pool == g.pool {
+				deferred = true
+				break
+			}
+		}
+		if deferred {
+			continue
+		}
+		var last token.Pos
+		for _, p := range sc.puts {
+			if p.pool == g.pool && p.pos > last {
+				last = p.pos
+			}
+		}
+		if last == token.NoPos {
+			pass.Reportf(g.pos, "%s.Get is never matched by a Put in this function; defer %s.Put(...) or annotate //bw:pool-handoff <why>", g.pool, g.pool)
+			continue
+		}
+		for _, r := range sc.returns {
+			if r > g.pos && r < last {
+				pass.Reportf(g.pos, "return between %s.Get and its Put leaks the pooled object on that path; use defer %s.Put(...) (or //bw:pool-handoff)", g.pool, g.pool)
+				break
+			}
+		}
+	}
+}
+
+// poolCall reports whether call is (*sync.Pool).Get or Put, returning the
+// pool's expression text and the method name.
+func poolCall(pass *analysis.Pass, call *ast.CallExpr) (pool, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return "", "", false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn || (fn.Name() != "Get" && fn.Name() != "Put") {
+		return "", "", false
+	}
+	recv := selection.Recv()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Pool" || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}

@@ -1,0 +1,12 @@
+package poolput_test
+
+import (
+	"testing"
+
+	"baywatch/internal/analysis/analysistest"
+	"baywatch/internal/analysis/poolput"
+)
+
+func TestPoolput(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poolput.Analyzer, "p")
+}

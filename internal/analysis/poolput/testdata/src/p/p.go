@@ -1,0 +1,99 @@
+package p
+
+import (
+	"errors"
+	"sync"
+)
+
+var scratchPool = sync.Pool{New: func() any { return new([]float64) }}
+
+var otherPool sync.Pool
+
+// Allowed: the canonical shape — deferred Put covers every exit path.
+func deferred(fail bool) error {
+	s := scratchPool.Get().(*[]float64)
+	defer scratchPool.Put(s)
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// Allowed: Put inside a deferred closure still releases on all paths.
+func deferredClosure() {
+	s := scratchPool.Get().(*[]float64)
+	defer func() {
+		scratchPool.Put(s)
+	}()
+}
+
+// Allowed: straight-line borrow/release with no return in between.
+func straightLine() int {
+	s := scratchPool.Get().(*[]float64)
+	n := len(*s)
+	scratchPool.Put(s)
+	return n
+}
+
+// Flagged: no Put at all.
+func leak() {
+	s := scratchPool.Get().(*[]float64) // want `scratchPool\.Get is never matched by a Put`
+	_ = s
+}
+
+// Flagged: the early error return skips the Put.
+func earlyReturn(fail bool) error {
+	s := scratchPool.Get().(*[]float64) // want `return between scratchPool\.Get and its Put leaks`
+	if fail {
+		return errFail
+	}
+	scratchPool.Put(s)
+	return nil
+}
+
+// Flagged: a Put on a different pool does not release this Get.
+func wrongPool() {
+	s := scratchPool.Get().(*[]float64) // want `scratchPool\.Get is never matched by a Put`
+	defer otherPool.Put(s)
+}
+
+// Allowed: annotated borrow wrapper — ownership transfers to the caller.
+//
+//bw:pool-handoff caller releases via release()
+func borrow() *[]float64 {
+	return scratchPool.Get().(*[]float64)
+}
+
+func release(s *[]float64) {
+	scratchPool.Put(s)
+}
+
+// Allowed: line-level handoff annotation.
+func stash(dst *[]*[]float64) {
+	s := scratchPool.Get().(*[]float64) //bw:pool-handoff retained in dst until flush
+	*dst = append(*dst, s)
+}
+
+// A nested literal is its own scope: the outer defer does not excuse the
+// inner Get, and the inner leak is flagged where it happens.
+func nested() {
+	s := scratchPool.Get().(*[]float64)
+	defer scratchPool.Put(s)
+	fn := func() {
+		inner := scratchPool.Get().(*[]float64) // want `scratchPool\.Get is never matched by a Put`
+		_ = inner
+	}
+	fn()
+}
+
+var errFail = errors.New("fail")
+
+// Non-pool Get/Put methods are ignored.
+type cache struct{}
+
+func (cache) Get() int  { return 0 }
+func (cache) Put(x int) {}
+
+func notAPool(c cache) {
+	c.Put(c.Get())
+}

@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"baywatch/internal/dsp"
+	"baywatch/internal/fmath"
 	"baywatch/internal/stats"
 	"baywatch/internal/timeseries"
 )
@@ -196,11 +197,10 @@ func (d *Detector) Detect(as *timeseries.ActivitySummary) (*Result, error) {
 		return nil, fmt.Errorf("core: nil activity summary")
 	}
 	sc := borrowDetectScratch()
+	defer releaseDetectScratch(sc)
 	sc.series = as.BinSeriesInto(sc.series, d.cfg.MaxSeriesLen)
 	sc.intervals = as.AppendIntervalsSeconds(sc.intervals[:0])
-	res, err := d.detectSeries(sc, sc.series, float64(as.Scale), sc.intervals)
-	releaseDetectScratch(sc)
-	return res, err
+	return d.detectSeries(sc, sc.series, float64(as.Scale), sc.intervals)
 }
 
 // DetectSeries analyzes a pre-binned series directly. sampleInterval is the
@@ -214,9 +214,8 @@ func (d *Detector) Detect(as *timeseries.ActivitySummary) (*Result, error) {
 // against the original fine-grained series.
 func (d *Detector) DetectSeries(series []float64, sampleInterval float64, intervals []float64) (*Result, error) {
 	sc := borrowDetectScratch()
-	res, err := d.detectSeries(sc, series, sampleInterval, intervals)
-	releaseDetectScratch(sc)
-	return res, err
+	defer releaseDetectScratch(sc)
+	return d.detectSeries(sc, series, sampleInterval, intervals)
 }
 
 // detectSeries is DetectSeries running over a borrowed scratch; every
@@ -474,13 +473,13 @@ func (d *Detector) detectSeries(sc *detectScratch, series []float64, sampleInter
 		}
 	}
 	slices.SortStableFunc(res.Kept, func(a, b Candidate) int {
-		if a.ACFScore != b.ACFScore {
+		if a.ACFScore != b.ACFScore { //bw:floatcmp sort comparator needs exact compare for a total order
 			if a.ACFScore > b.ACFScore {
 				return -1
 			}
 			return 1
 		}
-		if a.Power != b.Power {
+		if a.Power != b.Power { //bw:floatcmp sort comparator needs exact compare for a total order
 			if a.Power > b.Power {
 				return -1
 			}
@@ -558,7 +557,9 @@ func (d *Detector) intervalPValue(sc *detectScratch, nonzero []float64, period, 
 	mean, sd := stats.MeanStdDev(sample)
 	se := math.Sqrt(sd*sd/float64(n) + tol*tol)
 	if se == 0 {
-		if mean == period {
+		// Degenerate zero-variance sample: a tolerance keeps float noise
+		// in the mean from turning "exactly on period" into a hard miss.
+		if fmath.Near(mean, period) {
 			return 1, true
 		}
 		return 0, true

@@ -44,6 +44,10 @@ var detectScratchPool = sync.Pool{New: func() any {
 	}
 }}
 
+// borrowDetectScratch hands the pooled scratch to its caller, who must
+// release it with releaseDetectScratch (Detect and DetectSeries defer it).
+//
+//bw:pool-handoff caller releases via releaseDetectScratch
 func borrowDetectScratch() *detectScratch {
 	return detectScratchPool.Get().(*detectScratch)
 }

@@ -152,3 +152,22 @@ func BenchmarkDetectorSeries_4096(b *testing.B) {
 		}
 	}
 }
+
+// TestDetectSeriesShortInputReleasesScratch pins the release-on-every-path
+// contract of the public wrappers: DetectSeries now defers the scratch
+// release, so even the earliest exit (undersampled input) must reuse the
+// pooled scratch instead of abandoning it. A leak would cost a full
+// detectScratch (dsp plans, rng, ACF cache) per call and blow well past
+// the small budget of the undersampled Result itself.
+func TestDetectSeriesShortInputReleasesScratch(t *testing.T) {
+	det := NewDetector(DefaultConfig())
+	if res, err := det.DetectSeries([]float64{1, 0}, 1, nil); err != nil || !res.Undersampled {
+		t.Fatalf("short series should be undersampled, got %+v, %v", res, err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		_, _ = det.DetectSeries([]float64{1, 0}, 1, nil)
+	})
+	if allocs > 4 {
+		t.Errorf("undersampled path costs %v allocs/op, want <= 4: detect scratch is leaking", allocs)
+	}
+}

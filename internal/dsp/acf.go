@@ -17,9 +17,8 @@ import (
 // in O(n log n).
 func Autocorrelation(x []float64) ([]float64, error) {
 	s := borrowScratch()
-	out, err := s.AutocorrelationInto(nil, x)
-	releaseScratch(s)
-	return out, err
+	defer releaseScratch(s)
+	return s.AutocorrelationInto(nil, x)
 }
 
 // HillResult describes the outcome of validating a candidate lag on the ACF.

@@ -47,8 +47,8 @@ func FFT(x []complex128) ([]complex128, error) {
 	out := make([]complex128, len(x))
 	copy(out, x)
 	s := borrowScratch()
+	defer releaseScratch(s)
 	s.fftInPlace(out, false)
-	releaseScratch(s)
 	return out, nil
 }
 
@@ -61,8 +61,8 @@ func IFFT(x []complex128) ([]complex128, error) {
 	out := make([]complex128, len(x))
 	copy(out, x)
 	s := borrowScratch()
+	defer releaseScratch(s)
 	s.fftInPlace(out, true)
-	releaseScratch(s)
 	n := complex(float64(len(out)), 0)
 	for i := range out {
 		out[i] /= n
@@ -81,8 +81,8 @@ func FFTReal(x []float64) ([]complex128, error) {
 		cx[i] = complex(v, 0)
 	}
 	s := borrowScratch()
+	defer releaseScratch(s)
 	s.fftInPlace(cx, false)
-	releaseScratch(s)
 	return cx, nil
 }
 

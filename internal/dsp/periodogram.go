@@ -27,9 +27,8 @@ type Periodogram struct {
 func ComputePeriodogram(x []float64, sampleInterval float64) (*Periodogram, error) {
 	pg := &Periodogram{}
 	s := borrowScratch()
-	err := s.PeriodogramInto(pg, x, sampleInterval)
-	releaseScratch(s)
-	if err != nil {
+	defer releaseScratch(s)
+	if err := s.PeriodogramInto(pg, x, sampleInterval); err != nil {
 		return nil, err
 	}
 	return pg, nil

@@ -305,6 +305,8 @@ func unpackSpectrum(z []complex128, w []complex128, k int) (xk, xkh complex128) 
 // Power-of-two lengths run a packed real FFT at half the series length;
 // other lengths fall back to the cached Bluestein transform. pg.Power is
 // owned by the caller and shares no storage with the Scratch.
+//
+//bw:noalloc steady-state spectrum path; covered by TestPeriodogramIntoAllocs
 func (s *Scratch) PeriodogramInto(pg *Periodogram, x []float64, sampleInterval float64) error {
 	if len(x) < 4 {
 		return fmt.Errorf("%w: n=%d", ErrShortSeries, len(x))
@@ -366,6 +368,8 @@ func (s *Scratch) PeriodogramInto(pg *Periodogram, x []float64, sampleInterval f
 // the estimator's definition. Both transforms of the Wiener–Khinchin
 // round-trip run as packed real FFTs at half the padded length. dst must
 // not alias x.
+//
+//bw:noalloc steady-state ACF path; covered by TestAutocorrelationIntoAllocs
 func (s *Scratch) AutocorrelationInto(dst []float64, x []float64) ([]float64, error) {
 	n := len(x)
 	if n < 2 {
@@ -429,5 +433,9 @@ func (s *Scratch) AutocorrelationInto(dst []float64, x []float64) ([]float64, er
 // callers still hit the cached plans and reuse transform buffers.
 var sharedScratch = sync.Pool{New: func() any { return NewScratch() }}
 
+// borrowScratch hands the pooled workspace to its caller, who must
+// release it with releaseScratch (the entry points defer it).
+//
+//bw:pool-handoff caller releases via releaseScratch
 func borrowScratch() *Scratch   { return sharedScratch.Get().(*Scratch) }
 func releaseScratch(s *Scratch) { sharedScratch.Put(s) }

@@ -103,26 +103,26 @@ func New(seed int64) *Scheduler {
 func (s *Scheduler) Hook() func(point string) error { return s.check }
 
 // FailAt injects err on the hit-th traversal of point (1-based).
-func (s *Scheduler) FailAt(point string, hit int, err error) {
-	s.addRule(rule{point: point, from: hit, to: hit, err: err})
+func (s *Scheduler) FailAt(point Point, hit int, err error) {
+	s.addRule(rule{point: string(point), from: hit, to: hit, err: err})
 }
 
 // FailTransient injects err on `times` consecutive traversals of point
 // starting at hit, modelling a transient fault that clears on retry.
-func (s *Scheduler) FailTransient(point string, hit, times int, err error) {
-	s.addRule(rule{point: point, from: hit, to: hit + times - 1, err: err})
+func (s *Scheduler) FailTransient(point Point, hit, times int, err error) {
+	s.addRule(rule{point: string(point), from: hit, to: hit + times - 1, err: err})
 }
 
 // CrashAt panics with *Crash on the hit-th traversal of point.
-func (s *Scheduler) CrashAt(point string, hit int) {
-	s.addRule(rule{point: point, from: hit, to: hit, crash: true})
+func (s *Scheduler) CrashAt(point Point, hit int) {
+	s.addRule(rule{point: string(point), from: hit, to: hit, crash: true})
 }
 
 // DelayAt sleeps d on the hit-th traversal of point before returning nil,
 // modelling a slow (but eventually successful) call for deadline and
 // watchdog tests.
-func (s *Scheduler) DelayAt(point string, hit int, d time.Duration) {
-	s.addRule(rule{point: point, from: hit, to: hit, delay: d})
+func (s *Scheduler) DelayAt(point Point, hit int, d time.Duration) {
+	s.addRule(rule{point: string(point), from: hit, to: hit, delay: d})
 }
 
 // HangAt blocks the hit-th traversal of point until ReleaseHangs is
@@ -131,8 +131,8 @@ func (s *Scheduler) DelayAt(point string, hit int, d time.Duration) {
 // success). The calling goroutine is parked — deadline or watchdog
 // machinery above the injection point must cancel around it, and the
 // test must call ReleaseHangs before asserting goroutine counts.
-func (s *Scheduler) HangAt(point string, hit int) {
-	s.addRule(rule{point: point, from: hit, to: hit, hang: true})
+func (s *Scheduler) HangAt(point Point, hit int) {
+	s.addRule(rule{point: string(point), from: hit, to: hit, hang: true})
 }
 
 // ReleaseHangs unblocks every goroutine currently (or subsequently)

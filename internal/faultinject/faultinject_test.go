@@ -10,7 +10,7 @@ var errInjected = errors.New("injected")
 
 func TestFailAtExactHit(t *testing.T) {
 	s := New(0)
-	s.FailAt("write", 3, errInjected)
+	s.FailAt("write", 3, errInjected) //bw:faultpoint scratch point; this file tests the scheduler itself
 	hook := s.Hook()
 	for i := 1; i <= 5; i++ {
 		err := hook("write")
@@ -25,7 +25,7 @@ func TestFailAtExactHit(t *testing.T) {
 
 func TestFailTransientClearsAfterWindow(t *testing.T) {
 	s := New(0)
-	s.FailTransient("sync", 2, 3, errInjected)
+	s.FailTransient("sync", 2, 3, errInjected) //bw:faultpoint scratch point; this file tests the scheduler itself
 	hook := s.Hook()
 	var got []bool
 	for i := 1; i <= 6; i++ {
@@ -41,7 +41,7 @@ func TestFailTransientClearsAfterWindow(t *testing.T) {
 
 func TestCrashAtRecoveredByRun(t *testing.T) {
 	s := New(0)
-	s.CrashAt("rename", 2)
+	s.CrashAt("rename", 2) //bw:faultpoint scratch point; this file tests the scheduler itself
 	hook := s.Hook()
 	crash, err := Run(func() error {
 		for i := 0; i < 5; i++ {
@@ -150,7 +150,7 @@ func TestRunPassesThroughErrorsAndForeignPanics(t *testing.T) {
 
 func TestDelayAt(t *testing.T) {
 	s := New(1)
-	s.DelayAt("slow.op", 2, 40*time.Millisecond)
+	s.DelayAt("slow.op", 2, 40*time.Millisecond) //bw:faultpoint scratch point; this file tests the scheduler itself
 	hook := s.Hook()
 
 	start := time.Now()
@@ -171,7 +171,7 @@ func TestDelayAt(t *testing.T) {
 
 func TestHangAtBlocksUntilRelease(t *testing.T) {
 	s := New(1)
-	s.HangAt("wedged.op", 1)
+	s.HangAt("wedged.op", 1) //bw:faultpoint scratch point; this file tests the scheduler itself
 	hook := s.Hook()
 
 	errc := make(chan error, 1)

@@ -1,0 +1,85 @@
+package faultinject
+
+// Point is the name of a fault-injection point. Production code addresses
+// every injection point through one of the typed constants below rather
+// than a bare string literal, so that a typo in a point name is a compile
+// error (unknown identifier) or a lint error (unregistered literal, see
+// internal/analysis/faultpoint) instead of a silently disarmed fault hook.
+//
+// Two kinds of points exist:
+//
+//   - plain points ("opsloop.commit.done") are traversed with the constant
+//     itself;
+//   - keyed points ("pipeline.detect") carry a per-call key appended with
+//     Keyed, producing names like "pipeline.detect:src|dst". Schedulers
+//     and tests match keyed traversals by the registered prefix.
+type Point string
+
+// Keyed derives the per-call instance of a keyed point: p + ":" + key.
+// Hot concurrent paths use distinct keyed instances so per-point hit
+// counts stay deterministic (see the package comment).
+func (p Point) Keyed(key string) Point { return p + Point(":"+key) }
+
+// Registered fault-injection points. Every point traversed by production
+// code must be declared here and listed in Points(); the faultpoint
+// analyzer enforces both directions, and TestRegisteredPointsExercised
+// asserts each one is exercised by at least one fault-injection test.
+const (
+	// opsloop manifest journal: the atomic write-ahead manifest update
+	// (create temp, write, fsync, rename, fsync dir).
+	PointOpsloopManifestCreate  Point = "opsloop.manifest.create"
+	PointOpsloopManifestWrite   Point = "opsloop.manifest.write"
+	PointOpsloopManifestSync    Point = "opsloop.manifest.sync"
+	PointOpsloopManifestRename  Point = "opsloop.manifest.rename"
+	PointOpsloopManifestDirsync Point = "opsloop.manifest.dirsync"
+
+	// opsloop per-day payload: the atomic day-file write.
+	PointOpsloopDayCreate  Point = "opsloop.day.create"
+	PointOpsloopDayWrite   Point = "opsloop.day.write"
+	PointOpsloopDaySync    Point = "opsloop.day.sync"
+	PointOpsloopDayRename  Point = "opsloop.day.rename"
+	PointOpsloopDayDirsync Point = "opsloop.day.dirsync"
+
+	// opsloop state transitions around a day commit.
+	PointOpsloopNoveltySave Point = "opsloop.novelty.save"
+	PointOpsloopCommitDone  Point = "opsloop.commit.done"
+
+	// mapreduce task execution and spill I/O.
+	PointMapreduceMapTask     Point = "mapreduce.map.task"
+	PointMapreduceReduceTask  Point = "mapreduce.reduce.task"
+	PointMapreduceSpillWrite  Point = "mapreduce.spill.write"
+	PointMapreduceSpillReplay Point = "mapreduce.spill.replay"
+
+	// pipeline per-candidate isolation points, keyed by "src|dst".
+	PointPipelineDetect     Point = "pipeline.detect"
+	PointPipelineIndication Point = "pipeline.indication"
+
+	// guard watchdog stall notifications, keyed by worker name.
+	PointGuardWatchdogStall Point = "guard.watchdog.stall"
+)
+
+// Points returns every registered fault-injection point. Keyed points are
+// listed by their prefix (the part before the ":<key>" suffix).
+func Points() []Point {
+	return []Point{
+		PointOpsloopManifestCreate,
+		PointOpsloopManifestWrite,
+		PointOpsloopManifestSync,
+		PointOpsloopManifestRename,
+		PointOpsloopManifestDirsync,
+		PointOpsloopDayCreate,
+		PointOpsloopDayWrite,
+		PointOpsloopDaySync,
+		PointOpsloopDayRename,
+		PointOpsloopDayDirsync,
+		PointOpsloopNoveltySave,
+		PointOpsloopCommitDone,
+		PointMapreduceMapTask,
+		PointMapreduceReduceTask,
+		PointMapreduceSpillWrite,
+		PointMapreduceSpillReplay,
+		PointPipelineDetect,
+		PointPipelineIndication,
+		PointGuardWatchdogStall,
+	}
+}

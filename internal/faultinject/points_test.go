@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// declaredPoints parses points.go and returns the declared Point constants
+// as name -> value. Parsing the source (rather than reflecting, which Go
+// cannot do over constants) lets the tests assert that the declaration
+// block and the Points() registry agree.
+func declaredPoints(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "points.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls := map[string]string{}
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, name := range vs.Names {
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					t.Fatalf("constant %s is not a string literal", name.Name)
+				}
+				decls[name.Name] = strings.Trim(lit.Value, `"`)
+			}
+		}
+	}
+	return decls
+}
+
+// TestRegistryCompleteAndUnique: every declared Point constant appears in
+// Points() exactly once, every registry entry is declared, and no two
+// points share a name (a duplicate would make two call sites
+// indistinguishable in traces and schedules).
+func TestRegistryCompleteAndUnique(t *testing.T) {
+	decls := declaredPoints(t)
+	registered := map[string]bool{}
+	for _, p := range Points() {
+		if registered[string(p)] {
+			t.Errorf("duplicate registered point %q", p)
+		}
+		registered[string(p)] = true
+	}
+	for name, val := range decls {
+		if !registered[val] {
+			t.Errorf("declared constant %s = %q missing from Points()", name, val)
+		}
+	}
+	if len(registered) != len(decls) {
+		t.Errorf("Points() has %d entries, points.go declares %d", len(registered), len(decls))
+	}
+	for _, p := range Points() {
+		for _, r := range []rune(string(p)) {
+			if !(r == '.' || r >= 'a' && r <= 'z' || r >= '0' && r <= '9') {
+				t.Errorf("point %q: name must be lowercase dotted (got %q)", p, r)
+			}
+		}
+	}
+}
+
+func TestKeyed(t *testing.T) {
+	// The literal spells out Keyed's expected wire format on purpose.
+	if got := PointPipelineDetect.Keyed("a|b"); got != "pipeline.detect:a|b" { //bw:faultpoint asserts the rendered form of Keyed
+		t.Errorf("Keyed = %q", got)
+	}
+}
+
+// TestRegisteredPointsExercised: every registered point is exercised by at
+// least one fault-injection test — its constant is referenced from some
+// _test.go file in the repo (other than this one). A registered point no
+// test schedules or matches is dead weight: a fault seam whose crash and
+// error coverage has silently lapsed.
+func TestRegisteredPointsExercised(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+
+	var testSource strings.Builder
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && (d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".")) {
+			return filepath.SkipDir
+		}
+		if !d.IsDir() && strings.HasSuffix(path, "_test.go") && filepath.Base(path) != "points_test.go" {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			testSource.Write(data)
+			testSource.WriteByte('\n')
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := testSource.String()
+
+	valueToName := map[string]string{}
+	for name, val := range declaredPoints(t) {
+		valueToName[val] = name
+	}
+	for _, p := range Points() {
+		name := valueToName[string(p)]
+		if name == "" {
+			t.Errorf("point %q has no declared constant", p)
+			continue
+		}
+		if !strings.Contains(corpus, name) {
+			t.Errorf("registered point %s (%q) is not exercised by any fault-injection test", name, p)
+		}
+	}
+}

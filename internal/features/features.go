@@ -8,6 +8,7 @@ package features
 import (
 	"bytes"
 	"compress/gzip"
+	"math"
 
 	"baywatch/internal/stats"
 	"baywatch/internal/timeseries"
@@ -113,6 +114,8 @@ func compressRatio(s string) float64 {
 // intervals within 30% of the dominant period — low spread means strong,
 // clock-like beaconing. The ranking phase uses it as its regularity
 // indicator.
+//
+//bw:noalloc runs once per ranked candidate over a pooled interval buffer
 func RelStdNearPeriod(intervals, periods []float64) float64 {
 	if len(periods) == 0 {
 		return 0
@@ -121,18 +124,21 @@ func RelStdNearPeriod(intervals, periods []float64) float64 {
 	if p <= 0 {
 		return 0
 	}
-	var near []float64
+	// Welford's update over the intervals within 30% of the period: this
+	// runs once per ranked candidate, and streaming the moments keeps it
+	// from building a filtered copy on every call.
+	var n int
+	var mean, m2 float64
 	for _, iv := range intervals {
 		if iv >= 0.7*p && iv <= 1.3*p {
-			near = append(near, iv)
+			n++
+			d := iv - mean
+			mean += d / float64(n)
+			m2 += d * (iv - mean)
 		}
 	}
-	if len(near) < 2 {
+	if n < 2 || mean == 0 {
 		return 0
 	}
-	m := stats.Mean(near)
-	if m == 0 {
-		return 0
-	}
-	return stats.StdDev(near) / m
+	return math.Sqrt(m2/float64(n-1)) / mean
 }

@@ -140,3 +140,19 @@ func TestCompressRatioBounds(t *testing.T) {
 		t.Errorf("repetitive ratio = %v, want tiny", r)
 	}
 }
+
+// RelStdNearPeriod is annotated //bw:noalloc (the ranking phase calls it
+// per candidate over a pooled interval buffer); this pins the promise.
+func TestRelStdNearPeriodAllocs(t *testing.T) {
+	intervals := make([]float64, 256)
+	for i := range intervals {
+		intervals[i] = 55 + float64(i%11)
+	}
+	periods := []float64{60}
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = RelStdNearPeriod(intervals, periods)
+	})
+	if allocs != 0 {
+		t.Errorf("RelStdNearPeriod allocates: %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,38 @@
+// Package fmath holds the float comparison helpers the floatcmp analyzer
+// steers code toward. Exact ==/!= on floating-point values is almost
+// always a bug in the analysis packages (periodogram powers, ACF scores,
+// and test statistics all pass through enough arithmetic that equal
+// quantities rarely stay bit-identical); these helpers make the tolerance
+// explicit instead.
+//
+// The package is a leaf — it imports only math — so every layer
+// (internal/dsp, internal/stats, internal/core) can use it without
+// creating import cycles.
+package fmath
+
+import "math"
+
+// DefaultEps is the tolerance used by Near. It is generous relative to
+// float64 machine epsilon (~2.2e-16) because the quantities compared in
+// this repo accumulate error across FFTs and running sums.
+const DefaultEps = 1e-9
+
+// ApproxEqual reports whether a and b differ by at most eps in absolute
+// terms. NaN is never approximately equal to anything, including itself.
+func ApproxEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //bw:floatcmp exact-equality fast path, incl. equal infinities
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// Near reports whether a and b are equal within DefaultEps, scaled by the
+// larger magnitude once values exceed 1 (absolute tolerance near zero,
+// relative tolerance for large values).
+func Near(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return ApproxEqual(a, b, DefaultEps*scale)
+}

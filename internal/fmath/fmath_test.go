@@ -1,0 +1,42 @@
+package fmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, eps float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-9, false},
+		{0, 1e-10, 1e-9, true},
+		{math.Inf(1), math.Inf(1), 0, true},
+		{math.Inf(1), math.Inf(-1), 1e300, false},
+		{math.NaN(), math.NaN(), math.Inf(1), false},
+		{1, math.NaN(), math.Inf(1), false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestNear(t *testing.T) {
+	if !Near(1e12, 1e12+1) {
+		t.Error("Near should scale tolerance with magnitude")
+	}
+	if Near(0, 1e-6) {
+		t.Error("Near(0, 1e-6) should be false at absolute DefaultEps")
+	}
+	if !Near(0, 1e-10) {
+		t.Error("Near(0, 1e-10) should hold within DefaultEps")
+	}
+	if Near(math.NaN(), math.NaN()) {
+		t.Error("NaN is not near anything")
+	}
+}

@@ -18,6 +18,8 @@
 package guard
 
 import (
+	"baywatch/internal/faultinject"
+
 	"context"
 	"errors"
 	"fmt"
@@ -92,12 +94,12 @@ func SetFaultHook(hook func(point string) error) {
 	faultHook.Store(&hook)
 }
 
-func faultCheck(point string) error {
+func faultCheck(point faultinject.Point) error {
 	h := faultHook.Load()
 	if h == nil {
 		return nil
 	}
-	return (*h)(point)
+	return (*h)(string(point))
 }
 
 // abandoned counts goroutines left running after their work unit timed

@@ -1,6 +1,8 @@
 package guard
 
 import (
+	"baywatch/internal/faultinject"
+
 	"context"
 	"errors"
 	"runtime"
@@ -109,7 +111,7 @@ func TestWatchdogCancelsStalledWorker(t *testing.T) {
 	defer mu.Unlock()
 	found := false
 	for _, p := range observed {
-		if strings.HasPrefix(p, "guard.watchdog.stall:stuck-worker") {
+		if strings.HasPrefix(p, string(faultinject.PointGuardWatchdogStall.Keyed("stuck-worker"))) {
 			found = true
 		}
 	}

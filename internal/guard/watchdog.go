@@ -1,6 +1,8 @@
 package guard
 
 import (
+	"baywatch/internal/faultinject"
+
 	"context"
 	"sync"
 	"sync/atomic"
@@ -140,7 +142,7 @@ func (w *Watchdog) monitor() {
 			// Surface the stall through the fault-hook seam (observation
 			// only; the returned error is irrelevant here), record it, and
 			// cancel the worker's current task.
-			_ = faultCheck("guard.watchdog.stall:" + h.name)
+			_ = faultCheck(faultinject.PointGuardWatchdogStall.Keyed(h.name))
 			w.mu.Lock()
 			w.stalls = append(w.stalls, Stall{Worker: h.name, Idle: idle})
 			w.mu.Unlock()

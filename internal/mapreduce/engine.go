@@ -17,6 +17,8 @@
 package mapreduce
 
 import (
+	"baywatch/internal/faultinject"
+
 	"context"
 	"errors"
 	"fmt"
@@ -300,7 +302,7 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 				err = fmt.Errorf("map panic: %v", r)
 			}
 		}()
-		if err := faultCheck("mapreduce.map.task"); err != nil {
+		if err := faultCheck(faultinject.PointMapreduceMapTask); err != nil {
 			return err
 		}
 		return j.mapFn(in, emit)
@@ -496,7 +498,7 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 				err = fmt.Errorf("reduce panic: %v", r)
 			}
 		}()
-		if err := faultCheck("mapreduce.reduce.task"); err != nil {
+		if err := faultCheck(faultinject.PointMapreduceReduceTask); err != nil {
 			return err
 		}
 		return j.reduce(k, vs, emit)

@@ -1,5 +1,7 @@
 package mapreduce
 
+import "baywatch/internal/faultinject"
+
 // faultHook, when non-nil, is consulted at internal failure points (spill
 // writes and replays) so tests can inject deterministic I/O errors.
 // Production runs leave it nil.
@@ -9,9 +11,9 @@ var faultHook func(point string) error
 // Not safe to call while a job is running.
 func SetFaultHook(hook func(point string) error) { faultHook = hook }
 
-func faultCheck(point string) error {
+func faultCheck(point faultinject.Point) error {
 	if faultHook == nil {
 		return nil
 	}
-	return faultHook(point)
+	return faultHook(string(point))
 }

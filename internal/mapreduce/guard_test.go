@@ -76,7 +76,7 @@ func TestTaskTimeoutSkipsHungInput(t *testing.T) {
 func TestWatchdogCancelsStalledMapTask(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	sched := faultinject.New(0)
-	sched.HangAt("mapreduce.map.task", 2)
+	sched.HangAt(faultinject.PointMapreduceMapTask, 2)
 	SetFaultHook(sched.Hook())
 	t.Cleanup(func() { SetFaultHook(nil); sched.ReleaseHangs() })
 
@@ -106,7 +106,7 @@ func TestWatchdogCancelsStalledMapTask(t *testing.T) {
 func TestWatchdogCancelsStalledReduceTask(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	sched := faultinject.New(0)
-	sched.HangAt("mapreduce.reduce.task", 2)
+	sched.HangAt(faultinject.PointMapreduceReduceTask, 2)
 	SetFaultHook(sched.Hook())
 	t.Cleanup(func() { SetFaultHook(nil); sched.ReleaseHangs() })
 
@@ -226,7 +226,7 @@ func TestRetryDelayDeterministicAndCapped(t *testing.T) {
 func TestCancellationMidRunReturnsPromptly(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	sched := faultinject.New(0)
-	sched.HangAt("mapreduce.map.task", 1)
+	sched.HangAt(faultinject.PointMapreduceMapTask, 1)
 	SetFaultHook(sched.Hook())
 	t.Cleanup(func() { SetFaultHook(nil); sched.ReleaseHangs() })
 

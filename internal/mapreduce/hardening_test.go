@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"baywatch/internal/faultinject"
+
 	"context"
 	"errors"
 	"fmt"
@@ -328,25 +330,32 @@ func TestSpillBadMagicDetected(t *testing.T) {
 	}
 }
 
-// TestSpillFaultInjection: injected spill-write failures abort the job
-// cleanly through the fault seam.
+// TestSpillFaultInjection: injected spill-write and spill-replay failures
+// abort the job cleanly through the fault seam.
 func TestSpillFaultInjection(t *testing.T) {
-	injected := errors.New("disk full")
-	SetFaultHook(func(point string) error {
-		if point == "mapreduce.spill.write" {
-			return injected
-		}
-		return nil
-	})
-	t.Cleanup(func() { SetFaultHook(nil) })
+	for _, point := range []faultinject.Point{
+		faultinject.PointMapreduceSpillWrite,
+		faultinject.PointMapreduceSpillReplay,
+	} {
+		t.Run(string(point), func(t *testing.T) {
+			injected := errors.New("disk full")
+			SetFaultHook(func(p string) error {
+				if p == string(point) {
+					return injected
+				}
+				return nil
+			})
+			t.Cleanup(func() { SetFaultHook(nil) })
 
-	var lines []string
-	for i := 0; i < 500; i++ {
-		lines = append(lines, fmt.Sprintf("w%d", i%7))
-	}
-	_, err := wordCountJob(JobConfig{Mappers: 2, SpillDir: t.TempDir(), SpillThreshold: 16}).
-		Run(context.Background(), lines)
-	if !errors.Is(err, injected) {
-		t.Fatalf("expected injected spill error, got %v", err)
+			var lines []string
+			for i := 0; i < 500; i++ {
+				lines = append(lines, fmt.Sprintf("w%d", i%7))
+			}
+			_, err := wordCountJob(JobConfig{Mappers: 2, SpillDir: t.TempDir(), SpillThreshold: 16}).
+				Run(context.Background(), lines)
+			if !errors.Is(err, injected) {
+				t.Fatalf("expected injected spill error at %s, got %v", point, err)
+			}
+		})
 	}
 }

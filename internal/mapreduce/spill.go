@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"baywatch/internal/faultinject"
+
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -90,7 +92,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 func writeSpillFile[K comparable, V any](path string, group map[K][]V, order []K) error {
-	if err := faultCheck("mapreduce.spill.write"); err != nil {
+	if err := faultCheck(faultinject.PointMapreduceSpillWrite); err != nil {
 		return fmt.Errorf("mapreduce: write spill: %w", err)
 	}
 	f, err := os.Create(path)
@@ -127,7 +129,7 @@ func writeSpillFile[K comparable, V any](path string, group map[K][]V, order []K
 // a file that fails validation yields ErrSpillCorrupt and contributes
 // nothing.
 func replaySpill[K comparable, V any](path string, group map[K][]V, order *[]K) error {
-	if err := faultCheck("mapreduce.spill.replay"); err != nil {
+	if err := faultCheck(faultinject.PointMapreduceSpillReplay); err != nil {
 		return fmt.Errorf("mapreduce: replay spill: %w", err)
 	}
 	f, err := os.Open(path)

@@ -212,8 +212,31 @@ func TestInjectedErrorsRollBackAndRetry(t *testing.T) {
 		}
 	}
 
+	// The enumeration must traverse every registered opsloop point: the
+	// per-point transient-fault loop below is the repo's fault-injection
+	// coverage of the opsloop registry (see faultinject.Points), so a
+	// registered point the ingest never hits would silently lose coverage.
+	for _, p := range []faultinject.Point{
+		faultinject.PointOpsloopManifestCreate,
+		faultinject.PointOpsloopManifestWrite,
+		faultinject.PointOpsloopManifestSync,
+		faultinject.PointOpsloopManifestRename,
+		faultinject.PointOpsloopManifestDirsync,
+		faultinject.PointOpsloopDayCreate,
+		faultinject.PointOpsloopDayWrite,
+		faultinject.PointOpsloopDaySync,
+		faultinject.PointOpsloopDayRename,
+		faultinject.PointOpsloopDayDirsync,
+		faultinject.PointOpsloopNoveltySave,
+		faultinject.PointOpsloopCommitDone,
+	} {
+		if !seen[string(p)] {
+			t.Errorf("registered point %s not traversed by a full ingest", p)
+		}
+	}
+
 	for _, point := range uniquePoints {
-		if point == "opsloop.commit.done" {
+		if point == string(faultinject.PointOpsloopCommitDone) {
 			continue // post-commit: error returns are deliberately ignored
 		}
 		loop, err := New(Config{StateDir: t.TempDir(), Pipeline: pcfg}, nil)
@@ -223,7 +246,7 @@ func TestInjectedErrorsRollBackAndRetry(t *testing.T) {
 		s := faultinject.New(0)
 		// Transient fault script: the first two traversals fail, the
 		// third succeeds.
-		s.FailTransient(point, 1, 2, errInjected)
+		s.FailTransient(faultinject.Point(point), 1, 2, errInjected)
 		SetFaultHook(s.Hook())
 		for attempt := 1; attempt <= 2; attempt++ {
 			if _, err := loop.IngestDay(ctx, perDay[0]); !errors.Is(err, errInjected) {

@@ -1,6 +1,8 @@
 package opsloop
 
 import (
+	"baywatch/internal/faultinject"
+
 	"context"
 	"errors"
 	"runtime"
@@ -42,7 +44,7 @@ func TestCancellationMidIngestRollsBack(t *testing.T) {
 	engaged := make(chan struct{})
 	var once sync.Once
 	pipeline.SetFaultHook(func(point string) error {
-		if strings.HasPrefix(point, "pipeline.detect:") {
+		if strings.HasPrefix(point, string(faultinject.PointPipelineDetect)+":") {
 			hang := false
 			once.Do(func() { hang = true })
 			if hang {

@@ -36,6 +36,7 @@ import (
 	"strings"
 	"syscall"
 
+	"baywatch/internal/faultinject"
 	"baywatch/internal/novelty"
 	"baywatch/internal/timeseries"
 )
@@ -50,12 +51,36 @@ var faultHook func(point string) error
 // Testing only; not safe to call while a loop is running.
 func SetFaultHook(h func(point string) error) { faultHook = h }
 
-func faultCheck(point string) error {
+func faultCheck(point faultinject.Point) error {
 	if faultHook == nil {
 		return nil
 	}
-	return faultHook(point)
+	return faultHook(string(point))
 }
+
+// atomicPoints names the injection point of each step of one atomicWrite
+// call chain; the two instances below are the registered constants for the
+// manifest and day-file writes.
+type atomicPoints struct {
+	create, write, sync, rename, dirsync faultinject.Point
+}
+
+var (
+	manifestPoints = atomicPoints{
+		create:  faultinject.PointOpsloopManifestCreate,
+		write:   faultinject.PointOpsloopManifestWrite,
+		sync:    faultinject.PointOpsloopManifestSync,
+		rename:  faultinject.PointOpsloopManifestRename,
+		dirsync: faultinject.PointOpsloopManifestDirsync,
+	}
+	dayPoints = atomicPoints{
+		create:  faultinject.PointOpsloopDayCreate,
+		write:   faultinject.PointOpsloopDayWrite,
+		sync:    faultinject.PointOpsloopDaySync,
+		rename:  faultinject.PointOpsloopDayRename,
+		dirsync: faultinject.PointOpsloopDayDirsync,
+	}
+)
 
 // manifestEntry records one committed day.
 type manifestEntry struct {
@@ -101,24 +126,24 @@ func legacyNoveltyPath(dir string) string { return filepath.Join(dir, "novelty.j
 
 // atomicWrite persists data at path via tmp file, fsync, rename, and a
 // directory fsync, consulting the fault hook at each step under the given
-// point prefix.
-func atomicWrite(path string, data []byte, pointPrefix string) error {
+// registered point set.
+func atomicWrite(path string, data []byte, pts atomicPoints) error {
 	tmp := path + ".tmp"
-	if err := faultCheck(pointPrefix + ".create"); err != nil {
+	if err := faultCheck(pts.create); err != nil {
 		return fmt.Errorf("opsloop: create %s: %w", tmp, err)
 	}
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("opsloop: create %s: %w", tmp, err)
 	}
-	if err = faultCheck(pointPrefix + ".write"); err == nil {
+	if err = faultCheck(pts.write); err == nil {
 		_, err = f.Write(data)
 	}
 	if err != nil {
 		f.Close()
 		return fmt.Errorf("opsloop: write %s: %w", tmp, err)
 	}
-	if err = faultCheck(pointPrefix + ".sync"); err == nil {
+	if err = faultCheck(pts.sync); err == nil {
 		err = f.Sync()
 	}
 	if err != nil {
@@ -128,13 +153,13 @@ func atomicWrite(path string, data []byte, pointPrefix string) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("opsloop: close %s: %w", tmp, err)
 	}
-	if err = faultCheck(pointPrefix + ".rename"); err == nil {
+	if err = faultCheck(pts.rename); err == nil {
 		err = os.Rename(tmp, path)
 	}
 	if err != nil {
 		return fmt.Errorf("opsloop: rename %s: %w", path, err)
 	}
-	if err = faultCheck(pointPrefix + ".dirsync"); err == nil {
+	if err = faultCheck(pts.dirsync); err == nil {
 		err = syncDir(filepath.Dir(path))
 	}
 	if err != nil {
@@ -185,7 +210,7 @@ func writeManifest(dir string, man *manifest) error {
 	if err != nil {
 		return fmt.Errorf("opsloop: marshal manifest: %w", err)
 	}
-	return atomicWrite(manifestPath(dir), data, "opsloop.manifest")
+	return atomicWrite(manifestPath(dir), data, manifestPoints)
 }
 
 // warnf records a recovery warning and logs it.
@@ -398,11 +423,11 @@ func (l *Loop) commitDay(day int, sums []*timeseries.ActivitySummary) error {
 	payload := encodeDaySummaries(sums)
 	file := dayFileName(day)
 	if err := atomicWrite(filepath.Join(historyDir(l.cfg.StateDir), file),
-		timeseries.AppendChecksum(payload), "opsloop.day"); err != nil {
+		timeseries.AppendChecksum(payload), dayPoints); err != nil {
 		return err
 	}
 
-	if err := faultCheck("opsloop.novelty.save"); err != nil {
+	if err := faultCheck(faultinject.PointOpsloopNoveltySave); err != nil {
 		return fmt.Errorf("opsloop: novelty save: %w", err)
 	}
 	nov := noveltyFileName(day)
@@ -422,7 +447,7 @@ func (l *Loop) commitDay(day int, sums []*timeseries.ActivitySummary) error {
 	l.man = &next
 
 	// Post-commit crash point: everything after this line is cleanup.
-	_ = faultCheck("opsloop.commit.done")
+	_ = faultCheck(faultinject.PointOpsloopCommitDone)
 	if prevNovelty != "" && prevNovelty != nov {
 		os.Remove(filepath.Join(l.cfg.StateDir, prevNovelty))
 	}

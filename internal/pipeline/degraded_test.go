@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"baywatch/internal/faultinject"
+
 	"context"
 	"errors"
 	"strings"
@@ -13,7 +15,7 @@ func TestDetectPanicIsolatedAsDegraded(t *testing.T) {
 	env := newTestEnv(t, nil)
 	var hit int
 	SetFaultHook(func(point string) error {
-		if strings.HasPrefix(point, "pipeline.detect:") {
+		if strings.HasPrefix(point, string(faultinject.PointPipelineDetect)+":") {
 			hit++
 			if hit == 1 {
 				panic("injected detector blow-up")
@@ -64,7 +66,7 @@ func TestDetectErrorIsolatedAsDegraded(t *testing.T) {
 	injected := errors.New("injected detect failure")
 	var hit int
 	SetFaultHook(func(point string) error {
-		if strings.HasPrefix(point, "pipeline.detect:") {
+		if strings.HasPrefix(point, string(faultinject.PointPipelineDetect)+":") {
 			hit++
 			if hit <= 2 {
 				return injected
@@ -92,7 +94,7 @@ func TestIndicationPanicIsolated(t *testing.T) {
 	env := newTestEnv(t, nil)
 	var hit int
 	SetFaultHook(func(point string) error {
-		if strings.HasPrefix(point, "pipeline.indication:") {
+		if strings.HasPrefix(point, string(faultinject.PointPipelineIndication)+":") {
 			hit++
 			if hit == 1 {
 				panic("indication exploded")
@@ -145,7 +147,7 @@ func TestDegradedRunStillDetectsInfection(t *testing.T) {
 
 	var failed int
 	SetFaultHook(func(point string) error {
-		if strings.HasPrefix(point, "pipeline.detect:") && !strings.Contains(point, malDomain) {
+		if strings.HasPrefix(point, string(faultinject.PointPipelineDetect)+":") && !strings.Contains(point, malDomain) {
 			failed++
 			if failed <= 5 {
 				return errors.New("injected benign-pair failure")

@@ -1,5 +1,7 @@
 package pipeline
 
+import "baywatch/internal/faultinject"
+
 // faultHook, when non-nil, is consulted at per-candidate isolation points
 // so tests can inject deterministic errors (or panics) and exercise the
 // degraded-mode paths. Points are "<phase>:<pairKey>", e.g.
@@ -10,9 +12,9 @@ var faultHook func(point string) error
 // Not safe to call while a pipeline run is in flight.
 func SetFaultHook(hook func(point string) error) { faultHook = hook }
 
-func faultCheck(phase, key string) error {
+func faultCheck(point faultinject.Point, key string) error {
 	if faultHook == nil {
 		return nil
 	}
-	return faultHook(phase + ":" + key)
+	return faultHook(string(point.Keyed(key)))
 }

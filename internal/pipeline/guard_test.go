@@ -116,7 +116,7 @@ func TestCandidateTimeoutParksHungDetection(t *testing.T) {
 	releaseOnce := sync.OnceFunc(func() { close(release) })
 	t.Cleanup(releaseOnce) // even a failing test must unblock the hang
 	SetFaultHook(func(point string) error {
-		if point == "pipeline.detect:10.0.0.3|stuck.example" {
+		if point == string(faultinject.PointPipelineDetect.Keyed("10.0.0.3|stuck.example")) {
 			<-release // wedge this one pair's detection forever
 		}
 		return nil
@@ -165,7 +165,7 @@ func TestWatchdogDetectsMapreduceHangDegraded(t *testing.T) {
 	records = append(records, beaconRecords("10.0.0.3", "charlie.example", 60, 120)...)
 
 	sched := faultinject.New(0)
-	sched.HangAt("mapreduce.map.task", 3)
+	sched.HangAt(faultinject.PointMapreduceMapTask, 3)
 	mapreduce.SetFaultHook(sched.Hook())
 	t.Cleanup(func() { mapreduce.SetFaultHook(nil); sched.ReleaseHangs() })
 
@@ -202,7 +202,7 @@ func TestWatchdogDetectsMapreduceHangDegraded(t *testing.T) {
 func TestStageTimeoutFailsRun(t *testing.T) {
 	env := newTestEnv(t, nil)
 	SetFaultHook(func(point string) error {
-		if strings.HasPrefix(point, "pipeline.detect:") {
+		if strings.HasPrefix(point, string(faultinject.PointPipelineDetect)+":") {
 			time.Sleep(120 * time.Millisecond) // every pair is slow
 		}
 		return nil
@@ -230,7 +230,7 @@ func TestRunCancellationPromptAndNoLeak(t *testing.T) {
 	engaged := make(chan struct{})
 	var once sync.Once
 	SetFaultHook(func(point string) error {
-		if strings.HasPrefix(point, "pipeline.detect:") {
+		if strings.HasPrefix(point, string(faultinject.PointPipelineDetect)+":") {
 			hang := false
 			once.Do(func() { hang = true })
 			if hang {

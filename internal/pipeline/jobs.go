@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"baywatch/internal/faultinject"
+
 	"context"
 	"errors"
 	"fmt"
@@ -101,15 +103,18 @@ func extractSummaries(ctx context.Context, events []PairEvent, scale int64, maxE
 				events = sorted[:maxEvents]
 			}
 			// FromTimestamps copies the timestamp list, so a pooled buffer
-			// amortizes the per-pair allocation across reduce calls.
+			// amortizes the per-pair allocation across reduce calls. The
+			// deferred Put returns it even when the summary build fails.
 			bufp := tsBufPool.Get().(*[]int64)
 			ts := (*bufp)[:0]
+			defer func() {
+				*bufp = ts
+				tsBufPool.Put(bufp)
+			}()
 			for _, e := range events {
 				ts = append(ts, e.ts)
 			}
 			as, err := timeseries.FromTimestamps(src, dst, ts, scale)
-			*bufp = ts
-			tsBufPool.Put(bufp)
 			if err != nil {
 				return err
 			}
@@ -266,7 +271,7 @@ func safeDetect(det *core.Detector, key string, list []*timeseries.ActivitySumma
 			err = nil
 		}
 	}()
-	if ferr := faultCheck("pipeline.detect", key); ferr != nil {
+	if ferr := faultCheck(faultinject.PointPipelineDetect, key); ferr != nil {
 		d.Err = ferr
 		return d, nil
 	}

@@ -20,6 +20,8 @@
 package pipeline
 
 import (
+	"baywatch/internal/faultinject"
+
 	"context"
 	"fmt"
 	"sync"
@@ -353,7 +355,7 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 				err = fmt.Errorf("indication panic: %v", r)
 			}
 		}()
-		if err := faultCheck("pipeline.indication", cand.Source+"|"+cand.Destination); err != nil {
+		if err := faultCheck(faultinject.PointPipelineIndication, cand.Source+"|"+cand.Destination); err != nil {
 			return out, err
 		}
 		out.lmScore = cfg.LM.Score(d.Summary.Destination)
@@ -511,10 +513,10 @@ func indicatorsFor(c *Candidate) ranking.Indicators {
 		best := c.Detection.Kept[0]
 		ind.ACFScore = best.ACFScore
 		sc := indicatorScratch.Get().(*indScratch)
+		defer indicatorScratch.Put(sc)
 		sc.intervals = c.Summary.AppendIntervalsSeconds(sc.intervals[:0])
 		sc.periods[0] = best.BestPeriod()
 		ind.IntervalRelStd = features.RelStdNearPeriod(sc.intervals, sc.periods[:])
-		indicatorScratch.Put(sc)
 		if p := best.BestPeriod(); p > 0 {
 			ind.SpanCycles = float64(c.Summary.Span()) / p
 		}

@@ -1,0 +1,36 @@
+package pipeline
+
+import (
+	"testing"
+
+	"baywatch/internal/core"
+	"baywatch/internal/timeseries"
+)
+
+// TestIndicatorsForReusesScratch pins the pooled indicator scratch: the
+// deferred Put must return the buffer on every path, so the steady state
+// stays (near) allocation-free. A skipped release would make every call
+// pull a fresh indScratch and grow a fresh interval buffer, failing the
+// budget here long before it would show up in a functional test.
+func TestIndicatorsForReusesScratch(t *testing.T) {
+	ts := make([]int64, 0, 64)
+	for i := int64(0); i < 64; i++ {
+		ts = append(ts, i*60)
+	}
+	as, err := timeseries.FromTimestamps("10.0.0.1", "c2.example", ts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Candidate{
+		Source: "10.0.0.1", Destination: "c2.example",
+		Summary:   as,
+		Detection: &core.Result{Periodic: true, Kept: []core.Candidate{{Period: 60, ACFScore: 0.9}}},
+	}
+	indicatorsFor(c) // warm the pool
+	allocs := testing.AllocsPerRun(20, func() {
+		indicatorsFor(c)
+	})
+	if allocs > 2 {
+		t.Errorf("indicatorsFor costs %v allocs/op, want <= 2: indicator scratch is leaking", allocs)
+	}
+}

@@ -55,6 +55,8 @@ func StdDev(xs []float64) float64 {
 // mean pass between the two. The arithmetic is identical to calling the two
 // functions separately, so results are bit-for-bit equal; hot paths use this
 // to avoid the redundant mean computation inside Variance.
+//
+//bw:noalloc called per candidate from the interval t-test hot path
 func MeanStdDev(xs []float64) (mean, sd float64) {
 	if len(xs) == 0 {
 		return 0, 0

@@ -192,3 +192,18 @@ func TestPercentileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// MeanStdDev is annotated //bw:noalloc (it runs inside the per-candidate
+// interval t-test); this pins the promise.
+func TestMeanStdDevAllocs(t *testing.T) {
+	xs := make([]float64, 512)
+	for i := range xs {
+		xs[i] = float64(i % 7)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		_, _ = MeanStdDev(xs)
+	})
+	if allocs != 0 {
+		t.Errorf("MeanStdDev allocates: %v allocs/op, want 0", allocs)
+	}
+}

@@ -19,7 +19,7 @@ func RegularizedIncompleteBeta(a, b, x float64) (float64, error) {
 	if x == 0 {
 		return 0, nil
 	}
-	if x == 1 {
+	if x == 1 { //bw:floatcmp domain boundary; exactly 1 has a closed form
 		return 1, nil
 	}
 	lbeta, _ := math.Lgamma(a + b)

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"baywatch/internal/fmath"
 )
 
 // TTestResult holds the outcome of a one-sample Student t-test.
@@ -46,7 +48,9 @@ func OneSampleTTest(xs []float64, mu0 float64) (TTestResult, error) {
 		SampleStdDev: sd,
 	}
 	if sd == 0 {
-		if mean == mu0 {
+		// Zero variance collapses the test statistic; compare the means
+		// with a tolerance so float noise does not flip P between 1 and 0.
+		if fmath.Near(mean, mu0) {
 			res.T = 0
 			res.P = 1
 		} else {
