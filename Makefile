@@ -1,14 +1,20 @@
 GO ?= go
 
-# The benchmarks the perf gate watches: the periodicity hot path (dsp) and
-# the detector built on it (core). -benchtime is kept short so ten
-# repetitions stay affordable in CI; the gate compares medians, which
-# tolerates short per-repetition runs.
-BENCH_PATTERN ?= Periodogram|Autocorrelation|Detector
-BENCH_PKGS    ?= ./internal/dsp ./internal/core
+# The benchmarks the perf gate watches: the periodicity hot path (dsp),
+# the detector built on it (core), and the sharded streaming ingest
+# (parse, direct-to-summary aggregation, and the batch comparison point).
+# -benchtime is kept short so ten repetitions stay affordable in CI; the
+# gate compares medians, which tolerates short per-repetition runs.
+BENCH_PATTERN ?= Periodogram|Autocorrelation|Detector|IngestParse|IngestToSummaries|BatchToSummaries
+BENCH_PKGS    ?= ./internal/dsp ./internal/core ./internal/ingest
 BENCH_FLAGS   ?= -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=10 -benchtime=300x -timeout=20m
 
-.PHONY: check vet build test test-race fuzz-smoke tidy lint bench bench-baseline bench-check
+# The full-pipeline benchmark runs the detector over every pair, so one
+# iteration is ~1s; it gets its own light pass (few short repetitions)
+# instead of riding the 300x microbenchmark flags.
+BENCH_E2E_FLAGS ?= -run='^$$' -bench='PipelineEndToEnd' -benchmem -count=5 -benchtime=3x -timeout=20m
+
+.PHONY: check vet build test test-race fuzz-smoke tidy lint bench bench-ingest bench-baseline bench-check
 
 # check is the CI entry point: vet, build, and the full test suite under
 # the race detector (the fault-injection and crash-recovery tests exercise
@@ -30,10 +36,14 @@ test:
 test-race:
 	$(GO) test -race -timeout=5m ./...
 
-# A few seconds of coverage-guided fuzzing over the proxy-log parser,
-# cheap enough to run routinely.
+# A few seconds of coverage-guided fuzzing over each line parser — the
+# batch record parser, the zero-copy view parser, and the sharded-ingest
+# line path built on it — cheap enough to run routinely. The patterns are
+# anchored: -fuzz errors out when it matches more than one target.
 fuzz-smoke:
-	$(GO) test ./internal/proxylog -run='^$$' -fuzz=FuzzParseRecord -fuzztime=5s
+	$(GO) test ./internal/proxylog -run='^$$' -fuzz='FuzzParseRecord$$' -fuzztime=5s
+	$(GO) test ./internal/proxylog -run='^$$' -fuzz='FuzzParseRecordView$$' -fuzztime=5s
+	$(GO) test ./internal/ingest -run='^$$' -fuzz='FuzzIngestLine$$' -fuzztime=5s
 
 tidy:
 	$(GO) mod tidy
@@ -55,13 +65,21 @@ lint:
 bench:
 	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS)
 
+# bench-ingest runs the sharded-ingest benchmark suite by itself — the
+# zero-copy parse pass, the direct-to-summary aggregation, the batch
+# comparison point, and the full-pipeline run — for local inspection of
+# ingest changes.
+bench-ingest:
+	$(GO) test -run='^$$' -bench='IngestParse|IngestToSummaries|BatchToSummaries' -benchmem -count=3 -benchtime=300x ./internal/ingest
+	$(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest
+
 # bench-baseline regenerates the committed baseline. Run it on a quiet
 # machine after an intended performance change and commit the result.
 bench-baseline:
-	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) | tee BENCH_BASELINE.txt
+	($(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) && $(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest) | tee BENCH_BASELINE.txt
 
 # bench-check runs the benchmarks and fails on >10% median ns/op growth or
 # any allocs/op growth against the committed baseline (see cmd/benchgate).
 bench-check:
-	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) > /tmp/bench-current.txt || (cat /tmp/bench-current.txt; exit 1)
+	($(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) && $(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest) > /tmp/bench-current.txt || (cat /tmp/bench-current.txt; exit 1)
 	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.txt -current /tmp/bench-current.txt

@@ -7,6 +7,14 @@
 //	baywatch -logs traces/demo [-state state/novelty.json] [-top 25]
 //	         [-scale 1] [-tau 0.01] [-percentile 90]
 //
+// -shards N switches ingestion from the batch reader to the sharded
+// streaming front end (internal/ingest): each log file is divided into up
+// to N byte-range splits scanned by -ingest-workers parallel workers,
+// with identical pipeline results (gzip files always scan as one shard;
+// with -lenient the malformed-line budget applies per shard):
+//
+//	baywatch -logs traces/demo -shards 4 -ingest-workers 4
+//
 // Operations mode treats each log file as one ingested day and commits it
 // through the crash-safe operations loop:
 //
@@ -39,6 +47,7 @@ import (
 	"baywatch/internal/corpus"
 	"baywatch/internal/features"
 	"baywatch/internal/guard"
+	"baywatch/internal/ingest"
 	"baywatch/internal/langmodel"
 	"baywatch/internal/novelty"
 	"baywatch/internal/opsloop"
@@ -88,6 +97,8 @@ func run() error {
 	maxEventsPerPair := flag.Int("max-events-per-pair", 0, "truncate pairs above this many events to their earliest events (0 = uncapped)")
 	maxInFlight := flag.Int("max-inflight", 0, "bound on candidates admitted to detection concurrently (0 = unlimited)")
 	failureBudget := flag.Int("failure-budget", 0, "MapReduce poisoned-input/key budget before a job aborts (0 = abort on first)")
+	shards := flag.Int("shards", 0, "sharded streaming ingest: byte-range splits per log file (0 = batch reader; gzip files always scan as one shard)")
+	ingestWorkers := flag.Int("ingest-workers", 0, "parallel shard-scan workers for -shards (0 = GOMAXPROCS)")
 	flag.Parse()
 	if *logsDir == "" {
 		flag.Usage()
@@ -139,13 +150,42 @@ func run() error {
 		},
 	}
 
+	ing := ingestOpts{shards: *shards, workers: *ingestWorkers, lenient: *lenient}
 	if *opsDir != "" {
 		if *statePath != "" {
 			return fmt.Errorf("-state is managed by the ops loop; drop it when using -ops")
 		}
-		return runOps(*opsDir, entries, corr, cfg, *lenient, *top, *allowDegraded)
+		return runOps(*opsDir, entries, corr, cfg, ing, *top, *allowDegraded)
 	}
-	return runOnce(entries, corr, cfg, *statePath, *lenient, *top, *allowDegraded, *casesOut)
+	return runOnce(entries, corr, cfg, *statePath, ing, *top, *allowDegraded, *casesOut)
+}
+
+// ingestOpts selects and parameterizes the ingest path: shards == 0 is
+// the batch reader (materialize all records, batch pipeline); shards >= 1
+// is the sharded streaming ingest (each log file scanned as up to
+// `shards` byte-range splits by parallel workers).
+type ingestOpts struct {
+	shards  int
+	workers int
+	lenient int
+}
+
+// streamOptions converts the CLI options to the pipeline's scan options.
+func (o ingestOpts) streamOptions() pipeline.StreamOptions {
+	return pipeline.StreamOptions{Workers: o.workers, MaxBadLines: o.lenient}
+}
+
+// reportIngest prints the streaming scan accounting, mirroring the batch
+// path's "loaded N events" line and lenient-skip warnings.
+func reportIngest(ing *pipeline.IngestStats) {
+	if ing == nil {
+		return
+	}
+	if ing.SkippedLines > 0 {
+		fmt.Fprintf(os.Stderr, "warning: skipped %d malformed line(s) across shards (first: %s)\n",
+			ing.SkippedLines, ing.FirstSkipped)
+	}
+	fmt.Printf("scanned %d events from %d shard(s)\n", ing.Records, ing.Shards)
 }
 
 // readLogFile loads one proxy log file, optionally skipping up to lenient
@@ -164,19 +204,9 @@ func readLogFile(path string, lenient int) ([]*proxylog.Record, error) {
 
 // runOnce is the single-shot mode: one pipeline run over every log file,
 // cancellable by SIGINT/SIGTERM.
-func runOnce(entries []string, corr *proxylog.Correlator, cfg pipeline.Config, statePath string, lenient, top int, allowDegraded bool, casesOut string) error {
+func runOnce(entries []string, corr *proxylog.Correlator, cfg pipeline.Config, statePath string, ing ingestOpts, top int, allowDegraded bool, casesOut string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	var records []*proxylog.Record
-	for _, path := range entries {
-		recs, err := readLogFile(path, lenient)
-		if err != nil {
-			return fmt.Errorf("read %s: %w", path, err)
-		}
-		records = append(records, recs...)
-	}
-	fmt.Printf("loaded %d events from %d file(s)\n", len(records), len(entries))
 
 	var store *novelty.Store
 	if statePath != "" {
@@ -188,12 +218,43 @@ func runOnce(entries []string, corr *proxylog.Correlator, cfg pipeline.Config, s
 	}
 	cfg.Novelty = store
 
-	res, err := pipeline.Run(ctx, records, corr, cfg)
-	if err != nil {
-		if ctx.Err() != nil {
-			return fmt.Errorf("%w: %v", errInterrupted, err)
+	var res *pipeline.Result
+	if ing.shards > 0 {
+		// Sharded streaming path: plan byte-range splits and let the
+		// ingest layer scan them in parallel; records are never
+		// materialized.
+		shards, err := ingest.PlanShards(entries, ing.shards)
+		if err != nil {
+			return err
 		}
-		return err
+		fmt.Printf("streaming %d file(s) as %d shard(s)\n", len(entries), len(shards))
+		res, err = pipeline.RunStream(ctx, shards, corr, cfg, ing.streamOptions())
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("%w: %v", errInterrupted, err)
+			}
+			return err
+		}
+		reportIngest(res.Ingest)
+	} else {
+		var records []*proxylog.Record
+		for _, path := range entries {
+			recs, err := readLogFile(path, ing.lenient)
+			if err != nil {
+				return fmt.Errorf("read %s: %w", path, err)
+			}
+			records = append(records, recs...)
+		}
+		fmt.Printf("loaded %d events from %d file(s)\n", len(records), len(entries))
+
+		var err error
+		res, err = pipeline.Run(ctx, records, corr, cfg)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("%w: %v", errInterrupted, err)
+			}
+			return err
+		}
 	}
 	printReport(res, top)
 
@@ -219,7 +280,7 @@ func runOnce(entries []string, corr *proxylog.Correlator, cfg pipeline.Config, s
 // through the crash-safe ops loop. The first SIGINT/SIGTERM drains (the
 // in-flight day finishes and commits); a second aborts the in-flight day,
 // which rolls back and can be re-ingested.
-func runOps(stateDir string, entries []string, corr *proxylog.Correlator, cfg pipeline.Config, lenient, top int, allowDegraded bool) error {
+func runOps(stateDir string, entries []string, corr *proxylog.Correlator, cfg pipeline.Config, ing ingestOpts, top int, allowDegraded bool) error {
 	loop, err := opsloop.New(opsloop.Config{
 		StateDir: stateDir,
 		Pipeline: cfg,
@@ -269,11 +330,25 @@ func runOps(stateDir string, entries []string, corr *proxylog.Correlator, cfg pi
 			return fmt.Errorf("%w: stopped after day %d (state committed; rerun to continue)",
 				errInterrupted, loop.DaysIngested())
 		}
-		recs, err := readLogFile(path, lenient)
-		if err != nil {
-			return fmt.Errorf("read %s: %w", path, err)
+		var rep *opsloop.Report
+		var err error
+		if ing.shards > 0 {
+			// Streaming day: the file scans as byte-range shards and the
+			// day's history summaries come from the same pass.
+			var shards []proxylog.Split
+			shards, err = ingest.PlanShards([]string{path}, ing.shards)
+			if err != nil {
+				return fmt.Errorf("plan %s: %w", path, err)
+			}
+			rep, err = loop.IngestDayShards(ctx, shards, ing.streamOptions())
+		} else {
+			var recs []*proxylog.Record
+			recs, err = readLogFile(path, ing.lenient)
+			if err != nil {
+				return fmt.Errorf("read %s: %w", path, err)
+			}
+			rep, err = loop.IngestDay(ctx, recs)
 		}
-		rep, err := loop.IngestDay(ctx, recs)
 		if err != nil {
 			if errors.Is(err, errInterrupted) || errors.Is(err, context.Canceled) {
 				return fmt.Errorf("%w: day %d rolled back; %d day(s) committed (rerun to continue)",
@@ -281,7 +356,8 @@ func runOps(stateDir string, entries []string, corr *proxylog.Correlator, cfg pi
 			}
 			return fmt.Errorf("ingest day %d (%s): %w", loop.DaysIngested()+1, filepath.Base(path), err)
 		}
-		fmt.Printf("\n==== day %d (%s): %d events ====\n", rep.DaysIngested, filepath.Base(path), len(recs))
+		fmt.Printf("\n==== day %d (%s): %d events ====\n", rep.DaysIngested, filepath.Base(path), rep.Daily.Stats.InputEvents)
+		reportIngest(rep.Daily.Ingest)
 		printReport(rep.Daily, top)
 		if rep.Daily.Degraded {
 			degradedDays++

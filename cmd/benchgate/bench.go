@@ -87,6 +87,18 @@ func median(xs []float64) float64 {
 	return (sorted[mid-1] + sorted[mid]) / 2
 }
 
+// allocSlack is the allowed allocs/op growth for a given baseline median:
+// 2% of the baseline, rounded down. For the zero-allocation hot-path
+// benchmarks (baseline under 50 allocs/op) that is exactly zero — any
+// growth fails, the §5d contract. Macro benchmarks whose steady state
+// flows through sync.Pool (the ingest suite, hundreds to thousands of
+// allocs/op) jitter by a few allocations run-to-run as GC clears pools;
+// the proportional slack absorbs that noise without letting a real
+// regression (a per-record or per-pair allocation) through.
+func allocSlack(baseline float64) float64 {
+	return math.Floor(baseline * 0.02)
+}
+
 // compare evaluates the current run against the baseline and renders a
 // per-benchmark report. failed is true when any gate tripped.
 func compare(baseline, current map[string]*series, timeThreshold float64) (report string, failed bool) {
@@ -131,7 +143,7 @@ func compare(baseline, current map[string]*series, timeThreshold float64) (repor
 			// gate would be skipped silently, so fail it explicitly.
 			verdict += "  FAIL: allocs/op column missing from current run (baseline has it)"
 			failed = true
-		case len(base.allocsOp) > 0 && currAllocs > baseAllocs:
+		case len(base.allocsOp) > 0 && currAllocs > baseAllocs+allocSlack(baseAllocs):
 			verdict += fmt.Sprintf("  FAIL: allocs/op regressed %.0f -> %.0f", baseAllocs, currAllocs)
 			failed = true
 		}

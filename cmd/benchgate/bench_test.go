@@ -71,6 +71,30 @@ func TestCompareAllocRegressionFails(t *testing.T) {
 	}
 }
 
+func TestCompareAllocSlackAbsorbsPoolJitter(t *testing.T) {
+	// Macro benchmarks with hundreds of allocs/op get 2% slack (GC
+	// clearing sync.Pools makes them jitter by a few allocations)...
+	base, _ := parseBench("BenchmarkX-8 100 1000 ns/op 48728 B/op 272 allocs/op\n")
+	curr, _ := parseBench("BenchmarkX-8 100 1000 ns/op 49280 B/op 273 allocs/op\n")
+	report, failed := compare(base, curr, 0.10)
+	if failed {
+		t.Errorf("+1 alloc on a 272-alloc baseline must pass:\n%s", report)
+	}
+	// ...but growth beyond the slack still fails.
+	curr, _ = parseBench("BenchmarkX-8 100 1000 ns/op 50000 B/op 280 allocs/op\n")
+	report, failed = compare(base, curr, 0.10)
+	if !failed || !strings.Contains(report, "allocs/op regressed") {
+		t.Errorf("+8 allocs on a 272-alloc baseline must fail:\n%s", report)
+	}
+	// Small-alloc benchmarks (the zero-allocation hot path) get no slack.
+	base, _ = parseBench("BenchmarkY-8 100 1000 ns/op 0 B/op 2 allocs/op\n")
+	curr, _ = parseBench("BenchmarkY-8 100 1000 ns/op 64 B/op 3 allocs/op\n")
+	report, failed = compare(base, curr, 0.10)
+	if !failed || !strings.Contains(report, "allocs/op regressed") {
+		t.Errorf("+1 alloc on a 2-alloc baseline must fail:\n%s", report)
+	}
+}
+
 func TestCompareMissingBenchmarkFails(t *testing.T) {
 	base, _ := parseBench("BenchmarkX-8 100 1000 ns/op\nBenchmarkY-8 100 500 ns/op\n")
 	curr, _ := parseBench("BenchmarkX-8 100 1000 ns/op\n")

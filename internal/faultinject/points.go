@@ -56,6 +56,11 @@ const (
 
 	// guard watchdog stall notifications, keyed by worker name.
 	PointGuardWatchdogStall Point = "guard.watchdog.stall"
+
+	// ingest sharded streaming scan and aggregation, keyed by the split
+	// (scan) or partition index (aggregate).
+	PointIngestShardScan Point = "ingest.shard.scan"
+	PointIngestAggregate Point = "ingest.aggregate"
 )
 
 // Points returns every registered fault-injection point. Keyed points are
@@ -81,5 +86,7 @@ func Points() []Point {
 		PointPipelineDetect,
 		PointPipelineIndication,
 		PointGuardWatchdogStall,
+		PointIngestShardScan,
+		PointIngestAggregate,
 	}
 }

@@ -1,0 +1,20 @@
+package ingest
+
+import "baywatch/internal/faultinject"
+
+// faultHook, when non-nil, is consulted at the ingest fault points so
+// tests can inject deterministic errors (or panics) into shard scanning
+// and partition aggregation. Points are "<phase>:<key>", e.g.
+// "ingest.shard.scan:file.log[0:512]". Production runs leave it nil.
+var faultHook func(point string) error
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook.
+// Not safe to call while an ingest is in flight.
+func SetFaultHook(hook func(point string) error) { faultHook = hook }
+
+func faultCheck(point faultinject.Point, key string) error {
+	if faultHook == nil {
+		return nil
+	}
+	return faultHook(string(point.Keyed(key)))
+}

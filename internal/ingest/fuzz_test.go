@@ -1,0 +1,103 @@
+package ingest
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"baywatch/internal/proxylog"
+)
+
+// FuzzIngestLine feeds one arbitrary line through a full sharded ingest
+// alongside a known-good record. Whatever the bytes, the ingest must
+// never panic, must reach the same accept/skip verdict as the batch
+// parser, and must never corrupt the symbol table: the good record's
+// pair comes out intact, and every interned endpoint round-trips.
+// The seed corpus mirrors the proxylog parser fuzz targets so the two
+// fuzzers share their interesting shapes.
+func FuzzIngestLine(f *testing.F) {
+	f.Add("2015-03-02 13:45:01 1425303901 10.8.1.2 GET http example.com /index.html?q=1 200 5321 411 \"Mozilla/5.0\"")
+	f.Add("")
+	f.Add("2015-03-02 13:45:01 1425303901 10.8.1.2 GET http h /p 200 1 2 \"ua\"")
+	f.Add("a b c d e f g h i j k l m n")
+	f.Add("d t +9223372036854775807 ip m s h /p -1 007 0 \"q\"")
+	f.Add("d t 1 ip m s h /p 1_0 0 0 \"ua\"")
+	good := testLineFuzz(1425303900, "10.9.9.9", "anchor.example", "/anchor")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.log")
+		if err := os.WriteFile(path, []byte(good+"\n"+line+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, parseErr := proxylog.ParseRecord(line)
+		// Embedded newlines make the input several physical lines, each
+		// with its own verdict; the per-record assertions below only apply
+		// to single-line inputs. Panic and symbol-integrity checks always do.
+		clean := !strings.ContainsAny(line, "\n\r") && len(line) < 1<<20
+		res, err := Ingest(context.Background(),
+			[]proxylog.Split{{Path: path, Offset: 0, Length: -1}},
+			Config{Workers: 1, MaxBadLines: 64})
+		if err != nil {
+			// Only unscannable inputs (over-long physical lines, or more
+			// malformed embedded lines than the budget) may error; a plain
+			// malformed line is skipped.
+			if !clean || parseErr != nil {
+				return
+			}
+			t.Fatalf("ingest failed on a parseable line %q: %v", line, err)
+		}
+
+		if clean && parseErr == nil && res.Stats.Records != 2 {
+			t.Fatalf("accepted line %q not ingested: stats %+v", line, res.Stats)
+		}
+		if clean && parseErr != nil && res.Stats.Records != 1 {
+			t.Fatalf("rejected line %q changed record count: stats %+v", line, res.Stats)
+		}
+		if clean && rec != nil && res.Stats.Records == 2 {
+			found := false
+			for _, s := range res.Summaries {
+				if s.Source == rec.ClientIP && s.Destination == rec.Host {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("accepted record %q missing from summaries", line)
+			}
+		}
+
+		// Symbol-table integrity: the anchor pair survives whatever the
+		// fuzz line interned, and every summary endpoint round-trips.
+		anchor := false
+		for _, s := range res.Summaries {
+			if id := res.Symbols.InternString(s.Source); res.Symbols.Lookup(id) != s.Source {
+				t.Fatalf("source %q does not round-trip the symbol table", s.Source)
+			}
+			if id := res.Symbols.InternString(s.Destination); res.Symbols.Lookup(id) != s.Destination {
+				t.Fatalf("destination %q does not round-trip the symbol table", s.Destination)
+			}
+			if s.Source == "10.9.9.9" && s.Destination == "anchor.example" {
+				anchor = true
+				if ts := s.Timestamps(); len(ts) == 0 || ts[0] != 1425303900 {
+					t.Fatalf("anchor record corrupted: %v", ts)
+				}
+			}
+		}
+		if !anchor {
+			t.Fatal("anchor record lost")
+		}
+	})
+}
+
+// testLineFuzz renders one well-formed log line (testLine without the
+// *testing.T, usable from a fuzz target's setup).
+func testLineFuzz(ts int64, src, host, path string) string {
+	r := proxylog.Record{
+		Timestamp: ts, ClientIP: src, Method: "GET", Scheme: "http",
+		Host: host, Path: path, Status: 200, BytesOut: 1, BytesIn: 2,
+		UserAgent: "ua/1.0",
+	}
+	return r.Format()
+}

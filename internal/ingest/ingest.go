@@ -1,0 +1,470 @@
+package ingest
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"runtime"
+	"slices"
+	"sort"
+	"strconv"
+	"sync"
+
+	"baywatch/internal/faultinject"
+	"baywatch/internal/proxylog"
+	"baywatch/internal/timeseries"
+)
+
+// Config parameterizes a sharded streaming ingest.
+type Config struct {
+	// Workers is the number of parallel scan (and aggregation) workers.
+	// <= 0 means GOMAXPROCS.
+	Workers int
+	// Scale is the activity-summary time scale in seconds; <= 0 means 1,
+	// matching the batch extraction default.
+	Scale int64
+	// MaxBadLines is the per-shard lenient budget: up to MaxBadLines
+	// malformed lines per shard are skipped and counted. 0 is strict mode —
+	// the first malformed line aborts the ingest. (The batch reader's
+	// budget is per file; the streaming deviation is per shard, so a file
+	// split four ways tolerates up to 4× the budget. Documented in
+	// DESIGN.md §5f.)
+	MaxBadLines int
+	// MaxEventsPerPair, when > 0, truncates each pair to its earliest
+	// MaxEventsPerPair events with explicit Truncation accounting, the
+	// same load-shedding contract as guard.Config.MaxEventsPerPair.
+	MaxEventsPerPair int
+	// Partitions is the number of aggregation partitions events are
+	// hash-distributed over; <= 0 means Workers.
+	Partitions int
+	// Correlator, when non-nil, resolves sources to device MACs through
+	// the DHCP correlation (falling back to "ip:<addr>"), mirroring
+	// Correlator.SourceID.
+	Correlator *proxylog.Correlator
+	// Symbols, when non-nil, is the symbol table to intern through —
+	// reusing one across ingests (e.g. the ops loop's daily runs) keeps
+	// symbol IDs warm and the steady state allocation-free. Nil means a
+	// fresh table, returned in Result.Symbols.
+	Symbols *SymbolTable
+}
+
+// Truncation records one pair whose event volume exceeded
+// Config.MaxEventsPerPair and was truncated to its earliest Kept events.
+type Truncation struct {
+	Source, Destination string
+	Kept, Dropped       int
+}
+
+// ShardStats is one shard's scan accounting.
+type ShardStats struct {
+	Split proxylog.Split
+	proxylog.ReadStats
+}
+
+// Stats aggregates scan accounting across all shards.
+type Stats struct {
+	// Records is the total count of well-formed records ingested.
+	Records int
+	// SkippedLines is the total count of malformed lines skipped in
+	// lenient mode.
+	SkippedLines int
+	// FirstSkipped describes the first skipped line of the first (in plan
+	// order) shard that skipped any, for diagnostics.
+	FirstSkipped string
+	// Shards holds per-shard stats, in plan order.
+	Shards []ShardStats
+}
+
+// Result is the output of an ingest: per-pair activity summaries built
+// directly from the stream, sorted by (Source, Destination).
+type Result struct {
+	Summaries []*timeseries.ActivitySummary
+	Truncated []Truncation
+	Stats     Stats
+	// Symbols is the table the run interned through (Config.Symbols, or
+	// the fresh table created for the run).
+	Symbols *SymbolTable
+}
+
+// pathNone marks an event with no URL path (empty in the log line).
+const pathNone = ^uint32(0)
+
+// pairEvent is the only per-record state that crosses the scan/aggregate
+// boundary: interned pair identity, timestamp, interned path.
+type pairEvent struct {
+	pair PairID
+	ts   int64
+	path uint32
+}
+
+// ctxCheckStride is how many records a scan worker processes between
+// context-cancellation checks.
+const ctxCheckStride = 512
+
+// eventBufs is one scan worker's per-partition event accumulators,
+// pooled across ingests so the steady state (ops-loop daily runs,
+// benchmark iterations) re-uses fully grown buffers instead of paying
+// the growth reallocations every run.
+type eventBufs struct {
+	bufs [][]pairEvent
+}
+
+var eventBufPool = sync.Pool{New: func() any { return new(eventBufs) }}
+
+// borrowEventBufs returns a pooled buffer set shaped for parts
+// partitions, every buffer emptied but with its capacity retained.
+//
+//bw:pool-handoff ownership passes to Ingest, which Puts the set back after aggregation has drained it
+func borrowEventBufs(parts int) *eventBufs {
+	eb := eventBufPool.Get().(*eventBufs)
+	if len(eb.bufs) != parts {
+		eb.bufs = make([][]pairEvent, parts)
+	}
+	for i := range eb.bufs {
+		eb.bufs[i] = eb.bufs[i][:0]
+	}
+	return eb
+}
+
+// flatPool recycles the per-partition scatter buffers of the aggregation
+// phase.
+var flatPool = sync.Pool{New: func() any { return new([]pairEvent) }}
+
+// Ingest scans the shards in parallel, parses lines zero-copy, interns
+// endpoint strings, and hash-partitions events by pair into per-partition
+// accumulators that build timeseries.ActivitySummary values directly —
+// no intermediate record or event materialization. The result is
+// equivalent to reading all records and running the batch extraction
+// job (see pipeline.RunStream's differential tests for the pinned
+// contract).
+func Ingest(ctx context.Context, shards []proxylog.Split, cfg Config) (*Result, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	parts := cfg.Partitions
+	if parts <= 0 {
+		parts = workers
+	}
+	syms := cfg.Symbols
+	if syms == nil {
+		syms = NewSymbolTable()
+	}
+	res := &Result{Symbols: syms}
+	if len(shards) == 0 {
+		return res, nil
+	}
+	if len(shards) < workers {
+		workers = len(shards)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Scan phase: workers pull shards off a channel; each owns private
+	// per-partition event buffers, so the scan hot path takes no locks
+	// beyond the symbol table's sharded read locks.
+	type indexedSplit struct {
+		idx   int
+		split proxylog.Split
+	}
+	shardCh := make(chan indexedSplit)
+	go func() {
+		defer close(shardCh)
+		for i, sp := range shards {
+			select {
+			case shardCh <- indexedSplit{idx: i, split: sp}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	scanErrs := make([]error, len(shards))
+	shardStats := make([]proxylog.ReadStats, len(shards))
+	workerSets := make([]*eventBufs, workers)
+	workerBufs := make([][][]pairEvent, workers)
+	defer func() {
+		// The event buffers go back to the pool only after aggregation has
+		// read them (or the run aborted) — this deferred return covers
+		// every exit path.
+		for _, eb := range workerSets {
+			eventBufPool.Put(eb)
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		set := borrowEventBufs(parts)
+		workerSets[w] = set
+		bufs := set.bufs
+		workerBufs[w] = bufs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cache := borrowSymCache(syms)
+			defer symCachePool.Put(cache)
+			sw := scanWorker{
+				ctx:   ctx,
+				syms:  syms,
+				cache: cache,
+				corr:  cfg.Correlator,
+				parts: bufs,
+			}
+			for sh := range shardCh {
+				stats, err := sw.runShard(sh.split, cfg.MaxBadLines)
+				shardStats[sh.idx] = stats
+				if err != nil {
+					scanErrs[sh.idx] = err
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range scanErrs {
+		if err != nil {
+			return nil, fmt.Errorf("ingest: shard %s: %w", shards[i], err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	for i, st := range shardStats {
+		res.Stats.Shards = append(res.Stats.Shards, ShardStats{Split: shards[i], ReadStats: st})
+		res.Stats.Records += st.Records
+		res.Stats.SkippedLines += st.SkippedLines
+		if res.Stats.FirstSkipped == "" && st.FirstSkipped != "" {
+			res.Stats.FirstSkipped = fmt.Sprintf("%s: %s", shards[i], st.FirstSkipped)
+		}
+	}
+
+	// Aggregation phase: each partition gathers its slice of every
+	// worker's buffers, sorts by (pair, timestamp), and builds summaries
+	// run by run. Partitions are independent, so they stride across the
+	// same worker count.
+	partSums := make([][]*timeseries.ActivitySummary, parts)
+	partTruncs := make([][]Truncation, parts)
+	aggErrs := make([]error, parts)
+	aggWorkers := workers
+	if parts < aggWorkers {
+		aggWorkers = parts
+	}
+	wg = sync.WaitGroup{}
+	for w := 0; w < aggWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := w; p < parts; p += aggWorkers {
+				if err := ctx.Err(); err != nil {
+					return
+				}
+				sums, truncs, err := aggregatePartition(p, workerBufs, syms, scale, cfg.MaxEventsPerPair)
+				if err != nil {
+					aggErrs[p] = err
+					cancel()
+					return
+				}
+				partSums[p], partTruncs[p] = sums, truncs
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for p, err := range aggErrs {
+		if err != nil {
+			return nil, fmt.Errorf("ingest: partition %d: %w", p, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	for p := 0; p < parts; p++ {
+		res.Summaries = append(res.Summaries, partSums[p]...)
+		res.Truncated = append(res.Truncated, partTruncs[p]...)
+	}
+	sort.Slice(res.Summaries, func(i, j int) bool {
+		a, b := res.Summaries[i], res.Summaries[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Destination < b.Destination
+	})
+	sort.Slice(res.Truncated, func(i, j int) bool {
+		a, b := res.Truncated[i], res.Truncated[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Destination < b.Destination
+	})
+	return res, nil
+}
+
+// scanWorker is one scan goroutine's private state.
+type scanWorker struct {
+	ctx     context.Context
+	syms    *SymbolTable
+	cache   *symCache
+	corr    *proxylog.Correlator
+	parts   [][]pairEvent
+	scratch []byte
+	n       int // records since last ctx check
+}
+
+// runShard scans one split, converting panics (including injected ones)
+// into errors so a pathological shard degrades the run instead of taking
+// down the process — the same containment contract as mapreduce task
+// workers.
+func (sw *scanWorker) runShard(sp proxylog.Split, maxBad int) (stats proxylog.ReadStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("scan panic: %v", r)
+		}
+	}()
+	if ferr := faultCheck(faultinject.PointIngestShardScan, sp.String()); ferr != nil {
+		return stats, ferr
+	}
+	return proxylog.ForEachSplit(sp, maxBad, sw.handle)
+}
+
+// handle is the per-record hot path: intern endpoints, partition by pair
+// hash, append the 20-byte event tuple. No per-record heap allocation in
+// the steady state (symbols warm).
+//
+//bw:noalloc per-record scan hot path; buffer growth is amortized
+func (sw *scanWorker) handle(v *proxylog.RecordView) error {
+	sw.n++
+	if sw.n >= ctxCheckStride {
+		sw.n = 0
+		if err := sw.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	pair := PairID{Src: sw.sourceID(v), Dst: sw.cache.id(v.Host)}
+	path := pathNone
+	if len(v.Path) != 0 {
+		path = sw.cache.id(v.Path)
+	}
+	e := pairEvent{pair: pair, ts: v.Timestamp, path: path}
+	p := PairHash(pair) % uint64(len(sw.parts))
+	buf := sw.parts[p]
+	if len(buf) == cap(buf) {
+		// Amortized growth; every other event is written in place below.
+		buf = append(buf, e)
+	} else {
+		buf = buf[:len(buf)+1]
+		buf[len(buf)-1] = e
+	}
+	sw.parts[p] = buf
+	return nil
+}
+
+// sourceID interns the record's source identity: the raw client IP
+// without a correlator, otherwise the DHCP-resolved MAC with the same
+// "ip:<addr>" fallback as Correlator.SourceID.
+func (sw *scanWorker) sourceID(v *proxylog.RecordView) uint32 {
+	if sw.corr == nil {
+		return sw.cache.id(v.ClientIP)
+	}
+	// Interning the IP first makes its canonical string available without
+	// materializing a copy per record.
+	ipID := sw.cache.id(v.ClientIP)
+	if mac, err := sw.corr.MACFor(sw.syms.Lookup(ipID), v.Timestamp); err == nil {
+		return sw.syms.InternString(mac)
+	}
+	sw.scratch = append(append(sw.scratch[:0], "ip:"...), v.ClientIP...)
+	return sw.cache.id(sw.scratch)
+}
+
+// aggregatePartition builds the summaries of one partition: concatenate
+// every worker's buffer for it, sort by (pair, timestamp), and walk the
+// runs, feeding each pair's ordered timestamps straight into a summary
+// builder. Truncation keeps the earliest maxEvents events (the beaconing
+// onset) with explicit accounting, matching the batch extraction job.
+func aggregatePartition(p int, workerBufs [][][]pairEvent, syms *SymbolTable, scale int64, maxEvents int) (sums []*timeseries.ActivitySummary, truncs []Truncation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("aggregate panic: %v", r)
+		}
+	}()
+	if ferr := faultCheck(faultinject.PointIngestAggregate, strconv.Itoa(p)); ferr != nil {
+		return nil, nil, ferr
+	}
+	total := 0
+	for _, bufs := range workerBufs {
+		total += len(bufs[p])
+	}
+	if total == 0 {
+		return nil, nil, nil
+	}
+	// Group by pair with a two-pass counting scatter rather than one
+	// O(n log n) sort of the whole partition: count each pair's events,
+	// carve a flat buffer into per-pair segments, scatter events into
+	// place, then sort each (much smaller) segment by timestamp alone.
+	idx := make(map[PairID]int, 64)
+	var counts []int
+	for _, bufs := range workerBufs {
+		for _, e := range bufs[p] {
+			gi, ok := idx[e.pair]
+			if !ok {
+				gi = len(counts)
+				idx[e.pair] = gi
+				counts = append(counts, 0)
+			}
+			counts[gi]++
+		}
+	}
+	starts := make([]int, len(counts)+1)
+	for gi, n := range counts {
+		starts[gi+1] = starts[gi] + n
+	}
+	fp := flatPool.Get().(*[]pairEvent)
+	defer flatPool.Put(fp)
+	if cap(*fp) < total {
+		*fp = make([]pairEvent, total)
+	}
+	flat := (*fp)[:total]
+	cursor := make([]int, len(counts))
+	copy(cursor, starts)
+	for _, bufs := range workerBufs {
+		for _, e := range bufs[p] {
+			gi := idx[e.pair]
+			flat[cursor[gi]] = e
+			cursor[gi]++
+		}
+	}
+	for gi := range counts {
+		run := flat[starts[gi]:starts[gi+1]]
+		slices.SortFunc(run, func(a, b pairEvent) int {
+			return cmp.Compare(a.ts, b.ts)
+		})
+		src, dst := syms.Lookup(run[0].pair.Src), syms.Lookup(run[0].pair.Dst)
+		if maxEvents > 0 && len(run) > maxEvents {
+			truncs = append(truncs, Truncation{
+				Source: src, Destination: dst,
+				Kept: maxEvents, Dropped: len(run) - maxEvents,
+			})
+			run = run[:maxEvents]
+		}
+		b := timeseries.NewBuilder(src, dst, scale, len(run))
+		for _, e := range run {
+			b.Add(e.ts)
+			if e.path != pathNone {
+				b.AddURLPath(syms.Lookup(e.path))
+			}
+		}
+		as, serr := b.Summary()
+		if serr != nil {
+			return nil, nil, serr
+		}
+		sums = append(sums, as)
+	}
+	return sums, truncs, nil
+}

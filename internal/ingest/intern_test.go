@@ -1,0 +1,136 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInternRoundTrip pins the symbol-table contract: Intern and
+// InternString agree, IDs are stable, and Lookup inverts them.
+func TestInternRoundTrip(t *testing.T) {
+	tab := NewSymbolTable()
+	words := []string{"10.8.1.2", "example.com", "/index.html", "", "a|b", "ip:10.8.1.2"}
+	ids := make([]uint32, len(words))
+	for i, w := range words {
+		ids[i] = tab.Intern([]byte(w))
+	}
+	for i, w := range words {
+		if got := tab.Intern([]byte(w)); got != ids[i] {
+			t.Errorf("Intern(%q) = %d on re-intern, want %d", w, got, ids[i])
+		}
+		if got := tab.InternString(w); got != ids[i] {
+			t.Errorf("InternString(%q) = %d, want %d", w, got, ids[i])
+		}
+		if got := tab.Lookup(ids[i]); got != w {
+			t.Errorf("Lookup(%d) = %q, want %q", ids[i], got, w)
+		}
+	}
+	if tab.Len() != len(words) {
+		t.Errorf("Len = %d, want %d", tab.Len(), len(words))
+	}
+	// Distinct strings must get distinct IDs.
+	seen := map[uint32]string{}
+	for i, id := range ids {
+		if prev, dup := seen[id]; dup {
+			t.Errorf("id %d assigned to both %q and %q", id, prev, words[i])
+		}
+		seen[id] = words[i]
+	}
+}
+
+// TestInternConcurrent hammers one table from many goroutines over an
+// overlapping key set; run under -race this doubles as the locking proof.
+func TestInternConcurrent(t *testing.T) {
+	tab := NewSymbolTable()
+	const goroutines, keys = 8, 200
+	results := make([][]uint32, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]uint32, keys)
+			for k := 0; k < keys; k++ {
+				ids[k] = tab.Intern([]byte(fmt.Sprintf("sym-%03d", k)))
+			}
+			results[g] = ids
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for k := 0; k < keys; k++ {
+			if results[g][k] != results[0][k] {
+				t.Fatalf("goroutine %d got id %d for key %d, goroutine 0 got %d",
+					g, results[g][k], k, results[0][k])
+			}
+		}
+	}
+	if tab.Len() != keys {
+		t.Errorf("Len = %d, want %d", tab.Len(), keys)
+	}
+}
+
+// TestInternNoAlloc is the proof behind the //bw:noalloc annotations on
+// Intern and symbolShard: once a symbol is present, re-interning it takes
+// the shared-lock fast path and allocates nothing.
+func TestInternNoAlloc(t *testing.T) {
+	tab := NewSymbolTable()
+	b := []byte("warm.example.com")
+	want := tab.Intern(b)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if tab.Intern(b) != want {
+			t.Fatal("warm intern changed id")
+		}
+	}); allocs != 0 {
+		t.Errorf("warm Intern allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		symbolShard(b)
+	}); allocs != 0 {
+		t.Errorf("symbolShard allocates %.1f/op, want 0", allocs)
+	}
+	// internHash is the same fast path with the hash precomputed (the
+	// per-worker cache's miss route).
+	h := hashBytes(b)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if tab.internHash(b, h) != want {
+			t.Fatal("warm internHash changed id")
+		}
+	}); allocs != 0 {
+		t.Errorf("warm internHash allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestPairIDSeparatorImmunity pins the satellite fix for the "src|dst"
+// string key: values containing the old separator can no longer collide.
+// With concatenated keys, ("a|b", "c") and ("a", "b|c") both spelled
+// "a|b|c"; as interned PairIDs they are distinct.
+func TestPairIDSeparatorImmunity(t *testing.T) {
+	tab := NewSymbolTable()
+	p1 := PairID{Src: tab.InternString("a|b"), Dst: tab.InternString("c")}
+	p2 := PairID{Src: tab.InternString("a"), Dst: tab.InternString("b|c")}
+	if p1 == p2 {
+		t.Fatalf("pairs (a|b,c) and (a,b|c) collide as %v", p1)
+	}
+	if PairHash(p1) == PairHash(p2) {
+		t.Errorf("PairHash collides for distinct pairs %v and %v", p1, p2)
+	}
+	// Asymmetric pairs must not collide either.
+	p3 := PairID{Src: p1.Dst, Dst: p1.Src}
+	if p1 != p3 && PairHash(p1) == PairHash(p3) {
+		t.Errorf("PairHash collides for %v and its mirror", p1)
+	}
+}
+
+// TestLookupUnknownPanics documents that Lookup of an ID the table never
+// minted is a program bug, not an input condition.
+func TestLookupUnknownPanics(t *testing.T) {
+	tab := NewSymbolTable()
+	defer func() {
+		if recover() == nil {
+			t.Error("Lookup of unminted ID did not panic")
+		}
+	}()
+	tab.Lookup(1 << symShardBits) // index 1 in shard 0, never assigned
+}

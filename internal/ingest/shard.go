@@ -1,0 +1,28 @@
+package ingest
+
+import (
+	"fmt"
+
+	"baywatch/internal/proxylog"
+)
+
+// PlanShards turns a list of log files into scan units: each splittable
+// file is divided into up to splitsPerFile byte-range splits, each
+// unsplittable (gzip) file becomes one whole-file shard. splitsPerFile
+// <= 1 plans one shard per file. The plan preserves input order —
+// shard i of file f precedes shard j > i — so per-shard stats can be
+// reported deterministically even though scanning is parallel.
+func PlanShards(paths []string, splitsPerFile int) ([]proxylog.Split, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("ingest: no input files")
+	}
+	shards := make([]proxylog.Split, 0, len(paths))
+	for _, p := range paths {
+		sp, err := proxylog.SplitFile(p, splitsPerFile)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, sp...)
+	}
+	return shards, nil
+}

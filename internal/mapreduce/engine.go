@@ -249,6 +249,53 @@ type Result[O any] struct {
 // hash, then by key order of first emission). Run aborts early when ctx is
 // cancelled or any task returns an error.
 func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], error) {
+	// Strided assignment keeps the work distribution deterministic.
+	return j.run(ctx, func(w int) func() (I, int, bool) {
+		i := w - j.cfg.Mappers
+		return func() (I, int, bool) {
+			i += j.cfg.Mappers
+			if i >= len(inputs) {
+				var zero I
+				return zero, 0, false
+			}
+			return inputs[i], i, true
+		}
+	})
+}
+
+// RunStream executes the job over a pull iterator instead of a
+// materialized input slice: map workers draw inputs from next until it
+// reports exhaustion, so multi-GB input streams (e.g. sharded log scans)
+// flow through the job without ever being held in memory at once. next is
+// called under an internal lock — it need not be safe for concurrent use —
+// and must be cheap; do heavy per-input work in the map function, which
+// runs in parallel. Retries, failure budgets, combiners, spilling and
+// counters behave exactly as in Run; the only semantic difference is that
+// input-to-worker assignment follows pull order rather than the
+// deterministic stride (output determinism is unaffected: the shuffle
+// orders by partition, then first-emission key order per shard merge, and
+// shard merges follow worker index as in Run).
+func (j *Job[I, K, V, O]) RunStream(ctx context.Context, next func() (I, bool)) (*Result[O], error) {
+	var mu sync.Mutex
+	idx := -1
+	pull := func() (I, int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		in, ok := next()
+		if !ok {
+			var zero I
+			return zero, 0, false
+		}
+		idx++
+		return in, idx, true
+	}
+	return j.run(ctx, func(int) func() (I, int, bool) { return pull })
+}
+
+// run is the engine shared by Run and RunStream. sourceFor returns worker
+// w's input fetcher: each call yields the next input with its global
+// index, or ok=false when the worker's share is exhausted.
+func (j *Job[I, K, V, O]) run(ctx context.Context, sourceFor func(w int) func() (I, int, bool)) (*Result[O], error) {
 	nParts := 1 << j.cfg.PartitionBits
 
 	// Optional disk spill: one temp dir per run, removed on return.
@@ -378,17 +425,21 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 			// execution enabled, an input's pairs are merged into the
 			// shard only after its map call succeeds.
 			staging := j.cfg.MaxRetries > 0 || j.cfg.MaxFailedInputs > 0 || j.cfg.guarded()
-			// Strided assignment keeps the work distribution deterministic.
-			for i := w; i < len(inputs); i += j.cfg.Mappers {
+			nextInput := sourceFor(w)
+			for {
 				if mapCtx.Err() != nil {
 					return
+				}
+				in, i, ok := nextInput()
+				if !ok {
+					break
 				}
 				shard.inputs++
 				var err error
 				if staging {
 					for attempt := 0; ; attempt++ {
 						var staged []stagedPair
-						staged, err = runTask(inputs[i])
+						staged, err = runTask(in)
 						if err == nil {
 							for _, sp := range staged {
 								emit(sp.key, sp.value)
@@ -404,7 +455,7 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 						}
 					}
 				} else {
-					err = runMap(inputs[i], emit)
+					err = runMap(in, emit)
 				}
 				if err != nil {
 					if mapCtx.Err() != nil {

@@ -1,0 +1,139 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// sliceSource adapts a slice to RunStream's pull function, counting how
+// many concurrent pulls it observes (must be 1: the engine serializes the
+// source).
+func sliceSource(lines []string) (func() (string, bool), *int32) {
+	var mu sync.Mutex
+	var concurrent, maxSeen int32
+	i := 0
+	return func() (string, bool) {
+		mu.Lock()
+		concurrent++
+		if concurrent > maxSeen {
+			maxSeen = concurrent
+		}
+		if i >= len(lines) {
+			concurrent--
+			mu.Unlock()
+			return "", false
+		}
+		line := lines[i]
+		i++
+		concurrent--
+		mu.Unlock()
+		return line, true
+	}, &maxSeen
+}
+
+// TestRunStreamMatchesRun: the streaming front end must produce exactly
+// the word counts (and deterministic output order) of the batch Run over
+// the same input, across worker counts.
+func TestRunStreamMatchesRun(t *testing.T) {
+	var lines []string
+	for i := 0; i < 120; i++ {
+		lines = append(lines, fmt.Sprintf("w%d common w%d tail", i%17, i%5))
+	}
+	for _, mappers := range []int{1, 2, 4} {
+		cfg := JobConfig{Mappers: mappers, Reducers: 2}
+		batch, err := wordCountJob(cfg).Run(context.Background(), lines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, _ := sliceSource(lines)
+		stream, err := wordCountJob(cfg).RunStream(context.Background(), next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch.Outputs) != len(stream.Outputs) {
+			t.Fatalf("mappers=%d: stream %d outputs, batch %d", mappers, len(stream.Outputs), len(batch.Outputs))
+		}
+		for i := range batch.Outputs {
+			if batch.Outputs[i] != stream.Outputs[i] {
+				t.Fatalf("mappers=%d output %d: stream %+v, batch %+v", mappers, i, stream.Outputs[i], batch.Outputs[i])
+			}
+		}
+		if got, want := stream.Counters.InputRecords, batch.Counters.InputRecords; got != want {
+			t.Errorf("mappers=%d: stream InputRecords=%d, batch %d", mappers, got, want)
+		}
+	}
+}
+
+// TestRunStreamSerializesSource: the pull function is shared by all map
+// workers; the engine must never call it concurrently with itself.
+func TestRunStreamSerializesSource(t *testing.T) {
+	var lines []string
+	for i := 0; i < 200; i++ {
+		lines = append(lines, fmt.Sprintf("a b c %d", i))
+	}
+	next, maxSeen := sliceSource(lines)
+	if _, err := wordCountJob(JobConfig{Mappers: 4}).RunStream(context.Background(), next); err != nil {
+		t.Fatal(err)
+	}
+	if *maxSeen > 1 {
+		t.Errorf("source pulled by %d goroutines concurrently", *maxSeen)
+	}
+}
+
+// TestRunStreamMapError: a map failure aborts the streaming run like the
+// batch run, with the error preserved.
+func TestRunStreamMapError(t *testing.T) {
+	boom := errors.New("map exploded")
+	job := NewJob[string, string, int, kv](JobConfig{Mappers: 2},
+		func(line string, emit Emitter[string, int]) error {
+			if line == "bad" {
+				return boom
+			}
+			emit(line, 1)
+			return nil
+		},
+		func(key string, values []int, emit func(kv)) error {
+			emit(kv{Key: key, Count: len(values)})
+			return nil
+		},
+	)
+	next, _ := sliceSource([]string{"ok", "bad", "fine"})
+	if _, err := job.RunStream(context.Background(), next); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected map error", err)
+	}
+}
+
+// TestRunStreamEmpty: an immediately-exhausted source is a valid run with
+// no outputs.
+func TestRunStreamEmpty(t *testing.T) {
+	next, _ := sliceSource(nil)
+	res, err := wordCountJob(JobConfig{Mappers: 2}).RunStream(context.Background(), next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 0 {
+		t.Fatalf("empty stream produced %d outputs", len(res.Outputs))
+	}
+}
+
+// TestRunStreamCancellation: a canceled context stops the pull loop.
+func TestRunStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	next := func() (string, bool) {
+		n++
+		if n == 10 {
+			cancel()
+		}
+		return "line of words", true // infinite source; only cancellation ends it
+	}
+	if _, err := wordCountJob(JobConfig{Mappers: 2}).RunStream(ctx, next); err == nil {
+		t.Fatal("canceled streaming run did not fail")
+	}
+	if n > 100000 {
+		t.Fatalf("pull loop ran %d times after cancellation", n)
+	}
+}

@@ -170,8 +170,53 @@ func (l *Loop) ingestDay(ctx context.Context, records []*proxylog.Record) (*Repo
 	if len(truncated) > 0 && l.cfg.Logf != nil {
 		l.cfg.Logf("opsloop: day %d: %d pair(s) truncated to the per-pair event cap in history", day, len(truncated))
 	}
+	return l.finishDay(ctx, day, daily, sums)
+}
+
+// IngestDayShards is IngestDay over sharded log sources: the day's
+// records are scanned by the streaming ingest layer (pipeline.RunStream)
+// instead of a materialized record slice, and the day's history
+// summaries come from the same single extraction pass — the batch path's
+// second ExtractSummariesCapped scan disappears. Rollback, coarse-pass
+// and commit semantics are identical to IngestDay.
+func (l *Loop) IngestDayShards(ctx context.Context, shards []proxylog.Split, opt pipeline.StreamOptions) (*Report, error) {
+	snap := l.store.Clone()
+	prevHist := len(l.history)
+	rep, err := l.ingestDayShards(ctx, shards, opt)
+	if err != nil {
+		l.store = snap
+		l.history = l.history[:prevHist]
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (l *Loop) ingestDayShards(ctx context.Context, shards []proxylog.Split, opt pipeline.StreamOptions) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("opsloop: ingest: %w", context.Cause(ctx))
+	}
+	day := l.days + 1
+	cfg := l.cfg.Pipeline
+	cfg.Novelty = l.store
+
+	daily, sums, err := pipeline.RunStreamSummaries(ctx, shards, l.corr, cfg, opt)
+	if err != nil {
+		return nil, fmt.Errorf("opsloop: daily run: %w", err)
+	}
+	// The history store inherits the run's own truncation: summaries come
+	// from the same capped extraction pass.
+	if len(daily.Truncated) > 0 && l.cfg.Logf != nil {
+		l.cfg.Logf("opsloop: day %d: %d pair(s) truncated to the per-pair event cap in history", day, len(daily.Truncated))
+	}
+	return l.finishDay(ctx, day, daily, sums)
+}
+
+// finishDay is the shared back half of a day's ingest: history
+// accumulation, any due coarse passes, and the durable commit.
+func (l *Loop) finishDay(ctx context.Context, day int, daily *pipeline.Result, sums []*timeseries.ActivitySummary) (*Report, error) {
 	l.history = append(l.history, sums...)
 
+	var err error
 	rep := &Report{Daily: daily, DaysIngested: day}
 	if day%l.cfg.WeeklyEvery == 0 {
 		rep.Weekly, err = l.coarsePass(ctx, l.cfg.WeeklyScale)

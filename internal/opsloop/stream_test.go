@@ -1,0 +1,136 @@
+package opsloop
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"baywatch/internal/ingest"
+	"baywatch/internal/pipeline"
+	"baywatch/internal/proxylog"
+	"baywatch/internal/synthetic"
+)
+
+// shardDay writes one day's records across two log files and plans two
+// byte-range splits per file, the sharded on-disk form of the same input.
+func shardDay(t *testing.T, records []*proxylog.Record, day int) []proxylog.Split {
+	t.Helper()
+	dir := t.TempDir()
+	half := (len(records) + 1) / 2
+	var paths []string
+	for i, chunk := range [][]*proxylog.Record{records[:half], records[half:]} {
+		if len(chunk) == 0 {
+			continue
+		}
+		var sb strings.Builder
+		for _, r := range chunk {
+			sb.WriteString(r.Format())
+			sb.WriteByte('\n')
+		}
+		p := filepath.Join(dir, fmt.Sprintf("day%d-%d.log", day, i))
+		if err := os.WriteFile(p, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	shards, err := ingest.PlanShards(paths, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+// comparableStats strips a day's pipeline stats of wall-clock timings.
+func comparableStats(res *pipeline.Result) pipeline.Stats {
+	s := res.Stats
+	s.ExtractTime, s.PopularityTime, s.DetectTime, s.RankTime = 0, 0, 0, 0
+	return s
+}
+
+func reportedPairs(res *pipeline.Result) []string {
+	out := make([]string, 0, len(res.Reported))
+	for _, c := range res.Reported {
+		out = append(out, c.Source+" -> "+c.Destination)
+	}
+	return out
+}
+
+// TestIngestDayShardsMatchesIngestDay is the ops-loop differential test:
+// feeding a day as sharded log files through the streaming ingest must
+// leave the loop in the same state — same daily reports, same novelty
+// suppression across days, same history — as feeding the same records
+// through the batch path.
+func TestIngestDayShardsMatchesIngestDay(t *testing.T) {
+	const days = 2
+	tr := generateTrace(t, days, []synthetic.Infection{{
+		Family: "Zbot", Clients: 2, Period: 180,
+		Noise: synthetic.NoiseConfig{JitterSigma: 3, MissProb: 0.05},
+	}})
+	perDay := splitDays(tr, days)
+	corr, err := proxylog.NewCorrelator(tr.Leases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testPipelineConfig(t, tr)
+
+	batch, err := New(Config{StateDir: t.TempDir(), Pipeline: cfg}, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := New(Config{StateDir: t.TempDir(), Pipeline: cfg}, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One symbol table across the loop's days, as the ops CLI runs it.
+	syms := ingest.NewSymbolTable()
+	for d := 0; d < days; d++ {
+		bRep, err := batch.IngestDay(context.Background(), perDay[d])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := shardDay(t, perDay[d], d)
+		sRep, err := stream.IngestDayShards(context.Background(), shards,
+			pipeline.StreamOptions{Workers: 4, Symbols: syms})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if bRep.DaysIngested != sRep.DaysIngested {
+			t.Errorf("day %d: DaysIngested %d vs %d", d, bRep.DaysIngested, sRep.DaysIngested)
+		}
+		if bs, ss := comparableStats(bRep.Daily), comparableStats(sRep.Daily); bs != ss {
+			t.Errorf("day %d stats diverge:\n batch  %+v\n stream %+v", d, bs, ss)
+		}
+		bp, sp := reportedPairs(bRep.Daily), reportedPairs(sRep.Daily)
+		sort.Strings(bp)
+		sort.Strings(sp)
+		if len(bp) != len(sp) {
+			t.Fatalf("day %d: batch reported %v, stream %v", d, bp, sp)
+		}
+		for i := range bp {
+			if bp[i] != sp[i] {
+				t.Errorf("day %d reported %d: batch %q, stream %q", d, i, bp[i], sp[i])
+			}
+		}
+		if (bRep.Weekly == nil) != (sRep.Weekly == nil) || (bRep.Monthly == nil) != (sRep.Monthly == nil) {
+			t.Errorf("day %d: coarse-pass schedule diverges", d)
+		}
+		if sRep.Daily.Ingest == nil {
+			t.Errorf("day %d: streaming report carries no ingest stats", d)
+		} else if sRep.Daily.Ingest.Records != len(perDay[d]) {
+			t.Errorf("day %d: ingested %d records, want %d", d, sRep.Daily.Ingest.Records, len(perDay[d]))
+		}
+	}
+
+	if batch.HistoryPairs() != stream.HistoryPairs() {
+		t.Errorf("history pairs: batch %d, stream %d", batch.HistoryPairs(), stream.HistoryPairs())
+	}
+	if batch.DaysIngested() != stream.DaysIngested() {
+		t.Errorf("days ingested: batch %d, stream %d", batch.DaysIngested(), stream.DaysIngested())
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"baywatch/internal/core"
 	"baywatch/internal/guard"
+	"baywatch/internal/ingest"
 	"baywatch/internal/mapreduce"
 	"baywatch/internal/proxylog"
 	"baywatch/internal/timeseries"
@@ -49,6 +50,20 @@ type TruncatedPair struct {
 	Dropped int
 }
 
+// pairKey is the shuffle key of the summary-level jobs (detection,
+// rescale/merge): a comparable struct, not the concatenated "src|dst"
+// string, so endpoints containing the separator byte can never collide
+// into one group. (The event-level extraction job goes further and uses
+// interned ingest.PairID keys; summary-level jobs group far fewer items,
+// so the plain strings are fine there.)
+type pairKey struct {
+	src, dst string
+}
+
+// faultKey renders the key in the "<src>|<dst>" form the fault-injection
+// points and error messages use.
+func (k pairKey) faultKey() string { return k.src + "|" + k.dst }
+
 // tsPath is the extraction job's intermediate value: one event's timestamp
 // plus the optional URL path for the token filter.
 type tsPath struct {
@@ -68,28 +83,37 @@ type extractOut struct {
 	truncated *TruncatedPair
 }
 
-// extractSummaries is the data-extraction MapReduce job (Sect. VII-A)
-// over source-agnostic pair events: MAP keys each event by its
-// communication pair; REDUCE sorts the timestamps and builds the
-// ActivitySummary at the given scale, carrying a bounded path sample for
-// the token filter. maxEvents > 0 caps each pair at its earliest
+// extractionJob builds the data-extraction MapReduce job (Sect. VII-A)
+// over source-agnostic pair events: MAP interns the pair's endpoints and
+// keys the event by its (src, dst) symbol-ID pair — never by a
+// concatenated "src|dst" string, whose separator a hostile source or
+// destination value could spoof — and REDUCE resolves the IDs back to
+// strings only at the summary boundary, sorts the timestamps and builds
+// the ActivitySummary at the given scale, carrying a bounded path sample
+// for the token filter. maxEvents > 0 caps each pair at its earliest
 // maxEvents events, recording a TruncatedPair for every pair shed.
-func extractSummaries(ctx context.Context, events []PairEvent, scale int64, maxEvents int, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, []TruncatedPair, mapreduce.Counters, error) {
-	if scale <= 0 {
-		scale = 1
-	}
+func extractionJob(syms *ingest.SymbolTable, scale int64, maxEvents int, mrCfg mapreduce.JobConfig) *mapreduce.Job[PairEvent, ingest.PairID, tsPath, extractOut] {
 	mrCfg.Name = "data-extraction"
-	job := mapreduce.NewJob[PairEvent, string, tsPath, extractOut](
+	if mrCfg.KeyHash == nil {
+		// The default key hash renders the key through fmt; pair IDs mix
+		// directly.
+		mrCfg.KeyHash = func(key any) uint64 {
+			p, ok := key.(ingest.PairID)
+			if !ok {
+				return 0
+			}
+			return ingest.PairHash(p)
+		}
+	}
+	return mapreduce.NewJob[PairEvent, ingest.PairID, tsPath, extractOut](
 		mrCfg,
-		func(e PairEvent, emit mapreduce.Emitter[string, tsPath]) error {
-			emit(e.Source+"|"+e.Destination, tsPath{ts: e.Timestamp, path: e.Path})
+		func(e PairEvent, emit mapreduce.Emitter[ingest.PairID, tsPath]) error {
+			pair := ingest.PairID{Src: syms.InternString(e.Source), Dst: syms.InternString(e.Destination)}
+			emit(pair, tsPath{ts: e.Timestamp, path: e.Path})
 			return nil
 		},
-		func(key string, events []tsPath, emit func(extractOut)) error {
-			src, dst, ok := splitPairKey(key)
-			if !ok {
-				return fmt.Errorf("bad pair key %q", key)
-			}
+		func(key ingest.PairID, events []tsPath, emit func(extractOut)) error {
+			src, dst := syms.Lookup(key.Src), syms.Lookup(key.Dst)
 			var trunc *TruncatedPair
 			if maxEvents > 0 && len(events) > maxEvents {
 				// Shed load deterministically: keep the earliest events
@@ -125,10 +149,13 @@ func extractSummaries(ctx context.Context, events []PairEvent, scale int64, maxE
 			return nil
 		},
 	)
-	res, err := job.Run(ctx, events)
-	if err != nil {
-		return nil, nil, mapreduce.Counters{}, err
-	}
+}
+
+// collectExtraction unpacks a finished extraction run into sorted
+// summaries and truncation records. Sorting by pair gives both extraction
+// entry points (batch and streaming) one deterministic output order, so
+// their results are directly comparable.
+func collectExtraction(res *mapreduce.Result[extractOut]) ([]*timeseries.ActivitySummary, []TruncatedPair) {
 	summaries := make([]*timeseries.ActivitySummary, 0, len(res.Outputs))
 	var truncated []TruncatedPair
 	for _, o := range res.Outputs {
@@ -137,13 +164,51 @@ func extractSummaries(ctx context.Context, events []PairEvent, scale int64, maxE
 			truncated = append(truncated, *o.truncated)
 		}
 	}
+	sort.Slice(summaries, func(i, j int) bool {
+		if summaries[i].Source != summaries[j].Source {
+			return summaries[i].Source < summaries[j].Source
+		}
+		return summaries[i].Destination < summaries[j].Destination
+	})
 	sort.Slice(truncated, func(i, j int) bool {
 		if truncated[i].Source != truncated[j].Source {
 			return truncated[i].Source < truncated[j].Source
 		}
 		return truncated[i].Destination < truncated[j].Destination
 	})
+	return summaries, truncated
+}
+
+// extractSummaries runs the data-extraction job over a materialized event
+// slice; see extractionJob.
+func extractSummaries(ctx context.Context, events []PairEvent, scale int64, maxEvents int, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, []TruncatedPair, mapreduce.Counters, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	res, err := extractionJob(ingest.NewSymbolTable(), scale, maxEvents, mrCfg).Run(ctx, events)
+	if err != nil {
+		return nil, nil, mapreduce.Counters{}, err
+	}
+	summaries, truncated := collectExtraction(res)
 	return summaries, truncated, res.Counters, nil
+}
+
+// ExtractSummariesStream runs the data-extraction job over a pull
+// iterator of pair events: map workers draw events from next (called
+// under a lock) as they go, so event streams too large to materialize —
+// or produced incrementally by a log scanner — flow through the job
+// without a []PairEvent ever existing. Semantics match
+// ExtractSummariesFromEventsCapped.
+func ExtractSummariesStream(ctx context.Context, next func() (PairEvent, bool), scale int64, maxEvents int, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, []TruncatedPair, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	res, err := extractionJob(ingest.NewSymbolTable(), scale, maxEvents, mrCfg).RunStream(ctx, next)
+	if err != nil {
+		return nil, nil, err
+	}
+	summaries, truncated := collectExtraction(res)
+	return summaries, truncated, nil
 }
 
 // ExtractSummariesFromEvents is the uncapped data-extraction job; see
@@ -187,16 +252,6 @@ func ExtractSummaries(ctx context.Context, records []*proxylog.Record, corr *pro
 // ExtractSummariesFromEventsCapped).
 func ExtractSummariesCapped(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correlator, scale int64, maxEvents int, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, []TruncatedPair, error) {
 	return ExtractSummariesFromEventsCapped(ctx, recordEvents(records, corr), scale, maxEvents, mrCfg)
-}
-
-// splitPairKey splits "source|destination" at the first separator.
-func splitPairKey(key string) (src, dst string, ok bool) {
-	for i := 0; i < len(key); i++ {
-		if key[i] == '|' {
-			return key[:i], key[i+1:], true
-		}
-	}
-	return "", "", false
 }
 
 // destCount is the popularity job's output: destination and its distinct
@@ -315,19 +370,19 @@ func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary,
 func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, det *core.Detector, mrCfg mapreduce.JobConfig, candidateTimeout time.Duration, maxInFlight int) ([]Detection, mapreduce.Counters, error) {
 	mrCfg.Name = "beaconing-detection"
 	sem := guard.NewSemaphore(maxInFlight)
-	job := mapreduce.NewJob[*timeseries.ActivitySummary, string, *timeseries.ActivitySummary, Detection](
+	job := mapreduce.NewJob[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection](
 		mrCfg,
-		func(as *timeseries.ActivitySummary, emit mapreduce.Emitter[string, *timeseries.ActivitySummary]) error {
-			emit(as.PairKey(), as)
+		func(as *timeseries.ActivitySummary, emit mapreduce.Emitter[pairKey, *timeseries.ActivitySummary]) error {
+			emit(pairKey{src: as.Source, dst: as.Destination}, as)
 			return nil
 		},
-		func(key string, list []*timeseries.ActivitySummary, emit func(Detection)) error {
+		func(key pairKey, list []*timeseries.ActivitySummary, emit func(Detection)) error {
 			if err := sem.Acquire(ctx); err != nil {
 				return err
 			}
 			defer sem.Release()
 			if candidateTimeout <= 0 {
-				d, err := safeDetect(det, key, list)
+				d, err := safeDetect(det, key.faultKey(), list)
 				if err != nil {
 					return err
 				}
@@ -338,7 +393,7 @@ func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary,
 			// abandoned; safeDetect communicates only through its return
 			// value, making abandonment race-free.
 			d, err := guard.RunBounded(ctx, candidateTimeout, func() (Detection, error) {
-				return safeDetect(det, key, list)
+				return safeDetect(det, key.faultKey(), list)
 			})
 			if err != nil {
 				if errors.Is(err, guard.ErrTimeout) {
@@ -365,17 +420,17 @@ func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary,
 // pair, so long time ranges are analyzable without reprocessing raw logs.
 func RescaleAndMerge(ctx context.Context, summaries []*timeseries.ActivitySummary, newScale int64, mrCfg mapreduce.JobConfig) ([]*timeseries.ActivitySummary, error) {
 	mrCfg.Name = "rescale-merge"
-	job := mapreduce.NewJob[*timeseries.ActivitySummary, string, *timeseries.ActivitySummary, *timeseries.ActivitySummary](
+	job := mapreduce.NewJob[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, *timeseries.ActivitySummary](
 		mrCfg,
-		func(as *timeseries.ActivitySummary, emit mapreduce.Emitter[string, *timeseries.ActivitySummary]) error {
+		func(as *timeseries.ActivitySummary, emit mapreduce.Emitter[pairKey, *timeseries.ActivitySummary]) error {
 			rescaled, err := as.Rescale(newScale)
 			if err != nil {
 				return err
 			}
-			emit(rescaled.PairKey(), rescaled)
+			emit(pairKey{src: rescaled.Source, dst: rescaled.Destination}, rescaled)
 			return nil
 		},
-		func(key string, list []*timeseries.ActivitySummary, emit func(*timeseries.ActivitySummary)) error {
+		func(key pairKey, list []*timeseries.ActivitySummary, emit func(*timeseries.ActivitySummary)) error {
 			merged := list[0]
 			var err error
 			for _, as := range list[1:] {

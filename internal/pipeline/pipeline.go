@@ -233,6 +233,80 @@ type Result struct {
 	Degraded bool
 	// Stats is the filtering funnel.
 	Stats Stats
+	// Ingest reports the streaming scan accounting when the run ingested
+	// shards (RunStream); nil for batch runs over a record slice. Lenient
+	// skips do not mark the run Degraded — the same contract as the batch
+	// path, where the lenient reader drops lines before Run ever sees
+	// them.
+	Ingest *IngestStats
+}
+
+// IngestStats is the scan-side accounting of a streaming (sharded) run.
+type IngestStats struct {
+	// Shards is the number of scan units (files and byte-range splits).
+	Shards int
+	// Records is the count of well-formed records ingested.
+	Records int
+	// SkippedLines counts malformed lines skipped in lenient mode.
+	SkippedLines int
+	// FirstSkipped describes the first skipped line, for diagnostics.
+	FirstSkipped string
+}
+
+// guardEnv is the resilience environment one run executes under: the
+// guard bounds threaded into MapReduce configs, the shared watchdog, and
+// the per-stage deadline factory. Both entry points (batch Run and the
+// sharded RunStream) build one with newGuardEnv so the streaming path
+// inherits every guard/degraded semantic of the batch path.
+type guardEnv struct {
+	g        guard.Config
+	mrCfg    mapreduce.JobConfig
+	wd       *guard.Watchdog
+	stageCtx func(stage string) (context.Context, context.CancelFunc)
+}
+
+// newGuardEnv threads the guard config's deadlines, watchdog and failure
+// budgets into the run's job config; a zero config leaves the run
+// unbounded. The returned cleanup stops the watchdog (if one was
+// created) and must be deferred by the caller.
+func newGuardEnv(ctx context.Context, cfg Config) (*guardEnv, func()) {
+	env := &guardEnv{g: cfg.Guard, mrCfg: cfg.MapReduce}
+	g := env.g
+	if g.TaskTimeout > 0 && env.mrCfg.TaskTimeout == 0 {
+		env.mrCfg.TaskTimeout = g.TaskTimeout
+	}
+	if g.FailureBudget > 0 {
+		if env.mrCfg.MaxFailedInputs == 0 {
+			env.mrCfg.MaxFailedInputs = g.FailureBudget
+		}
+		if env.mrCfg.MaxFailedKeys == 0 {
+			env.mrCfg.MaxFailedKeys = g.FailureBudget
+		}
+	}
+	cleanup := func() {}
+	if g.StallTimeout > 0 && env.mrCfg.Watchdog == nil {
+		env.wd = guard.NewWatchdog(g.StallTimeout, g.PollInterval)
+		cleanup = env.wd.Stop
+		env.mrCfg.Watchdog = env.wd
+	}
+	env.stageCtx = func(stage string) (context.Context, context.CancelFunc) {
+		if g.StageTimeout <= 0 {
+			return ctx, func() {}
+		}
+		return context.WithTimeoutCause(ctx, g.StageTimeout,
+			fmt.Errorf("%w: stage %s exceeded %v", guard.ErrTimeout, stage, g.StageTimeout))
+	}
+	return env, cleanup
+}
+
+// recordTruncation books the extraction phase's truncation output into
+// the result.
+func recordTruncation(res *Result, truncated []TruncatedPair) {
+	res.Truncated = truncated
+	res.Stats.TruncatedPairs = len(truncated)
+	for _, tp := range truncated {
+		res.Stats.DroppedEvents += tp.Dropped
+	}
 }
 
 // Run executes the full pipeline over proxy log records. corr may be nil,
@@ -245,55 +319,39 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 	res := &Result{}
 	res.Stats.InputEvents = len(records)
 
-	// ---- Resilience bounds ----------------------------------------------
-	// The guard config threads deadlines, the watchdog and failure budgets
-	// into every stage; a zero config leaves the run unbounded as before.
-	g := cfg.Guard
-	mrCfg := cfg.MapReduce
-	if g.TaskTimeout > 0 && mrCfg.TaskTimeout == 0 {
-		mrCfg.TaskTimeout = g.TaskTimeout
-	}
-	if g.FailureBudget > 0 {
-		if mrCfg.MaxFailedInputs == 0 {
-			mrCfg.MaxFailedInputs = g.FailureBudget
-		}
-		if mrCfg.MaxFailedKeys == 0 {
-			mrCfg.MaxFailedKeys = g.FailureBudget
-		}
-	}
-	var wd *guard.Watchdog
-	if g.StallTimeout > 0 && mrCfg.Watchdog == nil {
-		wd = guard.NewWatchdog(g.StallTimeout, g.PollInterval)
-		defer wd.Stop()
-		mrCfg.Watchdog = wd
-	}
-	stageCtx := func(stage string) (context.Context, context.CancelFunc) {
-		if g.StageTimeout <= 0 {
-			return ctx, func() {}
-		}
-		return context.WithTimeoutCause(ctx, g.StageTimeout,
-			fmt.Errorf("%w: stage %s exceeded %v", guard.ErrTimeout, stage, g.StageTimeout))
-	}
+	env, cleanup := newGuardEnv(ctx, cfg)
+	defer cleanup()
 
 	// ---- Phase: data extraction (MapReduce job 1) -----------------------
 	start := time.Now()
-	extCtx, extDone := stageCtx("extract")
+	extCtx, extDone := env.stageCtx("extract")
 	summaries, truncated, extCounters, err := extractSummaries(
-		extCtx, recordEvents(records, corr), cfg.Scale, g.MaxEventsPerPair, mrCfg)
+		extCtx, recordEvents(records, corr), cfg.Scale, env.g.MaxEventsPerPair, env.mrCfg)
 	extDone()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: extract: %w", err)
 	}
-	res.Truncated = truncated
-	res.Stats.TruncatedPairs = len(truncated)
-	for _, tp := range truncated {
-		res.Stats.DroppedEvents += tp.Dropped
-	}
+	recordTruncation(res, truncated)
 	res.Stats.ExtractTime = time.Since(start)
+
+	return analyze(ctx, res, summaries, extCounters, cfg, env)
+}
+
+// analyze runs filters 1-8 over the extracted summaries: the shared tail
+// of the batch (Run) and sharded streaming (RunStream) entry points.
+// res arrives with the extraction phase already booked (truncation,
+// input counts, extract timing); extCounters carries the extraction
+// job's failure-budget spend (zero for the streaming path, which aborts
+// on scan errors instead of budgeting them). summaries must be in a
+// deterministic order — both extraction paths sort by (source,
+// destination) — so candidate and report ordering is reproducible and
+// path-independent.
+func analyze(ctx context.Context, res *Result, summaries []*timeseries.ActivitySummary, extCounters mapreduce.Counters, cfg Config, env *guardEnv) (*Result, error) {
+	g, mrCfg, wd, stageCtx := env.g, env.mrCfg, env.wd, env.stageCtx
 	res.Stats.Pairs = len(summaries)
 
 	// ---- Phase: destination popularity (MapReduce job 2) ----------------
-	start = time.Now()
+	start := time.Now()
 	popCtx, popDone := stageCtx("popularity")
 	destSources, totalSources, popCounters, err := popularityStats(popCtx, summaries, mrCfg)
 	popDone()
@@ -448,12 +506,12 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 
 	// Rank the survivors and apply the percentile threshold.
 	var rankable []ranking.Case
-	byKey := make(map[string]*Candidate)
+	byKey := make(map[pairKey]*Candidate)
 	for _, c := range res.Candidates {
 		if c.SuppressedBy != StageNone {
 			continue
 		}
-		key := c.Source + "|" + c.Destination
+		key := pairKey{src: c.Source, dst: c.Destination}
 		byKey[key] = c
 		rankable = append(rankable, ranking.Case{
 			Source:      c.Source,
@@ -462,9 +520,9 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 		})
 	}
 	reported, _ := ranking.Rank(rankable, cfg.RankPercentile)
-	reportedKeys := make(map[string]struct{}, len(reported))
+	reportedKeys := make(map[pairKey]struct{}, len(reported))
 	for _, rc := range reported {
-		key := rc.Source + "|" + rc.Destination
+		key := pairKey{src: rc.Source, dst: rc.Destination}
 		reportedKeys[key] = struct{}{}
 		cand := byKey[key]
 		res.Reported = append(res.Reported, cand)

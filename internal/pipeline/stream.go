@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"baywatch/internal/ingest"
+	"baywatch/internal/mapreduce"
+	"baywatch/internal/proxylog"
+	"baywatch/internal/timeseries"
+)
+
+// StreamOptions configures the scan side of a streaming (sharded) run.
+type StreamOptions struct {
+	// Workers is the number of parallel shard-scan workers; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// MaxBadLines is the per-shard lenient budget (see
+	// ingest.Config.MaxBadLines); 0 is strict.
+	MaxBadLines int
+	// Symbols optionally reuses a symbol table across runs (the ops
+	// loop's daily ingests); nil uses a fresh table per run.
+	Symbols *ingest.SymbolTable
+}
+
+// RunStream executes the full pipeline over sharded log sources: the
+// extraction phase is the streaming ingest layer (parallel zero-copy
+// shard scan, interned pair IDs, direct-to-summary aggregation) instead
+// of the batch record slice + MapReduce extraction job. Everything
+// downstream — whitelists, detection, indication, ranking, guard
+// bounds, degraded-mode accounting — is the exact same code path as
+// Run, and the two produce identical Results on identical input (the
+// package's differential tests pin this equivalence). corr may be nil,
+// in which case raw client IPs identify sources.
+func RunStream(ctx context.Context, shards []proxylog.Split, corr *proxylog.Correlator, cfg Config, opt StreamOptions) (*Result, error) {
+	res, _, err := RunStreamSummaries(ctx, shards, corr, cfg, opt)
+	return res, err
+}
+
+// RunStreamSummaries is RunStream, additionally returning the extracted
+// per-pair summaries (sorted by source, destination). Callers that need
+// the summaries as well as the run result — the ops loop persists them
+// as the day's history — take them from here instead of paying a second
+// extraction pass over the logs.
+func RunStreamSummaries(ctx context.Context, shards []proxylog.Split, corr *proxylog.Correlator, cfg Config, opt StreamOptions) (*Result, []*timeseries.ActivitySummary, error) {
+	cfg = cfg.withDefaults()
+	if cfg.LM == nil {
+		return nil, nil, fmt.Errorf("pipeline: language model is required")
+	}
+	res := &Result{}
+
+	env, cleanup := newGuardEnv(ctx, cfg)
+	defer cleanup()
+
+	// ---- Phase: streaming data extraction -------------------------------
+	// The stage deadline and the per-pair event cap apply exactly as in
+	// the batch extraction job; scan errors abort the run like a failed
+	// extraction job would.
+	start := time.Now()
+	extCtx, extDone := env.stageCtx("extract")
+	ires, err := ingest.Ingest(extCtx, shards, ingest.Config{
+		Workers:          opt.Workers,
+		Scale:            cfg.Scale,
+		MaxBadLines:      opt.MaxBadLines,
+		MaxEventsPerPair: env.g.MaxEventsPerPair,
+		Correlator:       corr,
+		Symbols:          opt.Symbols,
+	})
+	extDone()
+	if err != nil {
+		return nil, nil, fmt.Errorf("pipeline: ingest: %w", err)
+	}
+	res.Stats.InputEvents = ires.Stats.Records
+	res.Ingest = &IngestStats{
+		Shards:       len(ires.Stats.Shards),
+		Records:      ires.Stats.Records,
+		SkippedLines: ires.Stats.SkippedLines,
+		FirstSkipped: ires.Stats.FirstSkipped,
+	}
+	truncated := make([]TruncatedPair, len(ires.Truncated))
+	for i, tr := range ires.Truncated {
+		truncated[i] = TruncatedPair{Source: tr.Source, Destination: tr.Destination, Kept: tr.Kept, Dropped: tr.Dropped}
+	}
+	recordTruncation(res, truncated)
+	res.Stats.ExtractTime = time.Since(start)
+
+	out, err := analyze(ctx, res, ires.Summaries, mapreduce.Counters{}, cfg, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, ires.Summaries, nil
+}

@@ -5,14 +5,21 @@ import (
 	"testing"
 )
 
-// FuzzParseRecord checks that arbitrary input never panics the parser and
-// that every successfully parsed record survives a format/parse round
-// trip.
-func FuzzParseRecord(f *testing.F) {
+// fuzzSeeds is the shared seed corpus of the record-parser fuzz targets.
+func fuzzSeeds(f *testing.F) {
 	f.Add(sampleRecord().Format())
 	f.Add("")
 	f.Add("2015-03-02 13:45:01 1425303901 10.8.1.2 GET http h /p 200 1 2 \"ua\"")
 	f.Add("a b c d e f g h i j k l m n")
+	f.Add("d t +9223372036854775807 ip m s h /p -1 007 0 \"q\"")
+	f.Add("d t 1 ip m s h /p 1_0 0 0 \"ua\"")
+}
+
+// FuzzParseRecord checks that arbitrary input never panics the parser and
+// that every successfully parsed record survives a format/parse round
+// trip.
+func FuzzParseRecord(f *testing.F) {
+	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, line string) {
 		rec, err := ParseRecord(line)
 		if err != nil {
@@ -26,6 +33,28 @@ func FuzzParseRecord(f *testing.F) {
 		// must be stable under format/parse.
 		if !reflect.DeepEqual(rec, again) {
 			t.Fatalf("format/parse not stable:\n first %+v\nsecond %+v", rec, again)
+		}
+	})
+}
+
+// FuzzParseRecordView differentially fuzzes the zero-copy parser against
+// ParseRecord: arbitrary input must never panic, every line must get the
+// same accept/reject verdict from both parsers, and accepted lines must
+// produce identical field values.
+func FuzzParseRecordView(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, recErr := ParseRecord(line)
+		var view RecordView
+		viewErr := ParseRecordView([]byte(line), &view)
+		if (recErr == nil) != (viewErr == nil) {
+			t.Fatalf("verdict mismatch on %q: ParseRecord err=%v, ParseRecordView err=%v", line, recErr, viewErr)
+		}
+		if recErr != nil {
+			return
+		}
+		if got := view.Record(); !reflect.DeepEqual(got, rec) {
+			t.Fatalf("field mismatch on %q:\n view %+v\nbatch %+v", line, got, rec)
 		}
 	})
 }

@@ -1,0 +1,243 @@
+package proxylog
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Split is one scan unit of the sharded streaming ingest: a byte range of
+// a log file. Offset/Length follow the Hadoop input-split convention — a
+// split owns every line whose first byte lies inside (or, for the split
+// starting a boundary, exactly at the end of) its range — so contiguous
+// splits of one file partition its lines exactly, with no duplication and
+// no loss, regardless of where the byte boundaries fall inside lines.
+type Split struct {
+	// Path is the log file.
+	Path string
+	// Offset is the range's first byte.
+	Offset int64
+	// Length is the range's byte count; < 0 means "to end of file" (the
+	// whole-file split).
+	Length int64
+}
+
+// String renders the split for error messages and fault-point keys.
+func (s Split) String() string {
+	if s.Length < 0 {
+		return s.Path
+	}
+	return fmt.Sprintf("%s[%d:%d]", s.Path, s.Offset, s.Offset+s.Length)
+}
+
+// Splittable reports whether a file supports byte-range splits.
+// Gzip-compressed files do not: the stream must be decoded from the
+// start, so they always scan as one whole-file split.
+func Splittable(path string) bool { return !strings.HasSuffix(path, ".gz") }
+
+// SplitFile divides the file at path into up to n byte-range splits of
+// roughly equal size. Unsplittable (gzip) or small files come back as a
+// single whole-file split.
+func SplitFile(path string, n int) ([]Split, error) {
+	if n <= 1 || !Splittable(path) {
+		return []Split{{Path: path, Offset: 0, Length: -1}}, nil
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("proxylog: split: %w", err)
+	}
+	size := fi.Size()
+	if int64(n) > size {
+		n = int(size)
+	}
+	if n <= 1 {
+		return []Split{{Path: path, Offset: 0, Length: -1}}, nil
+	}
+	chunk := size / int64(n)
+	splits := make([]Split, 0, n)
+	for i := 0; i < n; i++ {
+		off := int64(i) * chunk
+		length := chunk
+		if i == n-1 {
+			length = size - off
+		}
+		splits = append(splits, Split{Path: path, Offset: off, Length: length})
+	}
+	return splits, nil
+}
+
+// maxLineBytes bounds one line's length, matching the 1 MiB token cap of
+// the whole-file readers (ForEach's bufio.Scanner buffer): a longer line
+// is an I/O-level failure in both paths, not a skippable dirty line.
+const maxLineBytes = 1 << 20
+
+// readerPool recycles split-scan read-ahead buffers across shards: a
+// sharded ingest opens many short-lived scans, and a fresh 64 KiB buffer
+// per scan would dominate its allocation profile.
+var readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 1<<16) }}
+
+// ForEachSplit streams the records owned by the split to fn, parsing each
+// line zero-copy into a reused RecordView. The view (and every field of
+// it) is only valid for the duration of the callback. maxBad == 0 is
+// strict mode — the first malformed line aborts; maxBad > 0 skips up to
+// maxBad malformed lines with the same accounting as ForEachLenient.
+// Line numbers in errors and stats are split-relative.
+func ForEachSplit(sp Split, maxBad int, fn func(*RecordView) error) (ReadStats, error) {
+	var stats ReadStats
+	var view RecordView
+	err := scanSplitLines(sp, func(line []byte, lineNo int64) error {
+		if perr := ParseRecordView(line, &view); perr != nil {
+			if maxBad == 0 {
+				return fmt.Errorf("proxylog: %s line %d: %w", sp, lineNo, perr)
+			}
+			stats.SkippedLines++
+			if stats.FirstSkipped == "" {
+				stats.FirstSkipped = fmt.Sprintf("line %d: %v", lineNo, perr)
+			}
+			if stats.SkippedLines > maxBad {
+				return fmt.Errorf("proxylog: %s: more than %d malformed lines (first: %s)", sp, maxBad, stats.FirstSkipped)
+			}
+			return nil
+		}
+		stats.Records++
+		return fn(&view)
+	})
+	return stats, err
+}
+
+// scanSplitLines delivers the raw lines owned by sp (newline and trailing
+// CR stripped, empty lines skipped) with split-relative 1-based line
+// numbers. Lines alias the read buffer and are only valid during the
+// callback. The boundary protocol: a split with Offset > 0 discards
+// everything through the first newline at or after Offset (that content
+// belongs to the previous split), and every bounded split reads past its
+// end until it has consumed the line starting at Offset+Length — so the
+// next split's discarded prefix is exactly this split's overrun.
+func scanSplitLines(sp Split, fn func(line []byte, lineNo int64) error) error {
+	f, err := os.Open(sp.Path)
+	if err != nil {
+		return fmt.Errorf("proxylog: open: %w", err)
+	}
+	defer f.Close()
+
+	var src io.Reader = f
+	if !Splittable(sp.Path) {
+		if sp.Offset != 0 || sp.Length >= 0 {
+			return fmt.Errorf("proxylog: %s: gzip files only support the whole-file split", sp.Path)
+		}
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return fmt.Errorf("proxylog: gzip open: %w", err)
+		}
+		defer gz.Close()
+		src = gz
+	} else if sp.Offset > 0 {
+		if _, err := f.Seek(sp.Offset, io.SeekStart); err != nil {
+			return fmt.Errorf("proxylog: seek: %w", err)
+		}
+	}
+
+	// 64 KiB of pooled read-ahead; lines longer than the reader buffer
+	// take readLine's accumulation slow path, so the 1 MiB line bound does
+	// not require a 1 MiB buffer (which would dominate small-shard scans).
+	br := readerPool.Get().(*bufio.Reader)
+	defer readerPool.Put(br)
+	br.Reset(src)
+	pos := sp.Offset
+	// stopAt is the last line-start position this split still owns.
+	stopAt := int64(-1)
+	if sp.Length >= 0 {
+		stopAt = sp.Offset + sp.Length
+	}
+
+	if sp.Offset > 0 {
+		// The partial (or boundary) first line belongs to the previous
+		// split, which read past its end to finish it.
+		n, err := discardLine(br)
+		pos += n
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("proxylog: scan: %w", err)
+		}
+	}
+
+	// lineBuf accumulates a line that straddles internal read-buffer
+	// boundaries; in the common case the line is delivered directly from
+	// the reader's buffer with no copy.
+	var lineBuf []byte
+	var lineNo int64
+	for {
+		if stopAt >= 0 && pos > stopAt {
+			return nil
+		}
+		line, n, err := readLine(br, &lineBuf)
+		if n == 0 && err == io.EOF {
+			return nil
+		}
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("proxylog: scan: %w", err)
+		}
+		pos += n
+		lineNo++
+		// Strip the newline and any trailing CR, mirroring
+		// bufio.ScanLines in the whole-file readers.
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			line = line[:len(line)-1]
+		}
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 {
+			continue
+		}
+		if cbErr := fn(line, lineNo); cbErr != nil {
+			return cbErr
+		}
+	}
+}
+
+// readLine returns the next line including its newline (when present),
+// and the number of raw bytes consumed. The returned slice aliases the
+// reader's internal buffer when the line fits in one read, and *buf
+// otherwise.
+func readLine(br *bufio.Reader, buf *[]byte) ([]byte, int64, error) {
+	chunk, err := br.ReadSlice('\n')
+	if err != bufio.ErrBufferFull {
+		return chunk, int64(len(chunk)), err
+	}
+	// Slow path: the line straddles the reader's buffer; accumulate.
+	*buf = append((*buf)[:0], chunk...)
+	total := int64(len(chunk))
+	for err == bufio.ErrBufferFull {
+		if len(*buf) > maxLineBytes {
+			return nil, total, fmt.Errorf("line longer than %d bytes", maxLineBytes)
+		}
+		chunk, err = br.ReadSlice('\n')
+		*buf = append(*buf, chunk...)
+		total += int64(len(chunk))
+	}
+	if len(*buf) > maxLineBytes {
+		return nil, total, fmt.Errorf("line longer than %d bytes", maxLineBytes)
+	}
+	return *buf, total, err
+}
+
+// discardLine consumes through the next newline, returning the byte
+// count consumed.
+func discardLine(br *bufio.Reader) (int64, error) {
+	var total int64
+	for {
+		chunk, err := br.ReadSlice('\n')
+		total += int64(len(chunk))
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return total, err
+	}
+}

@@ -1,0 +1,127 @@
+package proxylog
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parityLines is the accept/reject parity corpus: every line must get the
+// same verdict from ParseRecord and ParseRecordView, and on accept the
+// same field values.
+var parityLines = []string{
+	"2015-03-02 13:45:01 1425303901 10.8.1.2 GET http example.com /index.html?q=1 200 5321 411 \"Mozilla/5.0 (Windows NT 6.1)\"",
+	"d t 0 ip m s h /p 0 0 0 \"\"",       // user agent exactly `""`
+	"d t -5 ip m s h /p -1 -2 -3 \"ua\"", // negative numerics parse
+	"d t +7 ip m s h /p +1 +2 +3 \"ua\"", // explicit plus sign parses
+	"",
+	"too few fields",
+	"a b c d e f g h i j k l m n",                       // non-numeric epoch
+	"d t 1 ip m s h /p x 0 0 \"ua\"",                    // non-numeric status
+	"d t 1 ip m s h /p 0 x 0 \"ua\"",                    // non-numeric bytes out
+	"d t 1 ip m s h /p 0 0 x \"ua\"",                    // non-numeric bytes in
+	"d t 1 ip m s h /p 0 0 0 unquoted",                  // unquoted user agent
+	"d t 1 ip m s h /p 0 0 0 \"",                        // lone quote
+	"d t 1 ip m s h /p 0 0 0 \"ua with spaces\"",        // spaces in remainder
+	"d t 1 ip m s h /p 0 0 0 \"ua\" trailing",           // trailing junk folds into UA, unquoted
+	"d t 9223372036854775807 ip m s h /p 0 0 0 \"ua\"",  // int64 max
+	"d t 9223372036854775808 ip m s h /p 0 0 0 \"ua\"",  // int64 overflow
+	"d t -9223372036854775808 ip m s h /p 0 0 0 \"ua\"", // int64 min
+	"d t -9223372036854775809 ip m s h /p 0 0 0 \"ua\"", // int64 underflow
+	"d t 1_0 ip m s h /p 0 0 0 \"ua\"",                  // underscores rejected
+	"d t 1 ip m s h /p 0x10 0 0 \"ua\"",                 // hex rejected
+	"d t 1 ip m s h /p - 0 0 \"ua\"",                    // bare sign rejected
+	"d t  1425303901 ip m s h /p 200 1 2 \"ua\"",        // empty field via double space
+	"d t 1 ip m s h /p 007 0 0 \"ua\"",                  // leading zeros accepted
+}
+
+// TestParseRecordViewParity pins the zero-copy parser to ParseRecord's
+// exact accept/reject behavior and field values.
+func TestParseRecordViewParity(t *testing.T) {
+	for _, line := range parityLines {
+		rec, recErr := ParseRecord(line)
+		var view RecordView
+		viewErr := ParseRecordView([]byte(line), &view)
+		if (recErr == nil) != (viewErr == nil) {
+			t.Errorf("verdict mismatch on %q: ParseRecord err=%v, ParseRecordView err=%v", line, recErr, viewErr)
+			continue
+		}
+		if recErr != nil {
+			continue
+		}
+		if got := view.Record(); *got != *rec {
+			t.Errorf("field mismatch on %q:\n view %+v\nbatch %+v", line, got, rec)
+		}
+	}
+}
+
+// TestParseRecordViewAliasing documents the zero-copy contract: view
+// fields alias the input buffer, so mutating the buffer mutates the view.
+func TestParseRecordViewAliasing(t *testing.T) {
+	line := []byte(sampleRecord().Format())
+	var v RecordView
+	if err := ParseRecordView(line, &v); err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Host) != "example.com" {
+		t.Fatalf("host = %q", v.Host)
+	}
+	line[strings.Index(string(line), "example.com")] = 'X'
+	if string(v.Host) != "Xxample.com" {
+		t.Errorf("view does not alias the line buffer: host = %q", v.Host)
+	}
+}
+
+// TestParseRecordViewNoAlloc is the proof behind ParseRecordView's
+// //bw:noalloc annotation: parsing a well-formed and a malformed line
+// allocates nothing.
+func TestParseRecordViewNoAlloc(t *testing.T) {
+	good := []byte(sampleRecord().Format())
+	bad := []byte("not a record")
+	var v RecordView
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := ParseRecordView(good, &v); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("ParseRecordView(good) allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := ParseRecordView(bad, &v); err == nil {
+			t.Fatal("malformed line parsed")
+		}
+	}); allocs != 0 {
+		t.Errorf("ParseRecordView(bad) allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestParseIntBytesParity pins parseIntBytes to strconv.ParseInt across
+// signs, overflow boundaries and malformed input, and proves the
+// //bw:noalloc annotation.
+func TestParseIntBytesParity(t *testing.T) {
+	cases := []string{
+		"0", "1", "-1", "+1", "007", "9223372036854775807", "9223372036854775808",
+		"-9223372036854775808", "-9223372036854775809", "", "-", "+", "x", "1x",
+		"1_0", "0x10", " 1", "1 ", "--1", "++1", "+-1", "18446744073709551615",
+		"2147483647", "2147483648", "-2147483648", "-2147483649",
+	}
+	for _, bits := range []int{32, 64} {
+		for _, s := range cases {
+			want, wantErr := strconv.ParseInt(s, 10, bits)
+			got, ok := parseIntBytes([]byte(s), bits)
+			if ok != (wantErr == nil) {
+				t.Errorf("bits=%d %q: ok=%v, strconv err=%v", bits, s, ok, wantErr)
+				continue
+			}
+			if ok && got != want {
+				t.Errorf("bits=%d %q: got %d, want %d", bits, s, got, want)
+			}
+		}
+	}
+	b := []byte("-9223372036854775808")
+	if allocs := testing.AllocsPerRun(100, func() {
+		parseIntBytes(b, 64)
+	}); allocs != 0 {
+		t.Errorf("parseIntBytes allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,83 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnsorted is returned by Builder.Summary when timestamps were
+// appended out of order.
+var ErrUnsorted = errors.New("timeseries: timestamps not in ascending order")
+
+// Builder assembles an ActivitySummary by appending already-sorted
+// timestamps one at a time, quantizing each to the scale and recording
+// the interval in place — the streaming-ingest counterpart of
+// FromTimestamps, which needs the full timestamp list materialized (and
+// copies it) before it can build. A Builder is single-use: build, take
+// Summary, discard.
+type Builder struct {
+	as       ActivitySummary
+	prev     int64 // previous bucket
+	n        int   // timestamps appended
+	misorder bool
+	badScale bool
+}
+
+// NewBuilder starts a summary for the pair at the given scale, with
+// capacity for sizeHint events.
+func NewBuilder(source, destination string, scale int64, sizeHint int) *Builder {
+	b := &Builder{as: ActivitySummary{Source: source, Destination: destination, Scale: scale}}
+	if scale <= 0 {
+		b.badScale = true
+		return b
+	}
+	if sizeHint > 1 {
+		b.as.Intervals = make([]int64, 0, sizeHint-1)
+	}
+	return b
+}
+
+// Add appends one event timestamp (Unix seconds). Timestamps must arrive
+// in ascending order; a violation is recorded and surfaces as ErrUnsorted
+// from Summary rather than panicking mid-aggregation.
+func (b *Builder) Add(ts int64) {
+	if b.badScale {
+		return
+	}
+	bucket := ts / b.as.Scale
+	if b.n == 0 {
+		b.as.First = bucket * b.as.Scale
+	} else {
+		if bucket < b.prev {
+			b.misorder = true
+			return
+		}
+		b.as.Intervals = append(b.as.Intervals, bucket-b.prev)
+	}
+	b.prev = bucket
+	b.n++
+}
+
+// Count returns the number of events appended so far.
+func (b *Builder) Count() int { return b.n }
+
+// AddURLPath records a URL path observation on the summary under
+// construction, with ActivitySummary.AddURLPath's dedup and bound.
+func (b *Builder) AddURLPath(path string) { b.as.AddURLPath(path) }
+
+// Summary finalizes and returns the built summary. It fails on an empty
+// builder (ErrNoEvents), a non-positive scale, or out-of-order input
+// (ErrUnsorted) — the same contract FromTimestamps enforces eagerly.
+func (b *Builder) Summary() (*ActivitySummary, error) {
+	if b.badScale {
+		return nil, fmt.Errorf("timeseries: scale must be positive, got %d", b.as.Scale)
+	}
+	if b.n == 0 {
+		return nil, ErrNoEvents
+	}
+	if b.misorder {
+		return nil, fmt.Errorf("%w: pair %s", ErrUnsorted, b.as.PairKey())
+	}
+	out := b.as
+	return &out, nil
+}
