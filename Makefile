@@ -36,14 +36,16 @@ test:
 test-race:
 	$(GO) test -race -timeout=5m ./...
 
-# A few seconds of coverage-guided fuzzing over each line parser — the
-# batch record parser, the zero-copy view parser, and the sharded-ingest
-# line path built on it — cheap enough to run routinely. The patterns are
-# anchored: -fuzz errors out when it matches more than one target.
+# A few seconds of coverage-guided fuzzing over each untrusted decoder —
+# the batch record parser, the zero-copy view parser, the sharded-ingest
+# line path built on it, and the mrx frame decoder that coordinator and
+# workers speak over pipes — cheap enough to run routinely. The patterns
+# are anchored: -fuzz errors out when it matches more than one target.
 fuzz-smoke:
 	$(GO) test ./internal/proxylog -run='^$$' -fuzz='FuzzParseRecord$$' -fuzztime=5s
 	$(GO) test ./internal/proxylog -run='^$$' -fuzz='FuzzParseRecordView$$' -fuzztime=5s
 	$(GO) test ./internal/ingest -run='^$$' -fuzz='FuzzIngestLine$$' -fuzztime=5s
+	$(GO) test ./internal/mrx -run='^$$' -fuzz='FuzzFrameDecode$$' -fuzztime=5s
 
 tidy:
 	$(GO) mod tidy

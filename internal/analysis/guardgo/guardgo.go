@@ -1,7 +1,7 @@
 // Package guardgo enforces the concurrency-accounting invariant of the
 // guarded packages (internal/pipeline, internal/mapreduce,
-// internal/opsloop): work must stay visible to the deadline/watchdog
-// machinery of internal/guard.
+// internal/opsloop, internal/mrx): work must stay visible to the
+// deadline/watchdog machinery of internal/guard.
 //
 // Inside those packages, production code may not:
 //
@@ -41,6 +41,7 @@ var guardedPackages = map[string]bool{
 	"pipeline":  true,
 	"mapreduce": true,
 	"opsloop":   true,
+	"mrx":       true,
 }
 
 func run(pass *analysis.Pass) (any, error) {

@@ -61,6 +61,23 @@ const (
 	// (scan) or partition index (aggregate).
 	PointIngestShardScan Point = "ingest.shard.scan"
 	PointIngestAggregate Point = "ingest.aggregate"
+
+	// mrx multi-process executor, coordinator side: worker spawn, task
+	// assignment, task completion (before journaling), the map->reduce
+	// shuffle barrier, and the recovery-journal commit.
+	PointMrxSpawn          Point = "mrx.spawn"
+	PointMrxAssign         Point = "mrx.assign"
+	PointMrxComplete       Point = "mrx.complete"
+	PointMrxShuffleBarrier Point = "mrx.shuffle.barrier"
+	PointMrxJournalWrite   Point = "mrx.journal.write"
+
+	// mrx worker side (traversed inside exec'd worker processes; schedule
+	// these through the EnvScheduleVar transport): task start, the ack
+	// gap between finishing a task (spills durable) and sending
+	// task-done, and each heartbeat send.
+	PointMrxWorkerTask      Point = "mrx.worker.task"
+	PointMrxWorkerAck       Point = "mrx.worker.ack"
+	PointMrxWorkerHeartbeat Point = "mrx.worker.heartbeat"
 )
 
 // Points returns every registered fault-injection point. Keyed points are
@@ -88,5 +105,13 @@ func Points() []Point {
 		PointGuardWatchdogStall,
 		PointIngestShardScan,
 		PointIngestAggregate,
+		PointMrxSpawn,
+		PointMrxAssign,
+		PointMrxComplete,
+		PointMrxShuffleBarrier,
+		PointMrxJournalWrite,
+		PointMrxWorkerTask,
+		PointMrxWorkerAck,
+		PointMrxWorkerHeartbeat,
 	}
 }

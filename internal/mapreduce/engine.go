@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -236,6 +237,12 @@ type Counters struct {
 	// FailedKeys is the number of reduce keys dropped after their final
 	// attempt failed (bounded by JobConfig.MaxFailedKeys).
 	FailedKeys int64
+	// CorruptSpills is the number of spill files that failed checksum
+	// validation during the shuffle and were quarantined.
+	CorruptSpills int64
+	// ShardReruns is the number of map shards re-executed to regenerate
+	// quarantined spill files (at most one rerun per shard).
+	ShardReruns int64
 }
 
 // Result bundles a run's outputs and counters.
@@ -249,7 +256,10 @@ type Result[O any] struct {
 // hash, then by key order of first emission). Run aborts early when ctx is
 // cancelled or any task returns an error.
 func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], error) {
-	// Strided assignment keeps the work distribution deterministic.
+	// Strided assignment keeps the work distribution deterministic, and —
+	// because sourceFor hands out a fresh iterator per call — lets the
+	// shuffle re-execute a single map shard to regenerate a spill file
+	// that fails validation (rerunnable=true).
 	return j.run(ctx, func(w int) func() (I, int, bool) {
 		i := w - j.cfg.Mappers
 		return func() (I, int, bool) {
@@ -260,7 +270,7 @@ func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) (*Result[O], erro
 			}
 			return inputs[i], i, true
 		}
-	})
+	}, true)
 }
 
 // RunStream executes the job over a pull iterator instead of a
@@ -289,13 +299,18 @@ func (j *Job[I, K, V, O]) RunStream(ctx context.Context, next func() (I, bool)) 
 		idx++
 		return in, idx, true
 	}
-	return j.run(ctx, func(int) func() (I, int, bool) { return pull })
+	// The shared pull iterator is consumed as it goes, so a corrupt spill
+	// cannot be regenerated by re-running its shard (rerunnable=false).
+	return j.run(ctx, func(int) func() (I, int, bool) { return pull }, false)
 }
 
 // run is the engine shared by Run and RunStream. sourceFor returns worker
 // w's input fetcher: each call yields the next input with its global
-// index, or ok=false when the worker's share is exhausted.
-func (j *Job[I, K, V, O]) run(ctx context.Context, sourceFor func(w int) func() (I, int, bool)) (*Result[O], error) {
+// index, or ok=false when the worker's share is exhausted. rerunnable
+// promises that sourceFor(w) yields the same sequence on every call,
+// allowing the shuffle to re-execute a map shard whose spill file fails
+// validation instead of aborting the job.
+func (j *Job[I, K, V, O]) run(ctx context.Context, sourceFor func(w int) func() (I, int, bool), rerunnable bool) (*Result[O], error) {
 	nParts := 1 << j.cfg.PartitionBits
 
 	// Optional disk spill: one temp dir per run, removed on return.
@@ -355,130 +370,142 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, sourceFor func(w int) func() 
 		return j.mapFn(in, emit)
 	}
 
+	// runShard executes one map shard to completion: consume sourceFor(w),
+	// emit into the shard's groups, flush spills at the threshold, apply
+	// the combiner. Shared by the parallel map phase and — because strided
+	// sources replay identically — by the shuffle's corrupt-spill
+	// recovery, which re-runs a single shard into a fresh spill directory.
+	// retries and failed are the failure-accounting sinks (the recovery
+	// rerun uses throwaway ones so its retries and skips are not
+	// double-counted against the job's budgets).
+	runShard := func(shardCtx context.Context, w int, shard *mapShard, label string, retries, failed *atomic.Int64) error {
+		emit := func(key K, value V) {
+			p := int(j.cfg.KeyHash(key) % uint64(nParts))
+			g := shard.groups[p]
+			if _, seen := g[key]; !seen {
+				shard.order[p] = append(shard.order[p], key)
+			}
+			g[key] = append(g[key], value)
+			shard.pairs++
+			shard.buffered++
+		}
+		applyCombiner := func() {
+			if j.combine == nil {
+				return
+			}
+			for p := range shard.groups {
+				for k, vs := range shard.groups[p] {
+					shard.groups[p][k] = j.combine(k, vs)
+				}
+			}
+		}
+		type stagedPair struct {
+			key   K
+			value V
+		}
+		var wk *guard.Worker
+		if j.cfg.Watchdog != nil {
+			wk = j.cfg.Watchdog.Worker(fmt.Sprintf("%s/%s-%d", j.name(), label, w))
+			defer wk.Done()
+		}
+		// runTask executes the map call for one input on the staged
+		// path: emissions collect into a local slice returned by
+		// value, so failed, timed-out, or abandoned attempts never
+		// leave partial (or racing) emissions behind. The unguarded
+		// path reuses one buffer across inputs — nothing can abandon
+		// the call mid-append there; the guarded path must allocate
+		// per call, since an abandoned attempt keeps appending to its
+		// slice while the worker moves on.
+		var stagedBuf []stagedPair
+		runTask := func(in I) ([]stagedPair, error) {
+			if !j.cfg.guarded() {
+				stagedBuf = stagedBuf[:0]
+				if err := runMap(in, func(k K, v V) {
+					stagedBuf = append(stagedBuf, stagedPair{key: k, value: v})
+				}); err != nil {
+					return nil, err
+				}
+				return stagedBuf, nil
+			}
+			call := func() ([]stagedPair, error) {
+				var local []stagedPair
+				if err := runMap(in, func(k K, v V) {
+					local = append(local, stagedPair{key: k, value: v})
+				}); err != nil {
+					return nil, err
+				}
+				return local, nil
+			}
+			return guard.BoundWork(shardCtx, wk, j.cfg.TaskTimeout, call)
+		}
+		// Staged emission: with retries, a failure budget, or bounded
+		// execution enabled, an input's pairs are merged into the
+		// shard only after its map call succeeds.
+		staging := j.cfg.MaxRetries > 0 || j.cfg.MaxFailedInputs > 0 || j.cfg.guarded()
+		nextInput := sourceFor(w)
+		for {
+			if shardCtx.Err() != nil {
+				return nil
+			}
+			in, i, ok := nextInput()
+			if !ok {
+				break
+			}
+			shard.inputs++
+			var err error
+			if staging {
+				for attempt := 0; ; attempt++ {
+					var staged []stagedPair
+					staged, err = runTask(in)
+					if err == nil {
+						for _, sp := range staged {
+							emit(sp.key, sp.value)
+						}
+						break
+					}
+					if attempt >= j.cfg.MaxRetries || finalFailure(err) {
+						break
+					}
+					retries.Add(1)
+					if !sleepRetry(shardCtx, retryDelay(j.cfg, j.name(), i, attempt+1)) {
+						return nil
+					}
+				}
+			} else {
+				err = runMap(in, emit)
+			}
+			if err != nil {
+				if shardCtx.Err() != nil {
+					return nil // job-wide cancellation, not an input failure
+				}
+				if failedNow := failed.Add(1); failedNow <= int64(j.cfg.MaxFailedInputs) {
+					continue // poisoned or overrunning record skipped, within budget
+				}
+				return fmt.Errorf("%s: map input %d: %w", j.name(), i, err)
+			}
+			if shard.spill != nil && shard.buffered >= int64(j.cfg.SpillThreshold) {
+				applyCombiner()
+				if err := shard.spill.flush(shard.groups, shard.order); err != nil {
+					return fmt.Errorf("%s: %w", j.name(), err)
+				}
+				shard.buffered = 0
+			}
+		}
+		applyCombiner()
+		return nil
+	}
+
 	var wg sync.WaitGroup
 	errc := make(chan error, j.cfg.Mappers+j.cfg.Reducers)
 	for w := 0; w < j.cfg.Mappers; w++ {
 		wg.Add(1)
+		//bw:guarded map workers are joined by wg.Wait below and cancelled via mapCtx; runShard registers with the job watchdog when one is configured
 		go func(w int) {
 			defer wg.Done()
-			shard := shards[w]
-			emit := func(key K, value V) {
-				p := int(j.cfg.KeyHash(key) % uint64(nParts))
-				g := shard.groups[p]
-				if _, seen := g[key]; !seen {
-					shard.order[p] = append(shard.order[p], key)
-				}
-				g[key] = append(g[key], value)
-				shard.pairs++
-				shard.buffered++
+			if err := runShard(mapCtx, w, shards[w], "map", &retriesTotal, &failedTotal); err != nil {
+				errc <- err
+				cancel()
 			}
-			applyCombiner := func() {
-				if j.combine == nil {
-					return
-				}
-				for p := range shard.groups {
-					for k, vs := range shard.groups[p] {
-						shard.groups[p][k] = j.combine(k, vs)
-					}
-				}
-			}
-			type stagedPair struct {
-				key   K
-				value V
-			}
-			var wk *guard.Worker
-			if j.cfg.Watchdog != nil {
-				wk = j.cfg.Watchdog.Worker(fmt.Sprintf("%s/map-%d", j.name(), w))
-				defer wk.Done()
-			}
-			// runTask executes the map call for one input on the staged
-			// path: emissions collect into a local slice returned by
-			// value, so failed, timed-out, or abandoned attempts never
-			// leave partial (or racing) emissions behind. The unguarded
-			// path reuses one buffer across inputs — nothing can abandon
-			// the call mid-append there; the guarded path must allocate
-			// per call, since an abandoned attempt keeps appending to its
-			// slice while the worker moves on.
-			var stagedBuf []stagedPair
-			runTask := func(in I) ([]stagedPair, error) {
-				if !j.cfg.guarded() {
-					stagedBuf = stagedBuf[:0]
-					if err := runMap(in, func(k K, v V) {
-						stagedBuf = append(stagedBuf, stagedPair{key: k, value: v})
-					}); err != nil {
-						return nil, err
-					}
-					return stagedBuf, nil
-				}
-				call := func() ([]stagedPair, error) {
-					var local []stagedPair
-					if err := runMap(in, func(k K, v V) {
-						local = append(local, stagedPair{key: k, value: v})
-					}); err != nil {
-						return nil, err
-					}
-					return local, nil
-				}
-				return guard.BoundWork(mapCtx, wk, j.cfg.TaskTimeout, call)
-			}
-			// Staged emission: with retries, a failure budget, or bounded
-			// execution enabled, an input's pairs are merged into the
-			// shard only after its map call succeeds.
-			staging := j.cfg.MaxRetries > 0 || j.cfg.MaxFailedInputs > 0 || j.cfg.guarded()
-			nextInput := sourceFor(w)
-			for {
-				if mapCtx.Err() != nil {
-					return
-				}
-				in, i, ok := nextInput()
-				if !ok {
-					break
-				}
-				shard.inputs++
-				var err error
-				if staging {
-					for attempt := 0; ; attempt++ {
-						var staged []stagedPair
-						staged, err = runTask(in)
-						if err == nil {
-							for _, sp := range staged {
-								emit(sp.key, sp.value)
-							}
-							break
-						}
-						if attempt >= j.cfg.MaxRetries || finalFailure(err) {
-							break
-						}
-						retriesTotal.Add(1)
-						if !sleepRetry(mapCtx, retryDelay(j.cfg, j.name(), i, attempt+1)) {
-							return
-						}
-					}
-				} else {
-					err = runMap(in, emit)
-				}
-				if err != nil {
-					if mapCtx.Err() != nil {
-						return // job-wide cancellation, not an input failure
-					}
-					if failed := failedTotal.Add(1); failed <= int64(j.cfg.MaxFailedInputs) {
-						continue // poisoned or overrunning record skipped, within budget
-					}
-					errc <- fmt.Errorf("%s: map input %d: %w", j.name(), i, err)
-					cancel()
-					return
-				}
-				if shard.spill != nil && shard.buffered >= int64(j.cfg.SpillThreshold) {
-					applyCombiner()
-					if err := shard.spill.flush(shard.groups, shard.order); err != nil {
-						errc <- fmt.Errorf("%s: %w", j.name(), err)
-						cancel()
-						return
-					}
-					shard.buffered = 0
-				}
-			}
-			applyCombiner()
 		}(w)
 	}
 	wg.Wait()
@@ -502,6 +529,38 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, sourceFor func(w int) func() 
 	// ---- shuffle: merge map shards per partition --------------------------
 	// Spill files replay first (in flush order), then each shard's
 	// in-memory remainder, keeping key order deterministic.
+	//
+	// A spill file that fails validation is not fatal on the rerunnable
+	// path: the file is quarantined (moved into SpillDir, outside the
+	// ephemeral per-run root, so it survives the run for forensics) and
+	// its producing shard is re-executed once into a fresh directory. Flush
+	// boundaries are a pure function of input order and SpillThreshold, so
+	// the rerun regenerates the same file sequence and only the corrupt
+	// file's replacement is replayed; the original shard's intact files
+	// and in-memory remainder are untouched. A replacement that fails
+	// validation too aborts the job.
+	rerunShards := make(map[int]*mapShard)
+	var rerunRetries, rerunFailed atomic.Int64
+	rerunShard := func(w int) (*mapShard, error) {
+		if rs, ok := rerunShards[w]; ok {
+			return rs, nil
+		}
+		rerunDir := filepath.Join(spillRoot, fmt.Sprintf("rerun-w%d", w))
+		if err := os.MkdirAll(rerunDir, 0o755); err != nil {
+			return nil, fmt.Errorf("%s: rerun dir: %w", j.name(), err)
+		}
+		rs := &mapShard{groups: make([]map[K][]V, nParts), order: make([][]K, nParts)}
+		for p := range rs.groups {
+			rs.groups[p] = make(map[K][]V)
+		}
+		rs.spill = newSpillWriter[K, V](rerunDir, w, nParts)
+		counters.ShardReruns++
+		if err := runShard(ctx, w, rs, "map-rerun", &rerunRetries, &rerunFailed); err != nil {
+			return nil, err
+		}
+		rerunShards[w] = rs
+		return rs, nil
+	}
 	partGroups := make([]map[K][]V, nParts)
 	partOrder := make([][]K, nParts)
 	for p := 0; p < nParts; p++ {
@@ -509,11 +568,32 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, sourceFor func(w int) func() 
 			return nil, context.Cause(ctx)
 		}
 		partGroups[p] = make(map[K][]V)
-		for _, s := range shards {
+		for w, s := range shards {
 			if s.spill != nil {
-				for _, path := range s.spill.files[p] {
-					if err := replaySpill(path, partGroups[p], &partOrder[p]); err != nil {
+				for fi, path := range s.spill.files[p] {
+					err := replaySpill(path, partGroups[p], &partOrder[p])
+					if err == nil {
+						continue
+					}
+					if !rerunnable || !errors.Is(err, ErrSpillCorrupt) {
 						return nil, fmt.Errorf("%s: %w", j.name(), err)
+					}
+					counters.CorruptSpills++
+					qpath := filepath.Join(j.cfg.SpillDir,
+						filepath.Base(spillRoot)+"-"+filepath.Base(path)+".quarantined")
+					if qerr := os.Rename(path, qpath); qerr != nil {
+						return nil, fmt.Errorf("%s: quarantine %s: %v (after %w)", j.name(), path, qerr, err)
+					}
+					rs, rerr := rerunShard(w)
+					if rerr != nil {
+						return nil, rerr
+					}
+					if fi >= len(rs.spill.files[p]) {
+						return nil, fmt.Errorf("%s: map shard %d rerun produced no replacement for %s (%w)",
+							j.name(), w, path, err)
+					}
+					if rerr := replaySpill(rs.spill.files[p][fi], partGroups[p], &partOrder[p]); rerr != nil {
+						return nil, fmt.Errorf("%s: map shard %d corrupted its spills again: %w", j.name(), w, rerr)
 					}
 				}
 			}

@@ -1,0 +1,130 @@
+package mrx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte(strings.Repeat("beacon", 1000)),
+		make([]byte, 100_000),
+	}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, Kind(i%7+1), p); err != nil {
+			t.Fatalf("write frame %d: %v", i, err)
+		}
+	}
+	for i, want := range payloads {
+		kind, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if kind != Kind(i%7+1) {
+			t.Fatalf("frame %d: kind %v, want %v", i, kind, Kind(i%7+1))
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("exhausted stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCleanEOF(t *testing.T) {
+	if _, _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func frameBytes(t *testing.T, kind Kind, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, kind, payload); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameTruncation(t *testing.T) {
+	full := frameBytes(t, KindTask, []byte("some payload bytes"))
+	// Every proper prefix except the empty one must yield ErrFrame, and
+	// the empty one must be a clean io.EOF.
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrFrame) {
+			t.Fatalf("prefix of %d bytes: got %v, want ErrFrame", cut, err)
+		}
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	full := frameBytes(t, KindTask, []byte("payload"))
+	full[0] ^= 0xff
+	if _, _, err := ReadFrame(bytes.NewReader(full)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("bad magic: got %v, want ErrFrame", err)
+	}
+}
+
+func TestFrameFlippedKindFailsChecksum(t *testing.T) {
+	full := frameBytes(t, KindTask, []byte("payload"))
+	full[4] = byte(KindShutdown) // the CRC covers the kind byte
+	if _, _, err := ReadFrame(bytes.NewReader(full)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("flipped kind: got %v, want ErrFrame", err)
+	}
+}
+
+func TestFrameCorruptPayload(t *testing.T) {
+	full := frameBytes(t, KindTask, []byte("payload"))
+	full[frameHdr] ^= 0x01
+	if _, _, err := ReadFrame(bytes.NewReader(full)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("corrupt payload: got %v, want ErrFrame", err)
+	}
+}
+
+func TestFrameOversizeLength(t *testing.T) {
+	if err := WriteFrame(io.Discard, KindTask, make([]byte, MaxFramePayload+1)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversize write: got %v, want ErrFrame", err)
+	}
+	var hdr [frameHdr]byte
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	hdr[4] = byte(KindTask)
+	binary.LittleEndian.PutUint32(hdr[5:], MaxFramePayload+1)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversize declared length: got %v, want ErrFrame", err)
+	}
+}
+
+func TestFrameHostileLengthDoesNotOverAllocate(t *testing.T) {
+	// A header declaring a huge (but in-cap) payload over a short stream
+	// must fail with ErrFrame after allocating at most what arrived plus
+	// one chunk — not the declared length.
+	var hdr [frameHdr]byte
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	hdr[4] = byte(KindTask)
+	binary.LittleEndian.PutUint32(hdr[5:], MaxFramePayload)
+	stream := append(hdr[:], make([]byte, 10)...)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, _, err := ReadFrame(bytes.NewReader(stream))
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, ErrFrame) {
+		t.Fatalf("hostile length: got %v, want ErrFrame", err)
+	}
+	// readBounded grows in 64KiB chunks as bytes arrive, so a 16MiB
+	// declared length over a 10-byte stream must allocate roughly one
+	// chunk, not the declared 16MiB.
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 2<<20 {
+		t.Fatalf("hostile length allocated %d bytes", delta)
+	}
+}

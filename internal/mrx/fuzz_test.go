@@ -1,0 +1,75 @@
+package mrx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// FuzzFrameDecode hammers ReadFrame with malformed streams: corrupt
+// lengths, bad CRCs, truncated frames, garbage. The invariants are that
+// decoding never panics, never over-allocates relative to what the stream
+// actually delivers, and fails (or cleanly EOFs) rather than fabricating
+// a frame the writer did not produce.
+func FuzzFrameDecode(f *testing.F) {
+	// Seeds: a valid frame, a truncated one, corrupted variants, and raw
+	// header shapes with hostile lengths.
+	valid := func(kind Kind, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, kind, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(valid(KindTask, []byte("hello")))
+	f.Add(valid(KindHeartbeat, nil))
+	f.Add(valid(KindTaskDone, bytes.Repeat([]byte{0xAB}, 70_000)))
+	f.Add(valid(KindTask, []byte("hello"))[:5])
+	corrupt := valid(KindTask, []byte("hello"))
+	corrupt[len(corrupt)-1] ^= 0xFF
+	f.Add(corrupt)
+	hostile := make([]byte, frameHdr)
+	binary.LittleEndian.PutUint32(hostile[0:], frameMagic)
+	hostile[4] = byte(KindTask)
+	binary.LittleEndian.PutUint32(hostile[5:], MaxFramePayload)
+	f.Add(hostile)
+	f.Add(bytes.Repeat([]byte{0x42}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		kind, payload, err := ReadFrame(bytes.NewReader(data))
+		runtime.ReadMemStats(&after)
+
+		// Never allocate meaningfully beyond the stream's actual size: a
+		// corrupt length field must not become an allocation primitive.
+		// Budget = a few times the input (chunked append growth copies)
+		// plus a few 64KiB chunks (initial capacity, one in-flight chunk,
+		// error values) — far below the 16MiB a trusted hostile length
+		// would allocate up front.
+		if delta := after.TotalAlloc - before.TotalAlloc; delta > 4*uint64(len(data))+(256<<10) {
+			t.Fatalf("decode of %d-byte input allocated %d bytes", len(data), delta)
+		}
+		if err != nil {
+			// Errors must be the documented ones: clean EOF at a frame
+			// boundary or ErrFrame for anything malformed (a bytes.Reader
+			// cannot produce genuine I/O errors).
+			if err != io.EOF && !errors.Is(err, ErrFrame) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			return
+		}
+		// A frame that decodes must re-encode to a prefix of the input.
+		reencoded := bytes.NewBuffer(nil)
+		if werr := WriteFrame(reencoded, kind, payload); werr != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", werr)
+		}
+		if !bytes.HasPrefix(data, reencoded.Bytes()) {
+			t.Fatalf("accepted frame is not a prefix of the input stream")
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package mrx
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+
+	"baywatch/internal/faultinject"
+)
+
+// The coordinator's write-ahead recovery journal. Every completed task is
+// journalled before it counts as done (same commit discipline as the
+// opsloop manifest): the journal file is rewritten tmp → write → fsync →
+// rename → dirsync, so a coordinator killed at any instruction restarts
+// into either the previous or the next journal state, never a torn one.
+// A restarted coordinator replays the journal, verifies that each
+// recorded task's durable artifacts (spill files, partition outputs)
+// still exist, and re-runs only what is missing.
+
+// journalVersion guards against reading a future layout.
+const journalVersion = 1
+
+// mapRecord journals one completed map task.
+type mapRecord struct {
+	// Spills are the task's spill files, one per non-empty partition.
+	Spills []SpillRef `json:"spills"`
+	// Counters is the task's serialized counter deltas.
+	Counters []byte `json:"counters,omitempty"`
+}
+
+// reduceRecord journals one completed reduce task.
+type reduceRecord struct {
+	// Output is the partition's output file ("" for an empty partition).
+	Output string `json:"output"`
+	// Counters is the task's serialized counter deltas.
+	Counters []byte `json:"counters,omitempty"`
+}
+
+// journalState is the serialized journal.
+type journalState struct {
+	Version int `json:"version"`
+	// Job is the registered job name; a journal for a different job is
+	// stale scratch and is discarded.
+	Job string `json:"job"`
+	// MapDone and ReduceDone record completed tasks by index.
+	MapDone    map[int]mapRecord    `json:"mapDone"`
+	ReduceDone map[int]reduceRecord `json:"reduceDone"`
+}
+
+// journal is the coordinator's handle on the recovery journal.
+type journal struct {
+	path  string
+	state journalState
+}
+
+func journalPath(scratchDir string) string {
+	return filepath.Join(scratchDir, "journal.json")
+}
+
+// openJournal loads the journal from the scratch directory, or starts a
+// fresh one. resumed reports whether a usable prior journal was found; a
+// corrupt or foreign-job journal is quarantined (renamed aside), not
+// fatal — the job then runs from scratch.
+func openJournal(scratchDir, job string) (*journal, bool, error) {
+	j := &journal{
+		path: journalPath(scratchDir),
+		state: journalState{
+			Version:    journalVersion,
+			Job:        job,
+			MapDone:    make(map[int]mapRecord),
+			ReduceDone: make(map[int]reduceRecord),
+		},
+	}
+	data, err := os.ReadFile(j.path)
+	if os.IsNotExist(err) {
+		return j, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("mrx: read journal: %w", err)
+	}
+	var prior journalState
+	if uerr := json.Unmarshal(data, &prior); uerr != nil ||
+		prior.Version != journalVersion || prior.Job != job {
+		os.Rename(j.path, j.path+".quarantined")
+		return j, false, nil
+	}
+	if prior.MapDone == nil {
+		prior.MapDone = make(map[int]mapRecord)
+	}
+	if prior.ReduceDone == nil {
+		prior.ReduceDone = make(map[int]reduceRecord)
+	}
+	j.state = prior
+	return j, true, nil
+}
+
+// recordMap journals a completed map task write-ahead.
+func (j *journal) recordMap(index int, rec mapRecord) error {
+	j.state.MapDone[index] = rec
+	if err := j.commit(); err != nil {
+		delete(j.state.MapDone, index)
+		return err
+	}
+	return nil
+}
+
+// recordReduce journals a completed reduce task write-ahead.
+func (j *journal) recordReduce(index int, rec reduceRecord) error {
+	j.state.ReduceDone[index] = rec
+	if err := j.commit(); err != nil {
+		delete(j.state.ReduceDone, index)
+		return err
+	}
+	return nil
+}
+
+// dropMap forgets a journalled map task (its artifacts were found corrupt
+// or missing and the task will re-run).
+func (j *journal) dropMap(index int) error {
+	delete(j.state.MapDone, index)
+	return j.commit()
+}
+
+// commit rewrites the journal atomically. The single PointMrxJournalWrite
+// fault point covers the whole chain: a crash here must leave either the
+// old or the new journal in place, which the rename guarantees.
+func (j *journal) commit() error {
+	if err := faultCheck(faultinject.PointMrxJournalWrite); err != nil {
+		return fmt.Errorf("mrx: journal write: %w", err)
+	}
+	data, err := json.MarshalIndent(&j.state, "", "  ")
+	if err != nil {
+		return fmt.Errorf("mrx: marshal journal: %w", err)
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("mrx: create %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("mrx: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("mrx: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("mrx: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("mrx: rename %s: %w", j.path, err)
+	}
+	if err := syncDir(filepath.Dir(j.path)); err != nil {
+		return fmt.Errorf("mrx: dirsync %s: %w", filepath.Dir(j.path), err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so the journal rename survives power loss;
+// filesystems without directory fsync are tolerated (same policy as
+// opsloop).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}

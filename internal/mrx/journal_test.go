@@ -1,0 +1,122 @@
+package mrx
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"baywatch/internal/faultinject"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, resumed, err := openJournal(dir, "jobA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("fresh directory reported resumed")
+	}
+	spill := filepath.Join(dir, "m0-p1.spill")
+	if err := j.recordMap(0, mapRecord{Spills: []SpillRef{{Partition: 1, Path: spill}}, Counters: []byte("c0")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.recordReduce(1, reduceRecord{Output: filepath.Join(dir, "r1.out"), Counters: []byte("c1")}); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, resumed, err := openJournal(dir, "jobA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Fatal("journalled directory not reported resumed")
+	}
+	mrec, ok := j2.state.MapDone[0]
+	if !ok || len(mrec.Spills) != 1 || mrec.Spills[0].Path != spill || string(mrec.Counters) != "c0" {
+		t.Fatalf("map record not recovered: %+v", j2.state.MapDone)
+	}
+	rrec, ok := j2.state.ReduceDone[1]
+	if !ok || string(rrec.Counters) != "c1" {
+		t.Fatalf("reduce record not recovered: %+v", j2.state.ReduceDone)
+	}
+
+	if err := j2.dropMap(0); err != nil {
+		t.Fatal(err)
+	}
+	j3, _, err := openJournal(dir, "jobA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j3.state.MapDone[0]; ok {
+		t.Fatal("dropped map record survived reopen")
+	}
+}
+
+func TestJournalForeignJobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, "jobA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.recordMap(0, mapRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	j2, resumed, err := openJournal(dir, "jobB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("foreign-job journal reported resumed")
+	}
+	if len(j2.state.MapDone) != 0 {
+		t.Fatal("foreign-job records adopted")
+	}
+	if _, err := os.Stat(journalPath(dir) + ".quarantined"); err != nil {
+		t.Fatalf("foreign journal not quarantined: %v", err)
+	}
+}
+
+func TestJournalCorruptQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(journalPath(dir), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, resumed, err := openJournal(dir, "jobA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("corrupt journal reported resumed")
+	}
+	if _, err := os.Stat(journalPath(dir) + ".quarantined"); err != nil {
+		t.Fatalf("corrupt journal not quarantined: %v", err)
+	}
+}
+
+func TestJournalCommitRollsBackOnFault(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, "jobA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A failed commit must not leave the in-memory state claiming the
+	// task is journalled (PointMrxJournalWrite guards the whole chain).
+	SetFaultHook(func(point string) error {
+		if point == string(faultinject.PointMrxJournalWrite) {
+			return os.ErrPermission
+		}
+		return nil
+	})
+	defer SetFaultHook(nil)
+	if err := j.recordMap(3, mapRecord{}); err == nil {
+		t.Fatal("recordMap succeeded despite journal-write fault")
+	}
+	if _, ok := j.state.MapDone[3]; ok {
+		t.Fatal("failed commit left map record in memory")
+	}
+	SetFaultHook(nil)
+	if err := j.recordMap(3, mapRecord{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package mrx
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Wire messages. Each frame kind carries exactly one of these gob-encoded
+// payloads; both ends decode strictly by the frame's kind, never by
+// sniffing the payload.
+
+// TaskKind distinguishes map from reduce tasks.
+type TaskKind uint8
+
+const (
+	// TaskMap runs one map shard over its assigned input file, spilling
+	// every partition's pairs to the scratch directory.
+	TaskMap TaskKind = iota + 1
+	// TaskReduce reduces one partition by replaying the map tasks' spill
+	// files in task order and writing one output file.
+	TaskReduce
+)
+
+func (k TaskKind) String() string {
+	switch k {
+	case TaskMap:
+		return "map"
+	case TaskReduce:
+		return "reduce"
+	default:
+		return fmt.Sprintf("taskkind(%d)", uint8(k))
+	}
+}
+
+// Hello is the coordinator's first frame to a freshly exec'd worker. It
+// names the registered job the worker must instantiate and carries the
+// job's opaque parameter blob (decoded by the RunnerFactory).
+type Hello struct {
+	// Job is the RegisterJob name.
+	Job string
+	// Params is the job's serialized construction parameters.
+	Params []byte
+	// ScratchDir is the shared spill/output directory.
+	ScratchDir string
+	// HeartbeatMS is how often the worker must heartbeat while a task
+	// runs, in milliseconds.
+	HeartbeatMS int64
+}
+
+// TaskSpec assigns one task to a worker.
+type TaskSpec struct {
+	// Kind is map or reduce.
+	Kind TaskKind
+	// Seq is the coordinator's task sequence number; the worker echoes it
+	// in TaskResult/TaskFailed so late frames from a revoked lease are
+	// discarded rather than misattributed.
+	Seq uint64
+	// Index is the map shard index (Kind==TaskMap) or the partition index
+	// (Kind==TaskReduce).
+	Index int
+	// Inputs: for a map task, the shard's input file; for a reduce task,
+	// the spill files to replay, in map-task order.
+	Inputs []string
+	// Output: for a reduce task, the partition output file path. Map
+	// tasks derive their spill paths from ScratchDir and Index.
+	Output string
+}
+
+// TaskResult reports a completed task.
+type TaskResult struct {
+	// Seq echoes the TaskSpec.
+	Seq uint64
+	// Spills lists the spill files the task produced (map tasks; one per
+	// non-empty partition), relative ordering preserved.
+	Spills []SpillRef
+	// Counters is the task's serialized counter deltas, merged by the
+	// typed layer.
+	Counters []byte
+}
+
+// SpillRef names one spill file a map task produced.
+type SpillRef struct {
+	// Partition is the hash partition the file belongs to.
+	Partition int
+	// Path is the file's absolute path in the scratch directory.
+	Path string
+}
+
+// TaskFailed reports a task that failed without killing the worker.
+type TaskFailed struct {
+	// Seq echoes the TaskSpec.
+	Seq uint64
+	// Err is the failure message.
+	Err string
+	// Final marks a non-retryable failure (the job must abort rather
+	// than requeue).
+	Final bool
+	// CorruptInput names the corrupt input file when the failure unwraps
+	// to *CorruptInputError ("" otherwise); the coordinator quarantines
+	// it and re-executes the producing map shard.
+	CorruptInput string
+}
+
+// Heartbeat is the worker's periodic liveness proof, busy or idle.
+type Heartbeat struct {
+	// Seq is the task the worker is working on (0 when idle).
+	Seq uint64
+}
+
+// encodeMsg gob-encodes one wire message.
+func encodeMsg(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("mrx: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeMsg gob-decodes one wire message into v.
+func decodeMsg(payload []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("mrx: decode %T: %w", v, err)
+	}
+	return nil
+}

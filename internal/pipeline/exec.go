@@ -1,0 +1,151 @@
+package pipeline
+
+// Distributed beaconing detection. The detect stage — the pipeline's CPU
+// hot spot — can run its MapReduce job in exec'd worker OS processes via
+// the multi-process executor (internal/mrx + mapreduce.RunExec). The
+// coordinator serializes the job's construction recipe (detectParams)
+// into the Hello; each worker process rebuilds an identical job from it,
+// so both sides run the same map/reduce code and the distributed run is
+// bit-identical to the in-process engine. Enabled through Config.Exec;
+// when spawning workers fails the stage degrades to the in-process path
+// unless Config.Exec.DisableFallback is set.
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"baywatch/internal/core"
+	"baywatch/internal/faultinject"
+	"baywatch/internal/mapreduce"
+	"baywatch/internal/timeseries"
+)
+
+// detectJobName is the detect job's name in the mrx job registry. It
+// deliberately shares its value with the detect stage's fault point, so
+// registry entries and injected faults line up in logs.
+const detectJobName = string(faultinject.PointPipelineDetect)
+
+func init() {
+	mapreduce.RegisterExec[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection](
+		detectJobName, buildDetectJob)
+}
+
+// wireConfig is the gob-transportable subset of mapreduce.JobConfig.
+// KeyHash (a func), SpillDir and Watchdog are coordinator-side concerns
+// that must not leak into workers: the detect job uses the default key
+// hash, and workers always spill into the coordinator's scratch.
+type wireConfig struct {
+	Name            string
+	Mappers         int
+	Reducers        int
+	PartitionBits   int
+	SpillThreshold  int
+	MaxRetries      int
+	MaxFailedInputs int
+	MaxFailedKeys   int
+	MaxBackoff      time.Duration
+	TaskTimeout     time.Duration
+}
+
+func wireJobConfig(cfg mapreduce.JobConfig) wireConfig {
+	return wireConfig{
+		Name:            cfg.Name,
+		Mappers:         cfg.Mappers,
+		Reducers:        cfg.Reducers,
+		PartitionBits:   cfg.PartitionBits,
+		SpillThreshold:  cfg.SpillThreshold,
+		MaxRetries:      cfg.MaxRetries,
+		MaxFailedInputs: cfg.MaxFailedInputs,
+		MaxFailedKeys:   cfg.MaxFailedKeys,
+		MaxBackoff:      cfg.MaxBackoff,
+		TaskTimeout:     cfg.TaskTimeout,
+	}
+}
+
+func (w wireConfig) jobConfig() mapreduce.JobConfig {
+	return mapreduce.JobConfig{
+		Name:            w.Name,
+		Mappers:         w.Mappers,
+		Reducers:        w.Reducers,
+		PartitionBits:   w.PartitionBits,
+		SpillThreshold:  w.SpillThreshold,
+		MaxRetries:      w.MaxRetries,
+		MaxFailedInputs: w.MaxFailedInputs,
+		MaxFailedKeys:   w.MaxFailedKeys,
+		MaxBackoff:      w.MaxBackoff,
+		TaskTimeout:     w.TaskTimeout,
+	}
+}
+
+// detectParams is the construction recipe the coordinator ships to
+// workers. Coordinator and worker must build identical jobs from it or
+// the differential guarantee (distributed == in-process) is void.
+type detectParams struct {
+	Detector         core.Config
+	MR               wireConfig
+	CandidateTimeout time.Duration
+	MaxInFlight      int
+}
+
+func encodeDetectParams(p detectParams) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("pipeline: encode detect params: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// buildDetectJob is the worker-side factory: it rebuilds the detect job
+// from the coordinator's params blob.
+func buildDetectJob(params []byte) (*mapreduce.Job[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection], error) {
+	var p detectParams
+	if err := gob.NewDecoder(bytes.NewReader(params)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("pipeline: decode detect params: %w", err)
+	}
+	// A worker process owns its whole lifetime: the coordinator cancels
+	// work by revoking the task lease and killing the process, so there is
+	// no caller context to thread through.
+	ctx := context.Background() //bw:guarded worker-process root; cancellation is the coordinator killing the process
+	return detectJob(ctx, core.NewDetector(p.Detector), p.MR.jobConfig(), p.CandidateTimeout, p.MaxInFlight), nil
+}
+
+// detectionWire is Detection's gob shape. Err is an interface value the
+// stdlib gob codec cannot round-trip, so it crosses the process boundary
+// flattened to its message — the pipeline only branches on Err != nil and
+// reports Err.Error(), both of which survive the flattening.
+type detectionWire struct {
+	Summary *timeseries.ActivitySummary
+	Result  *core.Result
+	Err     string
+	HasErr  bool
+}
+
+// GobEncode implements gob.GobEncoder; see detectionWire.
+func (d Detection) GobEncode() ([]byte, error) {
+	w := detectionWire{Summary: d.Summary, Result: d.Result}
+	if d.Err != nil {
+		w.Err, w.HasErr = d.Err.Error(), true
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder; see detectionWire.
+func (d *Detection) GobDecode(data []byte) error {
+	var w detectionWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	d.Summary, d.Result, d.Err = w.Summary, w.Result, nil
+	if w.HasErr {
+		d.Err = errors.New(w.Err)
+	}
+	return nil
+}

@@ -55,14 +55,17 @@ type TruncatedPair struct {
 // string, so endpoints containing the separator byte can never collide
 // into one group. (The event-level extraction job goes further and uses
 // interned ingest.PairID keys; summary-level jobs group far fewer items,
-// so the plain strings are fine there.)
+// so the plain strings are fine there.) The fields are exported because
+// the distributed detect job gob-encodes keys into spill files; the
+// default KeyHash renders the key through fmt's %v, which prints values
+// only, so the rename left every partition assignment unchanged.
 type pairKey struct {
-	src, dst string
+	Src, Dst string
 }
 
 // faultKey renders the key in the "<src>|<dst>" form the fault-injection
 // points and error messages use.
-func (k pairKey) faultKey() string { return k.src + "|" + k.dst }
+func (k pairKey) faultKey() string { return k.Src + "|" + k.Dst }
 
 // tsPath is the extraction job's intermediate value: one event's timestamp
 // plus the optional URL path for the token filter.
@@ -358,22 +361,55 @@ func safeDetect(det *core.Detector, key string, list []*timeseries.ActivitySumma
 // funnel; pairs whose detection failed come back with Err set rather than
 // failing the job.
 func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, det *core.Detector, mrCfg mapreduce.JobConfig) ([]Detection, error) {
-	out, _, err := detectBeacons(ctx, summaries, det, mrCfg, 0, 0)
-	return out, err
+	res, err := detectJob(ctx, det, mrCfg, 0, 0).Run(ctx, summaries)
+	if err != nil {
+		return nil, err
+	}
+	return res.Outputs, nil
 }
 
 // detectBeacons is the guarded beaconing-detection job: candidateTimeout
 // > 0 bounds each pair's detection in wall-clock time (an overrun parks
 // the pair as a Detection with Err wrapping guard.ErrTimeout instead of
 // wedging the reducer), and maxInFlight > 0 bounds the number of pairs
-// admitted to detection concurrently.
-func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, det *core.Detector, mrCfg mapreduce.JobConfig, candidateTimeout time.Duration, maxInFlight int) ([]Detection, mapreduce.Counters, error) {
+// admitted to detection concurrently. When ec enables the multi-process
+// executor, the job runs distributed across exec'd workers (see exec.go)
+// and takes the detector's Config rather than a live Detector so workers
+// can rebuild it.
+func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, detCfg core.Config, mrCfg mapreduce.JobConfig, ec mapreduce.ExecConfig, candidateTimeout time.Duration, maxInFlight int) ([]Detection, mapreduce.Counters, error) {
+	job := detectJob(ctx, core.NewDetector(detCfg), mrCfg, candidateTimeout, maxInFlight)
+	var res *mapreduce.Result[Detection]
+	var err error
+	if ec.Enabled() {
+		params, perr := encodeDetectParams(detectParams{
+			Detector:         detCfg,
+			MR:               wireJobConfig(mrCfg),
+			CandidateTimeout: candidateTimeout,
+			MaxInFlight:      maxInFlight,
+		})
+		if perr != nil {
+			return nil, mapreduce.Counters{}, perr
+		}
+		res, err = job.RunExec(ctx, detectJobName, params, ec, summaries)
+	} else {
+		res, err = job.Run(ctx, summaries)
+	}
+	if err != nil {
+		return nil, mapreduce.Counters{}, err
+	}
+	return res.Outputs, res.Counters, nil
+}
+
+// detectJob builds the beaconing-detection MapReduce job around a live
+// detector. Both execution paths share it: the in-process engine runs it
+// directly, and worker processes rebuild it from detectParams (exec.go).
+func detectJob(ctx context.Context, det *core.Detector, mrCfg mapreduce.JobConfig, candidateTimeout time.Duration, maxInFlight int) *mapreduce.Job[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection] {
 	mrCfg.Name = "beaconing-detection"
 	sem := guard.NewSemaphore(maxInFlight)
-	job := mapreduce.NewJob[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection](
+	return mapreduce.NewJob[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection](
 		mrCfg,
 		func(as *timeseries.ActivitySummary, emit mapreduce.Emitter[pairKey, *timeseries.ActivitySummary]) error {
-			emit(pairKey{src: as.Source, dst: as.Destination}, as)
+			emit(pairKey{Src: as.Source, Dst: as.Destination}, as)
 			return nil
 		},
 		func(key pairKey, list []*timeseries.ActivitySummary, emit func(Detection)) error {
@@ -408,11 +444,6 @@ func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary,
 			return nil
 		},
 	)
-	res, err := job.Run(ctx, summaries)
-	if err != nil {
-		return nil, mapreduce.Counters{}, err
-	}
-	return res.Outputs, res.Counters, nil
 }
 
 // RescaleAndMerge is the rescaling/merging job of Sect. VII-B: it rescales
@@ -427,7 +458,7 @@ func RescaleAndMerge(ctx context.Context, summaries []*timeseries.ActivitySummar
 			if err != nil {
 				return err
 			}
-			emit(pairKey{src: rescaled.Source, dst: rescaled.Destination}, rescaled)
+			emit(pairKey{Src: rescaled.Source, Dst: rescaled.Destination}, rescaled)
 			return nil
 		},
 		func(key pairKey, list []*timeseries.ActivitySummary, emit func(*timeseries.ActivitySummary)) error {

@@ -69,6 +69,10 @@ type Config struct {
 	Weights ranking.Weights
 	// MapReduce configures the underlying jobs.
 	MapReduce mapreduce.JobConfig
+	// Exec runs the detect stage's MapReduce job across exec'd worker OS
+	// processes (internal/mrx) instead of in-process goroutines. The zero
+	// value keeps everything in-process; see mapreduce.ExecConfig.
+	Exec mapreduce.ExecConfig
 	// Guard bounds the run in time and memory: stage and per-candidate
 	// deadlines, watchdog stall detection, in-flight admission control and
 	// the per-pair event cap. The zero value disables every bound.
@@ -380,10 +384,9 @@ func analyze(ctx context.Context, res *Result, summaries []*timeseries.ActivityS
 
 	// ---- Filters 3-5: beaconing detection (MapReduce job 3) -------------
 	start = time.Now()
-	detector := core.NewDetector(cfg.Detector)
 	detCtx, detDone := stageCtx("detect")
 	detections, detCounters, err := detectBeacons(
-		detCtx, analyzable, detector, mrCfg, g.CandidateTimeout, g.MaxInFlight)
+		detCtx, analyzable, cfg.Detector, mrCfg, cfg.Exec, g.CandidateTimeout, g.MaxInFlight)
 	detDone()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: detect: %w", err)
@@ -511,7 +514,7 @@ func analyze(ctx context.Context, res *Result, summaries []*timeseries.ActivityS
 		if c.SuppressedBy != StageNone {
 			continue
 		}
-		key := pairKey{src: c.Source, dst: c.Destination}
+		key := pairKey{Src: c.Source, Dst: c.Destination}
 		byKey[key] = c
 		rankable = append(rankable, ranking.Case{
 			Source:      c.Source,
@@ -522,7 +525,7 @@ func analyze(ctx context.Context, res *Result, summaries []*timeseries.ActivityS
 	reported, _ := ranking.Rank(rankable, cfg.RankPercentile)
 	reportedKeys := make(map[pairKey]struct{}, len(reported))
 	for _, rc := range reported {
-		key := pairKey{src: rc.Source, dst: rc.Destination}
+		key := pairKey{Src: rc.Source, Dst: rc.Destination}
 		reportedKeys[key] = struct{}{}
 		cand := byKey[key]
 		res.Reported = append(res.Reported, cand)

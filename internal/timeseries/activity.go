@@ -114,12 +114,18 @@ func FromTimestamps(source, destination string, ts []int64, scale int64) (*Activ
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
 	first := (sorted[0] / scale) * scale
-	intervals := make([]int64, 0, len(sorted)-1)
-	prev := sorted[0] / scale
-	for _, t := range sorted[1:] {
-		b := t / scale
-		intervals = append(intervals, b-prev)
-		prev = b
+	// A single-event pair gets nil Intervals, not an empty slice: gob
+	// decodes empty slices as nil, and the distributed detect job must
+	// round-trip summaries through gob without changing them.
+	var intervals []int64
+	if len(sorted) > 1 {
+		intervals = make([]int64, 0, len(sorted)-1)
+		prev := sorted[0] / scale
+		for _, t := range sorted[1:] {
+			b := t / scale
+			intervals = append(intervals, b-prev)
+			prev = b
+		}
 	}
 	return &ActivitySummary{
 		Source:      source,
