@@ -1,12 +1,13 @@
 GO ?= go
 
 # The benchmarks the perf gate watches: the periodicity hot path (dsp),
-# the detector built on it (core), and the sharded streaming ingest
-# (parse, direct-to-summary aggregation, and the batch comparison point).
+# the detector built on it (core), the sharded streaming ingest (parse,
+# direct-to-summary aggregation, and the batch comparison point), and the
+# daemon's file-follow tail path (source).
 # -benchtime is kept short so ten repetitions stay affordable in CI; the
 # gate compares medians, which tolerates short per-repetition runs.
-BENCH_PATTERN ?= Periodogram|Autocorrelation|Detector|IngestParse|IngestToSummaries|BatchToSummaries
-BENCH_PKGS    ?= ./internal/dsp ./internal/core ./internal/ingest
+BENCH_PATTERN ?= Periodogram|Autocorrelation|Detector|IngestParse|IngestToSummaries|BatchToSummaries|FollowTail
+BENCH_PKGS    ?= ./internal/dsp ./internal/core ./internal/ingest ./internal/source
 BENCH_FLAGS   ?= -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=10 -benchtime=300x -timeout=20m
 
 # The full-pipeline benchmark runs the detector over every pair, so one
@@ -14,7 +15,7 @@ BENCH_FLAGS   ?= -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=10 -bench
 # instead of riding the 300x microbenchmark flags.
 BENCH_E2E_FLAGS ?= -run='^$$' -bench='PipelineEndToEnd' -benchmem -count=5 -benchtime=3x -timeout=20m
 
-.PHONY: check vet build test test-race fuzz-smoke tidy lint bench bench-ingest bench-baseline bench-check
+.PHONY: check vet build test test-race fuzz-smoke tidy lint bench bench-ingest bench-baseline bench-check soak soak-smoke
 
 # check is the CI entry point: vet, build, and the full test suite under
 # the race detector (the fault-injection and crash-recovery tests exercise
@@ -79,6 +80,18 @@ bench-ingest:
 # machine after an intended performance change and commit the result.
 bench-baseline:
 	($(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) && $(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest) | tee BENCH_BASELINE.txt
+
+# soak keeps the streaming daemon under randomized fault injection for
+# ~30s and checks the drained state matches a clean batch run exactly.
+# Set BAYWATCH_FAULT_SCHEDULE (see README) to replay an explicit schedule
+# of error/delay rules instead of the seeded random one.
+soak:
+	$(GO) test ./internal/source -run='^TestDaemonSoak$$' -count=1 -soak=30s -timeout=5m -v
+
+# soak-smoke is the CI-sized soak: a few seconds is enough to exercise
+# restarts, replays and commit retries on every push.
+soak-smoke:
+	$(GO) test ./internal/source -run='^TestDaemonSoak$$' -count=1 -soak=3s -timeout=5m
 
 # bench-check runs the benchmarks and fails on >10% median ns/op growth or
 # any allocs/op growth against the committed baseline (see cmd/benchgate).

@@ -29,12 +29,24 @@
 //
 //	baywatch -logs traces/demo -ops state/ops
 //
+// Serve mode (-serve) runs baywatch as an always-on streaming daemon:
+// supervised sources (-follow tailed files, -listen sockets, -http-ingest
+// endpoints) feed the engine continuously, detection re-runs
+// incrementally every -tick, state checkpoints through a crash-safe
+// journal in -serve-state, and -query serves the latest ranked pairs:
+//
+//	baywatch -serve -follow /var/log/proxy.log \
+//	         -serve-state state/daemon -query 127.0.0.1:8478
+//
 // Exit codes: 0 success, 1 error, 3 the run completed but Degraded (shed
 // or isolated work; suppressed by -allow-degraded), 130 interrupted by
 // SIGINT/SIGTERM. In operations mode the first signal drains — the
 // current day finishes and commits, leaving the manifest journal at a
 // clean commit point — and a second signal aborts hard (the interrupted
-// day rolls back and can be re-ingested).
+// day rolls back and can be re-ingested). Serve mode drains the same way:
+// the first signal stops the sources and takes a final checkpoint (exit 0,
+// or 3 if the daemon had degraded), a second aborts hard — safe, because
+// the checkpoint protocol makes a kill at any instant recoverable.
 package main
 
 import (
@@ -117,35 +129,19 @@ func run() error {
 	mrExec := flag.Bool("mr-exec", false, "require multi-process execution: fail instead of falling back in-process when workers cannot be spawned (implies -mr-workers GOMAXPROCS when unset)")
 	shards := flag.Int("shards", 0, "sharded streaming ingest: byte-range splits per log file (0 = batch reader; gzip files always scan as one shard)")
 	ingestWorkers := flag.Int("ingest-workers", 0, "parallel shard-scan workers for -shards (0 = GOMAXPROCS)")
+	serve := flag.Bool("serve", false, "run as an always-on streaming daemon; sources come from -follow/-listen/-http-ingest instead of -logs")
+	var follow, listen, httpIngest stringList
+	flag.Var(&follow, "follow", "serve mode: tail this log file, surviving rotation and truncation (repeatable)")
+	flag.Var(&listen, "listen", "serve mode: accept log lines on this stream socket, as network:address, e.g. tcp:127.0.0.1:9466 or unix:/run/bw.sock (repeatable)")
+	flag.Var(&httpIngest, "http-ingest", "serve mode: accept POSTed log lines on this HTTP address (repeatable)")
+	serveState := flag.String("serve-state", "", "serve mode: state directory for the crash-safe checkpoint (required with -serve)")
+	queryAddr := flag.String("query", "", "serve mode: serve /ranked, /host and /status on this address")
+	tickInterval := flag.Duration("tick", 30*time.Second, "serve mode: incremental-detection cadence")
+	commitEvery := flag.Int("commit-every", 5000, "serve mode: checkpoint after this many ingested events (<0 disables count-based commits)")
+	lateness := flag.Int64("lateness", 0, "serve mode: allowed event lateness in seconds; events behind the committed watermark are dropped (0 = accept any lateness)")
+	maxQueries := flag.Int("max-queries", 16, "serve mode: concurrent query-endpoint requests before shedding with 503 (<0 = unlimited)")
+	sourceStall := flag.Duration("source-stall", 0, "serve mode: a source silent this long is cancelled and restarted (0 = no source watchdog)")
 	flag.Parse()
-	if *logsDir == "" {
-		flag.Usage()
-		return fmt.Errorf("missing -logs")
-	}
-
-	entries, err := filepath.Glob(filepath.Join(*logsDir, "proxy-*.log*"))
-	if err != nil {
-		return err
-	}
-	if len(entries) == 0 {
-		return fmt.Errorf("no proxy-*.log files under %s", *logsDir)
-	}
-	sort.Strings(entries)
-
-	// Optional DHCP correlation.
-	var corr *proxylog.Correlator
-	leasePath := filepath.Join(*logsDir, "dhcp-leases.json")
-	if data, err := os.ReadFile(leasePath); err == nil {
-		var leases []proxylog.Lease
-		if err := json.Unmarshal(data, &leases); err != nil {
-			return fmt.Errorf("parse %s: %w", leasePath, err)
-		}
-		corr, err = proxylog.NewCorrelator(leases)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("correlating sources against %d DHCP leases\n", len(leases))
-	}
 
 	lm, err := langmodel.Train(corpus.PopularDomains(20000, 42))
 	if err != nil {
@@ -175,6 +171,51 @@ func run() error {
 			Workers:         *mrWorkers,
 			DisableFallback: *mrExec,
 		}
+	}
+
+	if *serve {
+		return runServe(cfg, serveOpts{
+			state:         *serveState,
+			follow:        follow,
+			listen:        listen,
+			httpIngest:    httpIngest,
+			query:         *queryAddr,
+			tick:          *tickInterval,
+			commitEvery:   *commitEvery,
+			lateness:      *lateness,
+			maxQueries:    *maxQueries,
+			stall:         *sourceStall,
+			scale:         *scale,
+			allowDegraded: *allowDegraded,
+		})
+	}
+	if *logsDir == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -logs (or -serve with streaming sources)")
+	}
+
+	entries, err := filepath.Glob(filepath.Join(*logsDir, "proxy-*.log*"))
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no proxy-*.log files under %s", *logsDir)
+	}
+	sort.Strings(entries)
+
+	// Optional DHCP correlation.
+	var corr *proxylog.Correlator
+	leasePath := filepath.Join(*logsDir, "dhcp-leases.json")
+	if data, err := os.ReadFile(leasePath); err == nil {
+		var leases []proxylog.Lease
+		if err := json.Unmarshal(data, &leases); err != nil {
+			return fmt.Errorf("parse %s: %w", leasePath, err)
+		}
+		corr, err = proxylog.NewCorrelator(leases)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("correlating sources against %d DHCP leases\n", len(leases))
 	}
 
 	ing := ingestOpts{shards: *shards, workers: *ingestWorkers, lenient: *lenient}

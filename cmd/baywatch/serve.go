@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"baywatch/internal/pipeline"
+	"baywatch/internal/source"
+)
+
+// stringList is a repeatable string flag (-follow a -follow b).
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// serveOpts carries the -serve flags.
+type serveOpts struct {
+	state         string
+	follow        []string
+	listen        []string
+	httpIngest    []string
+	query         string
+	tick          time.Duration
+	commitEvery   int
+	lateness      int64
+	maxQueries    int
+	stall         time.Duration
+	scale         int64
+	allowDegraded bool
+}
+
+// runServe is the always-on daemon mode: supervised sources feed the
+// streaming engine, detection ticks incrementally, and state checkpoints
+// crash-safely under o.state. The first SIGINT/SIGTERM drains (sources
+// stop, a final checkpoint commits); a second aborts hard — the
+// checkpoint protocol makes that recoverable, it just loses the drain's
+// final commit.
+func runServe(cfg pipeline.Config, o serveOpts) error {
+	if o.state == "" {
+		return fmt.Errorf("-serve requires -serve-state (the checkpoint directory)")
+	}
+	var conns []source.Connector
+	for _, p := range o.follow {
+		conns = append(conns, &source.FileFollower{Path: p})
+	}
+	for _, l := range o.listen {
+		network, addr, ok := strings.Cut(l, ":")
+		if !ok || (network != "tcp" && network != "unix") {
+			return fmt.Errorf("-listen wants network:address with network tcp or unix, got %q", l)
+		}
+		conns = append(conns, &source.SocketSource{Network: network, Addr: addr})
+	}
+	for _, a := range o.httpIngest {
+		conns = append(conns, &source.HTTPIngest{Addr: a})
+	}
+	if len(conns) == 0 {
+		return fmt.Errorf("-serve needs at least one source: -follow, -listen or -http-ingest")
+	}
+
+	warnf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "warning: "+format+"\n", args...)
+	}
+	d, err := source.NewDaemon(source.DaemonConfig{
+		Engine: source.Config{
+			StateDir: o.state,
+			Scale:    o.scale,
+			Lateness: o.lateness,
+			Pipeline: cfg,
+			Logf:     warnf,
+		},
+		Connectors:   conns,
+		TickInterval: o.tick,
+		CommitEvery:  o.commitEvery,
+		QueryAddr:    o.query,
+		MaxQueries:   o.maxQueries,
+		StallTimeout: o.stall,
+		Logf:         warnf,
+	})
+	if err != nil {
+		return err
+	}
+	if rec := d.Engine().Recovery(); len(rec.Warnings) > 0 {
+		fmt.Fprintf(os.Stderr, "warning: recovery repaired %d issue(s); quarantined: %d\n",
+			len(rec.Warnings), len(rec.Quarantined))
+	}
+	for name, p := range d.Engine().Positions() {
+		fmt.Printf("resuming source %s at record %d\n", name, p.Records)
+	}
+	fmt.Printf("serving: %d source(s), tick %s, state %s\n", len(conns), o.tick, o.state)
+	if o.query != "" {
+		fmt.Printf("query endpoint on %s (/ranked, /host?src=..., /status)\n", o.query)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	var draining atomic.Bool
+	go func() {
+		for range sigc {
+			if draining.CompareAndSwap(false, true) {
+				fmt.Fprintln(os.Stderr, "baywatch: signal received; stopping sources and taking a final checkpoint (signal again to abort)")
+				cancel()
+			} else {
+				fmt.Fprintln(os.Stderr, "baywatch: second signal; aborting (the checkpoint protocol recovers the committed state)")
+				os.Exit(130)
+			}
+		}
+	}()
+
+	if err := d.Run(ctx); err != nil {
+		return err
+	}
+	st := d.Engine().Stats()
+	fmt.Printf("\ndrained: %d pair(s), %d event(s) committed, %d tick(s), watermark %d, %d late event(s) dropped\n",
+		st.Pairs, st.Events, st.Ticks, st.Watermark, st.LateDropped)
+	if d.Degraded() && !o.allowDegraded {
+		return errDegraded
+	}
+	return nil
+}

@@ -1,7 +1,7 @@
 // Package guardgo enforces the concurrency-accounting invariant of the
 // guarded packages (internal/pipeline, internal/mapreduce,
-// internal/opsloop, internal/mrx): work must stay visible to the
-// deadline/watchdog machinery of internal/guard.
+// internal/opsloop, internal/mrx, internal/source): work must stay
+// visible to the deadline/watchdog machinery of internal/guard.
 //
 // Inside those packages, production code may not:
 //
@@ -42,6 +42,7 @@ var guardedPackages = map[string]bool{
 	"mapreduce": true,
 	"opsloop":   true,
 	"mrx":       true,
+	"source":    true,
 }
 
 func run(pass *analysis.Pass) (any, error) {

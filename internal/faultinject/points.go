@@ -78,6 +78,30 @@ const (
 	PointMrxWorkerTask      Point = "mrx.worker.task"
 	PointMrxWorkerAck       Point = "mrx.worker.ack"
 	PointMrxWorkerHeartbeat Point = "mrx.worker.heartbeat"
+
+	// source live-source connectors (internal/source), keyed by source
+	// name: the file follower's open/read cycle plus the rotation and
+	// truncation transitions (the race windows where a tail can lose or
+	// double-read data), the socket accept/read path (connection resets),
+	// and the HTTP ingest handler.
+	PointSourceFollowOpen     Point = "source.follow.open"
+	PointSourceFollowRead     Point = "source.follow.read"
+	PointSourceFollowRotate   Point = "source.follow.rotate"
+	PointSourceFollowTruncate Point = "source.follow.truncate"
+	PointSourceSocketAccept   Point = "source.socket.accept"
+	PointSourceSocketRead     Point = "source.socket.read"
+	PointSourceHTTPIngest     Point = "source.http.ingest"
+
+	// source daemon checkpoint: the atomic state-snapshot write (create
+	// temp, write, fsync, rename, fsync dir), the post-commit gap, and
+	// the incremental detection tick.
+	PointSourceCheckpointCreate  Point = "source.checkpoint.create"
+	PointSourceCheckpointWrite   Point = "source.checkpoint.write"
+	PointSourceCheckpointSync    Point = "source.checkpoint.sync"
+	PointSourceCheckpointRename  Point = "source.checkpoint.rename"
+	PointSourceCheckpointDirsync Point = "source.checkpoint.dirsync"
+	PointSourceCommitDone        Point = "source.commit.done"
+	PointSourceDetectTick        Point = "source.detect.tick"
 )
 
 // Points returns every registered fault-injection point. Keyed points are
@@ -113,5 +137,19 @@ func Points() []Point {
 		PointMrxWorkerTask,
 		PointMrxWorkerAck,
 		PointMrxWorkerHeartbeat,
+		PointSourceFollowOpen,
+		PointSourceFollowRead,
+		PointSourceFollowRotate,
+		PointSourceFollowTruncate,
+		PointSourceSocketAccept,
+		PointSourceSocketRead,
+		PointSourceHTTPIngest,
+		PointSourceCheckpointCreate,
+		PointSourceCheckpointWrite,
+		PointSourceCheckpointSync,
+		PointSourceCheckpointRename,
+		PointSourceCheckpointDirsync,
+		PointSourceCommitDone,
+		PointSourceDetectTick,
 	}
 }

@@ -213,6 +213,69 @@ func TestSemaphore(t *testing.T) {
 	s.Release()
 }
 
+// TestSemaphoreCancelledWaitersLeakNoPermits queues many waiters on a
+// full semaphore, cancels some of them, and checks the invariants the
+// query endpoint's admission control relies on: a cancelled waiter
+// unblocks promptly with the cancellation cause and takes no permit with
+// it, and a waiter that stays queued still gets the permit when one
+// frees.
+func TestSemaphoreCancelledWaitersLeakNoPermits(t *testing.T) {
+	s := NewSemaphore(1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A batch of waiters that will all be cancelled while queued.
+	cancelCause := errors.New("caller gave up")
+	cctx, cancelWaiters := context.WithCancelCause(context.Background())
+	const cancelled = 8
+	cancelledErrs := make(chan error, cancelled)
+	for i := 0; i < cancelled; i++ {
+		go func() { cancelledErrs <- s.Acquire(cctx) }()
+	}
+	// One patient waiter that must eventually win the permit.
+	patientDone := make(chan error, 1)
+	go func() { patientDone <- s.Acquire(context.Background()) }()
+
+	cancelWaiters(cancelCause)
+	for i := 0; i < cancelled; i++ {
+		select {
+		case err := <-cancelledErrs:
+			if !errors.Is(err, cancelCause) {
+				t.Fatalf("cancelled waiter returned %v, want its cancellation cause", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled waiter did not unblock promptly")
+		}
+	}
+	select {
+	case err := <-patientDone:
+		t.Fatalf("patient waiter returned early (%v) with the permit still held", err)
+	default:
+	}
+	if s.InFlight() != 1 {
+		t.Fatalf("InFlight = %d after cancellations, want 1 (no leaked permits)", s.InFlight())
+	}
+
+	// Releasing the permit serves the surviving waiter, not a ghost.
+	s.Release()
+	select {
+	case err := <-patientDone:
+		if err != nil {
+			t.Fatalf("patient waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("patient waiter never got the released permit")
+	}
+	if s.InFlight() != 1 {
+		t.Fatalf("InFlight = %d with the patient waiter admitted, want 1", s.InFlight())
+	}
+	s.Release()
+	if s.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after final release, want 0", s.InFlight())
+	}
+}
+
 func TestConfigEnabled(t *testing.T) {
 	if (Config{}).Enabled() {
 		t.Fatal("zero config must be disabled")

@@ -110,7 +110,7 @@ func buildDetectJob(params []byte) (*mapreduce.Job[*timeseries.ActivitySummary, 
 	// work by revoking the task lease and killing the process, so there is
 	// no caller context to thread through.
 	ctx := context.Background() //bw:guarded worker-process root; cancellation is the coordinator killing the process
-	return detectJob(ctx, core.NewDetector(p.Detector), p.MR.jobConfig(), p.CandidateTimeout, p.MaxInFlight), nil
+	return detectJob(ctx, core.NewDetector(p.Detector), p.MR.jobConfig(), p.CandidateTimeout, p.MaxInFlight, nil), nil
 }
 
 // detectionWire is Detection's gob shape. Err is an interface value the

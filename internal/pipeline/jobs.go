@@ -361,7 +361,7 @@ func safeDetect(det *core.Detector, key string, list []*timeseries.ActivitySumma
 // funnel; pairs whose detection failed come back with Err set rather than
 // failing the job.
 func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, det *core.Detector, mrCfg mapreduce.JobConfig) ([]Detection, error) {
-	res, err := detectJob(ctx, det, mrCfg, 0, 0).Run(ctx, summaries)
+	res, err := detectJob(ctx, det, mrCfg, 0, 0, nil).Run(ctx, summaries)
 	if err != nil {
 		return nil, err
 	}
@@ -376,8 +376,8 @@ func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary,
 // executor, the job runs distributed across exec'd workers (see exec.go)
 // and takes the detector's Config rather than a live Detector so workers
 // can rebuild it.
-func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, detCfg core.Config, mrCfg mapreduce.JobConfig, ec mapreduce.ExecConfig, candidateTimeout time.Duration, maxInFlight int) ([]Detection, mapreduce.Counters, error) {
-	job := detectJob(ctx, core.NewDetector(detCfg), mrCfg, candidateTimeout, maxInFlight)
+func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, detCfg core.Config, mrCfg mapreduce.JobConfig, ec mapreduce.ExecConfig, candidateTimeout time.Duration, maxInFlight int, memo DetectMemo) ([]Detection, mapreduce.Counters, error) {
+	job := detectJob(ctx, core.NewDetector(detCfg), mrCfg, candidateTimeout, maxInFlight, memo)
 	var res *mapreduce.Result[Detection]
 	var err error
 	if ec.Enabled() {
@@ -402,8 +402,12 @@ func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary,
 
 // detectJob builds the beaconing-detection MapReduce job around a live
 // detector. Both execution paths share it: the in-process engine runs it
-// directly, and worker processes rebuild it from detectParams (exec.go).
-func detectJob(ctx context.Context, det *core.Detector, mrCfg mapreduce.JobConfig, candidateTimeout time.Duration, maxInFlight int) *mapreduce.Job[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection] {
+// directly, and worker processes rebuild it from detectParams (exec.go,
+// always with a nil memo — the cache cannot cross the process boundary).
+// A non-nil memo short-circuits detection for pairs whose result is
+// cached; the caller guarantees cached entries match the pair's current
+// summary (see Config.DetectMemo).
+func detectJob(ctx context.Context, det *core.Detector, mrCfg mapreduce.JobConfig, candidateTimeout time.Duration, maxInFlight int, memo DetectMemo) *mapreduce.Job[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection] {
 	mrCfg.Name = "beaconing-detection"
 	sem := guard.NewSemaphore(maxInFlight)
 	return mapreduce.NewJob[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection](
@@ -417,12 +421,27 @@ func detectJob(ctx context.Context, det *core.Detector, mrCfg mapreduce.JobConfi
 				return err
 			}
 			defer sem.Release()
+			if memo != nil && len(list) == 1 {
+				// Memo hits are restricted to single-summary pairs so the
+				// cached result always describes the exact summary emitted
+				// downstream (a multi-summary pair would first merge).
+				if r, ok := memo.Get(key.Src, key.Dst); ok {
+					emit(Detection{Summary: list[0], Result: r})
+					return nil
+				}
+			}
+			record := func(d Detection) Detection {
+				if memo != nil && d.Err == nil && d.Result != nil && len(list) == 1 {
+					memo.Put(key.Src, key.Dst, d.Result)
+				}
+				return d
+			}
 			if candidateTimeout <= 0 {
 				d, err := safeDetect(det, key.faultKey(), list)
 				if err != nil {
 					return err
 				}
-				emit(d)
+				emit(record(d))
 				return nil
 			}
 			// The detection runs on its own goroutine so an overrun can be
@@ -440,7 +459,7 @@ func detectJob(ctx context.Context, det *core.Detector, mrCfg mapreduce.JobConfi
 				}
 				return err
 			}
-			emit(d)
+			emit(record(d))
 			return nil
 		},
 	)

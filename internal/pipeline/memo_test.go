@@ -1,0 +1,104 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"baywatch/internal/core"
+	"baywatch/internal/synthetic"
+)
+
+// countingMemo is a DetectMemo instrumented with hit/miss/store counters.
+type countingMemo struct {
+	mu   sync.Mutex
+	m    map[string]*core.Result
+	gets int
+	hits int
+	puts int
+}
+
+func newCountingMemo() *countingMemo {
+	return &countingMemo{m: make(map[string]*core.Result)}
+}
+
+func (c *countingMemo) Get(source, destination string) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	r, ok := c.m[source+"|"+destination]
+	if ok {
+		c.hits++
+	}
+	return r, ok
+}
+
+func (c *countingMemo) Put(source, destination string, r *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.m[source+"|"+destination] = r
+}
+
+// TestDetectMemoSkipsRecomputation pins the memoization contract the
+// streaming daemon's incremental ticks build on: a warm memo answers
+// every unchanged pair from cache — zero new detection runs — and the
+// results are bit-identical to the uncached run.
+func TestDetectMemoSkipsRecomputation(t *testing.T) {
+	env := newTestEnv(t, []synthetic.Infection{zbotInfection(2)})
+	want, err := Run(context.Background(), env.trace.Records, env.corr, env.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.Reported == 0 {
+		t.Fatal("nothing reported; the comparison would be vacuous")
+	}
+
+	same := func(res *Result) {
+		t.Helper()
+		gs, ws := res.Stats, want.Stats
+		if gs.InputEvents != ws.InputEvents || gs.Pairs != ws.Pairs ||
+			gs.AfterGlobalWhitelist != ws.AfterGlobalWhitelist ||
+			gs.AfterLocalWhitelist != ws.AfterLocalWhitelist ||
+			gs.Periodic != ws.Periodic || gs.AfterTokenFilter != ws.AfterTokenFilter ||
+			gs.AfterNovelty != ws.AfterNovelty || gs.Reported != ws.Reported {
+			t.Fatalf("funnel diverged:\n got %+v\nwant %+v", gs, ws)
+		}
+		for i, w := range want.Reported {
+			g := res.Reported[i]
+			if g.Source != w.Source || g.Destination != w.Destination || g.Score != w.Score {
+				t.Fatalf("reported[%d] = %s->%s score=%v, want %s->%s score=%v",
+					i, g.Source, g.Destination, g.Score, w.Source, w.Destination, w.Score)
+			}
+		}
+	}
+
+	memo := newCountingMemo()
+	cfg := env.cfg
+	cfg.DetectMemo = memo
+	cold, err := Run(context.Background(), env.trace.Records, env.corr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same(cold)
+	if memo.hits != 0 {
+		t.Fatalf("cold memo reported %d hits", memo.hits)
+	}
+	if memo.puts == 0 {
+		t.Fatal("cold run stored nothing in the memo")
+	}
+	coldPuts := memo.puts
+
+	warm, err := Run(context.Background(), env.trace.Records, env.corr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same(warm)
+	if memo.puts != coldPuts {
+		t.Fatalf("warm run recomputed %d pair(s); every unchanged pair must answer from cache",
+			memo.puts-coldPuts)
+	}
+	if memo.hits == 0 {
+		t.Fatal("warm run never consulted the memo")
+	}
+}

@@ -77,6 +77,26 @@ type Config struct {
 	// deadlines, watchdog stall detection, in-flight admission control and
 	// the per-pair event cap. The zero value disables every bound.
 	Guard guard.Config
+	// DetectMemo, when non-nil, caches per-pair periodicity results across
+	// runs: the detect stage consults it before running detection on a
+	// pair and stores every successful result back. Detection is
+	// deterministic for a given summary (core.Config.Seed), so a cached
+	// result is valid exactly as long as the pair's merged summary is
+	// unchanged — the CALLER must invalidate entries whose input changed
+	// (the streaming daemon drops dirty pairs before every incremental
+	// tick). Only the in-process execution path consults the memo; exec'd
+	// workers always recompute. Nil disables memoization.
+	DetectMemo DetectMemo
+}
+
+// DetectMemo caches detection results across pipeline runs, keyed by the
+// (source, destination) pair. Implementations must be safe for concurrent
+// use: the detect stage calls Get and Put from parallel reduce workers.
+type DetectMemo interface {
+	// Get returns the cached result for the pair, if any.
+	Get(source, destination string) (*core.Result, bool)
+	// Put stores a successful detection result for the pair.
+	Put(source, destination string, r *core.Result)
 }
 
 func (c Config) withDefaults() Config {
@@ -341,6 +361,30 @@ func Run(ctx context.Context, records []*proxylog.Record, corr *proxylog.Correla
 	return analyze(ctx, res, summaries, extCounters, cfg, env)
 }
 
+// RunSummaries executes filters 1-8 over already-extracted activity
+// summaries, skipping the extraction phase entirely. It is the entry
+// point for callers that maintain their own per-pair event store — the
+// streaming daemon (internal/source) rebuilds summaries incrementally
+// and re-analyzes them every tick, with Config.DetectMemo skipping
+// detection for pairs whose history is unchanged. summaries must be in a
+// deterministic order (sort by source, destination) for reproducible
+// report ordering, and must hold at most one summary per pair unless the
+// caller intends the detect stage to merge duplicates.
+func RunSummaries(ctx context.Context, summaries []*timeseries.ActivitySummary, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.LM == nil {
+		return nil, fmt.Errorf("pipeline: language model is required")
+	}
+	res := &Result{}
+	for _, as := range summaries {
+		res.Stats.InputEvents += as.EventCount()
+	}
+
+	env, cleanup := newGuardEnv(ctx, cfg)
+	defer cleanup()
+	return analyze(ctx, res, summaries, mapreduce.Counters{}, cfg, env)
+}
+
 // analyze runs filters 1-8 over the extracted summaries: the shared tail
 // of the batch (Run) and sharded streaming (RunStream) entry points.
 // res arrives with the extraction phase already booked (truncation,
@@ -386,7 +430,7 @@ func analyze(ctx context.Context, res *Result, summaries []*timeseries.ActivityS
 	start = time.Now()
 	detCtx, detDone := stageCtx("detect")
 	detections, detCounters, err := detectBeacons(
-		detCtx, analyzable, cfg.Detector, mrCfg, cfg.Exec, g.CandidateTimeout, g.MaxInFlight)
+		detCtx, analyzable, cfg.Detector, mrCfg, cfg.Exec, g.CandidateTimeout, g.MaxInFlight, cfg.DetectMemo)
 	detDone()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: detect: %w", err)

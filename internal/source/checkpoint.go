@@ -1,0 +1,203 @@
+// Checkpointed daemon state. The engine's durable state — per-source
+// positions, the late-event watermark, and the per-pair event store — is
+// committed as one atomic snapshot file:
+//
+//	<dir>/checkpoint.bin — JSON state with a CRC32 footer
+//	                       (timeseries.AppendChecksum)
+//
+// written tmp → write → fsync → rename → dir fsync, the opsloop journal
+// convention; the rename is the commit point and every step is a
+// registered source.checkpoint.* fault point. A crash anywhere in the
+// chain leaves the previous checkpoint intact, so restart resumes from
+// the last committed positions and connectors replay the gap — the
+// sequence-deduplicating Apply makes the replay exactly-once.
+//
+// Recovery (OpenEngine) deletes leftover *.tmp files and quarantines a
+// truncated or corrupt checkpoint to <dir>/quarantine/ instead of
+// aborting: the daemon then starts from empty state and re-ingests what
+// the sources can still replay, with the repair recorded in Recovery.
+package source
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"baywatch/internal/faultinject"
+	"baywatch/internal/timeseries"
+)
+
+// checkpointVersion is the on-disk format version; a checkpoint with a
+// different version is quarantined like a corrupt one.
+const checkpointVersion = 1
+
+// pairState is one pair's committed event history, in arrival order (the
+// order Apply saw the events). Paths is parallel to TS; a nil Paths means
+// every event was path-less.
+type pairState struct {
+	Src   string   `json:"src"`
+	Dst   string   `json:"dst"`
+	TS    []int64  `json:"ts"`
+	Paths []string `json:"paths,omitempty"`
+}
+
+// checkpoint is the engine's durable state, committed atomically as one
+// snapshot.
+type checkpoint struct {
+	Version int `json:"version"`
+	// Sources maps connector name to its committed position.
+	Sources map[string]Position `json:"sources,omitempty"`
+	// Watermark is the late-event cutoff (Unix seconds); events at or
+	// below it are dropped. 0 means no watermark has been established.
+	Watermark int64 `json:"watermark,omitempty"`
+	// MaxTS is the largest event timestamp applied so far; the watermark
+	// derives from it at commit time.
+	MaxTS int64 `json:"max_ts,omitempty"`
+	// LateDropped counts events dropped behind the watermark.
+	LateDropped int64 `json:"late_dropped,omitempty"`
+	// Pairs is the per-pair event store.
+	Pairs []pairState `json:"pairs,omitempty"`
+}
+
+func checkpointPath(dir string) string { return filepath.Join(dir, "checkpoint.bin") }
+
+// checkpointPoints is the registered point of each step of the atomic
+// checkpoint write, mirroring opsloop's atomicPoints.
+var checkpointPoints = struct {
+	create, write, sync, rename, dirsync faultinject.Point
+}{
+	create:  faultinject.PointSourceCheckpointCreate,
+	write:   faultinject.PointSourceCheckpointWrite,
+	sync:    faultinject.PointSourceCheckpointSync,
+	rename:  faultinject.PointSourceCheckpointRename,
+	dirsync: faultinject.PointSourceCheckpointDirsync,
+}
+
+// writeCheckpoint persists the snapshot atomically: tmp file, fsync,
+// rename, directory fsync, consulting the fault hook at each step.
+func writeCheckpoint(dir string, cp *checkpoint) error {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("source: marshal checkpoint: %w", err)
+	}
+	data := timeseries.AppendChecksum(payload)
+	path := checkpointPath(dir)
+	tmp := path + ".tmp"
+	if err := faultCheck(checkpointPoints.create, "checkpoint"); err != nil {
+		return fmt.Errorf("source: create %s: %w", tmp, err)
+	}
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("source: create %s: %w", tmp, err)
+	}
+	if err = faultCheck(checkpointPoints.write, "checkpoint"); err == nil {
+		_, err = f.Write(data)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("source: write %s: %w", tmp, err)
+	}
+	if err = faultCheck(checkpointPoints.sync, "checkpoint"); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("source: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("source: close %s: %w", tmp, err)
+	}
+	if err = faultCheck(checkpointPoints.rename, "checkpoint"); err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		return fmt.Errorf("source: rename %s: %w", path, err)
+	}
+	if err = faultCheck(checkpointPoints.dirsync, "checkpoint"); err == nil {
+		err = syncDir(dir)
+	}
+	if err != nil {
+		return fmt.Errorf("source: dirsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss;
+// filesystems without directory fsync (EINVAL/ENOTSUP) are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}
+
+// errCheckpointCorrupt marks an unreadable checkpoint so recovery can
+// quarantine and start fresh instead of aborting.
+var errCheckpointCorrupt = errors.New("source: corrupt checkpoint")
+
+// loadCheckpoint reads the committed snapshot; ok is false when none
+// exists. A truncated or corrupt file (bad checksum, bad JSON, unknown
+// version) is returned as an error wrapping errCheckpointCorrupt.
+func loadCheckpoint(dir string) (cp *checkpoint, ok bool, err error) {
+	data, err := os.ReadFile(checkpointPath(dir))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("source: read checkpoint: %w", err)
+	}
+	payload, err := timeseries.VerifyChecksum(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", errCheckpointCorrupt, err)
+	}
+	cp = &checkpoint{}
+	if err := json.Unmarshal(payload, cp); err != nil {
+		return nil, false, fmt.Errorf("%w: %v", errCheckpointCorrupt, err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, false, fmt.Errorf("%w: unknown version %d", errCheckpointCorrupt, cp.Version)
+	}
+	return cp, true, nil
+}
+
+// quarantine moves path under dir/quarantine/ (never deleting data),
+// returning the destination or an empty string when the move failed.
+func quarantine(dir, path string) string {
+	qdir := filepath.Join(dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return ""
+	}
+	dst := filepath.Join(qdir, filepath.Base(path))
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", filepath.Base(path), i))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return ""
+	}
+	return dst
+}
+
+// removeTempFiles deletes leftover *.tmp files from interrupted writes.
+func removeTempFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}

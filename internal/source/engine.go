@@ -1,0 +1,491 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"baywatch/internal/core"
+	"baywatch/internal/faultinject"
+	"baywatch/internal/pipeline"
+	"baywatch/internal/timeseries"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// StateDir holds the checkpoint (and quarantine) files; created if
+	// missing.
+	StateDir string
+	// Scale is the time-series granularity in seconds (default 1).
+	Scale int64
+	// Lateness is the allowed event lateness in seconds: at commit time
+	// the watermark advances to maxTS-Lateness, and events at or below
+	// the committed watermark are dropped (counted, deterministically on
+	// replay). 0 disables the watermark entirely — late events merge into
+	// their pair, which simply becomes dirty and is re-detected.
+	Lateness int64
+	// Pipeline is the detection configuration each tick runs under. Its
+	// DetectMemo field is managed by the engine (the incremental-detection
+	// cache) and must be left nil.
+	Pipeline pipeline.Config
+	// Logf receives recovery and degradation notes; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Recovery describes what OpenEngine found and repaired.
+type Recovery struct {
+	// Quarantined lists files moved to StateDir/quarantine/.
+	Quarantined []string
+	// Warnings are human-readable recovery notes.
+	Warnings []string
+}
+
+// pairKey identifies one communication pair; a comparable struct, not a
+// concatenated string, so endpoints containing the separator byte cannot
+// collide (the pipeline's convention).
+type pairKey struct {
+	Src, Dst string
+}
+
+func (k pairKey) String() string { return k.Src + "|" + k.Dst }
+
+// pairHistory is one pair's event history in arrival order, plus the set
+// of sources that contributed to it (for staleness marking).
+type pairHistory struct {
+	ts    []int64
+	paths []string // parallel to ts; nil when every event is path-less
+	srcs  map[string]struct{}
+}
+
+// detectMemo caches per-pair detection results across ticks; it
+// implements pipeline.DetectMemo. Entries are invalidated by the engine
+// the moment a pair's history changes.
+type detectMemo struct {
+	mu sync.Mutex
+	m  map[pairKey]*core.Result
+}
+
+func newDetectMemo() *detectMemo { return &detectMemo{m: make(map[pairKey]*core.Result)} }
+
+// Get implements pipeline.DetectMemo.
+func (d *detectMemo) Get(source, destination string) (*core.Result, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.m[pairKey{Src: source, Dst: destination}]
+	return r, ok
+}
+
+// Put implements pipeline.DetectMemo.
+func (d *detectMemo) Put(source, destination string, r *core.Result) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m[pairKey{Src: source, Dst: destination}] = r
+}
+
+func (d *detectMemo) drop(k pairKey) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.m, k)
+}
+
+func (d *detectMemo) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.m)
+}
+
+// Engine owns the daemon's detection state: the per-pair event store fed
+// by connectors (Apply), the committed checkpoint (Commit), and
+// incremental detection over dirty pairs (Tick). All methods are safe for
+// concurrent use; connectors Apply from their own goroutines while the
+// daemon loop commits and ticks.
+type Engine struct {
+	mu       sync.Mutex
+	cfg      Config
+	pairs    map[pairKey]*pairHistory
+	dirty    map[pairKey]struct{}
+	pos      map[string]Position
+	health   map[string]bool // false = circuit open / flapping
+	memo     *detectMemo
+	rec      Recovery
+	ticks    int64
+	applied  int64 // events applied since open (not persisted)
+	uncommit int64 // events applied since the last successful commit
+
+	// Committed watermark state. The watermark only ever changes inside a
+	// successful Commit, so replay-after-crash sees exactly the drop
+	// decisions the committed history implies.
+	watermark   int64
+	maxTS       int64
+	lateDropped int64
+}
+
+// OpenEngine opens (or creates) the state directory, recovers the last
+// committed checkpoint, and returns the engine ready for Apply. A corrupt
+// checkpoint is quarantined — the engine then starts empty and relies on
+// the sources replaying — with the repair recorded in Recovery.
+func OpenEngine(cfg Config) (*Engine, error) {
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("source: StateDir is required")
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Pipeline.DetectMemo != nil {
+		return nil, fmt.Errorf("source: Pipeline.DetectMemo is managed by the engine; leave it nil")
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("source: create state dir: %w", err)
+	}
+	e := &Engine{
+		cfg:    cfg,
+		pairs:  make(map[pairKey]*pairHistory),
+		dirty:  make(map[pairKey]struct{}),
+		pos:    make(map[string]Position),
+		health: make(map[string]bool),
+		memo:   newDetectMemo(),
+	}
+	removeTempFiles(cfg.StateDir)
+	cp, ok, err := loadCheckpoint(cfg.StateDir)
+	if err != nil {
+		if dst := quarantine(cfg.StateDir, checkpointPath(cfg.StateDir)); dst != "" {
+			e.rec.Quarantined = append(e.rec.Quarantined, dst)
+		}
+		e.warnf("checkpoint unreadable (%v); starting from empty state", err)
+		ok = false
+	}
+	if ok {
+		for name, p := range cp.Sources {
+			e.pos[name] = p
+		}
+		e.watermark, e.maxTS, e.lateDropped = cp.Watermark, cp.MaxTS, cp.LateDropped
+		for _, ps := range cp.Pairs {
+			k := pairKey{Src: ps.Src, Dst: ps.Dst}
+			e.pairs[k] = &pairHistory{ts: ps.TS, paths: ps.Paths, srcs: make(map[string]struct{})}
+			// Every restored pair is dirty: the memo starts empty, and the
+			// first tick re-detects the full committed history.
+			e.dirty[k] = struct{}{}
+		}
+	}
+	return e, nil
+}
+
+// Recovery reports what OpenEngine repaired.
+func (e *Engine) Recovery() Recovery {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Recovery{
+		Quarantined: append([]string(nil), e.rec.Quarantined...),
+		Warnings:    append([]string(nil), e.rec.Warnings...),
+	}
+}
+
+func (e *Engine) warnf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	e.rec.Warnings = append(e.rec.Warnings, msg)
+	if e.cfg.Logf != nil {
+		e.cfg.Logf("source: %s", msg)
+	}
+}
+
+// Apply ingests one connector batch, deduplicating on the source's
+// sequence number: events the committed-or-newer position already covers
+// are skipped, so a reconnecting producer may resend an overlapping range
+// and every event still counts exactly once. Events at or below the
+// committed watermark are dropped (counted in LateDropped); everything
+// else lands in its pair's history and marks the pair dirty for the next
+// tick. Returns the number of events actually applied.
+func (e *Engine) Apply(b Batch) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.pos[b.Source]
+	first := b.Pos.Records - int64(len(b.Events))
+	skip := cur.Records - first
+	if skip < 0 {
+		// The producer skipped ahead (e.g. the tail of a rotated-away file
+		// was never read). The gap is unrecoverable; account for it rather
+		// than guessing.
+		e.warnf("source %s jumped from record %d to %d; %d event(s) unrecoverable",
+			b.Source, cur.Records, first, -skip)
+		skip = 0
+	}
+	if skip >= int64(len(b.Events)) {
+		// Entirely a resend, or a batch of only skipped lines: no events
+		// land, but the position still advances — a follower that scanned
+		// past malformed lines must persist that offset progress.
+		if b.Pos.Records >= cur.Records {
+			e.pos[b.Source] = b.Pos
+		}
+		return 0
+	}
+	applied := 0
+	for _, ev := range b.Events[skip:] {
+		if e.watermark > 0 && ev.TS <= e.watermark {
+			e.lateDropped++
+			continue
+		}
+		k := pairKey{Src: ev.Source, Dst: ev.Destination}
+		h := e.pairs[k]
+		if h == nil {
+			h = &pairHistory{srcs: make(map[string]struct{})}
+			e.pairs[k] = h
+		}
+		if ev.Path != "" && h.paths == nil && len(h.ts) > 0 {
+			h.paths = make([]string, len(h.ts))
+		}
+		h.ts = append(h.ts, ev.TS)
+		if h.paths != nil || ev.Path != "" {
+			if h.paths == nil {
+				h.paths = make([]string, 0, 1)
+			}
+			h.paths = append(h.paths, ev.Path)
+		}
+		h.srcs[b.Source] = struct{}{}
+		if ev.TS > e.maxTS {
+			e.maxTS = ev.TS
+		}
+		e.dirty[k] = struct{}{}
+		e.memo.drop(k)
+		applied++
+	}
+	if b.Pos.Records >= cur.Records {
+		// >= not >: an all-skipped batch advances the source's offset
+		// without delivering events, and that progress must still persist.
+		e.pos[b.Source] = b.Pos
+	}
+	e.applied += int64(applied)
+	e.uncommit += int64(applied)
+	return applied
+}
+
+// Commit makes the current state durable: positions, watermark and the
+// pair store are written as one atomic checkpoint. The watermark advance
+// (maxTS - Lateness) is computed into the checkpoint and installed in
+// memory only after the write commits, so drop decisions always reflect
+// durable state and replay after a crash reproduces them exactly.
+func (e *Engine) Commit() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	wm := e.watermark
+	if e.cfg.Lateness > 0 && e.maxTS-e.cfg.Lateness > wm {
+		wm = e.maxTS - e.cfg.Lateness
+	}
+	cp := &checkpoint{
+		Version:     checkpointVersion,
+		Sources:     make(map[string]Position, len(e.pos)),
+		Watermark:   wm,
+		MaxTS:       e.maxTS,
+		LateDropped: e.lateDropped,
+	}
+	for name, p := range e.pos {
+		cp.Sources[name] = p
+	}
+	keys := e.sortedPairKeys()
+	cp.Pairs = make([]pairState, 0, len(keys))
+	for _, k := range keys {
+		h := e.pairs[k]
+		cp.Pairs = append(cp.Pairs, pairState{Src: k.Src, Dst: k.Dst, TS: h.ts, Paths: h.paths})
+	}
+	if err := writeCheckpoint(e.cfg.StateDir, cp); err != nil {
+		return err
+	}
+	e.watermark = wm
+	e.uncommit = 0
+	// Post-commit crash point: everything after this line is observable
+	// only in memory.
+	_ = faultCheck(faultinject.PointSourceCommitDone, "checkpoint")
+	return nil
+}
+
+func (e *Engine) sortedPairKeys() []pairKey {
+	keys := make([]pairKey, 0, len(e.pairs))
+	for k := range e.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Dst < keys[j].Dst
+	})
+	return keys
+}
+
+// TickResult is one incremental detection pass.
+type TickResult struct {
+	// Result is the pipeline run over the full pair store; only dirty
+	// pairs were re-detected (clean ones answered from the memo).
+	Result *pipeline.Result
+	// Dirty is the number of pairs whose history changed since the
+	// previous tick (the re-detected set).
+	Dirty int
+	// Stale lists "src|dst" pairs fed by at least one currently-unhealthy
+	// source: their histories may be missing recent events, so their
+	// verdicts should be read as stale until the source recovers.
+	Stale []string
+	// Tick is the 1-based tick sequence number.
+	Tick int64
+}
+
+// Tick re-runs detection incrementally: summaries are rebuilt for every
+// pair (cheap), but the detect stage consults the engine's memo, so
+// periodicity analysis — the hot spot — runs only for pairs whose history
+// changed. The result is bit-identical to a from-scratch batch run over
+// the same events, because detection is deterministic and the memo is
+// invalidated on every history change.
+func (e *Engine) Tick(ctx context.Context) (*TickResult, error) {
+	e.mu.Lock()
+	if err := faultCheck(faultinject.PointSourceDetectTick, "tick"); err != nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("source: tick: %w", err)
+	}
+	keys := e.sortedPairKeys()
+	summaries := make([]*timeseries.ActivitySummary, 0, len(keys))
+	var stale []string
+	for _, k := range keys {
+		h := e.pairs[k]
+		as, err := timeseries.FromTimestamps(k.Src, k.Dst, h.ts, e.cfg.Scale)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("source: summarize %s: %w", k, err)
+		}
+		for _, p := range h.paths {
+			as.AddURLPath(p)
+		}
+		summaries = append(summaries, as)
+		for name := range h.srcs {
+			if healthy, tracked := e.health[name]; tracked && !healthy {
+				stale = append(stale, k.String())
+				break
+			}
+		}
+	}
+	dirty := len(e.dirty)
+	for k := range e.dirty {
+		e.memo.drop(k) // Apply already dropped these; kept as a cheap invariant
+		delete(e.dirty, k)
+	}
+	cfg := e.cfg.Pipeline
+	cfg.Scale = e.cfg.Scale
+	cfg.DetectMemo = e.memo
+	tick := e.ticks + 1
+	e.mu.Unlock()
+
+	res, err := pipeline.RunSummaries(ctx, summaries, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.ticks = tick
+	e.mu.Unlock()
+	return &TickResult{Result: res, Dirty: dirty, Stale: stale, Tick: tick}, nil
+}
+
+// SetSourceHealth records a source's supervision verdict; unhealthy
+// sources mark their pairs stale in tick results.
+func (e *Engine) SetSourceHealth(name string, healthy bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.health[name] = healthy
+}
+
+// Position returns the engine's current position for the named source —
+// the resume point for a (re)starting connector. It reflects applied (not
+// necessarily committed) events: a restarting connector must not resend
+// what the engine already holds in memory.
+func (e *Engine) Position(name string) Position {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pos[name]
+}
+
+// Positions returns a copy of every source's current position.
+func (e *Engine) Positions() map[string]Position {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]Position, len(e.pos))
+	for name, p := range e.pos {
+		out[name] = p
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of the engine's accounting.
+type Stats struct {
+	// Pairs and Events size the in-memory store.
+	Pairs  int
+	Events int64
+	// Uncommitted counts events applied since the last successful commit.
+	Uncommitted int64
+	// Watermark is the committed late-event cutoff (0 = none).
+	Watermark int64
+	// LateDropped counts events dropped behind the watermark.
+	LateDropped int64
+	// Ticks counts completed detection passes.
+	Ticks int64
+	// MemoPairs counts pairs with a cached detection result.
+	MemoPairs int
+}
+
+// Stats returns the engine's current accounting.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var events int64
+	for _, h := range e.pairs {
+		events += int64(len(h.ts))
+	}
+	return Stats{
+		Pairs:       len(e.pairs),
+		Events:      events,
+		Uncommitted: e.uncommit,
+		Watermark:   e.watermark,
+		LateDropped: e.lateDropped,
+		Ticks:       e.ticks,
+		MemoPairs:   e.memo.size(),
+	}
+}
+
+// TimelineEntry is one destination's history for a host, the per-host
+// timeline the query endpoint serves.
+type TimelineEntry struct {
+	Destination string `json:"destination"`
+	Events      int    `json:"events"`
+	First       int64  `json:"first"`
+	Last        int64  `json:"last"`
+	Stale       bool   `json:"stale,omitempty"`
+}
+
+// HostTimeline returns the per-destination history of one source host,
+// sorted by destination.
+func (e *Engine) HostTimeline(src string) []TimelineEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []TimelineEntry
+	for k, h := range e.pairs {
+		if k.Src != src || len(h.ts) == 0 {
+			continue
+		}
+		first, last := h.ts[0], h.ts[0]
+		for _, ts := range h.ts {
+			if ts < first {
+				first = ts
+			}
+			if ts > last {
+				last = ts
+			}
+		}
+		entry := TimelineEntry{Destination: k.Dst, Events: len(h.ts), First: first, Last: last}
+		for name := range h.srcs {
+			if healthy, tracked := e.health[name]; tracked && !healthy {
+				entry.Stale = true
+				break
+			}
+		}
+		out = append(out, entry)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Destination < out[j].Destination })
+	return out
+}

@@ -1,0 +1,21 @@
+package source
+
+import "baywatch/internal/faultinject"
+
+// faultHook, when non-nil, is consulted at the source fault points so
+// tests can inject deterministic errors, delays and crashes into the
+// connector hot paths and the checkpoint write chain. Points are
+// "<point>:<source>", e.g. "source.follow.read:proxy". Production runs
+// leave it nil.
+var faultHook func(point string) error
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook.
+// Not safe to call while a daemon or connector is running.
+func SetFaultHook(hook func(point string) error) { faultHook = hook }
+
+func faultCheck(point faultinject.Point, key string) error {
+	if faultHook == nil {
+		return nil
+	}
+	return faultHook(string(point.Keyed(key)))
+}

@@ -1,0 +1,37 @@
+package source
+
+import "baywatch/internal/proxylog"
+
+// parseLine parses one proxy log line into an Event through the zero-copy
+// view parser, materializing only the three fields the pipeline keys on.
+// ok is false for malformed lines (the caller counts them as skipped).
+// Lines are trimmed of a trailing \r so CRLF producers parse cleanly.
+func parseLine(line []byte, v *proxylog.RecordView) (Event, bool) {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	if err := proxylog.ParseRecordView(line, v); err != nil {
+		return Event{}, false
+	}
+	return Event{
+		Source:      string(v.ClientIP),
+		Destination: string(v.Host),
+		TS:          v.Timestamp,
+		Path:        string(v.Path),
+	}, true
+}
+
+// appendLineEvents parses one line and appends the event to events,
+// returning the extended slice and the skipped-line increment (0 or 1).
+// Blank lines are ignored entirely — they are separator noise, not
+// malformed records.
+func appendLineEvents(events []Event, line []byte, v *proxylog.RecordView) ([]Event, int) {
+	if len(line) == 0 || (len(line) == 1 && line[0] == '\r') {
+		return events, 0
+	}
+	ev, ok := parseLine(line, v)
+	if !ok {
+		return events, 1
+	}
+	return append(events, ev), 0
+}

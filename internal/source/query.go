@@ -1,0 +1,190 @@
+package source
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// SourceStatus summarizes one supervised connector for /status.
+type SourceStatus struct {
+	Name string `json:"name"`
+	// Healthy is false while the source's circuit breaker is open; its
+	// pairs read as stale in tick results until it recovers.
+	Healthy bool `json:"healthy"`
+	// Failures is the current consecutive-failure count; Restarts the
+	// lifetime restart total.
+	Failures int   `json:"failures"`
+	Restarts int64 `json:"restarts"`
+}
+
+// RankedEntry is one row of /ranked: a reported pair from the latest
+// tick, most suspicious first.
+type RankedEntry struct {
+	Rank        int     `json:"rank"`
+	Source      string  `json:"src"`
+	Destination string  `json:"dst"`
+	Score       float64 `json:"score"`
+	LMScore     float64 `json:"lm_score"`
+	// PeriodSeconds is the smallest dominant period, 0 when detection
+	// kept no interval.
+	PeriodSeconds float64 `json:"period_seconds"`
+	// Stale marks pairs whose only sources are currently unhealthy: the
+	// verdict is from the last data received, not live traffic.
+	Stale bool `json:"stale"`
+}
+
+type statusPayload struct {
+	Stats    Stats          `json:"stats"`
+	Sources  []SourceStatus `json:"sources"`
+	Degraded bool           `json:"degraded"`
+	// LastTick is the sequence number of the published snapshot (0 before
+	// the first tick); DirtyPairs how many pairs it re-analyzed.
+	LastTick   int64 `json:"last_tick"`
+	DirtyPairs int   `json:"dirty_pairs"`
+}
+
+// startQueryServer serves /ranked, /host and /status on cfg.QueryAddr
+// until ctx ends; a no-op when no address is configured. The returned
+// stop function blocks until the server is down.
+func (d *Daemon) startQueryServer(ctx context.Context) (func(), error) {
+	if d.cfg.QueryAddr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", d.cfg.QueryAddr)
+	if err != nil {
+		return nil, fmt.Errorf("source: listen query %s: %w", d.cfg.QueryAddr, err)
+	}
+	d.queryBound.Store(ln.Addr().String())
+	srv := &http.Server{Handler: d.QueryHandler(), ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan struct{})
+	// Bounded by Run: the returned stop function is deferred there and
+	// waits on done.
+	//bw:guarded query server, shut down and awaited by Run's deferred stop
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	stop := func() {
+		sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+		<-done
+	}
+	return stop, nil
+}
+
+// QueryBoundAddr reports the query listener's address ("" before Run);
+// it lets tests bind ":0".
+func (d *Daemon) QueryBoundAddr() string {
+	if v, ok := d.queryBound.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// QueryHandler returns the query endpoint. Exposed so tests can drive it
+// without a listener.
+func (d *Daemon) QueryHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ranked", d.admitted(d.serveRanked))
+	mux.HandleFunc("/host", d.admitted(d.serveHost))
+	mux.HandleFunc("/status", d.admitted(d.serveStatus))
+	return mux
+}
+
+// admitted wraps a handler in semaphore admission: a slot is held for the
+// duration of the request, a caller that gives up while queued unblocks
+// promptly, and excess load is shed with 503 rather than piling up.
+func (d *Daemon) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if d.querySem != nil {
+			if err := d.querySem.Acquire(r.Context()); err != nil {
+				http.Error(w, "query capacity exhausted", http.StatusServiceUnavailable)
+				return
+			}
+			defer d.querySem.Release()
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (d *Daemon) serveRanked(w http.ResponseWriter, r *http.Request) {
+	snap := d.Snapshot()
+	if snap == nil {
+		writeJSON(w, []RankedEntry{})
+		return
+	}
+	limit := 25
+	if s := r.URL.Query().Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	stale := make(map[string]bool, len(snap.Stale))
+	for _, s := range snap.Stale {
+		stale[s] = true
+	}
+	entries := []RankedEntry{}
+	for i, c := range snap.Result.Reported {
+		if i >= limit {
+			break
+		}
+		e := RankedEntry{
+			Rank:        i + 1,
+			Source:      c.Source,
+			Destination: c.Destination,
+			Score:       c.Score,
+			LMScore:     c.LMScore,
+			Stale:       stale[c.Source+"|"+c.Destination],
+		}
+		if c.Detection != nil {
+			for _, k := range c.Detection.Kept {
+				if p := k.BestPeriod(); p > 0 && (e.PeriodSeconds == 0 || p < e.PeriodSeconds) {
+					e.PeriodSeconds = p
+				}
+			}
+		}
+		entries = append(entries, e)
+	}
+	writeJSON(w, entries)
+}
+
+func (d *Daemon) serveHost(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("src")
+	if src == "" {
+		http.Error(w, "src parameter is required", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, d.eng.HostTimeline(src))
+}
+
+func (d *Daemon) serveStatus(w http.ResponseWriter, r *http.Request) {
+	p := statusPayload{
+		Stats:    d.eng.Stats(),
+		Sources:  []SourceStatus{},
+		Degraded: d.Degraded(),
+	}
+	for _, s := range d.sups {
+		p.Sources = append(p.Sources, s.status())
+	}
+	if snap := d.Snapshot(); snap != nil {
+		p.LastTick = snap.Tick
+		p.DirtyPairs = snap.Dirty
+	}
+	writeJSON(w, p)
+}

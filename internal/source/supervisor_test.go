@@ -1,0 +1,180 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"baywatch/internal/guard"
+)
+
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	base, max := 100*time.Millisecond, 15*time.Second
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := retryDelay("proxy", attempt, base, max)
+		if d2 := retryDelay("proxy", attempt, base, max); d2 != d {
+			t.Fatalf("attempt %d: delay not deterministic (%v vs %v)", attempt, d, d2)
+		}
+		if d < base/2 || d >= max {
+			t.Fatalf("attempt %d: delay %v outside [base/2, max)", attempt, d)
+		}
+	}
+	// Deep attempts saturate at the cap's jitter window, not beyond it.
+	if d := retryDelay("proxy", 1000, base, max); d < max/2 || d >= max {
+		t.Fatalf("saturated delay %v outside [max/2, max)", d)
+	}
+	// Zero config falls back to the documented defaults.
+	if d := retryDelay("proxy", 1, 0, 0); d < 50*time.Millisecond || d >= 100*time.Millisecond {
+		t.Fatalf("default first delay %v outside [50ms, 100ms)", d)
+	}
+}
+
+// flappyConn scripts a source that delivers once, fails hard enough to
+// open its circuit, then recovers when the test opens the gate.
+type flappyConn struct {
+	mu        sync.Mutex
+	runs      int
+	gate      chan struct{}
+	recovered chan struct{}
+	once      sync.Once
+}
+
+func (f *flappyConn) Name() string { return "flappy" }
+
+func (f *flappyConn) Run(ctx context.Context, resume Position, sink Sink) error {
+	f.mu.Lock()
+	f.runs++
+	run := f.runs
+	f.mu.Unlock()
+	switch {
+	case run == 1:
+		// One healthy delivery creates the pair the staleness marking acts on.
+		sink.Deliver(Batch{Source: "flappy",
+			Events: []Event{{Source: "h", Destination: "d.example", TS: 100}},
+			Pos:    Position{Records: resume.Records + 1}})
+		return errors.New("flap")
+	case run <= 4:
+		return errors.New("flap")
+	default:
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return ctxCause(ctx)
+		}
+		sink.Deliver(Batch{Source: "flappy",
+			Events: []Event{{Source: "h", Destination: "d.example", TS: 200}},
+			Pos:    Position{Records: resume.Records + 1}})
+		f.once.Do(func() { close(f.recovered) })
+		<-ctx.Done()
+		return ctxCause(ctx)
+	}
+}
+
+// TestBreakerOpensMarksStaleAndRecovers: three consecutive failures open
+// the circuit — the source's pairs read stale, the daemon keeps running —
+// and one successful delivery closes it again.
+func TestBreakerOpensMarksStaleAndRecovers(t *testing.T) {
+	conn := &flappyConn{gate: make(chan struct{}), recovered: make(chan struct{})}
+	d, err := NewDaemon(DaemonConfig{
+		Engine:           Config{StateDir: t.TempDir()},
+		Connectors:       []Connector{conn},
+		TickInterval:     time.Hour,
+		BreakerThreshold: 3,
+		RetryBase:        time.Millisecond,
+		RetryMax:         2 * time.Millisecond,
+		BreakerCooldown:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	//bw:guarded daemon run under test, cancelled below and awaited on done
+	go func() { done <- d.Run(ctx) }()
+
+	waitStale := func(want bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			tl := d.Engine().HostTimeline("h")
+			if len(tl) == 1 && tl[0].Stale == want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("pair never reached stale=%v", want)
+	}
+	waitStale(true) // circuit opened after the consecutive failures
+	if !d.Degraded() {
+		t.Error("daemon not degraded with an open circuit")
+	}
+	close(conn.gate)
+	<-conn.recovered
+	waitStale(false) // one delivery closed the circuit
+	if d.Degraded() {
+		t.Error("daemon still degraded after the source recovered")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("daemon run: %v", err)
+	}
+	st := d.sups[0].status()
+	if st.Restarts < 4 || !st.Healthy {
+		t.Fatalf("final status = %+v, want healthy with >=4 restarts", st)
+	}
+}
+
+// wedgedConn never delivers and never reports liveness: the shape of a
+// connector stuck in a syscall the watchdog exists to catch.
+type wedgedConn struct{ causes chan error }
+
+func (w *wedgedConn) Name() string { return "wedged" }
+
+func (w *wedgedConn) Run(ctx context.Context, resume Position, sink Sink) error {
+	<-ctx.Done()
+	err := ctxCause(ctx)
+	select {
+	case w.causes <- err:
+	default:
+	}
+	return err
+}
+
+// TestWatchdogStallCancelsSilentConnector: a connector that goes silent
+// past StallTimeout has its run cancelled with guard.ErrStalled and is
+// restarted; the daemon itself stays up.
+func TestWatchdogStallCancelsSilentConnector(t *testing.T) {
+	conn := &wedgedConn{causes: make(chan error, 1)}
+	d, err := NewDaemon(DaemonConfig{
+		Engine:       Config{StateDir: t.TempDir()},
+		Connectors:   []Connector{conn},
+		TickInterval: time.Hour,
+		StallTimeout: 50 * time.Millisecond,
+		PollInterval: 10 * time.Millisecond,
+		RetryBase:    time.Millisecond,
+		RetryMax:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	//bw:guarded daemon run under test, cancelled below and awaited on done
+	go func() { done <- d.Run(ctx) }()
+
+	select {
+	case cause := <-conn.causes:
+		if !errors.Is(cause, guard.ErrStalled) {
+			t.Fatalf("stalled run cancelled with %v, want guard.ErrStalled", cause)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never cancelled the silent connector")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("daemon run: %v", err)
+	}
+}
