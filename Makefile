@@ -15,6 +15,24 @@ BENCH_FLAGS   ?= -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=10 -bench
 # instead of riding the 300x microbenchmark flags.
 BENCH_E2E_FLAGS ?= -run='^$$' -bench='PipelineEndToEnd' -benchmem -count=5 -benchtime=3x -timeout=20m
 
+# The batch-detection macro benchmarks each detect 1000 same-bucket pairs
+# per iteration (one op ~ seconds), so like the e2e pass they run few and
+# short. DetectPerPair rides along as the in-run comparison point for the
+# pairs/s speedup gate below.
+BENCH_BATCH_FLAGS ?= -run='^$$' -bench='DetectBatch$$|DetectPerPair$$' -benchmem -count=5 -benchtime=1x -timeout=20m
+
+# The batch path must stay at least this many times faster (median pairs/s)
+# than the per-pair loop IN THE SAME RUN — a machine-independent gate on
+# the plan-at-a-time speedup itself, enforced by benchgate -min-ratio.
+BENCH_BATCH_MIN_RATIO ?= BenchmarkDetectBatch/BenchmarkDetectPerPair:pairs/s:2
+
+# The two batch macro benchmarks run seconds per iteration, long enough to
+# integrate co-tenant CI load; their medians drift past the default 10%
+# band run-to-run even with no code change. They get a wider absolute band
+# — their precise contract is the in-run min-ratio above, which cancels
+# machine speed out.
+BENCH_NOISE ?= -noise 'BenchmarkDetectPerPair:0.35' -noise 'BenchmarkDetectBatch:0.25'
+
 .PHONY: check vet build test test-race fuzz-smoke tidy lint bench bench-ingest bench-baseline bench-check soak soak-smoke
 
 # check is the CI entry point: vet, build, and the full test suite under
@@ -67,6 +85,7 @@ lint:
 # inspection.
 bench:
 	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS)
+	$(GO) test $(BENCH_BATCH_FLAGS) ./internal/core
 
 # bench-ingest runs the sharded-ingest benchmark suite by itself — the
 # zero-copy parse pass, the direct-to-summary aggregation, the batch
@@ -79,7 +98,7 @@ bench-ingest:
 # bench-baseline regenerates the committed baseline. Run it on a quiet
 # machine after an intended performance change and commit the result.
 bench-baseline:
-	($(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) && $(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest) | tee BENCH_BASELINE.txt
+	($(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) && $(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest && $(GO) test $(BENCH_BATCH_FLAGS) ./internal/core) | tee BENCH_BASELINE.txt
 
 # soak keeps the streaming daemon under randomized fault injection for
 # ~30s and checks the drained state matches a clean batch run exactly.
@@ -93,8 +112,14 @@ soak:
 soak-smoke:
 	$(GO) test ./internal/source -run='^TestDaemonSoak$$' -count=1 -soak=3s -timeout=5m
 
-# bench-check runs the benchmarks and fails on >10% median ns/op growth or
-# any allocs/op growth against the committed baseline (see cmd/benchgate).
+# bench-check runs the benchmarks and fails on >10% median ns/op growth,
+# any allocs/op growth, a >10% drop in any rate metric (pairs/s), or the
+# batch path falling under its in-run speedup floor (see cmd/benchgate).
+# The report is tee'd to /tmp/benchgate-report.txt so CI can upload it as
+# an artifact even on failure; the pipe preserves benchgate's exit status
+# because the tee sits inside the same invocation via a shell group.
 bench-check:
-	($(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) && $(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest) > /tmp/bench-current.txt || (cat /tmp/bench-current.txt; exit 1)
-	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.txt -current /tmp/bench-current.txt
+	($(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) && $(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest && $(GO) test $(BENCH_BATCH_FLAGS) ./internal/core) > /tmp/bench-current.txt || (cat /tmp/bench-current.txt; exit 1)
+	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.txt -current /tmp/bench-current.txt \
+		-min-ratio '$(BENCH_BATCH_MIN_RATIO)' $(BENCH_NOISE) > /tmp/benchgate-report.txt; \
+	status=$$?; cat /tmp/benchgate-report.txt; exit $$status

@@ -9,9 +9,20 @@ import (
 )
 
 // series collects one benchmark's repetitions across a -count=N run.
+// Besides the standard ns/op and allocs/op columns, any custom
+// b.ReportMetric unit ending in "/s" (pairs/s, MB/s, ...) is collected as a
+// higher-is-better rate.
 type series struct {
 	nsOp     []float64
 	allocsOp []float64
+	rates    map[string][]float64
+}
+
+func (s *series) addRate(unit string, v float64) {
+	if s.rates == nil {
+		s.rates = make(map[string][]float64)
+	}
+	s.rates[unit] = append(s.rates[unit], v)
 }
 
 // parseBench extracts benchmark results from raw `go test -bench` output.
@@ -61,11 +72,13 @@ func parseBench(out string) (map[string]*series, error) {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("non-finite value %q in line %q", fields[i], line)
 			}
-			switch fields[i+1] {
-			case "ns/op":
+			switch unit := fields[i+1]; {
+			case unit == "ns/op":
 				s.nsOp = append(s.nsOp, v)
-			case "allocs/op":
+			case unit == "allocs/op":
 				s.allocsOp = append(s.allocsOp, v)
+			case strings.HasSuffix(unit, "/s"):
+				s.addRate(unit, v)
 			}
 		}
 	}
@@ -100,8 +113,12 @@ func allocSlack(baseline float64) float64 {
 }
 
 // compare evaluates the current run against the baseline and renders a
-// per-benchmark report. failed is true when any gate tripped.
-func compare(baseline, current map[string]*series, timeThreshold float64) (report string, failed bool) {
+// per-benchmark report. failed is true when any gate tripped. noise maps
+// benchmark names to a wider time threshold for macro benchmarks whose
+// medians drift more than the default band run-to-run (seconds-long ops
+// integrate co-tenant load); their precise gating comes from in-run
+// -min-ratio checks instead.
+func compare(baseline, current map[string]*series, timeThreshold float64, noise map[string]float64) (report string, failed bool) {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
 		names = append(names, name)
@@ -111,6 +128,10 @@ func compare(baseline, current map[string]*series, timeThreshold float64) (repor
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-45s %15s %15s %8s\n", "benchmark", "base ns/op", "curr ns/op", "delta")
 	for _, name := range names {
+		threshold := timeThreshold
+		if wide, ok := noise[name]; ok && wide > threshold {
+			threshold = wide
+		}
 		base := baseline[name]
 		curr, ok := current[name]
 		if !ok {
@@ -131,8 +152,8 @@ func compare(baseline, current map[string]*series, timeThreshold float64) (repor
 			delta = (currNs - baseNs) / baseNs
 		}
 		verdict := ""
-		if delta > timeThreshold {
-			verdict = fmt.Sprintf("  FAIL: ns/op regressed %.1f%% (limit %.0f%%)", delta*100, timeThreshold*100)
+		if delta > threshold {
+			verdict = fmt.Sprintf("  FAIL: ns/op regressed %.1f%% (limit %.0f%%)", delta*100, threshold*100)
 			failed = true
 		}
 		baseAllocs, currAllocs := median(base.allocsOp), median(curr.allocsOp)
@@ -147,6 +168,30 @@ func compare(baseline, current map[string]*series, timeThreshold float64) (repor
 			verdict += fmt.Sprintf("  FAIL: allocs/op regressed %.0f -> %.0f", baseAllocs, currAllocs)
 			failed = true
 		}
+		// Custom rate metrics (unit ending "/s") are higher-is-better: the
+		// current median must stay within the time threshold BELOW the
+		// baseline. A rate tracked by the baseline but absent from the
+		// current run fails like a missing allocs column would.
+		rateUnits := make([]string, 0, len(base.rates))
+		for unit := range base.rates {
+			rateUnits = append(rateUnits, unit)
+		}
+		sort.Strings(rateUnits)
+		for _, unit := range rateUnits {
+			baseRate := median(base.rates[unit])
+			currSamples := curr.rates[unit]
+			if len(currSamples) == 0 {
+				verdict += fmt.Sprintf("  FAIL: %s metric missing from current run (baseline has it)", unit)
+				failed = true
+				continue
+			}
+			currRate := median(currSamples)
+			if currRate < baseRate*(1-threshold) {
+				verdict += fmt.Sprintf("  FAIL: %s regressed %.0f -> %.0f (limit -%.0f%%)",
+					unit, baseRate, currRate, threshold*100)
+				failed = true
+			}
+		}
 		fmt.Fprintf(&b, "%-45s %15.0f %15.0f %+7.1f%%%s\n", name, baseNs, currNs, delta*100, verdict)
 	}
 	for name := range current {
@@ -159,6 +204,115 @@ func compare(baseline, current map[string]*series, timeThreshold float64) (repor
 		b.WriteString("(if the regression is intended, regenerate the baseline with `make bench-baseline`)\n")
 	} else {
 		b.WriteString("\nbenchgate: PASS\n")
+	}
+	return b.String(), failed
+}
+
+// parseNoiseSpec parses one -noise override, "<benchmark>:<threshold>",
+// e.g. "BenchmarkDetectPerPair:0.35".
+func parseNoiseSpec(s string) (name string, threshold float64, err error) {
+	i := strings.LastIndex(s, ":")
+	if i <= 0 || i == len(s)-1 {
+		return "", 0, fmt.Errorf("noise %q: want <benchmark>:<threshold>", s)
+	}
+	threshold, err = strconv.ParseFloat(s[i+1:], 64)
+	if err != nil || threshold <= 0 || threshold >= 1 || math.IsNaN(threshold) {
+		return "", 0, fmt.Errorf("noise %q: threshold must be a fraction in (0, 1)", s)
+	}
+	return s[:i], threshold, nil
+}
+
+// ratioSpec is one -min-ratio requirement: within the CURRENT run, the
+// median of numerator's unit metric must be at least factor times the
+// median of denominator's. The spec text is
+// "<numerator>/<denominator>:<unit>:<factor>", e.g.
+// "BenchmarkDetectBatch/BenchmarkDetectPerPair:pairs/s:2". Comparing
+// within one run (not against the baseline) makes the gate insensitive to
+// the machine: a slow runner scales both sides equally, but a change that
+// erodes the batch speedup trips it anywhere.
+type ratioSpec struct {
+	num, den string
+	unit     string
+	factor   float64
+}
+
+func parseRatioSpec(s string) (ratioSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return ratioSpec{}, fmt.Errorf("min-ratio %q: want <num>/<den>:<unit>:<factor>", s)
+	}
+	names := strings.SplitN(parts[0], "/", 2)
+	if len(names) != 2 || names[0] == "" || names[1] == "" {
+		return ratioSpec{}, fmt.Errorf("min-ratio %q: benchmark pair must be <num>/<den>", s)
+	}
+	factor, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return ratioSpec{}, fmt.Errorf("min-ratio %q: bad factor %q", s, parts[2])
+	}
+	return ratioSpec{num: names[0], den: names[1], unit: parts[1], factor: factor}, nil
+}
+
+// metricMedian extracts the named unit's median for one benchmark: the
+// standard ns/op and allocs/op columns or any collected rate metric.
+func (s *series) metricMedian(unit string) (float64, bool) {
+	switch unit {
+	case "ns/op":
+		if len(s.nsOp) == 0 {
+			return 0, false
+		}
+		return median(s.nsOp), true
+	case "allocs/op":
+		if len(s.allocsOp) == 0 {
+			return 0, false
+		}
+		return median(s.allocsOp), true
+	default:
+		xs := s.rates[unit]
+		if len(xs) == 0 {
+			return 0, false
+		}
+		return median(xs), true
+	}
+}
+
+// checkRatios evaluates -min-ratio requirements against the current run.
+// A missing benchmark or metric fails: a gate that silently skips because
+// the benchmark was renamed is worse than useless.
+func checkRatios(current map[string]*series, specs []ratioSpec) (report string, failed bool) {
+	var b strings.Builder
+	for _, spec := range specs {
+		num, ok := current[spec.num]
+		if !ok {
+			fmt.Fprintf(&b, "min-ratio %s/%s: %s MISSING from current run: FAIL\n", spec.num, spec.den, spec.num)
+			failed = true
+			continue
+		}
+		den, ok := current[spec.den]
+		if !ok {
+			fmt.Fprintf(&b, "min-ratio %s/%s: %s MISSING from current run: FAIL\n", spec.num, spec.den, spec.den)
+			failed = true
+			continue
+		}
+		nv, ok := num.metricMedian(spec.unit)
+		if !ok {
+			fmt.Fprintf(&b, "min-ratio %s/%s: %s has no %s samples: FAIL\n", spec.num, spec.den, spec.num, spec.unit)
+			failed = true
+			continue
+		}
+		dv, ok := den.metricMedian(spec.unit)
+		if !ok || dv == 0 {
+			fmt.Fprintf(&b, "min-ratio %s/%s: %s has no usable %s samples: FAIL\n", spec.num, spec.den, spec.den, spec.unit)
+			failed = true
+			continue
+		}
+		ratio := nv / dv
+		verdict := "ok"
+		if ratio < spec.factor {
+			verdict = fmt.Sprintf("FAIL (want >= %gx)", spec.factor)
+			failed = true
+		}
+		fmt.Fprintf(&b, "min-ratio %s/%s %s: %.0f / %.0f = %.2fx %s\n",
+			spec.num, spec.den, spec.unit, nv, dv, ratio, verdict)
 	}
 	return b.String(), failed
 }

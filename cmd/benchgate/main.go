@@ -15,8 +15,18 @@
 //     exactly zero for the small-alloc hot-path benchmarks (the
 //     zero-allocation contract), a few allocations of slack for macro
 //     benchmarks whose pooled buffers jitter with GC timing;
+//   - custom rate metrics (any unit ending "/s", e.g. pairs/s) are
+//     higher-is-better and may shrink by at most the time threshold;
 //   - a benchmark present in the baseline but missing from the current run
 //     fails the gate (coverage must not silently shrink).
+//
+// Repeatable -min-ratio flags add machine-independent speedup gates WITHIN
+// the current run: "-min-ratio BenchA/BenchB:pairs/s:2" requires BenchA's
+// median pairs/s to be at least 2x BenchB's in the same run. Repeatable
+// -noise flags widen the time threshold for named macro benchmarks whose
+// seconds-long iterations integrate co-tenant load ("-noise
+// BenchmarkDetectPerPair:0.35"); such benchmarks should carry a -min-ratio
+// gate for their precise contract.
 //
 // Medians rather than means keep the gate robust to scheduler noise on
 // shared CI runners, mirroring benchstat's use of order statistics.
@@ -28,10 +38,42 @@ import (
 	"os"
 )
 
+// ratioFlags collects repeated -min-ratio specs.
+type ratioFlags []ratioSpec
+
+func (r *ratioFlags) String() string { return fmt.Sprintf("%d ratio gates", len(*r)) }
+
+func (r *ratioFlags) Set(s string) error {
+	spec, err := parseRatioSpec(s)
+	if err != nil {
+		return err
+	}
+	*r = append(*r, spec)
+	return nil
+}
+
+// noiseFlags collects repeated -noise per-benchmark threshold overrides.
+type noiseFlags map[string]float64
+
+func (n noiseFlags) String() string { return fmt.Sprintf("%d noise overrides", len(n)) }
+
+func (n noiseFlags) Set(s string) error {
+	name, threshold, err := parseNoiseSpec(s)
+	if err != nil {
+		return err
+	}
+	n[name] = threshold
+	return nil
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_BASELINE.txt", "committed baseline bench output")
 	currentPath := flag.String("current", "", "bench output of the current run")
 	timeThreshold := flag.Float64("time-threshold", 0.10, "allowed fractional ns/op growth")
+	var ratios ratioFlags
+	flag.Var(&ratios, "min-ratio", "in-run speedup gate <num>/<den>:<unit>:<factor> (repeatable)")
+	noise := noiseFlags{}
+	flag.Var(noise, "noise", "wider time threshold for a noisy macro benchmark, <benchmark>:<fraction> (repeatable)")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -49,8 +91,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	report, failed := compare(baseline, current, *timeThreshold)
+	report, failed := compare(baseline, current, *timeThreshold, noise)
 	fmt.Print(report)
+	if len(ratios) > 0 {
+		ratioReport, ratioFailed := checkRatios(current, ratios)
+		fmt.Print(ratioReport)
+		failed = failed || ratioFailed
+	}
 	if failed {
 		os.Exit(1)
 	}

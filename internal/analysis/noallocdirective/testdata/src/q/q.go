@@ -79,3 +79,47 @@ func uncovered(x float64) float64 { return x * 2 } // want `//bw:noalloc functio
 func free(n int) []float64 {
 	return make([]float64, n)
 }
+
+// The batch-spectrum scratch shape (dsp.Scratch with its interleaved
+// tile buffer): complex scratch plus per-row outputs, both grown only
+// behind cap guards.
+type batchScratch struct {
+	ix   []complex128
+	rows [][]float64
+}
+
+// Allowed: the plan-at-a-time tile idiom — a cap-guarded grow of the
+// interleaved complex scratch, then per-row cap-guarded output grows
+// INSIDE the tile loop, with everything else strided in-place writes.
+// The grow exemption must hold inside loops, for complex element types,
+// and for grows reached through an index expression.
+//
+//bw:noalloc batch tile path
+func tileInto(s *batchScratch, src []float64, n, b int) {
+	if cap(s.ix) < n*b {
+		s.ix = make([]complex128, 0, n*b)
+	}
+	s.ix = s.ix[:n*b]
+	for j := 0; j < b; j++ {
+		if cap(s.rows[j]) < n {
+			s.rows[j] = make([]float64, 0, n)
+		}
+		s.rows[j] = s.rows[j][:n]
+		for i := 0; i < n; i++ {
+			s.ix[i*b+j] = complex(src[j*n+i], 0)
+			s.rows[j][i] = real(s.ix[i*b+j])
+		}
+	}
+}
+
+// Flagged: the same tile loop growing the complex scratch per iteration
+// without a cap guard — exactly the allocation the batch path exists to
+// avoid.
+//
+//bw:noalloc batch tile path but reallocating
+func tileLeaky(s *batchScratch, n, b int) {
+	for j := 0; j < b; j++ {
+		s.ix = make([]complex128, n*b) // want `make in //bw:noalloc function tileLeaky outside a cap-guarded grow block`
+		_ = s.ix
+	}
+}

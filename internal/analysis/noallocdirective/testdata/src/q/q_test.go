@@ -21,4 +21,7 @@ func TestAllocs(t *testing.T) {
 	_ = closure([]float64{1})
 	spawner(make(chan struct{}))
 	_ = values()
+	s := &batchScratch{rows: [][]float64{nil, nil}}
+	tileInto(s, make([]float64, 8), 4, 2)
+	tileLeaky(s, 4, 2)
 }

@@ -86,6 +86,41 @@ func nested() {
 	fn()
 }
 
+// The batch-detect scratch shape: a struct-typed pooled object (not a
+// slice pointer) borrowed across a tile loop. Pool identity is tracked by
+// expression text, so struct pools follow the same rules.
+type batchScratch struct {
+	ix   []complex128
+	rows []float64
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// Allowed: deferred Put covers the loop's early error exit.
+func batchTiles(n int) error {
+	s := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(s)
+	for i := 0; i < n; i++ {
+		if i > 128 {
+			return errFail
+		}
+	}
+	return nil
+}
+
+// Flagged: returning mid-loop skips the trailing Put.
+func batchTilesLeak(n int) error {
+	s := batchPool.Get().(*batchScratch) // want `return between batchPool\.Get and its Put leaks`
+	for i := 0; i < n; i++ {
+		if i > 128 {
+			return errFail
+		}
+		_ = s.ix
+	}
+	batchPool.Put(s)
+	return nil
+}
+
 var errFail = errors.New("fail")
 
 // Non-pool Get/Put methods are ignored.

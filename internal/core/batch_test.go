@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"baywatch/internal/timeseries"
+)
+
+// batchCorpus builds a varied summary corpus: beacons across several
+// periods and noise levels, Poisson-like traffic, degenerate few-event
+// pairs, and clusters of same-shape series that land in shared buckets.
+func batchCorpus(t *testing.T, seed int64, n int) []*timeseries.ActivitySummary {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*timeseries.ActivitySummary, 0, n)
+	for i := 0; len(out) < n; i++ {
+		var ts []int64
+		switch i % 5 {
+		case 0, 1: // jittered beacons, a few shared periods
+			period := []float64{30, 30, 60, 300}[rng.Intn(4)]
+			ts = beaconTimestamps(rng, rng.Int63n(1<<20), period, 40+rng.Intn(60), 2, 0.05, 0.1)
+		case 2: // Poisson-ish browsing
+			tt := rng.Int63n(1 << 20)
+			for k := 0; k < 50; k++ {
+				tt += int64(1 + rng.ExpFloat64()*45)
+				ts = append(ts, tt)
+			}
+		case 3: // exact same-bucket binary beacons (stride 64 over 2048 bins)
+			t0 := int64(1 << 19)
+			for k := 0; k < 32; k++ {
+				ts = append(ts, t0+int64(k*64))
+			}
+			// Shift one interior event so series differ but the {0,1}
+			// multiset — and thus the threshold key — is identical.
+			ts[1+rng.Intn(30)] += 1
+		default: // degenerate: too few events for analysis
+			ts = []int64{100, 200, 350}
+		}
+		as, err := timeseries.FromTimestamps(fmt.Sprintf("h%d", i), fmt.Sprintf("d%d", i), ts, 1)
+		if err != nil {
+			continue
+		}
+		out = append(out, as)
+	}
+	return out
+}
+
+// TestDetectBatchDifferential is the batch contract: DetectBatch must
+// return, at every input index, a Result deeply equal to per-pair Detect on
+// the same summary — with a shared memo, a nil memo, and a memo reused
+// across two consecutive batches.
+func TestDetectBatchDifferential(t *testing.T) {
+	det := NewDetector(DefaultConfig())
+	corpus := batchCorpus(t, 11, 40)
+
+	want := make([]*Result, len(corpus))
+	for i, as := range corpus {
+		r, err := det.Detect(as)
+		if err != nil {
+			t.Fatalf("per-pair Detect %d: %v", i, err)
+		}
+		want[i] = r
+	}
+
+	check := func(name string, got []BatchResult) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results for %d summaries", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Err != nil {
+				t.Fatalf("%s: batch result %d errored: %v", name, i, got[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Result, want[i]) {
+				t.Errorf("%s: result %d diverges from per-pair Detect:\nbatch: %+v\nsolo:  %+v",
+					name, i, got[i].Result, want[i])
+			}
+		}
+	}
+
+	check("nil memo", det.DetectBatch(corpus, nil))
+
+	memo := NewThresholdMemo(0)
+	check("shared memo", det.DetectBatch(corpus, memo))
+	if memo.Len() == 0 {
+		t.Error("shared memo never populated")
+	}
+	// Second pass over the same corpus: every threshold is now a memo hit;
+	// results must still be bit-identical.
+	check("warm memo", det.DetectBatch(corpus, memo))
+}
+
+// TestDetectBatchSharesBucketThresholds pins the win the batch exists for:
+// many pairs whose binned series share one value multiset must resolve to a
+// single memo entry, and every result must carry the identical threshold.
+func TestDetectBatchSharesBucketThresholds(t *testing.T) {
+	det := NewDetector(DefaultConfig())
+	var corpus []*timeseries.ActivitySummary
+	for i := 0; i < 20; i++ {
+		ts := make([]int64, 0, 33)
+		for k := 0; k < 33; k++ {
+			ts = append(ts, int64(k*64))
+		}
+		ts[1+i] += 1 // distinct series, identical multiset
+		as, err := timeseries.FromTimestamps(fmt.Sprintf("h%d", i), "d", ts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = append(corpus, as)
+	}
+	memo := NewThresholdMemo(0)
+	res := det.DetectBatch(corpus, memo)
+	if memo.Len() != 1 {
+		t.Errorf("same-multiset bucket produced %d memo entries, want 1", memo.Len())
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Result.PowerThreshold != res[0].Result.PowerThreshold { //bw:floatcmp shared memo entry must be the identical value
+			t.Errorf("pair %d threshold %g differs from pair 0 threshold %g",
+				i, res[i].Result.PowerThreshold, res[0].Result.PowerThreshold)
+		}
+	}
+}
+
+// TestThresholdMemoSeedIsolation: the same (length, events, multiset)
+// bucket under two different Seeds must occupy two memo entries and
+// reproduce each seed's per-pair thresholds exactly.
+func TestThresholdMemoSeedIsolation(t *testing.T) {
+	cfgA := DefaultConfig()
+	cfgB := DefaultConfig()
+	cfgB.Seed = cfgA.Seed + 1
+	detA, detB := NewDetector(cfgA), NewDetector(cfgB)
+
+	ts := make([]int64, 0, 33)
+	for k := 0; k < 33; k++ {
+		ts = append(ts, int64(k*64))
+	}
+	as, err := timeseries.FromTimestamps("h", "d", ts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloA, err := detA.Detect(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloB, err := detB.Detect(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloA.PowerThreshold == soloB.PowerThreshold { //bw:floatcmp distinct seeds drawing equal thresholds would make the test vacuous
+		t.Fatal("seeds produced equal thresholds; test cannot distinguish sharing")
+	}
+
+	memo := NewThresholdMemo(0)
+	batch := []*timeseries.ActivitySummary{as}
+	gotA := detA.DetectBatch(batch, memo)
+	gotB := detB.DetectBatch(batch, memo)
+	if memo.Len() != 2 {
+		t.Errorf("two seeds over one bucket left %d memo entries, want 2", memo.Len())
+	}
+	if gotA[0].Result.PowerThreshold != soloA.PowerThreshold { //bw:floatcmp bit-identity is the contract under test
+		t.Errorf("seed A batch threshold %g != solo %g", gotA[0].Result.PowerThreshold, soloA.PowerThreshold)
+	}
+	if gotB[0].Result.PowerThreshold != soloB.PowerThreshold { //bw:floatcmp bit-identity is the contract under test
+		t.Errorf("seed B batch threshold %g != solo %g", gotB[0].Result.PowerThreshold, soloB.PowerThreshold)
+	}
+}
+
+// TestThresholdMemoMultisetIsolation: equal (length, event count) with a
+// different value multiset — e.g. one doubled-up bin versus evenly spread
+// events — must not share a memo entry.
+func TestThresholdMemoMultisetIsolation(t *testing.T) {
+	det := NewDetector(DefaultConfig())
+	spread := make([]int64, 0, 32)
+	for k := 0; k < 32; k++ {
+		spread = append(spread, int64(k*66))
+	}
+	// Same span, same event count, but one bucket holds two events (the
+	// duplicate survives as a zero interval): {2,1,...} vs {1,1,...}.
+	doubled := append([]int64(nil), spread...)
+	doubled[15] = doubled[14]
+	asSpread, err := timeseries.FromTimestamps("h", "d", spread, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asDoubled, err := timeseries.FromTimestamps("h", "d2", doubled, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, bd := det.BucketOf(asSpread), det.BucketOf(asDoubled)
+	if bs != bd {
+		t.Fatalf("fixture broke: buckets differ (%+v vs %+v)", bs, bd)
+	}
+	memo := NewThresholdMemo(0)
+	res := det.DetectBatch([]*timeseries.ActivitySummary{asSpread, asDoubled}, memo)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+	}
+	if memo.Len() != 2 {
+		t.Errorf("distinct multisets in one bucket left %d memo entries, want 2", memo.Len())
+	}
+}
+
+// TestDetectBatchDegenerateBypassesMemo: summaries below MinEvents return
+// Undersampled before any threshold work, so a batch of them leaves the
+// memo empty.
+func TestDetectBatchDegenerateBypassesMemo(t *testing.T) {
+	det := NewDetector(DefaultConfig())
+	var corpus []*timeseries.ActivitySummary
+	for i := 0; i < 5; i++ {
+		as, err := timeseries.FromTimestamps(fmt.Sprintf("h%d", i), "d", []int64{10, 200, 4000}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = append(corpus, as)
+	}
+	memo := NewThresholdMemo(0)
+	for i, r := range det.DetectBatch(corpus, memo) {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		if !r.Result.Undersampled {
+			t.Errorf("result %d not undersampled", i)
+		}
+	}
+	if memo.Len() != 0 {
+		t.Errorf("degenerate batch populated the memo with %d entries, want 0", memo.Len())
+	}
+}
+
+// TestDetectBatchNilSummary pins error placement: a nil summary yields an
+// error at its own index without disturbing neighbors.
+func TestDetectBatchNilSummary(t *testing.T) {
+	det := NewDetector(DefaultConfig())
+	as, err := timeseries.FromTimestamps("h", "d", []int64{0, 60, 120, 180, 240, 300, 360, 420, 480}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := det.DetectBatch([]*timeseries.ActivitySummary{as, nil, as}, nil)
+	if res[1].Err == nil {
+		t.Error("nil summary should error")
+	}
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Errorf("neighbors errored: %v, %v", res[0].Err, res[2].Err)
+	}
+	if !reflect.DeepEqual(res[0].Result, res[2].Result) {
+		t.Error("identical summaries around a nil diverged")
+	}
+}
+
+// TestThresholdMemoResetOnFull pins the bounded-memo policy: inserting past
+// the cap deterministically resets rather than growing without bound.
+func TestThresholdMemoResetOnFull(t *testing.T) {
+	memo := NewThresholdMemo(3)
+	for i := 0; i < 3; i++ {
+		memo.store(ThresholdKey{Seed: int64(i)}, float64(i))
+	}
+	if memo.Len() != 3 {
+		t.Fatalf("memo holds %d entries, want 3", memo.Len())
+	}
+	// Re-storing an existing key must not reset.
+	memo.store(ThresholdKey{Seed: 1}, 1)
+	if memo.Len() != 3 {
+		t.Fatalf("re-store reset the memo to %d entries", memo.Len())
+	}
+	memo.store(ThresholdKey{Seed: 99}, 99)
+	if memo.Len() != 1 {
+		t.Errorf("over-cap insert left %d entries, want 1 (reset + insert)", memo.Len())
+	}
+	if v, ok := memo.lookup(ThresholdKey{Seed: 99}); !ok || v != 99 { //bw:floatcmp stored sentinel value round-trips exactly
+		t.Errorf("newest entry missing after reset: %v %v", v, ok)
+	}
+}
+
+// BenchmarkDetectPerPair and BenchmarkDetectBatch measure the macro
+// pairs-per-second rate over 1000 same-bucket summaries: 33 events at
+// stride 64 (a 2048-bin pow2 series), each series distinct but sharing one
+// value multiset, the shape enterprise beacon sweeps are dominated by.
+// benchgate enforces DetectBatch >= 2x DetectPerPair on the pairs/s metric.
+func batchBenchCorpus(n int) []*timeseries.ActivitySummary {
+	out := make([]*timeseries.ActivitySummary, 0, n)
+	for i := 0; i < n; i++ {
+		ts := make([]int64, 0, 33)
+		for k := 0; k < 33; k++ {
+			ts = append(ts, int64(k*64))
+		}
+		ts[1+i%30] += 1
+		as, err := timeseries.FromTimestamps(fmt.Sprintf("h%d", i), "d", ts, 1)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, as)
+	}
+	return out
+}
+
+func BenchmarkDetectPerPair(b *testing.B) {
+	det := NewDetector(DefaultConfig())
+	corpus := batchBenchCorpus(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, as := range corpus {
+			if _, err := det.Detect(as); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(corpus)*b.N)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+func BenchmarkDetectBatch(b *testing.B) {
+	det := NewDetector(DefaultConfig())
+	corpus := batchBenchCorpus(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memo := NewThresholdMemo(0)
+		for _, r := range det.DetectBatch(corpus, memo) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(corpus)*b.N)/b.Elapsed().Seconds(), "pairs/s")
+}

@@ -193,6 +193,15 @@ func (d *Detector) Config() Config {
 
 // Detect analyzes an ActivitySummary at its native scale.
 func (d *Detector) Detect(as *timeseries.ActivitySummary) (*Result, error) {
+	return d.DetectWithThresholds(as, nil)
+}
+
+// DetectWithThresholds is Detect consulting (and feeding) a shared
+// permutation-threshold memo. Passing nil is equivalent to Detect. Results
+// are bit-identical either way: the threshold is a pure function of the
+// seed and the binned series' value multiset, so a memo hit returns exactly
+// the value a cold computation would.
+func (d *Detector) DetectWithThresholds(as *timeseries.ActivitySummary, memo *ThresholdMemo) (*Result, error) {
 	if as == nil {
 		return nil, fmt.Errorf("core: nil activity summary")
 	}
@@ -200,7 +209,7 @@ func (d *Detector) Detect(as *timeseries.ActivitySummary) (*Result, error) {
 	defer releaseDetectScratch(sc)
 	sc.series = as.BinSeriesInto(sc.series, d.cfg.MaxSeriesLen)
 	sc.intervals = as.AppendIntervalsSeconds(sc.intervals[:0])
-	return d.detectSeries(sc, sc.series, float64(as.Scale), sc.intervals)
+	return d.detectSeries(sc, sc.series, float64(as.Scale), sc.intervals, memo)
 }
 
 // DetectSeries analyzes a pre-binned series directly. sampleInterval is the
@@ -215,14 +224,14 @@ func (d *Detector) Detect(as *timeseries.ActivitySummary) (*Result, error) {
 func (d *Detector) DetectSeries(series []float64, sampleInterval float64, intervals []float64) (*Result, error) {
 	sc := borrowDetectScratch()
 	defer releaseDetectScratch(sc)
-	return d.detectSeries(sc, series, sampleInterval, intervals)
+	return d.detectSeries(sc, series, sampleInterval, intervals, nil)
 }
 
 // detectSeries is DetectSeries running over a borrowed scratch; every
 // intermediate buffer (shuffles, periodograms, interval lists, rebinned
 // series, ACF cache) comes from sc, so the steady-state path allocates only
 // the returned Result.
-func (d *Detector) detectSeries(sc *detectScratch, series []float64, sampleInterval float64, intervals []float64) (*Result, error) {
+func (d *Detector) detectSeries(sc *detectScratch, series []float64, sampleInterval float64, intervals []float64, memo *ThresholdMemo) (*Result, error) {
 	cfg := d.cfg
 	res := &Result{SeriesLen: len(series), EventCount: countEvents(series)}
 
@@ -244,7 +253,7 @@ func (d *Detector) detectSeries(sc *detectScratch, series []float64, sampleInter
 		return nil, fmt.Errorf("periodogram: %w", err)
 	}
 	pg := &sc.pg
-	res.PowerThreshold = d.permutationThreshold(sc, series, sampleInterval)
+	res.PowerThreshold = d.permutationThreshold(sc, series, sampleInterval, memo)
 	sc.bins = pg.BinsAboveInto(sc.bins, res.PowerThreshold)
 	bins := sc.bins
 	if len(bins) > cfg.MaxCandidates {
@@ -493,27 +502,63 @@ func (d *Detector) detectSeries(sc *detectScratch, series []float64, sampleInter
 
 // permutationThreshold estimates the spectral power that pure noise with
 // the same first-order statistics can produce: the Confidence-quantile of
-// the maximum periodogram power across Permutations random shuffles. The
-// shuffle buffer, rng, periodogram, and maxima list all live on sc, so the
-// m spectral passes of this loop — the dominant cost of the detector per
-// Vlachos et al. — run without heap allocations.
-func (d *Detector) permutationThreshold(sc *detectScratch, series []float64, sampleInterval float64) float64 {
+// the maximum periodogram power across Permutations random shuffles.
+//
+// The threshold is a pure function of the configured seed and the series'
+// value MULTISET, not of its arrangement: the shuffle buffer is sorted into
+// a canonical order before the permutation walk begins, and the rng seed is
+// derived from a hash of that sorted buffer. A uniform shuffle of any
+// arrangement of the same values is the same distribution, so this changes
+// nothing statistically — but it makes the threshold shareable: every
+// series with the same values draws the identical null distribution, which
+// is what lets DetectBatch memoize one threshold per (seed, length, event
+// count, multiset) bucket while staying bit-identical to per-pair Detect.
+//
+// The m shuffles are materialized row-major into sc.permRows and their
+// spectra computed in one PeriodogramRowsInto batch, so all m transforms
+// share a single plan lookup and (for power-of-two lengths) run interleaved
+// through cache-resident tiles. The shuffle buffer, rng, rows, periodograms,
+// and maxima list all live on sc, so the dominant cost of the detector per
+// Vlachos et al. runs without heap allocations (memo misses insert one map
+// entry; Detect passes memo=nil and stays allocation-free).
+func (d *Detector) permutationThreshold(sc *detectScratch, series []float64, sampleInterval float64, memo *ThresholdMemo) float64 {
 	cfg := d.cfg
-	// Reseeding the pooled rng reproduces rand.New(rand.NewSource(seed))
-	// exactly: both paths reset the same generator state.
-	sc.rng.Seed(cfg.Seed ^ seriesSeed(series))
 	sc.shuffled = append(sc.shuffled[:0], series...)
 	shuffled := sc.shuffled
-	maxima := sc.maxima[:0]
-	for p := 0; p < cfg.Permutations; p++ {
-		sc.rng.Shuffle(len(shuffled), func(i, j int) {
+	slices.Sort(shuffled)
+	hash := uint64(seriesSeed(shuffled))
+	var key ThresholdKey
+	if memo != nil {
+		key = ThresholdKey{Seed: cfg.Seed, SeriesLen: len(series), Events: countEvents(series), Hash: hash}
+		if t, ok := memo.lookup(key); ok {
+			return t
+		}
+	}
+	// Reseeding the pooled rng reproduces rand.New(rand.NewSource(seed))
+	// exactly: both paths reset the same generator state.
+	sc.rng.Seed(cfg.Seed ^ int64(hash))
+	n := len(series)
+	m := cfg.Permutations
+	if cap(sc.permRows) < m*n {
+		sc.permRows = make([]float64, m*n)
+	}
+	rows := sc.permRows[:m*n]
+	for p := 0; p < m; p++ {
+		sc.rng.Shuffle(n, func(i, j int) {
 			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 		})
-		if err := sc.dsp.PeriodogramInto(&sc.permPG, shuffled, sampleInterval); err != nil {
-			continue
+		copy(rows[p*n:(p+1)*n], shuffled)
+	}
+	if cap(sc.permPGs) < m {
+		sc.permPGs = make([]dsp.Periodogram, m)
+	}
+	pgs := sc.permPGs[:cap(sc.permPGs)][:m]
+	maxima := sc.maxima[:0]
+	if err := sc.dsp.PeriodogramRowsInto(pgs, rows, n, sampleInterval); err == nil {
+		for p := range pgs {
+			mx, _ := pgs[p].MaxPower()
+			maxima = append(maxima, mx)
 		}
-		m, _ := sc.permPG.MaxPower()
-		maxima = append(maxima, m)
 	}
 	sc.maxima = maxima
 	if len(maxima) == 0 {
@@ -527,7 +572,11 @@ func (d *Detector) permutationThreshold(sc *detectScratch, series []float64, sam
 	if idx >= len(maxima) {
 		idx = len(maxima) - 1
 	}
-	return maxima[idx]
+	t := maxima[idx]
+	if memo != nil {
+		memo.store(key, t)
+	}
+	return t
 }
 
 // intervalPValue runs the one-sample t-test of candidate period P against

@@ -16,9 +16,10 @@ type detectScratch struct {
 	dsp *dsp.Scratch
 	rng *rand.Rand
 
-	pg     dsp.Periodogram // Step 1 periodogram of the analyzed series
-	permPG dsp.Periodogram // periodogram of each permutation (threshold loop)
+	pg      dsp.Periodogram   // Step 1 periodogram of the analyzed series
+	permPGs []dsp.Periodogram // per-permutation periodograms (threshold loop)
 
+	permRows  []float64 // m materialized shuffles, row-major (batch spectrum input)
 	shuffled  []float64 // in-place shuffle buffer for the permutation test
 	maxima    []float64 // per-permutation spectral maxima
 	bins      []int     // candidate bins above the power threshold

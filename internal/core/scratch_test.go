@@ -86,9 +86,9 @@ func TestPermutationThresholdAllocs(t *testing.T) {
 	}
 	sc := borrowDetectScratch()
 	defer releaseDetectScratch(sc)
-	det.permutationThreshold(sc, series, 1) // warm plans + buffers
+	det.permutationThreshold(sc, series, 1, nil) // warm plans + buffers
 	allocs := testing.AllocsPerRun(5, func() {
-		det.permutationThreshold(sc, series, 1)
+		det.permutationThreshold(sc, series, 1, nil)
 	})
 	if allocs != 0 {
 		t.Errorf("%v allocs/op in the permutation loop, want 0", allocs)
@@ -105,10 +105,10 @@ func TestPermutationThresholdDeterministic(t *testing.T) {
 		series[i] = rng.Float64()
 	}
 	sc1 := borrowDetectScratch()
-	first := det.permutationThreshold(sc1, series, 1)
+	first := det.permutationThreshold(sc1, series, 1, nil)
 	releaseDetectScratch(sc1)
 	sc2 := borrowDetectScratch()
-	second := det.permutationThreshold(sc2, series, 1)
+	second := det.permutationThreshold(sc2, series, 1, nil)
 	releaseDetectScratch(sc2)
 	if first != second {
 		t.Errorf("threshold not deterministic: %g vs %g", first, second)
@@ -128,7 +128,7 @@ func BenchmarkDetectorPermutationThreshold(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		det.permutationThreshold(sc, series, 1)
+		det.permutationThreshold(sc, series, 1, nil)
 	}
 }
 

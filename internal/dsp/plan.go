@@ -181,6 +181,11 @@ type Scratch struct {
 	cx    []complex128 // primary transform buffer
 	conv  []complex128 // Bluestein convolution buffer
 	re    []float64    // real intermediate buffer (packed-real paths)
+	ix    []complex128 // interleaved tile buffer (batch transforms)
+
+	// noInterleave forces PeriodogramRowsInto through the per-series
+	// path; see SetInterleave.
+	noInterleave bool
 }
 
 // NewScratch returns an empty workspace. Buffers and plan memos grow on

@@ -1,0 +1,172 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"baywatch/internal/core"
+	"baywatch/internal/mapreduce"
+	"baywatch/internal/timeseries"
+)
+
+// batchSummaries builds a corpus mixing beacon-like pairs at shared shapes,
+// noisy pairs, degenerate few-event pairs, and duplicate summaries of one
+// pair (exercising the pre-merge pass).
+func batchSummaries(t *testing.T, n int) []*timeseries.ActivitySummary {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	mk := func(src, dst string, ts []int64) *timeseries.ActivitySummary {
+		as, err := timeseries.FromTimestamps(src, dst, ts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return as
+	}
+	var out []*timeseries.ActivitySummary
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0: // same-bucket beacons: stride 60, one shifted event each
+			ts := make([]int64, 0, 40)
+			for k := 0; k < 40; k++ {
+				ts = append(ts, int64(k*60))
+			}
+			ts[1+i%38] += 1
+			out = append(out, mk(fmt.Sprintf("h%d", i), "beacon.example", ts))
+		case 1: // noisy browsing
+			var ts []int64
+			tt := int64(0)
+			for k := 0; k < 30; k++ {
+				tt += int64(1 + rng.Intn(200))
+				ts = append(ts, tt)
+			}
+			out = append(out, mk(fmt.Sprintf("h%d", i), fmt.Sprintf("web%d.example", i), ts))
+		case 2: // degenerate (below MinEvents)
+			out = append(out, mk(fmt.Sprintf("h%d", i), "rare.example", []int64{5, 1000}))
+		default: // duplicate summaries of one pair, merged by premerge
+			ts := make([]int64, 0, 20)
+			for k := 0; k < 20; k++ {
+				ts = append(ts, int64(k*120))
+			}
+			out = append(out, mk("dup-host", "dup.example", ts))
+			ts2 := make([]int64, 0, 20)
+			for k := 0; k < 20; k++ {
+				ts2 = append(ts2, int64(2400+k*120))
+			}
+			out = append(out, mk("dup-host", "dup.example", ts2))
+		}
+	}
+	return out
+}
+
+// TestDetectBatchDifferentialPipeline pins the detect stage's batch
+// scheduling to the per-pair reference: DetectBeacons (bucket-keyed job,
+// shared threshold memo, pre-merge) must return exactly the Detections a
+// sequential per-pair core.Detect over the merged summaries produces,
+// sorted by pair.
+func TestDetectBatchDifferentialPipeline(t *testing.T) {
+	cfg := core.DefaultConfig()
+	det := core.NewDetector(cfg)
+	summaries := batchSummaries(t, 24)
+
+	got, err := DetectBeacons(context.Background(), summaries, det, mapreduce.JobConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: merge duplicates per pair in input order, detect each pair
+	// solo, sort by pair.
+	merged, failed := premergePairs(summaries)
+	if len(failed) != 0 {
+		t.Fatalf("fixture should premerge cleanly, got %d failures", len(failed))
+	}
+	var want []Detection
+	for _, as := range merged {
+		r, derr := det.Detect(as)
+		if derr != nil {
+			t.Fatalf("per-pair Detect %s|%s: %v", as.Source, as.Destination, derr)
+		}
+		want = append(want, Detection{Summary: as, Result: r})
+	}
+	sortDetections(want)
+
+	if len(got) != len(want) {
+		t.Fatalf("%d detections, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("detection %d (%s|%s) errored: %v", i, got[i].Summary.Source, got[i].Summary.Destination, got[i].Err)
+		}
+		if got[i].Summary.Source != want[i].Summary.Source || got[i].Summary.Destination != want[i].Summary.Destination {
+			t.Fatalf("detection %d is pair %s|%s, want %s|%s", i,
+				got[i].Summary.Source, got[i].Summary.Destination,
+				want[i].Summary.Source, want[i].Summary.Destination)
+		}
+		if !reflect.DeepEqual(got[i].Result, want[i].Result) {
+			t.Errorf("pair %s|%s: batch result diverges from per-pair Detect",
+				got[i].Summary.Source, got[i].Summary.Destination)
+		}
+		if !reflect.DeepEqual(got[i].Summary, want[i].Summary) {
+			t.Errorf("pair %s|%s: merged summary diverges", got[i].Summary.Source, got[i].Summary.Destination)
+		}
+	}
+}
+
+// TestPremergeFailureParksPair pins the pre-merge error path: a pair whose
+// duplicate summaries cannot merge (scale mismatch) comes back as a parked
+// Detection carrying the pair's first summary, while other pairs detect
+// normally.
+func TestPremergeFailureParksPair(t *testing.T) {
+	good, err := timeseries.FromTimestamps("h1", "ok.example", []int64{0, 60, 120, 180, 240, 300, 360, 420, 480}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badA, err := timeseries.FromTimestamps("h2", "bad.example", []int64{0, 60, 120, 180, 240, 300, 360, 420, 480}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badB, err := timeseries.FromTimestamps("h2", "bad.example", []int64{0, 600}, 60) // scale mismatch
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := DetectBeacons(context.Background(), []*timeseries.ActivitySummary{badA, good, badB}, core.NewDetector(core.DefaultConfig()), mapreduce.JobConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("%d detections, want 2", len(ds))
+	}
+	// Sorted by pair: h1 before h2.
+	if ds[0].Summary.Source != "h1" || ds[0].Err != nil || ds[0].Result == nil {
+		t.Errorf("good pair mishandled: %+v", ds[0])
+	}
+	if ds[1].Summary.Source != "h2" || ds[1].Err == nil {
+		t.Errorf("failed-merge pair should be parked with its error: %+v", ds[1])
+	}
+	if ds[1].Summary != badA {
+		t.Error("parked detection should carry the pair's first summary")
+	}
+}
+
+// TestDetectSlotStable pins the slot function's determinism and range.
+func TestDetectSlotStable(t *testing.T) {
+	a := detectSlot("host", "dest")
+	for i := 0; i < 3; i++ {
+		if detectSlot("host", "dest") != a {
+			t.Fatal("slot not deterministic")
+		}
+	}
+	seen := map[uint8]bool{}
+	for i := 0; i < 256; i++ {
+		s := detectSlot(fmt.Sprintf("h%d", i), "d")
+		if int(s) >= detectSlots {
+			t.Fatalf("slot %d out of range", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < detectSlots/2 {
+		t.Errorf("slots poorly distributed: only %d of %d used", len(seen), detectSlots)
+	}
+}

@@ -30,7 +30,7 @@ import (
 const detectJobName = string(faultinject.PointPipelineDetect)
 
 func init() {
-	mapreduce.RegisterExec[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection](
+	mapreduce.RegisterExec[*timeseries.ActivitySummary, detectKey, *timeseries.ActivitySummary, Detection](
 		detectJobName, buildDetectJob)
 }
 
@@ -101,16 +101,18 @@ func encodeDetectParams(p detectParams) ([]byte, error) {
 
 // buildDetectJob is the worker-side factory: it rebuilds the detect job
 // from the coordinator's params blob.
-func buildDetectJob(params []byte) (*mapreduce.Job[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection], error) {
+func buildDetectJob(params []byte) (*mapreduce.Job[*timeseries.ActivitySummary, detectKey, *timeseries.ActivitySummary, Detection], error) {
 	var p detectParams
 	if err := gob.NewDecoder(bytes.NewReader(params)).Decode(&p); err != nil {
 		return nil, fmt.Errorf("pipeline: decode detect params: %w", err)
 	}
 	// A worker process owns its whole lifetime: the coordinator cancels
 	// work by revoking the task lease and killing the process, so there is
-	// no caller context to thread through.
+	// no caller context to thread through. The threshold memo is
+	// worker-local (a memo hit is bit-identical to a cold computation, so
+	// per-worker caches never diverge from the in-process run).
 	ctx := context.Background() //bw:guarded worker-process root; cancellation is the coordinator killing the process
-	return detectJob(ctx, core.NewDetector(p.Detector), p.MR.jobConfig(), p.CandidateTimeout, p.MaxInFlight, nil), nil
+	return detectJob(ctx, core.NewDetector(p.Detector), p.MR.jobConfig(), p.CandidateTimeout, p.MaxInFlight, nil, core.NewThresholdMemo(0)), nil
 }
 
 // detectionWire is Detection's gob shape. Err is an interface value the

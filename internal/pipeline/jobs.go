@@ -318,54 +318,147 @@ type Detection struct {
 	Err     error
 }
 
-// safeDetect runs merge + detection for one pair, converting panics into
-// errors so a single pathological history cannot take down the job.
-func safeDetect(det *core.Detector, key string, list []*timeseries.ActivitySummary) (d Detection, err error) {
-	// Identify the pair even if merging fails midway.
-	d = Detection{Summary: list[0]}
+// detectKey is the detect job's shuffle key: the analysis bucket (series
+// length and event count after capping/decimation, see core.Detector.
+// BucketOf) plus a small pair-hash slot. Keying by bucket instead of pair
+// schedules same-shape series into the same reduce group, where they run
+// back-to-back through one cached FFT plan and share memoized permutation
+// thresholds; the slot spreads one dominant bucket across reducers so
+// batching never serializes the stage. Fields are exported because the
+// distributed detect job gob-encodes keys into spill files.
+type detectKey struct {
+	Len    int
+	Events int
+	Slot   uint8
+}
+
+// detectSlots is the number of sub-bucket slots; 16 keeps plenty of
+// parallelism for a skewed bucket while leaving groups large enough to
+// amortize plan and threshold reuse.
+const detectSlots = 16
+
+// detectSlot assigns a pair to a slot by FNV-1a over "src|dst".
+func detectSlot(src, dst string) uint8 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
+		h *= 1099511628211
+	}
+	h ^= '|'
+	h *= 1099511628211
+	for i := 0; i < len(dst); i++ {
+		h ^= uint64(dst[i])
+		h *= 1099511628211
+	}
+	return uint8(h % detectSlots)
+}
+
+// safeMerge merges two summaries of one pair, converting panics into
+// errors so a pathological history cannot take down the stage.
+func safeMerge(a, b *timeseries.ActivitySummary) (m *timeseries.ActivitySummary, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("detect panic: %v", r)
+		}
+	}()
+	return timeseries.Merge(a, b)
+}
+
+// premergePairs merges duplicate summaries of the same pair (e.g. from
+// multiple input files) ahead of the detect job, so the job's bucket
+// grouping sees exactly one summary per pair. The returned slice preserves
+// first-seen order; pairs whose merge failed come back as parked
+// Detections (Summary = the pair's first summary, matching the old
+// in-reduce merge) and are excluded from detection.
+func premergePairs(summaries []*timeseries.ActivitySummary) ([]*timeseries.ActivitySummary, []Detection) {
+	idx := make(map[pairKey]int, len(summaries))
+	merged := make([]*timeseries.ActivitySummary, 0, len(summaries))
+	var firsts []*timeseries.ActivitySummary
+	var failed []Detection
+	for _, as := range summaries {
+		key := pairKey{Src: as.Source, Dst: as.Destination}
+		i, seen := idx[key]
+		if !seen {
+			idx[key] = len(merged)
+			merged = append(merged, as)
+			firsts = append(firsts, as)
+			continue
+		}
+		if merged[i] == nil {
+			continue // pair already failed; mirror the old single-Detection-per-pair behavior
+		}
+		m, err := safeMerge(merged[i], as)
+		if err != nil {
+			failed = append(failed, Detection{Summary: firsts[i], Err: err})
+			merged[i] = nil
+			continue
+		}
+		merged[i] = m
+	}
+	out := merged[:0]
+	for _, as := range merged {
+		if as != nil {
+			out = append(out, as)
+		}
+	}
+	return out, failed
+}
+
+// safeDetectOne runs detection for one pre-merged pair, converting panics
+// into errors so a single pathological history cannot take down the job.
+// thrMemo shares permutation thresholds across same-bucket pairs; results
+// are bit-identical with or without it.
+func safeDetectOne(det *core.Detector, thrMemo *core.ThresholdMemo, as *timeseries.ActivitySummary) (d Detection) {
+	d = Detection{Summary: as}
 	defer func() {
 		if r := recover(); r != nil {
 			d.Err = fmt.Errorf("detect panic: %v", r)
-			err = nil
 		}
 	}()
-	if ferr := faultCheck(faultinject.PointPipelineDetect, key); ferr != nil {
+	if ferr := faultCheck(faultinject.PointPipelineDetect, as.Source+"|"+as.Destination); ferr != nil {
 		d.Err = ferr
-		return d, nil
+		return d
 	}
-	// Histories of the same pair (e.g. from multiple input files)
-	// merge before detection.
-	merged := list[0]
-	var merr error
-	for _, as := range list[1:] {
-		merged, merr = timeseries.Merge(merged, as)
-		if merr != nil {
-			d.Err = merr
-			return d, nil
-		}
-	}
-	d.Summary = merged
-	res, derr := det.Detect(merged)
+	res, derr := det.DetectWithThresholds(as, thrMemo)
 	if derr != nil {
 		d.Err = derr
-		return d, nil
+		return d
 	}
 	d.Result = res
-	return d, nil
+	return d
+}
+
+// sortDetections orders detections canonically by (source, destination),
+// so every execution mode — in-process, streaming, multi-process exec, and
+// daemon ticks — hands downstream stages the identical order regardless of
+// how the bucket scheduling distributed the work.
+func sortDetections(ds []Detection) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Summary, ds[j].Summary
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Destination < b.Destination
+	})
 }
 
 // DetectBeacons is the beaconing-detection MapReduce job (Sect. VII-D):
-// MAP partitions pairs by hash; REDUCE runs the three-step detection
-// algorithm on every pair's request history. All pairs are returned with
-// their results (periodic or not) so downstream stages can account for the
-// funnel; pairs whose detection failed come back with Err set rather than
-// failing the job.
+// duplicate summaries of one pair pre-merge at the coordinator, MAP groups
+// pairs by analysis bucket (batch scheduling, see detectKey), and REDUCE
+// runs the three-step detection on every pair's request history with
+// permutation thresholds memoized per bucket. All pairs are returned with
+// their results (periodic or not), sorted by pair, so downstream stages can
+// account for the funnel; pairs whose detection failed come back with Err
+// set rather than failing the job.
 func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, det *core.Detector, mrCfg mapreduce.JobConfig) ([]Detection, error) {
-	res, err := detectJob(ctx, det, mrCfg, 0, 0, nil).Run(ctx, summaries)
+	merged, failed := premergePairs(summaries)
+	res, err := detectJob(ctx, det, mrCfg, 0, 0, nil, core.NewThresholdMemo(0)).Run(ctx, merged)
 	if err != nil {
 		return nil, err
 	}
-	return res.Outputs, nil
+	out := append(res.Outputs, failed...)
+	sortDetections(out)
+	return out, nil
 }
 
 // detectBeacons is the guarded beaconing-detection job: candidateTimeout
@@ -375,9 +468,15 @@ func DetectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary,
 // admitted to detection concurrently. When ec enables the multi-process
 // executor, the job runs distributed across exec'd workers (see exec.go)
 // and takes the detector's Config rather than a live Detector so workers
-// can rebuild it.
-func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, detCfg core.Config, mrCfg mapreduce.JobConfig, ec mapreduce.ExecConfig, candidateTimeout time.Duration, maxInFlight int, memo DetectMemo) ([]Detection, mapreduce.Counters, error) {
-	job := detectJob(ctx, core.NewDetector(detCfg), mrCfg, candidateTimeout, maxInFlight, memo)
+// can rebuild it; each worker keeps its own threshold memo, which is
+// harmless for identity (a memo hit equals a cold computation bit for
+// bit) and still captures the bucket locality of its task's partition.
+func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary, detCfg core.Config, mrCfg mapreduce.JobConfig, ec mapreduce.ExecConfig, candidateTimeout time.Duration, maxInFlight int, memo DetectMemo, thrMemo *core.ThresholdMemo) ([]Detection, mapreduce.Counters, error) {
+	merged, failed := premergePairs(summaries)
+	if thrMemo == nil {
+		thrMemo = core.NewThresholdMemo(0)
+	}
+	job := detectJob(ctx, core.NewDetector(detCfg), mrCfg, candidateTimeout, maxInFlight, memo, thrMemo)
 	var res *mapreduce.Result[Detection]
 	var err error
 	if ec.Enabled() {
@@ -390,76 +489,93 @@ func detectBeacons(ctx context.Context, summaries []*timeseries.ActivitySummary,
 		if perr != nil {
 			return nil, mapreduce.Counters{}, perr
 		}
-		res, err = job.RunExec(ctx, detectJobName, params, ec, summaries)
+		res, err = job.RunExec(ctx, detectJobName, params, ec, merged)
 	} else {
-		res, err = job.Run(ctx, summaries)
+		res, err = job.Run(ctx, merged)
 	}
 	if err != nil {
 		return nil, mapreduce.Counters{}, err
 	}
-	return res.Outputs, res.Counters, nil
+	out := append(res.Outputs, failed...)
+	sortDetections(out)
+	return out, res.Counters, nil
 }
 
 // detectJob builds the beaconing-detection MapReduce job around a live
 // detector. Both execution paths share it: the in-process engine runs it
 // directly, and worker processes rebuild it from detectParams (exec.go,
-// always with a nil memo — the cache cannot cross the process boundary).
-// A non-nil memo short-circuits detection for pairs whose result is
-// cached; the caller guarantees cached entries match the pair's current
-// summary (see Config.DetectMemo).
-func detectJob(ctx context.Context, det *core.Detector, mrCfg mapreduce.JobConfig, candidateTimeout time.Duration, maxInFlight int, memo DetectMemo) *mapreduce.Job[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection] {
+// always with a nil DetectMemo — that cache cannot cross the process
+// boundary — and a fresh worker-local threshold memo). A non-nil memo
+// short-circuits detection for pairs whose result is cached; the caller
+// guarantees cached entries match the pair's current summary (see
+// Config.DetectMemo). Inputs must be pre-merged to one summary per pair
+// (premergePairs); the reduce group is a bucket of same-shape pairs, run
+// in pair order with per-pair admission, timeout and fault isolation
+// exactly as the pair-keyed job applied.
+func detectJob(ctx context.Context, det *core.Detector, mrCfg mapreduce.JobConfig, candidateTimeout time.Duration, maxInFlight int, memo DetectMemo, thrMemo *core.ThresholdMemo) *mapreduce.Job[*timeseries.ActivitySummary, detectKey, *timeseries.ActivitySummary, Detection] {
 	mrCfg.Name = "beaconing-detection"
 	sem := guard.NewSemaphore(maxInFlight)
-	return mapreduce.NewJob[*timeseries.ActivitySummary, pairKey, *timeseries.ActivitySummary, Detection](
-		mrCfg,
-		func(as *timeseries.ActivitySummary, emit mapreduce.Emitter[pairKey, *timeseries.ActivitySummary]) error {
-			emit(pairKey{Src: as.Source, Dst: as.Destination}, as)
-			return nil
-		},
-		func(key pairKey, list []*timeseries.ActivitySummary, emit func(Detection)) error {
-			if err := sem.Acquire(ctx); err != nil {
-				return err
-			}
-			defer sem.Release()
-			if memo != nil && len(list) == 1 {
-				// Memo hits are restricted to single-summary pairs so the
-				// cached result always describes the exact summary emitted
-				// downstream (a multi-summary pair would first merge).
-				if r, ok := memo.Get(key.Src, key.Dst); ok {
-					emit(Detection{Summary: list[0], Result: r})
-					return nil
-				}
-			}
-			record := func(d Detection) Detection {
-				if memo != nil && d.Err == nil && d.Result != nil && len(list) == 1 {
-					memo.Put(key.Src, key.Dst, d.Result)
-				}
-				return d
-			}
-			if candidateTimeout <= 0 {
-				d, err := safeDetect(det, key.faultKey(), list)
-				if err != nil {
-					return err
-				}
-				emit(record(d))
+	detectOne := func(as *timeseries.ActivitySummary, emit func(Detection)) error {
+		if err := sem.Acquire(ctx); err != nil {
+			return err
+		}
+		defer sem.Release()
+		if memo != nil {
+			if r, ok := memo.Get(as.Source, as.Destination); ok {
+				emit(Detection{Summary: as, Result: r})
 				return nil
 			}
-			// The detection runs on its own goroutine so an overrun can be
-			// abandoned; safeDetect communicates only through its return
-			// value, making abandonment race-free.
-			d, err := guard.RunBounded(ctx, candidateTimeout, func() (Detection, error) {
-				return safeDetect(det, key.faultKey(), list)
-			})
-			if err != nil {
-				if errors.Is(err, guard.ErrTimeout) {
-					// Park the pair instead of failing the key: the pipeline
-					// isolates it under StageError and degrades the run.
-					emit(Detection{Summary: list[0], Err: err})
-					return nil
-				}
-				return err
+		}
+		record := func(d Detection) Detection {
+			if memo != nil && d.Err == nil && d.Result != nil {
+				memo.Put(as.Source, as.Destination, d.Result)
 			}
-			emit(record(d))
+			return d
+		}
+		if candidateTimeout <= 0 {
+			emit(record(safeDetectOne(det, thrMemo, as)))
+			return nil
+		}
+		// The detection runs on its own goroutine so an overrun can be
+		// abandoned; safeDetectOne communicates only through its return
+		// value and the mutex-guarded threshold memo, making abandonment
+		// race-free.
+		d, err := guard.RunBounded(ctx, candidateTimeout, func() (Detection, error) {
+			return safeDetectOne(det, thrMemo, as), nil
+		})
+		if err != nil {
+			if errors.Is(err, guard.ErrTimeout) {
+				// Park the pair instead of failing the key: the pipeline
+				// isolates it under StageError and degrades the run.
+				emit(Detection{Summary: as, Err: err})
+				return nil
+			}
+			return err
+		}
+		emit(record(d))
+		return nil
+	}
+	return mapreduce.NewJob[*timeseries.ActivitySummary, detectKey, *timeseries.ActivitySummary, Detection](
+		mrCfg,
+		func(as *timeseries.ActivitySummary, emit mapreduce.Emitter[detectKey, *timeseries.ActivitySummary]) error {
+			b := det.BucketOf(as)
+			emit(detectKey{Len: b.SeriesLen, Events: b.Events, Slot: detectSlot(as.Source, as.Destination)}, as)
+			return nil
+		},
+		func(key detectKey, list []*timeseries.ActivitySummary, emit func(Detection)) error {
+			// Deterministic within-bucket order: process the group's pairs
+			// sorted by (src, dst) regardless of emission order.
+			sort.Slice(list, func(i, j int) bool {
+				if list[i].Source != list[j].Source {
+					return list[i].Source < list[j].Source
+				}
+				return list[i].Destination < list[j].Destination
+			})
+			for _, as := range list {
+				if err := detectOne(as, emit); err != nil {
+					return err
+				}
+			}
 			return nil
 		},
 	)

@@ -87,6 +87,14 @@ type Config struct {
 	// tick). Only the in-process execution path consults the memo; exec'd
 	// workers always recompute. Nil disables memoization.
 	DetectMemo DetectMemo
+	// Thresholds, when non-nil, carries memoized permutation thresholds
+	// across runs: same-shape series share one cached null distribution
+	// (see core.ThresholdMemo — hits are bit-identical to recomputation,
+	// so sharing never changes verdicts). The streaming daemon passes a
+	// long-lived memo so incremental ticks detect dirty pairs against
+	// thresholds warmed by earlier ticks. Nil gives each run a private
+	// memo; bucket-level sharing within the run still applies.
+	Thresholds *core.ThresholdMemo
 }
 
 // DetectMemo caches detection results across pipeline runs, keyed by the
@@ -430,7 +438,7 @@ func analyze(ctx context.Context, res *Result, summaries []*timeseries.ActivityS
 	start = time.Now()
 	detCtx, detDone := stageCtx("detect")
 	detections, detCounters, err := detectBeacons(
-		detCtx, analyzable, cfg.Detector, mrCfg, cfg.Exec, g.CandidateTimeout, g.MaxInFlight, cfg.DetectMemo)
+		detCtx, analyzable, cfg.Detector, mrCfg, cfg.Exec, g.CandidateTimeout, g.MaxInFlight, cfg.DetectMemo, cfg.Thresholds)
 	detDone()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: detect: %w", err)

@@ -109,6 +109,7 @@ type Engine struct {
 	pos      map[string]Position
 	health   map[string]bool // false = circuit open / flapping
 	memo     *detectMemo
+	thrMemo  *core.ThresholdMemo // permutation thresholds shared across ticks
 	rec      Recovery
 	ticks    int64
 	applied  int64 // events applied since open (not persisted)
@@ -146,6 +147,11 @@ func OpenEngine(cfg Config) (*Engine, error) {
 		pos:    make(map[string]Position),
 		health: make(map[string]bool),
 		memo:   newDetectMemo(),
+		// Threshold memo entries are pure functions of (seed, series
+		// multiset) — never of a pair's identity — so unlike the detect
+		// memo they survive dirty-pair invalidation and warm every
+		// subsequent tick's batch detection.
+		thrMemo: core.NewThresholdMemo(0),
 	}
 	removeTempFiles(cfg.StateDir)
 	cp, ok, err := loadCheckpoint(cfg.StateDir)
@@ -370,6 +376,7 @@ func (e *Engine) Tick(ctx context.Context) (*TickResult, error) {
 	cfg := e.cfg.Pipeline
 	cfg.Scale = e.cfg.Scale
 	cfg.DetectMemo = e.memo
+	cfg.Thresholds = e.thrMemo
 	tick := e.ticks + 1
 	e.mu.Unlock()
 
