@@ -72,14 +72,16 @@ tidy:
 # lint is the fast static gate CI runs before spending a full race-detector
 # build: gofmt, stock go vet, then the repo's own analyzer suite (bwlint:
 # fault-point hygiene, guarded goroutines, pool discipline, float
-# comparisons, //bw:noalloc contracts — see DESIGN.md section 5e).
+# comparisons, //bw:noalloc contracts, lock discipline, context flow and
+# goroutine-leak shapes — see DESIGN.md sections 5e and 5j). -audit also
+# fails on stale //bw: suppressions and on DIRECTIVE_BUDGET.txt overruns.
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/bwlint ./...
+	$(GO) run ./cmd/bwlint -audit ./...
 
 # bench prints the gated microbenchmarks (see BENCH_PATTERN) for local
 # inspection.

@@ -4,41 +4,82 @@
 // Usage:
 //
 //	go run ./cmd/bwlint ./...
-//	go run ./cmd/bwlint ./internal/dsp ./internal/core
+//	go run ./cmd/bwlint -audit ./...
+//	go run ./cmd/bwlint -json -audit ./... > report.json
 //
 // bwlint exits 0 when the tree is clean, 1 when any analyzer reports a
-// finding, and 2 on operational errors (unloadable packages, etc.). It is
-// wired into `make lint` and the CI lint job next to gofmt and go vet.
+// finding (or, under -audit, when a stale directive or a budget
+// violation is found), and 2 on operational errors (unloadable
+// packages, etc.). It is wired into `make lint` and the CI lint job
+// next to gofmt and go vet.
+//
+// -audit additionally verifies the suppression directives themselves:
+// every //bw:<name> must still suppress a live diagnostic of the named
+// analyzer (stale directives are errors), and the per-directive count
+// must stay within the committed DIRECTIVE_BUDGET.txt ceiling — the
+// ratchet that only ever goes down. -write-budget regenerates the
+// budget file from the current counts after a burn-down.
 //
 // The suite lives in internal/analysis/...; each analyzer documents its
-// invariant and the //bw: directive that records reviewed exceptions. See
-// DESIGN.md section 5e for the full catalogue.
+// invariant and the //bw: directive that records reviewed exceptions.
+// See DESIGN.md sections 5e and 5j for the catalogue.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"baywatch/internal/analysis"
+	"baywatch/internal/analysis/ctxflow"
+	"baywatch/internal/analysis/directiveaudit"
 	"baywatch/internal/analysis/faultpoint"
 	"baywatch/internal/analysis/floatcmp"
+	"baywatch/internal/analysis/goleak"
 	"baywatch/internal/analysis/guardgo"
+	"baywatch/internal/analysis/lockorder"
 	"baywatch/internal/analysis/noallocdirective"
 	"baywatch/internal/analysis/poolput"
 )
 
 var analyzers = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	directiveaudit.Analyzer,
 	faultpoint.Analyzer,
 	floatcmp.Analyzer,
+	goleak.Analyzer,
 	guardgo.Analyzer,
+	lockorder.Analyzer,
 	noallocdirective.Analyzer,
 	poolput.Analyzer,
 }
 
+// report is the -json output shape.
+type report struct {
+	Findings []string `json:"findings"`
+	// Stale and Budget are populated under -audit.
+	Stale  []string       `json:"stale_directives,omitempty"`
+	Budget []budgetLine   `json:"budget,omitempty"`
+	Counts map[string]int `json:"suppression_counts,omitempty"`
+	Errors []string       `json:"errors,omitempty"`
+}
+
+type budgetLine struct {
+	Directive string `json:"directive"`
+	Count     int    `json:"count"`
+	Max       int    `json:"max"`
+	Status    string `json:"status"` // "ok", "ratchet", "violation"
+}
+
 func main() {
+	audit := flag.Bool("audit", false, "audit //bw: directives for staleness and enforce DIRECTIVE_BUDGET.txt")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
+	budgetPath := flag.String("budget", "DIRECTIVE_BUDGET.txt", "directive budget file (with -audit)")
+	writeBudget := flag.Bool("write-budget", false, "regenerate the budget file from current counts (with -audit)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: bwlint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bwlint [-audit] [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
 		}
@@ -49,43 +90,96 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	findings, err := lint(".", patterns)
+	code, err := run(".", patterns, *audit, *jsonOut, *budgetPath, *writeBudget, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bwlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
-	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "bwlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
-	}
+	os.Exit(code)
 }
 
-// lint loads every package matching patterns under dir and runs the full
-// analyzer suite, returning formatted findings.
-func lint(dir string, patterns []string) ([]string, error) {
+// run executes the suite and renders the report; it returns the process
+// exit code (0 clean, 1 findings).
+func run(dir string, patterns []string, audit, jsonOut bool, budgetPath string, writeBudget bool, out *os.File) (int, error) {
 	metas, err := analysis.GoList(dir, patterns...)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	loader := analysis.NewLoader(metas)
-	var findings []string
-	for _, path := range loader.Paths() {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			return nil, err
+	res, err := analysis.Audit(loader, analyzers)
+	if err != nil {
+		return 0, err
+	}
+
+	rep := report{Findings: res.Findings, Counts: res.Counts}
+	failed := len(res.Findings) > 0
+	if audit {
+		for _, s := range res.Stale {
+			rep.Stale = append(rep.Stale, s.String())
 		}
-		for _, a := range analyzers {
-			diags, err := analysis.RunAnalyzer(a, loader, pkg)
-			if err != nil {
-				return nil, err
+		failed = failed || len(res.Stale) > 0
+
+		if writeBudget {
+			if err := os.WriteFile(budgetPath, []byte(analysis.Budget{}.Format(res.Counts)), 0o644); err != nil {
+				return 0, err
 			}
-			for _, d := range diags {
-				findings = append(findings, fmt.Sprintf("%s: [%s] %s", loader.Fset.Position(d.Pos), a.Name, d.Message))
+			fmt.Fprintf(os.Stderr, "bwlint: wrote %s\n", budgetPath)
+		}
+		budget, err := analysis.ParseBudget(budgetPath)
+		if err != nil {
+			return 0, fmt.Errorf("budget: %w (run bwlint -audit -write-budget to regenerate)", err)
+		}
+		violations, ratchets := budget.Check(res.Counts)
+		failed = failed || len(violations) > 0
+		names := make([]string, 0, len(res.Counts))
+		for name := range res.Counts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			n := res.Counts[name]
+			max, ok := budget[name]
+			status := "ok"
+			switch {
+			case !ok || n > max:
+				if !ok {
+					max = -1
+				}
+				status = "violation"
+			case n < max:
+				status = "ratchet"
+			}
+			rep.Budget = append(rep.Budget, budgetLine{Directive: name, Count: n, Max: max, Status: status})
+		}
+		rep.Errors = append(rep.Errors, violations...)
+		if !jsonOut {
+			for _, s := range rep.Stale {
+				fmt.Fprintln(out, s)
+			}
+			for _, v := range violations {
+				fmt.Fprintln(out, "budget:", v)
+			}
+			for _, r := range ratchets {
+				fmt.Fprintln(out, "budget (advisory):", r)
 			}
 		}
 	}
-	return findings, nil
+
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Fprintln(out, f)
+		}
+	}
+	if failed {
+		n := len(res.Findings) + len(rep.Stale) + len(rep.Errors)
+		fmt.Fprintf(os.Stderr, "bwlint: %d finding(s)\n", n)
+		return 1, nil
+	}
+	return 0, nil
 }

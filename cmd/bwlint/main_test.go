@@ -1,0 +1,70 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runBwlint invokes run() over a fixture module and returns the exit
+// code and rendered output.
+func runBwlint(t *testing.T, module string, audit bool) (int, string) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "bwlint-out-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	dir := filepath.Join("testdata", module)
+	code, err := run(dir, []string{"./..."}, audit, false, filepath.Join(dir, "DIRECTIVE_BUDGET.txt"), false, out)
+	if err != nil {
+		t.Fatalf("run over %s: %v", module, err)
+	}
+	if _, err := out.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(b)
+}
+
+// TestAuditFailsOnStaleDirective pins the -audit contract end to end: a
+// committed //bw: directive that no longer suppresses a live diagnostic
+// makes bwlint exit non-zero and name the site.
+func TestAuditFailsOnStaleDirective(t *testing.T) {
+	code, out := runBwlint(t, "stalemod", true)
+	if code != 1 {
+		t.Fatalf("want exit code 1 on a stale directive, got %d\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "is stale") || !strings.Contains(out, "//bw:guarded") {
+		t.Errorf("audit output should name the stale directive:\n%s", out)
+	}
+	if !strings.Contains(out, "pipeline.go:6") {
+		t.Errorf("audit output should point at the directive's line:\n%s", out)
+	}
+}
+
+// TestAuditCleanModule is the control: a live suppression at its
+// budgeted ceiling passes the audit.
+func TestAuditCleanModule(t *testing.T) {
+	code, out := runBwlint(t, "cleanmod", true)
+	if code != 0 {
+		t.Fatalf("want exit code 0 on a clean module, got %d\noutput:\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean audit should be silent, got:\n%s", out)
+	}
+}
+
+// TestStaleDirectiveIgnoredWithoutAudit verifies staleness is an -audit
+// concern: the plain lint run stays green over the same module.
+func TestStaleDirectiveIgnoredWithoutAudit(t *testing.T) {
+	code, out := runBwlint(t, "stalemod", false)
+	if code != 0 {
+		t.Fatalf("want exit code 0 without -audit, got %d\noutput:\n%s", code, out)
+	}
+}

@@ -1,0 +1,3 @@
+module stalemod
+
+go 1.22

@@ -1,0 +1,7 @@
+// Package pipeline carries a stale suppression: nothing here triggers
+// guardgo, so the directive below excuses a diagnostic that no longer
+// exists and `bwlint -audit` must fail on it.
+package pipeline
+
+//bw:guarded the goroutine this excused is long gone
+func idle() {}

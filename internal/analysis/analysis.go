@@ -54,6 +54,10 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one finding.
 	Report func(Diagnostic)
+	// Tracker, when non-nil, records which //bw: directives the analyzer
+	// honored (see Pass.Directives); `bwlint -audit` shares one tracker
+	// across the whole suite to find stale suppressions.
+	Tracker *DirectiveTracker
 }
 
 // Reportf reports a formatted finding at pos.

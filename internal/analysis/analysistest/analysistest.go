@@ -60,6 +60,15 @@ func TestData(t *testing.T) string {
 	return dir
 }
 
+// ScanDir builds package Metas for every directory under a GOPATH-style
+// src root, exactly as Run does for fixtures. It is exported for tests
+// that need to drive the loader directly — audits over fixture trees,
+// and analyzers whose diagnostics land on comment lines where a // want
+// expectation cannot sit.
+func ScanDir(srcRoot string) ([]*analysis.Meta, error) {
+	return scanTestdata(srcRoot)
+}
+
 // scanTestdata builds Metas for every directory under srcRoot that holds
 // .go files; the import path is the directory's path relative to srcRoot.
 func scanTestdata(srcRoot string) ([]*analysis.Meta, error) {
@@ -163,7 +172,16 @@ func collectWants(fset *token.FileSet, files []*ast.File) (map[string][]*expecta
 	return wants, nil
 }
 
-func checkDiagnostics(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+// reporter is the slice of testing.T the checker needs. The harness's
+// own tests inject a recorder here to assert on the failure messages it
+// produces (see selftest_test.go).
+type reporter interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatal(args ...any)
+}
+
+func checkDiagnostics(t reporter, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
 	t.Helper()
 	all := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
 	wants, err := collectWants(fset, all)

@@ -1,0 +1,132 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"baywatch/internal/analysis"
+)
+
+// recorder captures the failure messages checkDiagnostics emits so the
+// test can assert on the harness's own behavior.
+type recorder struct {
+	errs  []string
+	fatal []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errs = append(r.errs, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatal(args ...any) {
+	r.fatal = append(r.fatal, fmt.Sprint(args...))
+}
+
+// loadSelftest loads the selftest fixture package and returns the line
+// numbers of the two marker functions.
+func loadSelftest(t *testing.T) (*analysis.Loader, *analysis.Package, token.Pos, token.Pos) {
+	t.Helper()
+	metas, err := ScanDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(metas)
+	pkg, err := loader.Load("selftest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "selftest", "selftest.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	linePos := func(marker string) token.Pos {
+		for i, line := range strings.Split(string(src), "\n") {
+			if strings.Contains(line, marker) {
+				tf := loader.Fset.File(pkg.Files[0].Pos())
+				return tf.LineStart(i + 1)
+			}
+		}
+		t.Fatalf("marker %q not found in selftest fixture", marker)
+		return token.NoPos
+	}
+	return loader, pkg, linePos("twoOnOneLine"), linePos("unmatchedHere")
+}
+
+// TestMultipleWantsOnOneLine asserts that several want patterns on one
+// line each match an independent diagnostic on that line.
+func TestMultipleWantsOnOneLine(t *testing.T) {
+	loader, pkg, twoLine, unmatchedLine := loadSelftest(t)
+	rec := &recorder{}
+	checkDiagnostics(rec, loader.Fset, pkg, []analysis.Diagnostic{
+		{Pos: twoLine, Message: "the first finding of the pair"},
+		{Pos: twoLine, Message: "the second finding of the pair"},
+		{Pos: unmatchedLine, Message: "never emitted, but this run emits it"},
+	})
+	if len(rec.fatal) > 0 {
+		t.Fatalf("unexpected fatal: %v", rec.fatal)
+	}
+	for _, e := range rec.errs {
+		t.Errorf("clean run produced harness error: %s", e)
+	}
+}
+
+// TestUnmatchedExpectationNamesSite asserts that an expectation with no
+// matching diagnostic fails with the fixture file and line in the
+// message — the difference between a fixable report and a scavenger hunt.
+func TestUnmatchedExpectationNamesSite(t *testing.T) {
+	loader, pkg, twoLine, _ := loadSelftest(t)
+	rec := &recorder{}
+	checkDiagnostics(rec, loader.Fset, pkg, []analysis.Diagnostic{
+		{Pos: twoLine, Message: "the first finding of the pair"},
+		{Pos: twoLine, Message: "the second finding of the pair"},
+	})
+	if len(rec.errs) != 1 {
+		t.Fatalf("want exactly 1 harness error, got %d: %v", len(rec.errs), rec.errs)
+	}
+	msg := rec.errs[0]
+	unmatchedLn := loader.Fset.Position(mustLine(t, loader, pkg, "unmatchedHere")).Line
+	wantSite := fmt.Sprintf("selftest.go:%d", unmatchedLn)
+	if !strings.Contains(msg, wantSite) {
+		t.Errorf("unmatched-expectation error %q does not name the fixture site %q", msg, wantSite)
+	}
+	if !strings.Contains(msg, "never emitted") {
+		t.Errorf("unmatched-expectation error %q does not quote the pattern", msg)
+	}
+}
+
+// TestPartialMatchOnSharedLine asserts that when only one of two wants
+// on a line matches, the other is reported as unmatched (patterns are
+// consumed one-to-one, not satisfied collectively).
+func TestPartialMatchOnSharedLine(t *testing.T) {
+	loader, pkg, twoLine, unmatchedLine := loadSelftest(t)
+	rec := &recorder{}
+	checkDiagnostics(rec, loader.Fset, pkg, []analysis.Diagnostic{
+		{Pos: twoLine, Message: "the first finding of the pair"},
+		{Pos: unmatchedLine, Message: "never emitted, satisfied here"},
+	})
+	if len(rec.errs) != 1 {
+		t.Fatalf("want exactly 1 harness error, got %d: %v", len(rec.errs), rec.errs)
+	}
+	if !strings.Contains(rec.errs[0], "second finding") {
+		t.Errorf("error %q should name the unconsumed pattern on the shared line", rec.errs[0])
+	}
+}
+
+func mustLine(t *testing.T, loader *analysis.Loader, pkg *analysis.Package, marker string) token.Pos {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "selftest", "selftest.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, marker) {
+			return loader.Fset.File(pkg.Files[0].Pos()).LineStart(i + 1)
+		}
+	}
+	t.Fatalf("marker %q not found", marker)
+	return token.NoPos
+}

@@ -1,0 +1,9 @@
+// Package selftest is the harness's own fixture: selftest_test.go feeds
+// hand-made diagnostics against these want comments and asserts on the
+// failure messages the checker produces. The line numbers below are
+// located by marker text, not hard-coded.
+package selftest
+
+func twoOnOneLine() {} // want `first finding` `second finding`
+
+func unmatchedHere() {} // want `never emitted`

@@ -1,0 +1,126 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"baywatch/internal/analysis"
+	"baywatch/internal/analysis/analysistest"
+	"baywatch/internal/analysis/guardgo"
+)
+
+// runAudit audits the fixture tree under testdata/src with guardgo.
+func runAudit(t *testing.T) *analysis.AuditResult {
+	t.Helper()
+	metas, err := analysistest.ScanDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(metas)
+	res, err := analysis.Audit(loader, []*analysis.Analyzer{guardgo.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestAuditStaleDirective is the core of the -audit contract: a
+// directive that no longer suppresses anything is reported stale, while
+// one that still suppresses a live diagnostic is not.
+func TestAuditStaleDirective(t *testing.T) {
+	res := runAudit(t)
+	if len(res.Stale) != 1 {
+		t.Fatalf("want exactly 1 stale directive, got %d: %v", len(res.Stale), res.Stale)
+	}
+	s := res.Stale[0].String()
+	if !strings.Contains(s, "pipeline.go") || !strings.Contains(s, "//bw:guarded") {
+		t.Errorf("stale report %q should name the file and the directive", s)
+	}
+	if !strings.Contains(s, "guardgo reports no diagnostic here anymore") {
+		t.Errorf("stale report %q should name the honoring analyzer", s)
+	}
+	if res.Counts["guarded"] != 2 {
+		t.Errorf("want 2 counted //bw:guarded directives (stale ones still count), got %d", res.Counts["guarded"])
+	}
+	// The consumed directive suppressed its diagnostic; only the bare
+	// goroutine surfaces as a finding.
+	if len(res.Findings) != 1 || !strings.Contains(res.Findings[0], "[guardgo]") {
+		t.Errorf("want 1 [guardgo] finding for the bare goroutine, got %v", res.Findings)
+	}
+}
+
+func writeBudget(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "DIRECTIVE_BUDGET.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBudget(t *testing.T) {
+	b, err := analysis.ParseBudget(writeBudget(t, "# comment\n\nguarded 3\nfloatcmp 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b["guarded"] != 3 || b["floatcmp"] != 0 {
+		t.Errorf("parsed budget %v", b)
+	}
+
+	bad := map[string]string{
+		"unknown name": "guared 3\n",
+		"duplicate":    "guarded 1\nguarded 2\n",
+		"negative":     "guarded -1\n",
+		"malformed":    "guarded\n",
+	}
+	for name, content := range bad {
+		if _, err := analysis.ParseBudget(writeBudget(t, content)); err == nil {
+			t.Errorf("%s budget parsed without error", name)
+		}
+	}
+}
+
+func TestBudgetCheck(t *testing.T) {
+	b := analysis.Budget{"guarded": 2, "floatcmp": 5, "faultpoint": 1}
+	violations, ratchets := b.Check(map[string]int{
+		"guarded":      3, // over budget: violation
+		"floatcmp":     4, // under budget: ratchet advisory
+		"pool-handoff": 1, // no budget line: violation
+		// faultpoint vanished entirely: ratchet-to-zero advisory
+	})
+	if len(violations) != 2 {
+		t.Fatalf("want 2 violations, got %v", violations)
+	}
+	if !strings.Contains(violations[0], "//bw:guarded") || !strings.Contains(violations[0], "exceed the budget") {
+		t.Errorf("over-budget violation: %q", violations[0])
+	}
+	if !strings.Contains(violations[1], "//bw:pool-handoff") || !strings.Contains(violations[1], "no budget line") {
+		t.Errorf("missing-line violation: %q", violations[1])
+	}
+	if len(ratchets) != 2 {
+		t.Fatalf("want 2 ratchet advisories, got %v", ratchets)
+	}
+	if !strings.Contains(ratchets[0], "//bw:floatcmp") || !strings.Contains(ratchets[0], "ratchet the budget down to 4") {
+		t.Errorf("under-budget ratchet: %q", ratchets[0])
+	}
+	if !strings.Contains(ratchets[1], "//bw:faultpoint") || !strings.Contains(ratchets[1], "down to 0") {
+		t.Errorf("vanished-directive ratchet: %q", ratchets[1])
+	}
+}
+
+func TestBudgetFormatRoundTrip(t *testing.T) {
+	counts := map[string]int{"guarded": 2, "floatcmp": 0}
+	path := writeBudget(t, analysis.Budget{}.Format(counts))
+	b, err := analysis.ParseBudget(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b["guarded"] != 2 || b["floatcmp"] != 0 || len(b) != 2 {
+		t.Errorf("round-tripped budget %v from counts %v", b, counts)
+	}
+	if v, r := b.Check(counts); len(v) != 0 || len(r) != 0 {
+		t.Errorf("freshly written budget should be exactly tight, got violations %v ratchets %v", v, r)
+	}
+}

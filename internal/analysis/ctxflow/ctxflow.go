@@ -1,0 +1,206 @@
+// Package ctxflow enforces context threading: cancellation must flow
+// from the caller all the way down, with no silent re-rooting in the
+// middle of a chain. It generalizes guardgo's context.Background ban
+// (which is scoped to the guarded packages) into a dataflow rule that
+// applies tree-wide:
+//
+//   - a function that receives a context.Context must not call
+//     context.Background() or context.TODO() anywhere in its body
+//     (including nested function literals): it already has a context to
+//     thread or derive from. Functions without a ctx parameter are
+//     legitimate roots (main, experiment entry points) and are exempt.
+//
+//   - in the daemon/executor packages (analysis.GuardedPackages), a loop
+//     that performs channel operations inside a ctx-receiving function
+//     must watch for cancellation each iteration: a select arm on
+//     <-ctx.Done(), a direct ctx.Err() check, or a <-ctx.Done() receive.
+//     A channel loop that never looks at its context keeps running —
+//     and keeps its goroutine — after the daemon has moved on.
+//
+// Known false-negative shapes (documented, accepted): the loop rule
+// only requires *some* context's Done/Err in the loop, not provably the
+// right one, and a function that stores its ctx in a struct and loops
+// elsewhere is not tracked across the call.
+//
+// A reviewed exception is annotated //bw:ctxflow <why>. Test files are
+// exempt (tests root their own contexts).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"baywatch/internal/analysis"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "ctx-receiving functions must thread their context, and channel loops in daemon/executor packages must watch ctx.Done",
+	Run:  run,
+}
+
+const directive = "ctxflow"
+
+func run(pass *analysis.Pass) (any, error) {
+	loopRule := analysis.GuardedPackages[path.Base(pass.Pkg.Path())]
+	for _, f := range pass.Files {
+		ds := pass.Directives(f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !receivesContext(pass, fn) {
+				continue
+			}
+			checkNoReroot(pass, ds, fn)
+			if loopRule {
+				checkChannelLoops(pass, ds, fn)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// receivesContext reports whether fn declares a context.Context
+// parameter.
+func receivesContext(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContext(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkNoReroot flags context.Background/TODO calls inside a function
+// that already received a context.
+func checkNoReroot(pass *analysis.Pass, ds analysis.DirectiveSet, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		cf, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || cf.Pkg() == nil || cf.Pkg().Path() != "context" ||
+			(cf.Name() != "Background" && cf.Name() != "TODO") {
+			return true
+		}
+		if !ds.Covers(pass.Fset, call.Pos(), directive) {
+			pass.Reportf(call.Pos(), "%s receives a context but calls context.%s(), silently re-rooting the chain; thread or derive from the inbound ctx (context.WithoutCancel to shed cancellation deliberately, or annotate //bw:ctxflow <why>)", fn.Name.Name, cf.Name())
+		}
+		return true
+	})
+}
+
+// checkChannelLoops flags for/range loops that perform channel
+// operations without a per-iteration cancellation check.
+func checkChannelLoops(pass *analysis.Pass, ds analysis.DirectiveSet, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			// Ranging over a channel terminates when the channel closes;
+			// treat the range source itself as the channel op.
+			body = loop.Body
+			if tv, ok := pass.TypesInfo.Types[loop.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					return true // closing the channel is the loop's cancellation
+				}
+			}
+		default:
+			return true
+		}
+		if !loopUsesChannels(body) || loopChecksCancellation(pass, body) {
+			return true
+		}
+		if !ds.Covers(pass.Fset, n.Pos(), directive) {
+			pass.Reportf(n.Pos(), "loop in %s performs channel operations but never checks its context; add a select arm on <-ctx.Done() or a ctx.Err() check per iteration (or annotate //bw:ctxflow <why>)", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// loopUsesChannels reports whether the loop body (excluding nested
+// function literals and nested loops, which are checked on their own)
+// performs a channel send, receive, or select.
+func loopUsesChannels(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if u := n.(*ast.UnaryExpr); u.Op.String() == "<-" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopChecksCancellation reports whether the loop body consults any
+// context's Done() or Err() (directly or in a select arm).
+func loopChecksCancellation(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if (sel.Sel.Name == "Done" || sel.Sel.Name == "Err") && len(call.Args) == 0 {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isContextLike(tv.Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextLike accepts context.Context and anything implementing it
+// (derived contexts are concrete unexported types behind the interface).
+func isContextLike(t types.Type) bool {
+	if isContext(t) {
+		return true
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		// Structural fallback: an interface with Done() and Err().
+		var hasDone, hasErr bool
+		for i := 0; i < iface.NumMethods(); i++ {
+			switch iface.Method(i).Name() {
+			case "Done":
+				hasDone = true
+			case "Err":
+				hasErr = true
+			}
+		}
+		return hasDone && hasErr
+	}
+	return false
+}

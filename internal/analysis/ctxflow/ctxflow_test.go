@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"baywatch/internal/analysis/analysistest"
+	"baywatch/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer, "pipeline", "other")
+}

@@ -1,0 +1,17 @@
+// Package other is outside the guarded set: the channel-loop rule is
+// off here, but re-rooting is flagged tree-wide.
+package other
+
+import "context"
+
+// Allowed here: unchecked channel loops are a guarded-package rule.
+func pump(ctx context.Context, in, out chan int) {
+	for {
+		out <- <-in
+	}
+}
+
+// Flagged: re-rooting severs cancellation in any package.
+func reroot(ctx context.Context) {
+	_ = context.Background() // want `reroot receives a context but calls context\.Background\(\)`
+}

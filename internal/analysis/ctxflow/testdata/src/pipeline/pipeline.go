@@ -1,0 +1,75 @@
+// Package pipeline is inside the guarded set: both ctxflow rules apply —
+// no re-rooting, and channel loops must watch their context.
+package pipeline
+
+import "context"
+
+// Flagged: the function already has a context to thread.
+func reroot(ctx context.Context) {
+	_ = context.Background() // want `reroot receives a context but calls context\.Background\(\)`
+}
+
+// Flagged: TODO is the same silent re-rooting.
+func todo(ctx context.Context) {
+	_ = context.TODO() // want `todo receives a context but calls context\.TODO\(\)`
+}
+
+// Flagged: nested literals count; the chain is severed all the same.
+func litReroot(ctx context.Context) {
+	f := func() { _ = context.Background() } // want `litReroot receives a context but calls context\.Background\(\)`
+	f()
+}
+
+// Allowed: no inbound context makes this a legitimate root.
+func root() context.Context {
+	return context.Background()
+}
+
+// Allowed: deriving from the inbound context.
+func derive(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// Flagged: the loop pumps channels but never looks at ctx; it outlives
+// the daemon that spawned it.
+func pump(ctx context.Context, in, out chan int) {
+	for { // want `loop in pump performs channel operations but never checks its context`
+		out <- <-in
+	}
+}
+
+// Allowed: a select arm on ctx.Done each iteration.
+func pumpDone(ctx context.Context, in, out chan int) {
+	for {
+		select {
+		case v := <-in:
+			out <- v
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Allowed: an explicit ctx.Err check each iteration.
+func pumpErr(ctx context.Context, out chan int) {
+	for i := 0; i < 10; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		out <- i
+	}
+}
+
+// Allowed: ranging over a channel ends when the producer closes it —
+// the close is the loop's cancellation signal.
+func drain(ctx context.Context, in chan int) {
+	for range in {
+	}
+}
+
+// Allowed: a reviewed exception.
+func blessed(ctx context.Context, out chan int) {
+	for i := 0; i < 2; i++ { //bw:ctxflow bounded two-element handoff, receiver guaranteed by the caller
+		out <- i
+	}
+}

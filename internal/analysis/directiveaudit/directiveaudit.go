@@ -1,0 +1,41 @@
+// Package directiveaudit keeps the //bw: directive language itself
+// honest. Every directive in the tree (production and test files) must:
+//
+//   - name a directive some analyzer actually honors (KnownDirectives):
+//     a typo like //bw:guared suppresses nothing and rots silently;
+//   - carry a justification: the directive syntax is //bw:<name> <why>,
+//     and the <why> is the review record that makes the exception
+//     auditable.
+//
+// The other half of the audit — whether a well-formed directive still
+// suppresses a live diagnostic, and whether the per-analyzer suppression
+// count stays inside the committed DIRECTIVE_BUDGET.txt ceiling — needs
+// the whole suite's run to decide, so it lives in `bwlint -audit`
+// (analysis.Audit) rather than in a per-package pass.
+package directiveaudit
+
+import (
+	"baywatch/internal/analysis"
+)
+
+// Analyzer is the directiveaudit analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "directiveaudit",
+	Doc:  "every //bw: directive must name a known analyzer directive and carry a justification",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.AllFiles() {
+		for _, d := range analysis.FileDirectives(pass.Fset, f) {
+			if _, known := analysis.KnownDirectives[d.Name]; !known {
+				pass.Reportf(d.Pos, "unknown directive //bw:%s suppresses nothing; the honored names are listed in analysis.KnownDirectives", d.Name)
+				continue
+			}
+			if d.Justification == "" {
+				pass.Reportf(d.Pos, "//bw:%s has no justification; write //bw:%s <why> so the exception stays auditable", d.Name, d.Name)
+			}
+		}
+	}
+	return nil, nil
+}

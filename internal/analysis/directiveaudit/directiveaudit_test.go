@@ -1,0 +1,46 @@
+package directiveaudit_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"baywatch/internal/analysis"
+	"baywatch/internal/analysis/analysistest"
+	"baywatch/internal/analysis/directiveaudit"
+)
+
+// TestDirectiveAudit checks the unknown-name rule against the fixture's
+// want comment (embedded in the offending directive itself).
+func TestDirectiveAudit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), directiveaudit.Analyzer, "annotated")
+}
+
+// TestEmptyJustification drives the analyzer directly: its diagnostic
+// lands on the directive's own comment line, so the expectation cannot
+// be a want comment without becoming the justification it complains
+// is missing.
+func TestEmptyJustification(t *testing.T) {
+	metas, err := analysistest.ScanDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(metas)
+	pkg, err := loader.Load("bare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzer(directiveaudit.Analyzer, loader, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "//bw:floatcmp has no justification") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no empty-justification diagnostic for the bare //bw:floatcmp; got %d diagnostics", len(diags))
+	}
+}

@@ -1,0 +1,17 @@
+// Package annotated exercises the directive-language audit. The
+// empty-justification rule is asserted in directiveaudit_test.go rather
+// than with an in-fixture expectation: its diagnostic lands on the
+// directive's own comment line, which has no room for one.
+package annotated
+
+// Allowed: a known name with a justification.
+func justified(done chan struct{}) {
+	//bw:goleak one-shot close notifier, cannot stall
+	go func() { close(done) }()
+}
+
+// Flagged: a typo'd name suppresses nothing and rots silently.
+func typoed() {
+	//bw:guared goroutine is joined below // want `unknown directive //bw:guared suppresses nothing`
+	go func() {}()
+}

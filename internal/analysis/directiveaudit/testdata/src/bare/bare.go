@@ -1,0 +1,9 @@
+// Package bare holds the empty-justification case, asserted directly by
+// directiveaudit_test.go (the diagnostic lands on the directive's own
+// comment line, which has no room for an in-fixture expectation).
+package bare
+
+func bare() {
+	//bw:floatcmp
+	_ = 1.0 == 2.0
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -18,16 +19,119 @@ import (
 // directive names it honors.
 const DirectivePrefix = "//bw:"
 
-// DirectiveSet indexes a file's bwlint directives by line.
+// KnownDirectives maps every directive name the suite honors to the
+// analyzer that consumes it. The directiveaudit analyzer rejects names
+// outside this registry, and `bwlint -audit` uses it to group the
+// suppression budget per analyzer. The "noalloc" entry is a contract
+// marker rather than a suppression (it adds obligations instead of
+// waiving them), so the audit exempts it from the budget ratchet.
+var KnownDirectives = map[string]string{
+	"faultpoint":   "faultpoint",
+	"floatcmp":     "floatcmp",
+	"guarded":      "guardgo",
+	"pool-handoff": "poolput",
+	"noalloc":      "noallocdirective",
+	"lockorder":    "lockorder",
+	"ctxflow":      "ctxflow",
+	"goleak":       "goleak",
+}
+
+// ContractDirectives are the KnownDirectives entries that add proof
+// obligations instead of suppressing a diagnostic; they are exempt from
+// the staleness audit and the suppression budget.
+var ContractDirectives = map[string]bool{
+	"noalloc": true,
+}
+
+// Directive is one //bw: comment occurrence.
+type Directive struct {
+	// File is the file name as recorded in the FileSet; Line its 1-based
+	// line.
+	File string
+	Line int
+	Name string
+	Pos  token.Pos
+	// Justification is the free-form text after the name ("" when the
+	// author wrote none — directiveaudit flags that).
+	Justification string
+}
+
+// DirectiveTracker records which directive occurrences were actually
+// consulted-and-honored by an analyzer during a run. `bwlint -audit`
+// shares one tracker across every analyzer pass over a package, then
+// reports the directives nothing consumed: a suppression that no longer
+// suppresses a live diagnostic is stale and must be deleted.
+type DirectiveTracker struct {
+	consumed map[directiveKey]bool
+}
+
+type directiveKey struct {
+	file string
+	line int
+	name string
+}
+
+// NewDirectiveTracker returns an empty tracker.
+func NewDirectiveTracker() *DirectiveTracker {
+	return &DirectiveTracker{consumed: map[directiveKey]bool{}}
+}
+
+func (t *DirectiveTracker) consume(file string, line int, name string) {
+	if t == nil {
+		return
+	}
+	t.consumed[directiveKey{file: file, line: line, name: name}] = true
+}
+
+// Consumed reports whether the directive occurrence was honored during
+// the tracked run.
+func (t *DirectiveTracker) Consumed(d Directive) bool {
+	if t == nil {
+		return false
+	}
+	return t.consumed[directiveKey{file: d.File, line: d.Line, name: d.Name}]
+}
+
+// DirectiveSet indexes a file's bwlint directives by line. Lookups that
+// return true mark the matched occurrence consumed on the set's tracker
+// (when one is attached), which is how the audit learns a directive is
+// still live.
 type DirectiveSet struct {
 	// lines maps a 1-based line number to the directive names on it.
 	lines map[int][]string
+	file  string
+	tr    *DirectiveTracker
 }
 
 // Directives scans a parsed file (parser.ParseComments required) for
-// bwlint directives.
+// bwlint directives. The returned set carries no tracker; analyzers
+// should normally use Pass.Directives, which attaches the run's tracker.
 func Directives(fset *token.FileSet, f *ast.File) DirectiveSet {
-	ds := DirectiveSet{lines: map[int][]string{}}
+	return trackedDirectives(fset, f, nil)
+}
+
+// Directives scans f for bwlint directives, binding the run's directive
+// tracker so honored directives count as consumed in `bwlint -audit`.
+func (p *Pass) Directives(f *ast.File) DirectiveSet {
+	return trackedDirectives(p.Fset, f, p.Tracker)
+}
+
+func trackedDirectives(fset *token.FileSet, f *ast.File, tr *DirectiveTracker) DirectiveSet {
+	ds := DirectiveSet{
+		lines: map[int][]string{},
+		file:  fset.Position(f.Pos()).Filename,
+		tr:    tr,
+	}
+	for _, d := range FileDirectives(fset, f) {
+		ds.lines[d.Line] = append(ds.lines[d.Line], d.Name)
+	}
+	return ds
+}
+
+// FileDirectives returns every //bw: directive occurrence in f, in line
+// order.
+func FileDirectives(fset *token.FileSet, f *ast.File) []Directive {
+	var out []Directive
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, DirectivePrefix) {
@@ -35,20 +139,31 @@ func Directives(fset *token.FileSet, f *ast.File) DirectiveSet {
 			}
 			rest := strings.TrimPrefix(c.Text, DirectivePrefix)
 			name := rest
+			just := ""
 			if i := strings.IndexAny(rest, " \t"); i >= 0 {
 				name = rest[:i]
+				just = strings.TrimSpace(rest[i:])
 			}
-			line := fset.Position(c.Pos()).Line
-			ds.lines[line] = append(ds.lines[line], name)
+			pos := fset.Position(c.Pos())
+			out = append(out, Directive{
+				File:          pos.Filename,
+				Line:          pos.Line,
+				Name:          name,
+				Pos:           c.Pos(),
+				Justification: just,
+			})
 		}
 	}
-	return ds
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
 }
 
-// At reports whether directive name appears on the given line.
+// At reports whether directive name appears on the given line, marking
+// the occurrence consumed when it does.
 func (ds DirectiveSet) At(line int, name string) bool {
 	for _, n := range ds.lines[line] {
 		if n == name {
+			ds.tr.consume(ds.file, line, name)
 			return true
 		}
 	}
@@ -65,6 +180,11 @@ func (ds DirectiveSet) Covers(fset *token.FileSet, pos token.Pos, name string) b
 // OnFunc reports whether directive name blesses fn: in its doc comment,
 // on its declaration line, or on the line above the declaration (for
 // functions without a doc comment).
+//
+// Analyzers that honor a suppression directive should call OnFunc only
+// once they know the function holds a construct the directive would
+// suppress; consulting it unconditionally marks the directive consumed
+// and hides its staleness from `bwlint -audit`.
 func (ds DirectiveSet) OnFunc(fset *token.FileSet, fn *ast.FuncDecl, name string) bool {
 	if fn.Doc != nil {
 		start := fset.Position(fn.Doc.Pos()).Line

@@ -67,7 +67,7 @@ func run(pass *analysis.Pass) (any, error) {
 	// a typed Point argument and a registry lookalike gets one diagnostic.
 	reported := map[token.Pos]bool{}
 	for _, f := range pass.Files {
-		ds := analysis.Directives(pass.Fset, f)
+		ds := pass.Directives(f)
 		checkTypedPointArgs(pass, f, ds, reported)
 		// Literal lookalikes: skip the production files of the faultinject
 		// package itself — points.go is where the literals are declared.
@@ -76,7 +76,7 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 	}
 	for _, f := range pass.TestFiles {
-		ds := analysis.Directives(pass.Fset, f)
+		ds := pass.Directives(f)
 		checkSchedulingCallsSyntactic(pass, f, ds, reported)
 		checkLiteralLookalikes(pass, f, ds, registry, reported)
 	}

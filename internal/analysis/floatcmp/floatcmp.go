@@ -52,7 +52,7 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
-		ds := analysis.Directives(pass.Fset, f)
+		ds := pass.Directives(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			cmp, ok := n.(*ast.BinaryExpr)
 			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {

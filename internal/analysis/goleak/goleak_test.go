@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"baywatch/internal/analysis/analysistest"
+	"baywatch/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), goleak.Analyzer, "worker")
+}

@@ -1,0 +1,96 @@
+// Package worker exercises goleak; the rules are tree-wide (any
+// production file), so one fixture package covers them.
+package worker
+
+import "time"
+
+// Flagged: time.Tick's ticker can never be stopped.
+func tick() <-chan time.Time {
+	return time.Tick(time.Second) // want `time\.Tick leaks its ticker forever`
+}
+
+// Flagged: a fresh pending timer every iteration.
+func pollAfter(stop chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Second): // want `time\.After in a loop piles up a pending timer per iteration`
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Allowed: one timer, created before the loop.
+func afterOnce(stop chan struct{}) {
+	deadline := time.After(time.Minute)
+	for {
+		select {
+		case <-deadline:
+			return
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Flagged: a literal declared inside the loop body runs per iteration.
+func litInLoop(fns []func()) {
+	for range fns {
+		f := func() { <-time.After(time.Second) } // want `time\.After in a loop`
+		f()
+	}
+}
+
+// Allowed: time.Time.After is a comparison, not a timer constructor.
+func notTimer(deadline time.Time, times []time.Time) int {
+	n := 0
+	for _, t := range times {
+		if t.After(deadline) {
+			n++
+		}
+	}
+	return n
+}
+
+// Flagged: once the receiver is gone this goroutine blocks forever.
+func bareSend(out chan int) {
+	go func() {
+		out <- 1 // want `goroutine send on out can block forever`
+	}()
+}
+
+// Allowed: the cancellation arm bounds the send.
+func guardedSend(out chan int, done chan struct{}) {
+	go func() {
+		select {
+		case out <- 1:
+		case <-done:
+		}
+	}()
+}
+
+// Allowed: the result channel is provably buffered — the handoff idiom
+// guard.RunBounded uses.
+func bufferedSend() chan error {
+	res := make(chan error, 1)
+	go func() {
+		res <- nil
+	}()
+	return res
+}
+
+// Flagged: a non-constant capacity may be zero.
+func dynamicSend(n int) chan int {
+	res := make(chan int, n)
+	go func() {
+		res <- 1 // want `goroutine send on res can block forever`
+	}()
+	return res
+}
+
+// Allowed: a reviewed exception.
+func blessedSend(out chan int) {
+	go func() {
+		out <- 2 //bw:goleak receiver lifetime exceeds the sender's by construction
+	}()
+}

@@ -36,28 +36,19 @@ var Analyzer = &analysis.Analyzer{
 
 const directive = "guarded"
 
-// guardedPackages are the package basenames the invariant applies to.
-var guardedPackages = map[string]bool{
-	"pipeline":  true,
-	"mapreduce": true,
-	"opsloop":   true,
-	"mrx":       true,
-	"source":    true,
-}
-
 func run(pass *analysis.Pass) (any, error) {
-	if !guardedPackages[path.Base(pass.Pkg.Path())] {
+	if !analysis.GuardedPackages[path.Base(pass.Pkg.Path())] {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
-		ds := analysis.Directives(pass.Fset, f)
+		ds := pass.Directives(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				if ds.Covers(pass.Fset, n.Pos(), directive) {
-					return true
-				}
-				if !referencesGuard(pass, n) {
+				// Establish the violation before consulting the directive:
+				// consulting first would mark a directive on an already-guarded
+				// goroutine as live and hide its staleness from the audit.
+				if !referencesGuard(pass, n) && !ds.Covers(pass.Fset, n.Pos(), directive) {
 					pass.Reportf(n.Pos(), "bare goroutine in guarded package %s: spawn through internal/guard (watchdog worker, RunBounded, Semaphore) or annotate //bw:guarded <why>", pass.Pkg.Name())
 				}
 			case *ast.CallExpr:

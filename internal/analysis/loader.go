@@ -140,6 +140,13 @@ func (f importerFunc) Import(path string) (*types.Package, error) { return f(pat
 // RunAnalyzer executes one analyzer over one loaded package and returns
 // its diagnostics.
 func RunAnalyzer(a *Analyzer, l *Loader, pkg *Package) ([]Diagnostic, error) {
+	return RunAnalyzerTracked(a, l, pkg, nil)
+}
+
+// RunAnalyzerTracked is RunAnalyzer with a shared directive tracker: the
+// audit runs every analyzer over a package with one tracker, so a
+// directive consumed by any of them counts as live.
+func RunAnalyzerTracked(a *Analyzer, l *Loader, pkg *Package, tr *DirectiveTracker) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -149,6 +156,7 @@ func RunAnalyzer(a *Analyzer, l *Loader, pkg *Package) ([]Diagnostic, error) {
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
+		Tracker:   tr,
 	}
 	if _, err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Meta.ImportPath, err)

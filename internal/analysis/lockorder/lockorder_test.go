@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"baywatch/internal/analysis/analysistest"
+	"baywatch/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockorder.Analyzer, "pipeline", "other")
+}

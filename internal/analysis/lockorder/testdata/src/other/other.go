@@ -1,0 +1,27 @@
+// Package other is outside the guarded set: blocking under a lock is
+// accepted here, but release and acquisition-order discipline are
+// tree-wide.
+package other
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Allowed: the blocking rule only applies to the guarded packages.
+func (b *box) sleepHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	b.ch <- 1
+}
+
+// Flagged: release discipline applies everywhere.
+func (b *box) leak() {
+	b.mu.Lock() // want `b\.mu\.Lock has no matching Unlock in this function`
+}

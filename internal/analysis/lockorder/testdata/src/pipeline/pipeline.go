@@ -1,0 +1,145 @@
+// Package pipeline is inside the guarded set: all three lockorder rules
+// apply, including no-blocking-while-locked.
+package pipeline
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+type engine struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	a  sync.Mutex
+	b  sync.Mutex
+	ch chan int
+}
+
+// Allowed: deferred release covers every path.
+func (e *engine) deferred() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+// Allowed: straight-line lock/unlock with no return in between.
+func (e *engine) paired() {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// Flagged: no release at all.
+func (e *engine) leak() {
+	e.mu.Lock() // want `e\.mu\.Lock has no matching Unlock in this function`
+}
+
+// Flagged: the early return leaks the lock on that path.
+func (e *engine) early(cond bool) {
+	e.mu.Lock() // want `return between e\.mu\.Lock and its Unlock leaks the lock on that path`
+	if cond {
+		return
+	}
+	e.mu.Unlock()
+}
+
+// Allowed: read lock with a deferred read release.
+func (e *engine) read() {
+	e.rw.RLock()
+	defer e.rw.RUnlock()
+}
+
+// Flagged: RLock pairs with RUnlock, not Unlock.
+func (e *engine) readLeak() {
+	e.rw.RLock() // want `e\.rw\.RLock has no matching RUnlock in this function`
+}
+
+// Flagged: channel send under the lock.
+func (e *engine) sendHeld() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ch <- 1 // want `channel send while holding e\.mu`
+}
+
+// Flagged: channel receive under the lock.
+func (e *engine) recvHeld() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	<-e.ch // want `channel receive while holding e\.mu`
+}
+
+// Flagged once: the select is the blocking construct; its comm clauses
+// are not reported separately.
+func (e *engine) selectHeld(done chan struct{}) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select { // want `select without default while holding e\.mu`
+	case e.ch <- 1:
+	case <-done:
+	}
+}
+
+// Allowed: the default arm makes the select non-blocking.
+func (e *engine) selectDefault() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case e.ch <- 1:
+	default:
+	}
+}
+
+// Flagged: sleeping under the lock stalls every other critical section.
+func (e *engine) sleepHeld() {
+	e.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep call while holding e\.mu`
+	e.mu.Unlock()
+}
+
+// Flagged: I/O under the lock couples the package to a peer's latency.
+func (e *engine) ioHeld(r io.Reader) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, _ = io.ReadAll(r) // want `io\.ReadAll call while holding e\.mu`
+}
+
+// Allowed: the send happens after the release.
+func (e *engine) sendAfter() {
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.ch <- 1
+}
+
+// Allowed: a nested literal is a fresh scope; its lock pairs locally and
+// the outer hold does not leak into it.
+func (e *engine) litScope() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f := func() {
+		e.rw.RLock()
+		defer e.rw.RUnlock()
+	}
+	_ = f
+}
+
+// The package's acquisition order: a before b.
+func (e *engine) abOrder() {
+	e.a.Lock()
+	defer e.a.Unlock()
+	e.b.Lock()
+	defer e.b.Unlock()
+}
+
+// Flagged: taking a while holding b inverts the established order.
+func (e *engine) baOrder() {
+	e.b.Lock()
+	defer e.b.Unlock()
+	e.a.Lock() // want `acquiring e\.a while holding e\.b inverts the package's acquisition order`
+	defer e.a.Unlock()
+}
+
+// Allowed: a reviewed exception.
+func (e *engine) blessed() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	<-e.ch //bw:lockorder handoff channel is buffered by construction, receive cannot block
+}

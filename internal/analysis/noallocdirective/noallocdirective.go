@@ -35,7 +35,7 @@ const directive = "noalloc"
 func run(pass *analysis.Pass) (any, error) {
 	covered := allocsPerRunNames(pass)
 	for _, f := range pass.Files {
-		ds := analysis.Directives(pass.Fset, f)
+		ds := pass.Directives(f)
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil || !ds.OnFunc(pass.Fset, fn, directive) {

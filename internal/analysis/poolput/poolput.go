@@ -49,18 +49,22 @@ type use struct {
 type scope struct {
 	gets, puts, deferredPuts []use
 	returns                  []token.Pos
-	handoff                  bool
+	// handoff reports whether a //bw:pool-handoff directive covers the
+	// scope. It is consulted lazily — only when the scope actually
+	// borrows from a pool — so a directive on a Get-free function reads
+	// as stale in `bwlint -audit` instead of being silently consumed.
+	handoff func() bool
 }
 
 func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
-		ds := analysis.Directives(pass.Fset, f)
+		ds := pass.Directives(f)
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			sc := &scope{handoff: ds.OnFunc(pass.Fset, fn, directive)}
+			sc := &scope{handoff: func() bool { return ds.OnFunc(pass.Fset, fn, directive) }}
 			walkScope(pass, ds, fn.Body, sc)
 			checkScope(pass, ds, sc)
 		}
@@ -74,7 +78,7 @@ func walkScope(pass *analysis.Pass, ds analysis.DirectiveSet, body ast.Node, sc 
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			inner := &scope{handoff: ds.Covers(pass.Fset, n.Pos(), directive)}
+			inner := &scope{handoff: func() bool { return ds.Covers(pass.Fset, n.Pos(), directive) }}
 			walkScope(pass, ds, n.Body, inner)
 			checkScope(pass, ds, inner)
 			return false
@@ -107,13 +111,13 @@ func walkScope(pass *analysis.Pass, ds analysis.DirectiveSet, body ast.Node, sc 
 }
 
 func checkScope(pass *analysis.Pass, ds analysis.DirectiveSet, sc *scope) {
-	if sc.handoff {
-		return
+	// blessed consults the directives only once a violation is
+	// established, so a directive that no longer suppresses anything
+	// reads as stale in `bwlint -audit`.
+	blessed := func(g use) bool {
+		return ds.Covers(pass.Fset, g.pos, directive) || sc.handoff()
 	}
 	for _, g := range sc.gets {
-		if ds.Covers(pass.Fset, g.pos, directive) {
-			continue
-		}
 		deferred := false
 		for _, p := range sc.deferredPuts {
 			if p.pool == g.pool {
@@ -131,12 +135,16 @@ func checkScope(pass *analysis.Pass, ds analysis.DirectiveSet, sc *scope) {
 			}
 		}
 		if last == token.NoPos {
-			pass.Reportf(g.pos, "%s.Get is never matched by a Put in this function; defer %s.Put(...) or annotate //bw:pool-handoff <why>", g.pool, g.pool)
+			if !blessed(g) {
+				pass.Reportf(g.pos, "%s.Get is never matched by a Put in this function; defer %s.Put(...) or annotate //bw:pool-handoff <why>", g.pool, g.pool)
+			}
 			continue
 		}
 		for _, r := range sc.returns {
 			if r > g.pos && r < last {
-				pass.Reportf(g.pos, "return between %s.Get and its Put leaks the pooled object on that path; use defer %s.Put(...) (or //bw:pool-handoff)", g.pool, g.pool)
+				if !blessed(g) {
+					pass.Reportf(g.pos, "return between %s.Get and its Put leaks the pooled object on that path; use defer %s.Put(...) (or //bw:pool-handoff)", g.pool, g.pool)
+				}
 				break
 			}
 		}

@@ -1,0 +1,19 @@
+// Package pipeline feeds audit_test.go: one consumed suppression, one
+// stale one, and one live diagnostic.
+package pipeline
+
+// The directive suppresses a live guardgo diagnostic: consumed.
+func spawn(done chan struct{}) {
+	//bw:guarded one-shot close notifier, cannot stall
+	go func() { close(done) }()
+}
+
+// Nothing here triggers guardgo anymore: the directive is stale.
+//
+//bw:guarded left behind after the goroutine was removed
+func idle() {}
+
+// An unsuppressed violation: shows up as an ordinary finding.
+func bare() {
+	go func() {}()
+}

@@ -117,7 +117,7 @@ func TestDetectBatchSharesBucketThresholds(t *testing.T) {
 		t.Errorf("same-multiset bucket produced %d memo entries, want 1", memo.Len())
 	}
 	for i := 1; i < len(res); i++ {
-		if res[i].Result.PowerThreshold != res[0].Result.PowerThreshold { //bw:floatcmp shared memo entry must be the identical value
+		if res[i].Result.PowerThreshold != res[0].Result.PowerThreshold { // exact: shared memo entry must be the identical value
 			t.Errorf("pair %d threshold %g differs from pair 0 threshold %g",
 				i, res[i].Result.PowerThreshold, res[0].Result.PowerThreshold)
 		}
@@ -149,7 +149,7 @@ func TestThresholdMemoSeedIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if soloA.PowerThreshold == soloB.PowerThreshold { //bw:floatcmp distinct seeds drawing equal thresholds would make the test vacuous
+	if soloA.PowerThreshold == soloB.PowerThreshold { // exact: distinct seeds drawing equal thresholds would make the test vacuous
 		t.Fatal("seeds produced equal thresholds; test cannot distinguish sharing")
 	}
 
@@ -160,10 +160,10 @@ func TestThresholdMemoSeedIsolation(t *testing.T) {
 	if memo.Len() != 2 {
 		t.Errorf("two seeds over one bucket left %d memo entries, want 2", memo.Len())
 	}
-	if gotA[0].Result.PowerThreshold != soloA.PowerThreshold { //bw:floatcmp bit-identity is the contract under test
+	if gotA[0].Result.PowerThreshold != soloA.PowerThreshold { // exact: bit-identity is the contract under test
 		t.Errorf("seed A batch threshold %g != solo %g", gotA[0].Result.PowerThreshold, soloA.PowerThreshold)
 	}
-	if gotB[0].Result.PowerThreshold != soloB.PowerThreshold { //bw:floatcmp bit-identity is the contract under test
+	if gotB[0].Result.PowerThreshold != soloB.PowerThreshold { // exact: bit-identity is the contract under test
 		t.Errorf("seed B batch threshold %g != solo %g", gotB[0].Result.PowerThreshold, soloB.PowerThreshold)
 	}
 }
@@ -271,7 +271,7 @@ func TestThresholdMemoResetOnFull(t *testing.T) {
 	if memo.Len() != 1 {
 		t.Errorf("over-cap insert left %d entries, want 1 (reset + insert)", memo.Len())
 	}
-	if v, ok := memo.lookup(ThresholdKey{Seed: 99}); !ok || v != 99 { //bw:floatcmp stored sentinel value round-trips exactly
+	if v, ok := memo.lookup(ThresholdKey{Seed: 99}); !ok || v != 99 { // exact: stored sentinel value round-trips exactly
 		t.Errorf("newest entry missing after reset: %v %v", v, ok)
 	}
 }

@@ -54,7 +54,7 @@ func TestPeriodogramRowsDifferential(t *testing.T) {
 				t.Fatalf("b=%d n=%d j=%d: %d power bins, want %d", tc.b, tc.n, j, len(pgs[j].Power), len(want.Power))
 			}
 			for k := range want.Power {
-				if pgs[j].Power[k] != want.Power[k] { //bw:floatcmp bit-identity is the contract under test
+				if pgs[j].Power[k] != want.Power[k] { // exact: bit-identity is the contract under test
 					t.Fatalf("b=%d n=%d j=%d bin %d: %g != %g", tc.b, tc.n, j, k, pgs[j].Power[k], want.Power[k])
 				}
 			}
@@ -81,7 +81,7 @@ func TestPeriodogramRowsLayoutsAgree(t *testing.T) {
 	}
 	for j := 0; j < b; j++ {
 		for k := range a[j].Power {
-			if a[j].Power[k] != c[j].Power[k] { //bw:floatcmp bit-identity is the contract under test
+			if a[j].Power[k] != c[j].Power[k] { // exact: bit-identity is the contract under test
 				t.Fatalf("row %d bin %d: interleaved %g != sequential %g", j, k, a[j].Power[k], c[j].Power[k])
 			}
 		}
@@ -111,7 +111,7 @@ func TestBatchTransformMatchesTransform(t *testing.T) {
 			ss := append([]complex128(nil), single[j]...)
 			p.transform(ss, inverse)
 			for i := 0; i < n; i++ {
-				if sb[i*b+j] != ss[i] { //bw:floatcmp bit-identity is the contract under test
+				if sb[i*b+j] != ss[i] { // exact: bit-identity is the contract under test
 					t.Fatalf("inverse=%v series %d sample %d: %v != %v", inverse, j, i, sb[i*b+j], ss[i])
 				}
 			}

@@ -23,7 +23,7 @@ func ApproxEqual(a, b, eps float64) bool {
 	if math.IsNaN(a) || math.IsNaN(b) {
 		return false
 	}
-	if a == b { //bw:floatcmp exact-equality fast path, incl. equal infinities
+	if a == b { // exact-equality fast path, incl. equal infinities
 		return true
 	}
 	return math.Abs(a-b) <= eps

@@ -503,7 +503,12 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, sourceFor func(w int) func() 
 		go func(w int) {
 			defer wg.Done()
 			if err := runShard(mapCtx, w, shards[w], "map", &retriesTotal, &failedTotal); err != nil {
-				errc <- err
+				// Only the first error is ever read; errc has capacity for
+				// every worker, so the default arm never actually drops.
+				select {
+				case errc <- err:
+				default:
+				}
 				cancel()
 			}
 		}(w)
@@ -689,7 +694,12 @@ func (j *Job[I, K, V, O]) run(ctx context.Context, sourceFor func(w int) func() 
 						if failed := failedKeysTotal.Add(1); failed <= int64(j.cfg.MaxFailedKeys) {
 							continue // key dropped, within budget
 						}
-						errc <- fmt.Errorf("%s: reduce key %v: %w", j.name(), k, err)
+						// First error wins; capacity covers every worker, so
+						// the default arm never actually drops.
+						select {
+						case errc <- fmt.Errorf("%s: reduce key %v: %w", j.name(), k, err):
+						default:
+						}
 						redCancel()
 						return
 					}

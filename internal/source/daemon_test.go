@@ -87,7 +87,7 @@ func TestDaemonEndToEndQueryAndRestart(t *testing.T) {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
-		//bw:guarded daemon run under test, cancelled by the test and awaited on done
+		// bounded goroutine: daemon run under test, cancelled by the test and awaited on done
 		go func() { done <- d.Run(ctx) }()
 		var base string
 		for i := 0; i < 1000; i++ {
@@ -234,7 +234,7 @@ func TestDaemonSoak(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	//bw:guarded daemon run under test, cancelled at the soak deadline and awaited on done
+	// bounded goroutine: daemon run under test, cancelled at the soak deadline and awaited on done
 	go func() { done <- d.Run(ctx) }()
 
 	deadline := time.Now().Add(*soakDur)

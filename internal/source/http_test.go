@@ -36,7 +36,7 @@ func startHTTPIngest(t *testing.T, h *HTTPIngest, resume Position, sink Sink) (s
 	t.Helper()
 	ctx, cancel := context.WithCancelCause(context.Background())
 	done := make(chan error, 1)
-	//bw:guarded test connector run, cancelled by the returned stopper and awaited on done
+	// bounded goroutine: test connector run, cancelled by the returned stopper and awaited on done
 	go func() { done <- h.Run(ctx, resume, sink) }()
 	var addr string
 	for i := 0; i < 500; i++ {

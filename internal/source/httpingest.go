@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -68,15 +67,16 @@ func (h *HTTPIngest) Handler() http.Handler {
 }
 
 func (h *HTTPIngest) serveIngest(w http.ResponseWriter, r *http.Request) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.sk == nil {
-		http.Error(w, "ingest not running", http.StatusServiceUnavailable)
-		return
-	}
 	if r.Method == http.MethodGet {
+		h.mu.Lock()
+		running, records := h.sk != nil, h.pos.Records
+		h.mu.Unlock()
+		if !running {
+			http.Error(w, "ingest not running", http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]int64{"records": h.pos.Records})
+		json.NewEncoder(w).Encode(map[string]int64{"records": records})
 		return
 	}
 	if r.Method != http.MethodPost {
@@ -92,6 +92,9 @@ func (h *HTTPIngest) serveIngest(w http.ResponseWriter, r *http.Request) {
 	if maxBody <= 0 {
 		maxBody = 8 << 20
 	}
+	// Read and parse the body before taking h.mu: the network read is
+	// bounded by the producer, not us, and must not serialize every
+	// other request behind a slow client.
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -122,6 +125,12 @@ func (h *HTTPIngest) serveIngest(w http.ResponseWriter, r *http.Request) {
 		var skip int
 		events, skip = appendLineEvents(events, line, &view)
 		skipped += skip
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sk == nil {
+		http.Error(w, "ingest not running", http.StatusServiceUnavailable)
+		return
 	}
 	if len(events) > 0 || skipped > 0 {
 		h.pos.Records += int64(len(events))
@@ -159,7 +168,9 @@ func (h *HTTPIngest) Run(ctx context.Context, resume Position, sink Sink) error 
 		h.mu.Unlock()
 	}()
 
-	ln, err := net.Listen("tcp", h.Addr)
+	// Retry a lingering predecessor's port (daemon restarts land here
+	// before TIME_WAIT clears); bounded by ctx.
+	ln, err := listenRetry(ctx, "tcp", h.Addr)
 	if err != nil {
 		return fmt.Errorf("source: listen http %s: %w", h.Addr, err)
 	}

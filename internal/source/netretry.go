@@ -1,0 +1,49 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"net"
+	"syscall"
+	"time"
+)
+
+// listenRetry binds network!addr like net.Listen, but retries when the
+// address is still in use — the predecessor's socket lingering in
+// TIME_WAIT after a daemon restart, or a forwarder that has not released
+// the port yet. Retries use doubling backoff on a stopped timer bounded
+// by ctx (the sleepCtx pattern), so cancellation during the wait returns
+// immediately. Any other listen error fails fast: a malformed address
+// never heals.
+func listenRetry(ctx context.Context, network, addr string) (net.Listener, error) {
+	const attempts = 5
+	delay := 50 * time.Millisecond
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if err := sleepCtx(ctx, delay); err != nil {
+				return nil, err
+			}
+			delay *= 2
+		}
+		ln, err := net.Listen(network, addr)
+		if err == nil {
+			return ln, nil
+		}
+		if !errors.Is(err, syscall.EADDRINUSE) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// acceptBackoff is the sleep before retrying a transient Accept failure:
+// doubling from 50ms, capped at 1s.
+func acceptBackoff(consecutive int) time.Duration {
+	d := 50 * time.Millisecond << uint(consecutive-1)
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"net"
 	"net/http"
 	"strconv"
 	"time"
@@ -55,7 +54,9 @@ func (d *Daemon) startQueryServer(ctx context.Context) (func(), error) {
 	if d.cfg.QueryAddr == "" {
 		return func() {}, nil
 	}
-	ln, err := net.Listen("tcp", d.cfg.QueryAddr)
+	// Retry a lingering predecessor's port across daemon restarts;
+	// bounded by ctx.
+	ln, err := listenRetry(ctx, "tcp", d.cfg.QueryAddr)
 	if err != nil {
 		return nil, fmt.Errorf("source: listen query %s: %w", d.cfg.QueryAddr, err)
 	}

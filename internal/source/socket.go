@@ -38,6 +38,10 @@ type SocketSource struct {
 	bound atomic.Value // of string
 }
 
+// maxAcceptRetries bounds consecutive transient Accept failures before
+// the source gives up and lets the supervisor restart it.
+const maxAcceptRetries = 5
+
 // Name implements Connector.
 func (s *SocketSource) Name() string {
 	if s.SourceName != "" {
@@ -73,6 +77,7 @@ func (s *SocketSource) Run(ctx context.Context, resume Position, sink Sink) erro
 	}()
 
 	pos := resume
+	acceptFails := 0
 	for {
 		if ctx.Err() != nil {
 			return ctxCause(ctx)
@@ -85,8 +90,20 @@ func (s *SocketSource) Run(ctx context.Context, resume Position, sink Sink) erro
 			if ctx.Err() != nil {
 				return ctxCause(ctx)
 			}
-			return fmt.Errorf("source: accept %s: %w", name, err)
+			// Transient accept failures (descriptor pressure, an aborted
+			// handshake) heal on their own: back off and retry instead of
+			// killing the source. A closed listener or a persistent fault
+			// still ends the run.
+			acceptFails++
+			if errors.Is(err, net.ErrClosed) || acceptFails > maxAcceptRetries {
+				return fmt.Errorf("source: accept %s: %w", name, err)
+			}
+			if serr := sleepCtx(ctx, acceptBackoff(acceptFails)); serr != nil {
+				return serr
+			}
+			continue
 		}
+		acceptFails = 0
 		sink.Alive()
 		if _, err := fmt.Fprintf(conn, "BAYWATCH %d\n", pos.Records); err != nil {
 			conn.Close()

@@ -55,7 +55,7 @@ func TestSocketGreetingResumeAcrossReconnect(t *testing.T) {
 	done := make(chan error, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	//bw:guarded test connector run, ends via sink stop and is awaited on done
+	// bounded goroutine: test connector run, ends via sink stop and is awaited on done
 	go func() { done <- s.Run(ctx, Position{}, c) }()
 
 	conn, records := dialSource(t, s)
@@ -112,7 +112,7 @@ func TestSocketFaultPoints(t *testing.T) {
 
 	// Run 2: accept succeeds (hit 2), the first connection read faults.
 	done := make(chan error, 1)
-	//bw:guarded test connector run, ends via injected read fault and is awaited on done
+	// bounded goroutine: test connector run, ends via injected read fault and is awaited on done
 	go func() { done <- s.Run(context.Background(), Position{}, c) }()
 	conn, _ := dialSource(t, s)
 	defer conn.Close()
@@ -122,7 +122,7 @@ func TestSocketFaultPoints(t *testing.T) {
 	}
 
 	// Run 3: clean; the supervisor-style restart resumes and delivers.
-	//bw:guarded test connector run, ends via sink stop and is awaited on done
+	// bounded goroutine: test connector run, ends via sink stop and is awaited on done
 	go func() { done <- s.Run(context.Background(), c.pos, c) }()
 	conn3, records := dialSource(t, s)
 	if records != 0 {
@@ -145,7 +145,7 @@ func TestSocketStopsOnContextCancel(t *testing.T) {
 	s := &SocketSource{Network: "tcp", Addr: "127.0.0.1:0", SourceName: "sock"}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	done := make(chan error, 1)
-	//bw:guarded test connector run, cancelled below and awaited on done
+	// bounded goroutine: test connector run, cancelled below and awaited on done
 	go func() { done <- s.Run(ctx, Position{}, &collectSink{}) }()
 	_, records := dialSource(t, s) // ensure the listener is up first
 	if records != 0 {

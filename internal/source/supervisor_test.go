@@ -91,7 +91,7 @@ func TestBreakerOpensMarksStaleAndRecovers(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	//bw:guarded daemon run under test, cancelled below and awaited on done
+	// bounded goroutine: daemon run under test, cancelled below and awaited on done
 	go func() { done <- d.Run(ctx) }()
 
 	waitStale := func(want bool) {
@@ -162,7 +162,7 @@ func TestWatchdogStallCancelsSilentConnector(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	//bw:guarded daemon run under test, cancelled below and awaited on done
+	// bounded goroutine: daemon run under test, cancelled below and awaited on done
 	go func() { done <- d.Run(ctx) }()
 
 	select {
