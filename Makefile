@@ -6,7 +6,7 @@ GO ?= go
 # daemon's file-follow tail path (source).
 # -benchtime is kept short so ten repetitions stay affordable in CI; the
 # gate compares medians, which tolerates short per-repetition runs.
-BENCH_PATTERN ?= Periodogram|Autocorrelation|Detector|IngestParse|IngestToSummaries|BatchToSummaries|FollowTail
+BENCH_PATTERN ?= Periodogram|Autocorrelation|Detector|IngestParse|IngestToSummaries|BatchToSummaries|FollowTail|QueryRankedCached
 BENCH_PKGS    ?= ./internal/dsp ./internal/core ./internal/ingest ./internal/source
 BENCH_FLAGS   ?= -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=10 -benchtime=300x -timeout=20m
 
@@ -26,12 +26,27 @@ BENCH_BATCH_FLAGS ?= -run='^$$' -bench='DetectBatch$$|DetectPerPair$$' -benchmem
 # the plan-at-a-time speedup itself, enforced by benchgate -min-ratio.
 BENCH_BATCH_MIN_RATIO ?= BenchmarkDetectBatch/BenchmarkDetectPerPair:pairs/s:2
 
+# The steady-state tick benchmarks: a 10k-pair standing population with 1%
+# dirtied per tick, incremental vs. full-recompute. One full-recompute
+# iteration is ~0.1s, so this pass also runs few and short. (The cached
+# query-path benchmark is a microbenchmark and rides the 300x pass via
+# BENCH_PATTERN.)
+BENCH_TICK_FLAGS ?= -run='^$$' -bench='TickSteadyState$$|TickFullRecompute$$' -benchmem -count=5 -benchtime=3x -timeout=20m
+
+# The dirty-only tick path must stay at least this many times faster
+# (median ticks/s) than a full recompute of the same population IN THE
+# SAME RUN — the sub-linear steady-state contract itself, machine speed
+# cancelled out.
+BENCH_TICK_MIN_RATIO ?= BenchmarkTickSteadyState/BenchmarkTickFullRecompute:ticks/s:5
+
 # The two batch macro benchmarks run seconds per iteration, long enough to
 # integrate co-tenant CI load; their medians drift past the default 10%
 # band run-to-run even with no code change. They get a wider absolute band
 # — their precise contract is the in-run min-ratio above, which cancels
 # machine speed out.
-BENCH_NOISE ?= -noise 'BenchmarkDetectPerPair:0.35' -noise 'BenchmarkDetectBatch:0.25'
+BENCH_NOISE ?= -noise 'BenchmarkDetectPerPair:0.35' -noise 'BenchmarkDetectBatch:0.25' \
+	-noise 'BenchmarkTickSteadyState:0.35' -noise 'BenchmarkTickFullRecompute:0.25' \
+	-noise 'BenchmarkQueryRankedCached:0.35'
 
 .PHONY: check vet build test test-race fuzz-smoke tidy lint bench bench-ingest bench-baseline bench-check soak soak-smoke
 
@@ -88,6 +103,7 @@ lint:
 bench:
 	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS)
 	$(GO) test $(BENCH_BATCH_FLAGS) ./internal/core
+	$(GO) test $(BENCH_TICK_FLAGS) ./internal/source
 
 # bench-ingest runs the sharded-ingest benchmark suite by itself — the
 # zero-copy parse pass, the direct-to-summary aggregation, the batch
@@ -100,19 +116,21 @@ bench-ingest:
 # bench-baseline regenerates the committed baseline. Run it on a quiet
 # machine after an intended performance change and commit the result.
 bench-baseline:
-	($(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) && $(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest && $(GO) test $(BENCH_BATCH_FLAGS) ./internal/core) | tee BENCH_BASELINE.txt
+	($(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) && $(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest && $(GO) test $(BENCH_BATCH_FLAGS) ./internal/core && $(GO) test $(BENCH_TICK_FLAGS) ./internal/source) | tee BENCH_BASELINE.txt
 
 # soak keeps the streaming daemon under randomized fault injection for
 # ~30s and checks the drained state matches a clean batch run exactly.
-# Set BAYWATCH_FAULT_SCHEDULE (see README) to replay an explicit schedule
-# of error/delay rules instead of the seeded random one.
+# The prefix match also runs TestDaemonSoakRetention, the variant with a
+# small -retain-windows and pair churn that pins bounded state under the
+# same faults. Set BAYWATCH_FAULT_SCHEDULE (see README) to replay an
+# explicit schedule of error/delay rules instead of the seeded random one.
 soak:
-	$(GO) test ./internal/source -run='^TestDaemonSoak$$' -count=1 -soak=30s -timeout=5m -v
+	$(GO) test ./internal/source -run='^TestDaemonSoak' -count=1 -soak=30s -timeout=5m -v
 
 # soak-smoke is the CI-sized soak: a few seconds is enough to exercise
-# restarts, replays and commit retries on every push.
+# restarts, replays, commit retries and retention eviction on every push.
 soak-smoke:
-	$(GO) test ./internal/source -run='^TestDaemonSoak$$' -count=1 -soak=3s -timeout=5m
+	$(GO) test ./internal/source -run='^TestDaemonSoak' -count=1 -soak=3s -timeout=5m
 
 # bench-check runs the benchmarks and fails on >10% median ns/op growth,
 # any allocs/op growth, a >10% drop in any rate metric (pairs/s), or the
@@ -121,7 +139,7 @@ soak-smoke:
 # an artifact even on failure; the pipe preserves benchgate's exit status
 # because the tee sits inside the same invocation via a shell group.
 bench-check:
-	($(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) && $(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest && $(GO) test $(BENCH_BATCH_FLAGS) ./internal/core) > /tmp/bench-current.txt || (cat /tmp/bench-current.txt; exit 1)
+	($(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) && $(GO) test $(BENCH_E2E_FLAGS) ./internal/ingest && $(GO) test $(BENCH_BATCH_FLAGS) ./internal/core && $(GO) test $(BENCH_TICK_FLAGS) ./internal/source) > /tmp/bench-current.txt || (cat /tmp/bench-current.txt; exit 1)
 	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.txt -current /tmp/bench-current.txt \
-		-min-ratio '$(BENCH_BATCH_MIN_RATIO)' $(BENCH_NOISE) > /tmp/benchgate-report.txt; \
+		-min-ratio '$(BENCH_BATCH_MIN_RATIO)' -min-ratio '$(BENCH_TICK_MIN_RATIO)' $(BENCH_NOISE) > /tmp/benchgate-report.txt; \
 	status=$$?; cat /tmp/benchgate-report.txt; exit $$status

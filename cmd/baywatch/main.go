@@ -139,6 +139,8 @@ func run() error {
 	tickInterval := flag.Duration("tick", 30*time.Second, "serve mode: incremental-detection cadence")
 	commitEvery := flag.Int("commit-every", 5000, "serve mode: checkpoint after this many ingested events (<0 disables count-based commits)")
 	lateness := flag.Int64("lateness", 0, "serve mode: allowed event lateness in seconds; events behind the committed watermark are dropped (0 = accept any lateness)")
+	retainWindows := flag.Int("retain-windows", 0, "serve mode: evict pairs idle longer than this many lateness windows, bounding memory and checkpoint size to active traffic (0 = retain forever; requires -lateness)")
+	caseLabels := flag.String("casefile", "", "serve mode: bwtriage labels file; /ranked and /host responses carry each labeled pair's verdict, re-read when the file changes")
 	maxQueries := flag.Int("max-queries", 16, "serve mode: concurrent query-endpoint requests before shedding with 503 (<0 = unlimited)")
 	sourceStall := flag.Duration("source-stall", 0, "serve mode: a source silent this long is cancelled and restarted (0 = no source watchdog)")
 	flag.Parse()
@@ -183,6 +185,8 @@ func run() error {
 			tick:          *tickInterval,
 			commitEvery:   *commitEvery,
 			lateness:      *lateness,
+			retainWindows: *retainWindows,
+			casefile:      *caseLabels,
 			maxQueries:    *maxQueries,
 			stall:         *sourceStall,
 			scale:         *scale,

@@ -34,6 +34,8 @@ type serveOpts struct {
 	tick          time.Duration
 	commitEvery   int
 	lateness      int64
+	retainWindows int
+	casefile      string
 	maxQueries    int
 	stall         time.Duration
 	scale         int64
@@ -73,16 +75,18 @@ func runServe(cfg pipeline.Config, o serveOpts) error {
 	}
 	d, err := source.NewDaemon(source.DaemonConfig{
 		Engine: source.Config{
-			StateDir: o.state,
-			Scale:    o.scale,
-			Lateness: o.lateness,
-			Pipeline: cfg,
-			Logf:     warnf,
+			StateDir:      o.state,
+			Scale:         o.scale,
+			Lateness:      o.lateness,
+			RetainWindows: o.retainWindows,
+			Pipeline:      cfg,
+			Logf:          warnf,
 		},
 		Connectors:   conns,
 		TickInterval: o.tick,
 		CommitEvery:  o.commitEvery,
 		QueryAddr:    o.query,
+		CasefilePath: o.casefile,
 		MaxQueries:   o.maxQueries,
 		StallTimeout: o.stall,
 		Logf:         warnf,

@@ -102,6 +102,12 @@ const (
 	PointSourceCheckpointDirsync Point = "source.checkpoint.dirsync"
 	PointSourceCommitDone        Point = "source.commit.done"
 	PointSourceDetectTick        Point = "source.detect.tick"
+	// Retention points: compact.plan fires before the eviction set is
+	// computed (an error aborts the commit untouched); evict.apply fires
+	// after the compacted checkpoint committed and the in-memory store
+	// dropped the evicted pairs (a pure crash point, like commit.done).
+	PointSourceCompactPlan Point = "source.compact.plan"
+	PointSourceEvictApply  Point = "source.evict.apply"
 )
 
 // Points returns every registered fault-injection point. Keyed points are
@@ -151,5 +157,7 @@ func Points() []Point {
 		PointSourceCheckpointDirsync,
 		PointSourceCommitDone,
 		PointSourceDetectTick,
+		PointSourceCompactPlan,
+		PointSourceEvictApply,
 	}
 }

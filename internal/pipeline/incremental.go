@@ -1,0 +1,370 @@
+// Incremental analysis: a standing instance of the filter-1..8 pipeline
+// that re-analyzes only pairs whose inputs changed. The streaming
+// daemon's steady state has thousands of known pairs and a handful of
+// dirty ones per tick; re-running RunSummaries over everything makes
+// tick cost O(total pairs). Incremental keeps the per-pair intermediate
+// state of every stage — summary, detection, indication outcome — plus
+// the popularity aggregates the whitelist derives from, and on each Tick
+// recomputes exactly the pairs whose stage inputs changed:
+//
+//   - a changed (dirty) pair re-runs detection and indication;
+//   - a pair whose destination gained or lost pairs — or any pair, when
+//     the distinct-source population changed — re-evaluates the local
+//     whitelist and indication (its popularity inputs moved);
+//   - a pair reported last tick, and every pair sharing its destination,
+//     re-runs indication (the novelty store recorded the report, which
+//     can flip verdicts from NewDestination to NewSource or Duplicate);
+//   - a pair whose detection or indication errored retries every tick,
+//     exactly as the full pipeline re-attempts it on every run.
+//
+// The per-tick Result is then materialized from cached state in one
+// cheap O(total) pass (fresh Candidate values, funnel counters, the
+// percentile ranking). Output is bit-identical to RunSummaries over the
+// same summaries with the same novelty-store history — pinned by
+// TestIncrementalMatchesFullRecompute — because every stage runs the
+// same shared code (runIndication, bookFunnel, rankAndReport,
+// detectBeacons) on the same inputs; only the skipping logic is new.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"baywatch/internal/core"
+	"baywatch/internal/guard"
+	"baywatch/internal/timeseries"
+	"baywatch/internal/whitelist"
+)
+
+// PairRef names one communication pair as a struct — never a
+// concatenated "src|dst" string, whose separator a hostile endpoint name
+// could spoof — for delta notifications (removals) and staleness lists.
+type PairRef struct {
+	Source      string `json:"src"`
+	Destination string `json:"dst"`
+}
+
+// incPair is one pair's cached stage outputs.
+type incPair struct {
+	summary *timeseries.ActivitySummary
+	events  int
+	// globalListed is filter 1's verdict — static per destination.
+	globalListed bool
+	// localListed is filter 2's current verdict; re-evaluated when the
+	// destination's popularity inputs change.
+	localListed bool
+	// det/detErr cache the detect stage (filters 3-5). A nil det with nil
+	// detErr means detection has not run for the current summary; detErr
+	// non-nil means the last attempt failed and is retried every tick.
+	det    *core.Result
+	detErr error
+	// ind/indErr/hasInd cache the indication stage (filters 6-7 plus the
+	// ranking score). hasInd is false whenever any indication input
+	// changed; indErr non-nil retries every tick.
+	ind    indication
+	indErr error
+	hasInd bool
+}
+
+// Incremental maintains the pipeline's standing state across ticks. It
+// is not safe for concurrent use: the streaming engine serializes ticks.
+type Incremental struct {
+	cfg    Config
+	states map[pairKey]*incPair
+	// keys is every known pair sorted by (source, destination) — the
+	// canonical candidate order — maintained by binary insertion so
+	// steady-state ticks never re-sort.
+	keys []pairKey
+	// destPairs counts distinct sources per destination (== pairs per
+	// destination, since pairs are unique); byDest indexes the pairs of
+	// each destination; srcPairs counts pairs per source, so the
+	// distinct-source population is len(srcPairs). Together these replace
+	// the per-run popularity MapReduce job.
+	destPairs map[string]int
+	byDest    map[string]map[pairKey]struct{}
+	srcPairs  map[string]int
+	// inputEvents is the running event total across cached summaries.
+	inputEvents int
+	// noveltyDirty marks pairs whose novelty verdict may have changed
+	// because last tick's report mutated the store.
+	noveltyDirty map[pairKey]struct{}
+}
+
+// NewIncremental creates an empty standing pipeline with the given
+// configuration (defaults applied once, so every tick runs under the
+// identical component set).
+func NewIncremental(cfg Config) (*Incremental, error) {
+	cfg = cfg.withDefaults()
+	if cfg.LM == nil {
+		return nil, fmt.Errorf("pipeline: language model is required")
+	}
+	return &Incremental{
+		cfg:          cfg,
+		states:       make(map[pairKey]*incPair),
+		destPairs:    make(map[string]int),
+		byDest:       make(map[string]map[pairKey]struct{}),
+		srcPairs:     make(map[string]int),
+		noveltyDirty: make(map[pairKey]struct{}),
+	}, nil
+}
+
+// Pairs reports the number of pairs currently held.
+func (i *Incremental) Pairs() int { return len(i.keys) }
+
+func (i *Incremental) insertKey(k pairKey) {
+	n := sort.Search(len(i.keys), func(j int) bool { return !pairKeyLess(i.keys[j], k) })
+	i.keys = append(i.keys, pairKey{})
+	copy(i.keys[n+1:], i.keys[n:])
+	i.keys[n] = k
+}
+
+func (i *Incremental) removeKey(k pairKey) {
+	n := sort.Search(len(i.keys), func(j int) bool { return !pairKeyLess(i.keys[j], k) })
+	if n < len(i.keys) && i.keys[n] == k {
+		i.keys = append(i.keys[:n], i.keys[n+1:]...)
+	}
+}
+
+func pairKeyLess(a, b pairKey) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}
+
+// dropPair forgets one pair and unwinds its aggregate contributions.
+func (i *Incremental) dropPair(k pairKey, impacted map[string]struct{}) {
+	st := i.states[k]
+	if st == nil {
+		return
+	}
+	delete(i.states, k)
+	i.removeKey(k)
+	i.inputEvents -= st.events
+	if n := i.destPairs[k.Dst] - 1; n <= 0 {
+		delete(i.destPairs, k.Dst)
+	} else {
+		i.destPairs[k.Dst] = n
+	}
+	if set := i.byDest[k.Dst]; set != nil {
+		delete(set, k)
+		if len(set) == 0 {
+			delete(i.byDest, k.Dst)
+		}
+	}
+	if n := i.srcPairs[k.Src] - 1; n <= 0 {
+		delete(i.srcPairs, k.Src)
+	} else {
+		i.srcPairs[k.Src] = n
+	}
+	delete(i.noveltyDirty, k)
+	impacted[k.Dst] = struct{}{}
+}
+
+// Tick applies one delta — changed holds the fresh summary of every pair
+// whose history changed (new or updated), removed the pairs evicted by
+// retention — and returns the full standing Result, identical to
+// RunSummaries over all current summaries. changed must hold at most one
+// summary per pair; summaries must never be mutated after being passed
+// in (the engine builds a fresh one per dirty pair).
+func (i *Incremental) Tick(ctx context.Context, changed []*timeseries.ActivitySummary, removed []PairRef) (*Result, error) {
+	env, cleanup := newGuardEnv(ctx, i.cfg)
+	defer cleanup()
+
+	// ---- Apply the delta to the standing aggregates ---------------------
+	popStart := time.Now()
+	impacted := make(map[string]struct{})
+	prevTotal := len(i.srcPairs)
+	for _, r := range removed {
+		i.dropPair(pairKey{Src: r.Source, Dst: r.Destination}, impacted)
+	}
+	for _, as := range changed {
+		k := pairKey{Src: as.Source, Dst: as.Destination}
+		st := i.states[k]
+		if st == nil {
+			st = &incPair{globalListed: i.cfg.Global != nil && i.cfg.Global.Contains(as.Destination)}
+			i.states[k] = st
+			i.insertKey(k)
+			i.destPairs[k.Dst]++
+			set := i.byDest[k.Dst]
+			if set == nil {
+				set = make(map[pairKey]struct{})
+				i.byDest[k.Dst] = set
+			}
+			set[k] = struct{}{}
+			i.srcPairs[k.Src]++
+			impacted[k.Dst] = struct{}{}
+		}
+		i.inputEvents += as.EventCount() - st.events
+		st.summary = as
+		st.events = as.EventCount()
+		st.det, st.detErr = nil, nil
+		st.ind, st.indErr, st.hasInd = indication{}, nil, false
+	}
+	totalSources := len(i.srcPairs)
+
+	// The local whitelist is rebuilt from the maintained counts each tick
+	// (Build copies the map — O(destinations), no event work). Its
+	// contents equal the popularity job's output over all summaries.
+	local := whitelist.NewLocal(i.cfg.LocalTau)
+	local.Build(i.destPairs, totalSources)
+
+	// ---- Filter 2 re-evaluation for popularity-impacted pairs -----------
+	reEval := func(k pairKey) {
+		st := i.states[k]
+		st.localListed = local.Contains(st.summary.Destination)
+		// Popularity and similar-sources feed the indication outcome.
+		st.hasInd = false
+	}
+	if totalSources != prevTotal {
+		// The whitelist denominator moved: every pair's popularity did too.
+		for k := range i.states {
+			reEval(k)
+		}
+	} else {
+		for d := range impacted {
+			for k := range i.byDest[d] {
+				reEval(k)
+			}
+		}
+	}
+	popTime := time.Since(popStart)
+
+	// ---- Filters 3-5 over the pairs that need detection -----------------
+	// Dirty pairs (det cleared above), pairs that just crossed out of a
+	// whitelist with no cached result, and pairs whose last detection
+	// errored (the full pipeline retries those every run; the memo only
+	// ever holds successes). Runs through the same guarded MapReduce job
+	// as the batch path, so memoization, bucket scheduling, fault points
+	// and timeout semantics are identical.
+	detStart := time.Now()
+	var detList []*timeseries.ActivitySummary
+	for _, k := range i.keys {
+		st := i.states[k]
+		if st.globalListed || st.localListed {
+			continue
+		}
+		if st.det == nil {
+			detList = append(detList, st.summary)
+		}
+	}
+	var detCounters mapreduceCounters
+	if len(detList) > 0 {
+		detCtx, detDone := env.stageCtx("detect")
+		detections, counters, err := detectBeacons(
+			detCtx, detList, i.cfg.Detector, env.mrCfg, i.cfg.Exec,
+			env.g.CandidateTimeout, env.g.MaxInFlight, i.cfg.DetectMemo, i.cfg.Thresholds)
+		detDone()
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: detect: %w", err)
+		}
+		detCounters = mapreduceCounters{FailedInputs: counters.FailedInputs, FailedKeys: counters.FailedKeys}
+		for _, d := range detections {
+			st := i.states[pairKey{Src: d.Summary.Source, Dst: d.Summary.Destination}]
+			st.det, st.detErr = d.Result, d.Err
+			st.hasInd = false
+		}
+	}
+	detTime := time.Since(detStart)
+
+	// ---- Filters 6-8 over the pairs whose indication inputs changed -----
+	rankStart := time.Now()
+	indWorker := env.wd.Worker("pipeline/indication")
+	defer indWorker.Done()
+	for _, k := range i.keys {
+		st := i.states[k]
+		if st.globalListed || st.localListed || st.det == nil {
+			continue
+		}
+		_, nd := i.noveltyDirty[k]
+		if st.hasInd && st.indErr == nil && !nd {
+			continue
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("pipeline: indication: %w", guardCause(ctx))
+		}
+		cand := &Candidate{Source: k.Src, Destination: k.Dst, Summary: st.summary, Detection: st.det}
+		d := Detection{Summary: st.summary, Result: st.det}
+		out, err := guard.BoundWork(ctx, indWorker, env.g.CandidateTimeout, func() (indication, error) {
+			return runIndication(i.cfg, local, i.destPairs, cand, d)
+		})
+		st.ind, st.indErr, st.hasInd = out, err, true
+	}
+	if len(i.noveltyDirty) > 0 {
+		i.noveltyDirty = make(map[pairKey]struct{})
+	}
+
+	// ---- Materialize the standing result --------------------------------
+	// Fresh Candidate values every tick: published results are read
+	// concurrently by query handlers while the next tick's ranking would
+	// mutate SuppressedBy, so cached state is never aliased into a Result.
+	res := &Result{}
+	res.Stats.InputEvents = i.inputEvents
+	res.Stats.Pairs = len(i.keys)
+	res.Stats.PopularityTime = popTime
+	res.Stats.DetectTime = detTime
+	for _, k := range i.keys {
+		st := i.states[k]
+		if st.globalListed {
+			continue
+		}
+		res.Stats.AfterGlobalWhitelist++
+		if st.localListed {
+			continue
+		}
+		res.Stats.AfterLocalWhitelist++
+		cand := &Candidate{Source: k.Src, Destination: k.Dst, Summary: st.summary, Detection: st.det}
+		res.Candidates = append(res.Candidates, cand)
+		if st.detErr != nil {
+			cand.SuppressedBy = StageError
+			res.Errors = append(res.Errors, CandidateError{
+				Source: k.Src, Destination: k.Dst, Stage: "detect", Err: st.detErr.Error(),
+			})
+			continue
+		}
+		if st.indErr != nil {
+			cand.SuppressedBy = StageError
+			res.Errors = append(res.Errors, CandidateError{
+				Source: k.Src, Destination: k.Dst, Stage: "indication", Err: st.indErr.Error(),
+			})
+			continue
+		}
+		out := st.ind
+		cand.LMScore, cand.Popularity, cand.SimilarSources = out.lmScore, out.popularity, out.similar
+		cand.Token, cand.Novelty, cand.Score = out.token, out.novelty, out.score
+		cand.SuppressedBy = out.suppressed
+		bookFunnel(&res.Stats, out.suppressed)
+	}
+	res.Stats.Errored = len(res.Errors)
+	res.Stats.FailedInputs = detCounters.FailedInputs
+	res.Stats.FailedKeys = detCounters.FailedKeys
+	if env.wd != nil {
+		res.Stats.Stalls = len(env.wd.Stalls())
+	}
+	res.Degraded = len(res.Errors) > 0 || len(res.Truncated) > 0 ||
+		res.Stats.FailedInputs > 0 || res.Stats.FailedKeys > 0
+
+	rankAndReport(res, i.cfg)
+	res.Stats.RankTime = time.Since(rankStart)
+
+	// A report mutates the novelty store (MarkReported), which can change
+	// verdicts next tick: the reported pair itself becomes Duplicate, and
+	// every pair sharing its destination can flip NewDestination to
+	// NewSource. Mark them all for re-indication.
+	if i.cfg.Novelty != nil {
+		for _, c := range res.Reported {
+			for k := range i.byDest[c.Destination] {
+				i.noveltyDirty[k] = struct{}{}
+			}
+		}
+	}
+	return res, nil
+}
+
+// mapreduceCounters mirrors mapreduce.Counters' failure-budget fields
+// without holding the full struct across the materialize pass.
+type mapreduceCounters struct {
+	FailedInputs, FailedKeys int64
+}

@@ -453,52 +453,8 @@ func analyze(ctx context.Context, res *Result, summaries []*timeseries.ActivityS
 	// deadline can abandon an overrunning candidate without it racing on
 	// the shared candidate or stats (see guard.RunBounded).
 	start = time.Now()
-	type indication struct {
-		lmScore    float64
-		popularity float64
-		similar    int
-		token      tokenfilter.Analysis
-		novelty    novelty.Verdict
-		score      float64
-		suppressed FilterStage
-	}
-	indicate := func(cand *Candidate, d Detection) (out indication, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("indication panic: %v", r)
-			}
-		}()
-		if err := faultCheck(faultinject.PointPipelineIndication, cand.Source+"|"+cand.Destination); err != nil {
-			return out, err
-		}
-		out.lmScore = cfg.LM.Score(d.Summary.Destination)
-		out.popularity = local.Popularity(d.Summary.Destination)
-		out.similar = destSources[d.Summary.Destination]
-		if !d.Result.Periodic {
-			out.suppressed = StageNotPeriodic
-			return out, nil
-		}
-		out.token = cfg.TokenFilter.Analyze(d.Summary.URLPaths)
-		if out.token.LikelyBenign {
-			out.suppressed = StageTokenFilter
-			return out, nil
-		}
-		if cfg.Novelty != nil {
-			out.novelty = cfg.Novelty.Check(cand.Source, cand.Destination)
-			if out.novelty == novelty.Duplicate {
-				out.suppressed = StageNovelty
-				return out, nil
-			}
-		} else {
-			out.novelty = novelty.NewDestination
-		}
-		// The score needs the indicators applied to the candidate; compute
-		// it from a scratch copy so the shared candidate is untouched until
-		// the outcome is committed.
-		scratch := *cand
-		scratch.LMScore, scratch.Popularity, scratch.SimilarSources = out.lmScore, out.popularity, out.similar
-		out.score = ranking.Score(indicatorsFor(&scratch), cfg.Weights)
-		return out, nil
+	indicate := func(cand *Candidate, d Detection) (indication, error) {
+		return runIndication(cfg, local, destSources, cand, d)
 	}
 	indWorker := wd.Worker("pipeline/indication")
 	defer indWorker.Done()
@@ -537,18 +493,7 @@ func analyze(ctx context.Context, res *Result, summaries []*timeseries.ActivityS
 		cand.SuppressedBy = out.suppressed
 		// Funnel accounting derives from where the candidate stopped, so
 		// abandoned analyses never double-count.
-		switch out.suppressed {
-		case StageNotPeriodic:
-		case StageTokenFilter:
-			res.Stats.Periodic++
-		case StageNovelty:
-			res.Stats.Periodic++
-			res.Stats.AfterTokenFilter++
-		default:
-			res.Stats.Periodic++
-			res.Stats.AfterTokenFilter++
-			res.Stats.AfterNovelty++
-		}
+		bookFunnel(&res.Stats, out.suppressed)
 	}
 	res.Stats.Errored = len(res.Errors)
 	res.Stats.FailedInputs = extCounters.FailedInputs + popCounters.FailedInputs + detCounters.FailedInputs
@@ -559,7 +504,91 @@ func analyze(ctx context.Context, res *Result, summaries []*timeseries.ActivityS
 	res.Degraded = len(res.Errors) > 0 || len(res.Truncated) > 0 ||
 		res.Stats.FailedInputs > 0 || res.Stats.FailedKeys > 0
 
-	// Rank the survivors and apply the percentile threshold.
+	rankAndReport(res, cfg)
+	res.Stats.RankTime = time.Since(start)
+	return res, nil
+}
+
+// indication is the outcome of filters 6-8 for one candidate, computed by
+// value so an abandoned (timed-out) analysis never races on the shared
+// candidate (see guard.BoundWork).
+type indication struct {
+	lmScore    float64
+	popularity float64
+	similar    int
+	token      tokenfilter.Analysis
+	novelty    novelty.Verdict
+	score      float64
+	suppressed FilterStage
+}
+
+// runIndication executes the suspicious-indication analysis (filters 6-8
+// minus the final percentile cut) for one detected candidate. It is the
+// single implementation both the batch path (analyze) and the incremental
+// path (Incremental.Tick) run, so the two stay bit-identical: language
+// model score, local popularity, periodicity gate, token filter, novelty
+// check and the weighted ranking score.
+func runIndication(cfg Config, local *whitelist.Local, destSources map[string]int, cand *Candidate, d Detection) (out indication, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("indication panic: %v", r)
+		}
+	}()
+	if err := faultCheck(faultinject.PointPipelineIndication, cand.Source+"|"+cand.Destination); err != nil {
+		return out, err
+	}
+	out.lmScore = cfg.LM.Score(d.Summary.Destination)
+	out.popularity = local.Popularity(d.Summary.Destination)
+	out.similar = destSources[d.Summary.Destination]
+	if !d.Result.Periodic {
+		out.suppressed = StageNotPeriodic
+		return out, nil
+	}
+	out.token = cfg.TokenFilter.Analyze(d.Summary.URLPaths)
+	if out.token.LikelyBenign {
+		out.suppressed = StageTokenFilter
+		return out, nil
+	}
+	if cfg.Novelty != nil {
+		out.novelty = cfg.Novelty.Check(cand.Source, cand.Destination)
+		if out.novelty == novelty.Duplicate {
+			out.suppressed = StageNovelty
+			return out, nil
+		}
+	} else {
+		out.novelty = novelty.NewDestination
+	}
+	// The score needs the indicators applied to the candidate; compute
+	// it from a scratch copy so the shared candidate is untouched until
+	// the outcome is committed.
+	scratch := *cand
+	scratch.LMScore, scratch.Popularity, scratch.SimilarSources = out.lmScore, out.popularity, out.similar
+	out.score = ranking.Score(indicatorsFor(&scratch), cfg.Weights)
+	return out, nil
+}
+
+// bookFunnel accounts one candidate's pre-ranking outcome into the
+// filtering funnel, shared by the batch and incremental paths.
+func bookFunnel(stats *Stats, suppressed FilterStage) {
+	switch suppressed {
+	case StageNotPeriodic:
+	case StageTokenFilter:
+		stats.Periodic++
+	case StageNovelty:
+		stats.Periodic++
+		stats.AfterTokenFilter++
+	default:
+		stats.Periodic++
+		stats.AfterTokenFilter++
+		stats.AfterNovelty++
+	}
+}
+
+// rankAndReport is filter 8: rank the surviving candidates, apply the
+// percentile threshold, record reported pairs in the novelty store, and
+// mark the rest StageRankThreshold. Shared by the batch and incremental
+// paths so the report tail cannot drift between them.
+func rankAndReport(res *Result, cfg Config) {
 	var rankable []ranking.Case
 	byKey := make(map[pairKey]*Candidate)
 	for _, c := range res.Candidates {
@@ -591,8 +620,6 @@ func analyze(ctx context.Context, res *Result, summaries []*timeseries.ActivityS
 		}
 	}
 	res.Stats.Reported = len(res.Reported)
-	res.Stats.RankTime = time.Since(start)
-	return res, nil
 }
 
 // guardCause returns the context's cancellation cause, falling back to

@@ -59,6 +59,10 @@ type checkpoint struct {
 	MaxTS int64 `json:"max_ts,omitempty"`
 	// LateDropped counts events dropped behind the watermark.
 	LateDropped int64 `json:"late_dropped,omitempty"`
+	// Evicted counts pairs aged out by retention over the engine's
+	// lifetime; purely informational accounting (an older checkpoint
+	// without the field reads as 0).
+	Evicted int64 `json:"evicted,omitempty"`
 	// Pairs is the per-pair event store.
 	Pairs []pairState `json:"pairs,omitempty"`
 }

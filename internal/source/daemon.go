@@ -29,6 +29,12 @@ type DaemonConfig struct {
 	// QueryAddr serves the query endpoint when non-empty (e.g.
 	// "127.0.0.1:8478").
 	QueryAddr string
+	// CasefilePath, when non-empty, points at a casefile labels file (see
+	// internal/casefile); /ranked entries and /host timelines then carry
+	// each pair's analyst verdict ("benign"/"malicious"). The file is
+	// re-read when its mtime or size changes, at most once per tick
+	// generation.
+	CasefilePath string
 	// MaxQueries bounds concurrent query requests (guard.Semaphore
 	// admission; default 16, <0 unlimited).
 	MaxQueries int
@@ -86,6 +92,13 @@ type Daemon struct {
 	snap         atomic.Pointer[TickResult]
 	tickFailures atomic.Int64
 	commitFails  atomic.Int64
+
+	// Query-layer state: every tick generation publishes one immutable
+	// querySnapshot that the handlers serve without touching the engine;
+	// gen is the monotonically increasing generation number (the ETag).
+	gen   atomic.Int64
+	qsnap atomic.Pointer[querySnapshot]
+	cases caseLabelCache
 }
 
 // NewDaemon opens the engine (running checkpoint recovery) and prepares
@@ -113,6 +126,9 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	for _, c := range cfg.Connectors {
 		d.sups = append(d.sups, newSupervisor(d, c))
 	}
+	// Publish generation 1 so the query handlers never see a nil snapshot
+	// (recovered engine state is visible before the first tick).
+	d.publishQuerySnapshot()
 	return d, nil
 }
 
@@ -222,27 +238,29 @@ func (d *Daemon) Run(ctx context.Context) error {
 	return nil
 }
 
-// runTick executes one incremental detection pass and publishes the
-// result; a failed tick degrades (the previous snapshot stays current)
-// rather than stopping the daemon.
+// runTick executes one incremental detection pass and publishes a new
+// query generation; a failed tick degrades (the previous tick snapshot
+// stays current) rather than stopping the daemon. The query snapshot is
+// republished every interval regardless, so /status reflects current
+// engine accounting even before any pair exists.
 func (d *Daemon) runTick(ctx context.Context) {
-	if d.eng.Stats().Pairs == 0 {
-		return
-	}
-	tr, err := d.eng.Tick(ctx)
-	if err != nil {
-		if ctx.Err() != nil {
+	if d.eng.Stats().Pairs > 0 {
+		tr, err := d.eng.Tick(ctx)
+		switch {
+		case err == nil:
+			d.snap.Store(tr)
+			if tr.Result.Degraded {
+				d.logf("tick %d degraded: %d error(s), %d truncated pair(s)",
+					tr.Tick, len(tr.Result.Errors), len(tr.Result.Truncated))
+			}
+		case ctx.Err() != nil:
 			return
+		default:
+			d.tickFailures.Add(1)
+			d.logf("tick failed: %v", err)
 		}
-		d.tickFailures.Add(1)
-		d.logf("tick failed: %v", err)
-		return
 	}
-	d.snap.Store(tr)
-	if tr.Result.Degraded {
-		d.logf("tick %d degraded: %d error(s), %d truncated pair(s)",
-			tr.Tick, len(tr.Result.Errors), len(tr.Result.Truncated))
-	}
+	d.publishQuerySnapshot()
 }
 
 // Uncommitted reports events applied since the last successful commit.

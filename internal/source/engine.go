@@ -30,6 +30,22 @@ type Config struct {
 	// DetectMemo field is managed by the engine (the incremental-detection
 	// cache) and must be left nil.
 	Pipeline pipeline.Config
+	// RetainWindows bounds pair retention: at each commit, pairs whose
+	// newest event is older than RetainWindows*Lateness behind the stream's
+	// high-water mark are evicted — dropped from the store, the memo and
+	// the checkpoint (which compacts as a side effect). 0 retains forever.
+	// Requires Lateness > 0: the eviction cutoff always trails the
+	// committed watermark, so an evicted pair's events would be dropped as
+	// late on replay anyway — eviction never changes what a recovering
+	// engine computes. A pair seen again *after* the watermark restarts
+	// with a fresh history (the trade retention makes by design).
+	RetainWindows int
+	// FullRecompute forces every tick to rebuild all summaries and re-run
+	// the whole pipeline instead of the dirty-only incremental path. The
+	// output is identical (the incremental path is pinned bit-identical to
+	// a full recompute); this exists as the comparison baseline for the
+	// differential tests and the tick benchmarks.
+	FullRecompute bool
 	// Logf receives recovery and degradation notes; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -52,11 +68,24 @@ type pairKey struct {
 func (k pairKey) String() string { return k.Src + "|" + k.Dst }
 
 // pairHistory is one pair's event history in arrival order, plus the set
-// of sources that contributed to it (for staleness marking).
+// of sources that contributed to it (for staleness marking). minTS/maxTS
+// are maintained on every append so retention scans and timeline queries
+// never walk the event slice.
 type pairHistory struct {
 	ts    []int64
 	paths []string // parallel to ts; nil when every event is path-less
 	srcs  map[string]struct{}
+	minTS int64
+	maxTS int64
+}
+
+func (h *pairHistory) observe(ts int64) {
+	if len(h.ts) == 0 || ts < h.minTS {
+		h.minTS = ts
+	}
+	if len(h.ts) == 0 || ts > h.maxTS {
+		h.maxTS = ts
+	}
 }
 
 // detectMemo caches per-pair detection results across ticks; it
@@ -115,6 +144,20 @@ type Engine struct {
 	applied  int64 // events applied since open (not persisted)
 	uncommit int64 // events applied since the last successful commit
 
+	// tickMu serializes tick bodies: the incremental pipeline state is
+	// single-writer. e.mu is still released around the pipeline run so
+	// Apply/Commit proceed concurrently; tickMu is always acquired first.
+	tickMu sync.Mutex
+	// inc is the standing incremental pipeline, created lazily on the
+	// first incremental tick. It caches each clean pair's built summary
+	// and analysis, so a tick rebuilds only dirty pairs' summaries.
+	inc *pipeline.Incremental
+	// evicted buffers retention removals for the next incremental tick to
+	// consume (unused when FullRecompute — the full path has no standing
+	// state to unwind). evictedCount is the lifetime total, persisted.
+	evicted      []pipeline.PairRef
+	evictedCount int64
+
 	// Committed watermark state. The watermark only ever changes inside a
 	// successful Commit, so replay-after-crash sees exactly the drop
 	// decisions the committed history implies.
@@ -136,6 +179,12 @@ func OpenEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.Pipeline.DetectMemo != nil {
 		return nil, fmt.Errorf("source: Pipeline.DetectMemo is managed by the engine; leave it nil")
+	}
+	if cfg.RetainWindows < 0 {
+		return nil, fmt.Errorf("source: RetainWindows must be >= 0")
+	}
+	if cfg.RetainWindows > 0 && cfg.Lateness <= 0 {
+		return nil, fmt.Errorf("source: RetainWindows requires Lateness > 0 (the eviction cutoff is RetainWindows lateness windows)")
 	}
 	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
 		return nil, fmt.Errorf("source: create state dir: %w", err)
@@ -167,9 +216,22 @@ func OpenEngine(cfg Config) (*Engine, error) {
 			e.pos[name] = p
 		}
 		e.watermark, e.maxTS, e.lateDropped = cp.Watermark, cp.MaxTS, cp.LateDropped
+		e.evictedCount = cp.Evicted
 		for _, ps := range cp.Pairs {
 			k := pairKey{Src: ps.Src, Dst: ps.Dst}
-			e.pairs[k] = &pairHistory{ts: ps.TS, paths: ps.Paths, srcs: make(map[string]struct{})}
+			h := &pairHistory{ts: ps.TS, paths: ps.Paths, srcs: make(map[string]struct{})}
+			if len(h.ts) > 0 {
+				h.minTS, h.maxTS = h.ts[0], h.ts[0]
+				for _, ts := range h.ts[1:] {
+					if ts < h.minTS {
+						h.minTS = ts
+					}
+					if ts > h.maxTS {
+						h.maxTS = ts
+					}
+				}
+			}
+			e.pairs[k] = h
 			// Every restored pair is dirty: the memo starts empty, and the
 			// first tick re-detects the full committed history.
 			e.dirty[k] = struct{}{}
@@ -241,6 +303,7 @@ func (e *Engine) Apply(b Batch) int {
 		if ev.Path != "" && h.paths == nil && len(h.ts) > 0 {
 			h.paths = make([]string, len(h.ts))
 		}
+		h.observe(ev.TS)
 		h.ts = append(h.ts, ev.TS)
 		if h.paths != nil || ev.Path != "" {
 			if h.paths == nil {
@@ -271,6 +334,15 @@ func (e *Engine) Apply(b Batch) int {
 // (maxTS - Lateness) is computed into the checkpoint and installed in
 // memory only after the write commits, so drop decisions always reflect
 // durable state and replay after a crash reproduces them exactly.
+//
+// When RetainWindows is set, Commit also evicts idle pairs: any pair
+// whose newest event trails the stream's high-water mark by more than
+// RetainWindows lateness windows is dropped from the checkpoint being
+// written (compaction) and, once the write commits, from the in-memory
+// store and memo. The eviction set is a pure function of the committed
+// maxTS, so every recovery replays the same evictions at the same
+// commits; and the cutoff never exceeds the new watermark, so an evicted
+// pair's events would be dropped as late on replay anyway.
 func (e *Engine) Commit() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -278,19 +350,47 @@ func (e *Engine) Commit() error {
 	if e.cfg.Lateness > 0 && e.maxTS-e.cfg.Lateness > wm {
 		wm = e.maxTS - e.cfg.Lateness
 	}
+	var evict []pairKey
+	if e.cfg.RetainWindows > 0 {
+		// Pre-plan crash point: dying here loses nothing (no state has
+		// changed, the commit just fails).
+		if err := faultCheck(faultinject.PointSourceCompactPlan, "compact"); err != nil {
+			return fmt.Errorf("source: compact: %w", err)
+		}
+		cutoff := e.maxTS - int64(e.cfg.RetainWindows)*e.cfg.Lateness
+		for k, h := range e.pairs {
+			if h.maxTS <= cutoff {
+				evict = append(evict, k)
+			}
+		}
+		sort.Slice(evict, func(i, j int) bool {
+			if evict[i].Src != evict[j].Src {
+				return evict[i].Src < evict[j].Src
+			}
+			return evict[i].Dst < evict[j].Dst
+		})
+	}
 	cp := &checkpoint{
 		Version:     checkpointVersion,
 		Sources:     make(map[string]Position, len(e.pos)),
 		Watermark:   wm,
 		MaxTS:       e.maxTS,
 		LateDropped: e.lateDropped,
+		Evicted:     e.evictedCount + int64(len(evict)),
 	}
 	for name, p := range e.pos {
 		cp.Sources[name] = p
 	}
+	evicting := make(map[pairKey]struct{}, len(evict))
+	for _, k := range evict {
+		evicting[k] = struct{}{}
+	}
 	keys := e.sortedPairKeys()
-	cp.Pairs = make([]pairState, 0, len(keys))
+	cp.Pairs = make([]pairState, 0, len(keys)-len(evict))
 	for _, k := range keys {
+		if _, gone := evicting[k]; gone {
+			continue
+		}
 		h := e.pairs[k]
 		cp.Pairs = append(cp.Pairs, pairState{Src: k.Src, Dst: k.Dst, TS: h.ts, Paths: h.paths})
 	}
@@ -299,6 +399,20 @@ func (e *Engine) Commit() error {
 	}
 	e.watermark = wm
 	e.uncommit = 0
+	for _, k := range evict {
+		delete(e.pairs, k)
+		delete(e.dirty, k)
+		e.memo.drop(k)
+		if !e.cfg.FullRecompute {
+			e.evicted = append(e.evicted, pipeline.PairRef{Source: k.Src, Destination: k.Dst})
+		}
+	}
+	e.evictedCount += int64(len(evict))
+	if len(evict) > 0 {
+		// Post-eviction crash point: the compacted checkpoint is durable
+		// and the in-memory store already dropped the evicted pairs.
+		_ = faultCheck(faultinject.PointSourceEvictApply, "evict")
+	}
 	// Post-commit crash point: everything after this line is observable
 	// only in memory.
 	_ = faultCheck(faultinject.PointSourceCommitDone, "checkpoint")
@@ -321,27 +435,161 @@ func (e *Engine) sortedPairKeys() []pairKey {
 
 // TickResult is one incremental detection pass.
 type TickResult struct {
-	// Result is the pipeline run over the full pair store; only dirty
-	// pairs were re-detected (clean ones answered from the memo).
+	// Result is the standing pipeline result over the full pair store;
+	// only dirty pairs were re-summarized and re-detected.
 	Result *pipeline.Result
 	// Dirty is the number of pairs whose history changed since the
-	// previous tick (the re-detected set).
+	// previous tick (the re-analyzed set).
 	Dirty int
-	// Stale lists "src|dst" pairs fed by at least one currently-unhealthy
-	// source: their histories may be missing recent events, so their
-	// verdicts should be read as stale until the source recovers.
-	Stale []string
+	// Stale lists pairs fed by at least one currently-unhealthy source:
+	// their histories may be missing recent events, so their verdicts
+	// should be read as stale until the source recovers. Sorted by
+	// (source, destination).
+	Stale []pipeline.PairRef
 	// Tick is the 1-based tick sequence number.
 	Tick int64
 }
 
-// Tick re-runs detection incrementally: summaries are rebuilt for every
-// pair (cheap), but the detect stage consults the engine's memo, so
-// periodicity analysis — the hot spot — runs only for pairs whose history
-// changed. The result is bit-identical to a from-scratch batch run over
-// the same events, because detection is deterministic and the memo is
-// invalidated on every history change.
+// Tick runs one detection pass. The default path is incremental: only
+// pairs whose history changed since the last tick (plus pairs whose
+// whitelist/novelty inputs moved) are re-summarized and re-analyzed by
+// the standing pipeline, making steady-state cost O(dirty pairs) rather
+// than O(total pairs). The result is bit-identical to a from-scratch
+// batch run over the same events — pinned by the pipeline's differential
+// test and by TestStreamingMatchesBatchPipeline — because every stage
+// runs the same code over the same inputs; incrementality only changes
+// which pairs are recomputed. Config.FullRecompute selects the
+// rebuild-everything path (same output, used as the benchmark baseline).
 func (e *Engine) Tick(ctx context.Context) (*TickResult, error) {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
+	if e.cfg.FullRecompute {
+		return e.tickFull(ctx)
+	}
+	return e.tickIncremental(ctx)
+}
+
+// staleLocked lists pairs fed by an unhealthy source; e.mu must be held.
+func (e *Engine) staleLocked() []pipeline.PairRef {
+	var stale []pipeline.PairRef
+	for k, h := range e.pairs {
+		for name := range h.srcs {
+			if healthy, tracked := e.health[name]; tracked && !healthy {
+				stale = append(stale, pipeline.PairRef{Source: k.Src, Destination: k.Dst})
+				break
+			}
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].Source != stale[j].Source {
+			return stale[i].Source < stale[j].Source
+		}
+		return stale[i].Destination < stale[j].Destination
+	})
+	return stale
+}
+
+// buildSummary materializes one pair's ActivitySummary; e.mu must be held.
+func (e *Engine) buildSummary(k pairKey, h *pairHistory) (*timeseries.ActivitySummary, error) {
+	as, err := timeseries.FromTimestamps(k.Src, k.Dst, h.ts, e.cfg.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("source: summarize %s: %w", k, err)
+	}
+	for _, p := range h.paths {
+		as.AddURLPath(p)
+	}
+	return as, nil
+}
+
+// tickIncremental is the dirty-only tick: rebuild summaries for dirty
+// pairs, hand the delta (plus retention evictions) to the standing
+// incremental pipeline, and return its updated result.
+func (e *Engine) tickIncremental(ctx context.Context) (*TickResult, error) {
+	e.mu.Lock()
+	if err := faultCheck(faultinject.PointSourceDetectTick, "tick"); err != nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("source: tick: %w", err)
+	}
+	if e.inc == nil {
+		cfg := e.cfg.Pipeline
+		cfg.Scale = e.cfg.Scale
+		cfg.DetectMemo = e.memo
+		cfg.Thresholds = e.thrMemo
+		inc, err := pipeline.NewIncremental(cfg)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("source: tick: %w", err)
+		}
+		e.inc = inc
+	}
+	dirtyKeys := make([]pairKey, 0, len(e.dirty))
+	for k := range e.dirty {
+		dirtyKeys = append(dirtyKeys, k)
+	}
+	sort.Slice(dirtyKeys, func(i, j int) bool {
+		if dirtyKeys[i].Src != dirtyKeys[j].Src {
+			return dirtyKeys[i].Src < dirtyKeys[j].Src
+		}
+		return dirtyKeys[i].Dst < dirtyKeys[j].Dst
+	})
+	changed := make([]*timeseries.ActivitySummary, 0, len(dirtyKeys))
+	for _, k := range dirtyKeys {
+		h := e.pairs[k]
+		if h == nil {
+			// Dirty mark survived the pair's eviction; the removal below
+			// already unwinds it.
+			delete(e.dirty, k)
+			continue
+		}
+		as, err := e.buildSummary(k, h)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		changed = append(changed, as)
+		e.memo.drop(k) // Apply already dropped these; kept as a cheap invariant
+		delete(e.dirty, k)
+	}
+	removed := e.evicted
+	e.evicted = nil
+	for _, r := range removed {
+		// A commit can race an in-flight tick whose detection re-Put an
+		// evicted pair's memo entry after the eviction dropped it; re-drop
+		// here, where tickMu guarantees no tick is in flight.
+		e.memo.drop(pairKey{Src: r.Source, Dst: r.Destination})
+	}
+	dirty := len(changed)
+	stale := e.staleLocked()
+	tick := e.ticks + 1
+	e.mu.Unlock()
+
+	res, err := e.inc.Tick(ctx, changed, removed)
+	if err != nil {
+		// The delta was consumed even though the tick failed; re-dirty the
+		// changed pairs and re-queue the removals so the next tick retries
+		// the same delta instead of silently dropping it.
+		e.mu.Lock()
+		for _, as := range changed {
+			k := pairKey{Src: as.Source, Dst: as.Destination}
+			if _, live := e.pairs[k]; live {
+				e.dirty[k] = struct{}{}
+			}
+		}
+		e.evicted = append(removed, e.evicted...)
+		e.mu.Unlock()
+		return nil, err
+	}
+	e.mu.Lock()
+	e.ticks = tick
+	e.mu.Unlock()
+	return &TickResult{Result: res, Dirty: dirty, Stale: stale, Tick: tick}, nil
+}
+
+// tickFull re-runs the whole pipeline over every pair: summaries are
+// rebuilt for every pair, and the detect stage consults the engine's memo
+// so periodicity analysis still runs only for pairs whose history
+// changed.
+func (e *Engine) tickFull(ctx context.Context) (*TickResult, error) {
 	e.mu.Lock()
 	if err := faultCheck(faultinject.PointSourceDetectTick, "tick"); err != nil {
 		e.mu.Unlock()
@@ -349,25 +597,15 @@ func (e *Engine) Tick(ctx context.Context) (*TickResult, error) {
 	}
 	keys := e.sortedPairKeys()
 	summaries := make([]*timeseries.ActivitySummary, 0, len(keys))
-	var stale []string
 	for _, k := range keys {
-		h := e.pairs[k]
-		as, err := timeseries.FromTimestamps(k.Src, k.Dst, h.ts, e.cfg.Scale)
+		as, err := e.buildSummary(k, e.pairs[k])
 		if err != nil {
 			e.mu.Unlock()
-			return nil, fmt.Errorf("source: summarize %s: %w", k, err)
-		}
-		for _, p := range h.paths {
-			as.AddURLPath(p)
+			return nil, err
 		}
 		summaries = append(summaries, as)
-		for name := range h.srcs {
-			if healthy, tracked := e.health[name]; tracked && !healthy {
-				stale = append(stale, k.String())
-				break
-			}
-		}
 	}
+	stale := e.staleLocked()
 	dirty := len(e.dirty)
 	for k := range e.dirty {
 		e.memo.drop(k) // Apply already dropped these; kept as a cheap invariant
@@ -434,6 +672,9 @@ type Stats struct {
 	Ticks int64
 	// MemoPairs counts pairs with a cached detection result.
 	MemoPairs int
+	// Evicted counts pairs aged out by retention over the engine's
+	// lifetime (persisted across restarts).
+	Evicted int64
 }
 
 // Stats returns the engine's current accounting.
@@ -452,6 +693,7 @@ func (e *Engine) Stats() Stats {
 		LateDropped: e.lateDropped,
 		Ticks:       e.ticks,
 		MemoPairs:   e.memo.size(),
+		Evicted:     e.evictedCount,
 	}
 }
 
@@ -463,10 +705,26 @@ type TimelineEntry struct {
 	First       int64  `json:"first"`
 	Last        int64  `json:"last"`
 	Stale       bool   `json:"stale,omitempty"`
+	// Case is the pair's analyst verdict ("benign"/"malicious") when a
+	// casefile labels store is configured; filled by the query layer.
+	Case string `json:"case,omitempty"`
+}
+
+// timelineEntryLocked builds one pair's timeline entry; e.mu must be held.
+func (e *Engine) timelineEntryLocked(k pairKey, h *pairHistory) TimelineEntry {
+	entry := TimelineEntry{Destination: k.Dst, Events: len(h.ts), First: h.minTS, Last: h.maxTS}
+	for name := range h.srcs {
+		if healthy, tracked := e.health[name]; tracked && !healthy {
+			entry.Stale = true
+			break
+		}
+	}
+	return entry
 }
 
 // HostTimeline returns the per-destination history of one source host,
-// sorted by destination.
+// sorted by destination. O(pairs): first/last come from the maintained
+// per-pair bounds, never from an event scan.
 func (e *Engine) HostTimeline(src string) []TimelineEntry {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -475,24 +733,27 @@ func (e *Engine) HostTimeline(src string) []TimelineEntry {
 		if k.Src != src || len(h.ts) == 0 {
 			continue
 		}
-		first, last := h.ts[0], h.ts[0]
-		for _, ts := range h.ts {
-			if ts < first {
-				first = ts
-			}
-			if ts > last {
-				last = ts
-			}
-		}
-		entry := TimelineEntry{Destination: k.Dst, Events: len(h.ts), First: first, Last: last}
-		for name := range h.srcs {
-			if healthy, tracked := e.health[name]; tracked && !healthy {
-				entry.Stale = true
-				break
-			}
-		}
-		out = append(out, entry)
+		out = append(out, e.timelineEntryLocked(k, h))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Destination < out[j].Destination })
+	return out
+}
+
+// Timelines returns every host's timeline in one pass — the query
+// layer's per-generation snapshot source, so a scrape never walks the
+// store once per host.
+func (e *Engine) Timelines() map[string][]TimelineEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string][]TimelineEntry)
+	for k, h := range e.pairs {
+		if len(h.ts) == 0 {
+			continue
+		}
+		out[k.Src] = append(out[k.Src], e.timelineEntryLocked(k, h))
+	}
+	for _, entries := range out {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Destination < entries[j].Destination })
+	}
 	return out
 }

@@ -15,7 +15,7 @@ import (
 
 // testPipelineCfg is the minimal detection config: a small language model
 // and a global whitelist over the trace's popular catalog.
-func testPipelineCfg(t *testing.T, catalog []string) pipeline.Config {
+func testPipelineCfg(t testing.TB, catalog []string) pipeline.Config {
 	t.Helper()
 	lm, err := langmodel.Train(corpus.PopularDomains(2000, 42))
 	if err != nil {

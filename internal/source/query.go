@@ -5,8 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
+	"sync"
 	"time"
+
+	"baywatch/internal/casefile"
+	"baywatch/internal/pipeline"
 )
 
 // SourceStatus summarizes one supervised connector for /status.
@@ -35,16 +40,170 @@ type RankedEntry struct {
 	// Stale marks pairs whose only sources are currently unhealthy: the
 	// verdict is from the last data received, not live traffic.
 	Stale bool `json:"stale"`
+	// Case is the pair's analyst verdict ("benign"/"malicious") when a
+	// casefile labels store is configured.
+	Case string `json:"case,omitempty"`
 }
 
 type statusPayload struct {
 	Stats    Stats          `json:"stats"`
 	Sources  []SourceStatus `json:"sources"`
 	Degraded bool           `json:"degraded"`
+	// Generation is the query-snapshot generation this payload belongs to
+	// (the value inside the endpoint's ETag).
+	Generation int64 `json:"generation"`
 	// LastTick is the sequence number of the published snapshot (0 before
 	// the first tick); DirtyPairs how many pairs it re-analyzed.
 	LastTick   int64 `json:"last_tick"`
 	DirtyPairs int   `json:"dirty_pairs"`
+}
+
+// querySnapshot is one generation's immutable query state: everything
+// the endpoints serve, computed once per tick generation and swapped in
+// atomically. Handlers only ever read from it — a scrape storm costs
+// zero recomputation and never touches the engine mutex.
+type querySnapshot struct {
+	gen       int64
+	etag      string // strong ETag: `"<generation>"`
+	ranked    []RankedEntry
+	timelines map[string][]TimelineEntry
+	status    statusPayload
+}
+
+// caseLabelCache re-reads the casefile labels only when the file
+// changes; consulted once per published generation.
+type caseLabelCache struct {
+	mu      sync.Mutex
+	mtime   time.Time
+	size    int64
+	loaded  bool
+	labels  map[string]int
+	lastErr string
+}
+
+// labels returns the current casefile verdicts (nil when unconfigured or
+// unreadable). A read failure keeps the previous labels and logs once
+// per distinct error.
+func (d *Daemon) caseLabels() map[string]int {
+	path := d.cfg.CasefilePath
+	if path == "" {
+		return nil
+	}
+	c := &d.cases
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fi, err := os.Stat(path)
+	if err == nil && c.loaded && fi.ModTime().Equal(c.mtime) && fi.Size() == c.size {
+		return c.labels
+	}
+	if err == nil {
+		labels, lerr := casefile.ReadLabels(path)
+		if lerr == nil {
+			c.labels, c.mtime, c.size, c.loaded, c.lastErr = labels, fi.ModTime(), fi.Size(), true, ""
+			return c.labels
+		}
+		err = lerr
+	}
+	if msg := err.Error(); msg != c.lastErr {
+		c.lastErr = msg
+		d.logf("casefile labels unavailable: %v", err)
+	}
+	return c.labels
+}
+
+func caseVerdict(labels map[string]int, src, dst string) string {
+	if labels == nil {
+		return ""
+	}
+	// Casefile IDs use the interchange format's own "source|destination"
+	// key (see casefile.Case.ID).
+	switch v, ok := labels[src+"|"+dst]; {
+	case !ok:
+		return ""
+	case v == 1:
+		return "malicious"
+	default:
+		return "benign"
+	}
+}
+
+// publishQuerySnapshot computes the next query generation from the
+// latest tick result and current engine accounting, and swaps it in.
+// Called once at daemon construction and once per tick interval.
+func (d *Daemon) publishQuerySnapshot() {
+	gen := d.gen.Add(1)
+	labels := d.caseLabels()
+	qs := &querySnapshot{gen: gen, etag: `"` + strconv.FormatInt(gen, 10) + `"`}
+
+	snap := d.Snapshot()
+	if snap != nil {
+		stale := make(map[pipeline.PairRef]bool, len(snap.Stale))
+		for _, s := range snap.Stale {
+			stale[s] = true
+		}
+		qs.ranked = make([]RankedEntry, 0, len(snap.Result.Reported))
+		for i, c := range snap.Result.Reported {
+			e := RankedEntry{
+				Rank:        i + 1,
+				Source:      c.Source,
+				Destination: c.Destination,
+				Score:       c.Score,
+				LMScore:     c.LMScore,
+				Stale:       stale[pipeline.PairRef{Source: c.Source, Destination: c.Destination}],
+				Case:        caseVerdict(labels, c.Source, c.Destination),
+			}
+			if c.Detection != nil {
+				for _, k := range c.Detection.Kept {
+					if p := k.BestPeriod(); p > 0 && (e.PeriodSeconds == 0 || p < e.PeriodSeconds) {
+						e.PeriodSeconds = p
+					}
+				}
+			}
+			qs.ranked = append(qs.ranked, e)
+		}
+	}
+
+	qs.timelines = d.eng.Timelines()
+	if labels != nil {
+		for src, entries := range qs.timelines {
+			for i := range entries {
+				entries[i].Case = caseVerdict(labels, src, entries[i].Destination)
+			}
+		}
+	}
+
+	st := statusPayload{
+		Stats:      d.eng.Stats(),
+		Sources:    []SourceStatus{},
+		Degraded:   d.Degraded(),
+		Generation: gen,
+	}
+	for _, s := range d.sups {
+		st.Sources = append(st.Sources, s.status())
+	}
+	if snap != nil {
+		st.LastTick = snap.Tick
+		st.DirtyPairs = snap.Dirty
+	}
+	qs.status = st
+
+	d.qsnap.Store(qs)
+}
+
+// querySnap returns the current generation's snapshot; never nil after
+// NewDaemon.
+func (d *Daemon) querySnap() *querySnapshot { return d.qsnap.Load() }
+
+// notModified handles conditional requests: when the client presents the
+// current generation's ETag, reply 304 with no body. Always stamps the
+// ETag so clients can revalidate the next scrape.
+func notModified(w http.ResponseWriter, r *http.Request, qs *querySnapshot) bool {
+	w.Header().Set("ETag", qs.etag)
+	if r.Header.Get("If-None-Match") == qs.etag {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
 }
 
 // startQueryServer serves /ranked, /host and /status on cfg.QueryAddr
@@ -122,11 +281,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (d *Daemon) serveRanked(w http.ResponseWriter, r *http.Request) {
-	snap := d.Snapshot()
-	if snap == nil {
-		writeJSON(w, []RankedEntry{})
-		return
-	}
+	qs := d.querySnap()
 	limit := 25
 	if s := r.URL.Query().Get("n"); s != "" {
 		n, err := strconv.Atoi(s)
@@ -136,31 +291,15 @@ func (d *Daemon) serveRanked(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	stale := make(map[string]bool, len(snap.Stale))
-	for _, s := range snap.Stale {
-		stale[s] = true
+	if notModified(w, r, qs) {
+		return
 	}
-	entries := []RankedEntry{}
-	for i, c := range snap.Result.Reported {
-		if i >= limit {
-			break
-		}
-		e := RankedEntry{
-			Rank:        i + 1,
-			Source:      c.Source,
-			Destination: c.Destination,
-			Score:       c.Score,
-			LMScore:     c.LMScore,
-			Stale:       stale[c.Source+"|"+c.Destination],
-		}
-		if c.Detection != nil {
-			for _, k := range c.Detection.Kept {
-				if p := k.BestPeriod(); p > 0 && (e.PeriodSeconds == 0 || p < e.PeriodSeconds) {
-					e.PeriodSeconds = p
-				}
-			}
-		}
-		entries = append(entries, e)
+	entries := qs.ranked
+	if len(entries) > limit {
+		entries = entries[:limit]
+	}
+	if entries == nil {
+		entries = []RankedEntry{}
 	}
 	writeJSON(w, entries)
 }
@@ -171,21 +310,17 @@ func (d *Daemon) serveHost(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "src parameter is required", http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, d.eng.HostTimeline(src))
+	qs := d.querySnap()
+	if notModified(w, r, qs) {
+		return
+	}
+	writeJSON(w, qs.timelines[src])
 }
 
 func (d *Daemon) serveStatus(w http.ResponseWriter, r *http.Request) {
-	p := statusPayload{
-		Stats:    d.eng.Stats(),
-		Sources:  []SourceStatus{},
-		Degraded: d.Degraded(),
+	qs := d.querySnap()
+	if notModified(w, r, qs) {
+		return
 	}
-	for _, s := range d.sups {
-		p.Sources = append(p.Sources, s.status())
-	}
-	if snap := d.Snapshot(); snap != nil {
-		p.LastTick = snap.Tick
-		p.DirtyPairs = snap.Dirty
-	}
-	writeJSON(w, p)
+	writeJSON(w, qs.status)
 }
